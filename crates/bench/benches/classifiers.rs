@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks: training and inference cost of each
+//! classifier family on per-class HMD problems.
+//!
+//! These complement Table V: the FPGA cost model prices the *hardware*
+//! implementation; these benches measure the *software* implementation the
+//! workspace actually runs, at the paper's HPC budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmd_bench::grid::HpcConfig;
+use hmd_bench::setup::{Experiment, Scale};
+use hmd_hpc_sim::workload::AppClass;
+use hmd_ml::classifier::ClassifierKind;
+use std::hint::black_box;
+use twosmart::pipeline::class_dataset_from;
+use twosmart::stage2::SpecializedDetector;
+
+fn bench_training(c: &mut Criterion) {
+    let exp = Experiment::prepare(Scale::Tiny);
+    let binary = class_dataset_from(&exp.train, AppClass::Virus);
+    let mut group = c.benchmark_group("train");
+    for kind in [ClassifierKind::J48, ClassifierKind::JRip, ClassifierKind::OneR] {
+        for config in [HpcConfig::Hpc4, HpcConfig::Hpc8] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), config.label()),
+                &config,
+                |b, &config| {
+                    b.iter(|| {
+                        SpecializedDetector::train(
+                            black_box(&binary),
+                            AppClass::Virus,
+                            &config.stage2_config(kind),
+                            0,
+                        )
+                        .expect("trains")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let exp = Experiment::prepare(Scale::Tiny);
+    let binary = class_dataset_from(&exp.train, AppClass::Virus);
+    let sample = exp.corpus.records()[0].features.clone();
+    let mut group = c.benchmark_group("infer");
+    for kind in ClassifierKind::ALL {
+        for config in [HpcConfig::Hpc4, HpcConfig::Hpc4Boosted] {
+            let det = SpecializedDetector::train(
+                &binary,
+                AppClass::Virus,
+                &config.stage2_config(kind),
+                0,
+            )
+            .expect("trains");
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), config.label()),
+                &det,
+                |b, det| b.iter(|| det.is_malware(black_box(&sample))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_inference);
+criterion_main!(benches);

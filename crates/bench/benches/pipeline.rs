@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the end-to-end pipeline: corpus collection,
+//! feature reduction, two-stage detection latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmd_bench::setup::{Experiment, Scale};
+use hmd_hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
+use hmd_hpc_sim::workload::AppClass;
+use hmd_ml::classifier::ClassifierKind;
+use std::hint::black_box;
+use twosmart::detector::TwoSmartDetector;
+use twosmart::features::derive_feature_sets;
+
+fn bench_corpus_collection(c: &mut Criterion) {
+    c.bench_function("corpus/tiny_11_batches", |b| {
+        b.iter(|| CorpusBuilder::new(black_box(CorpusSpec::tiny())).build())
+    });
+}
+
+fn bench_feature_reduction(c: &mut Criterion) {
+    let exp = Experiment::prepare(Scale::Tiny);
+    c.bench_function("features/derive_44_to_8", |b| {
+        b.iter(|| derive_feature_sets(black_box(&exp.train)))
+    });
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let exp = Experiment::prepare(Scale::Tiny);
+    let detector = AppClass::MALWARE
+        .iter()
+        .fold(
+            TwoSmartDetector::builder().seed(0).hpc_budget(4),
+            |b, &class| b.classifier_for(class, ClassifierKind::J48),
+        )
+        .train_on(&exp.train)
+        .expect("detector trains");
+    let sample = exp.corpus.records()[0].features.clone();
+    c.bench_function("detect/two_stage_4hpc", |b| {
+        b.iter(|| detector.detect(black_box(&sample)))
+    });
+    c.bench_function("detect/stage1_route_only", |b| {
+        b.iter(|| detector.stage1().predict_class(black_box(&sample)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_corpus_collection,
+    bench_feature_reduction,
+    bench_detection
+);
+criterion_main!(benches);

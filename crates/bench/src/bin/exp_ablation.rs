@@ -1,0 +1,9 @@
+//! Runs the design-choice ablations (boosting iterations, decision window,
+//! collection strategy, feature sets, label noise).
+
+use hmd_bench::{experiments::ablation, setup::Experiment};
+
+fn main() {
+    let exp = Experiment::from_env();
+    print!("{}", ablation::run(&exp.train, &exp.test, exp.seed));
+}

@@ -1,0 +1,9 @@
+//! Reproduces Fig. 4: detection performance (F × AUC) of 2SMaRT.
+
+use hmd_bench::{experiments::fig4, grid::run_grid, setup::Experiment};
+
+fn main() {
+    let exp = Experiment::from_env();
+    let grid = run_grid(&exp.train, &exp.test, exp.seed);
+    print!("{}", fig4::run(&grid));
+}

@@ -1,0 +1,8 @@
+//! Reproduces Fig. 5(a): Stage1-MLR-only vs the full two-stage 2SMaRT.
+
+use hmd_bench::{experiments::fig5, setup::Experiment};
+
+fn main() {
+    let exp = Experiment::from_env();
+    print!("{}", fig5::run_5a(&exp.train, &exp.test, exp.seed));
+}

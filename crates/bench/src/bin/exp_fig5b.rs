@@ -1,0 +1,8 @@
+//! Reproduces Fig. 5(b): 2SMaRT vs a single-stage general HMD.
+
+use hmd_bench::{experiments::fig5, setup::Experiment};
+
+fn main() {
+    let exp = Experiment::from_env();
+    print!("{}", fig5::run_5b(&exp.train, &exp.test, exp.seed));
+}

@@ -1,0 +1,10 @@
+//! Emits the ROC curves of every classifier for the Virus detector at the
+//! 4-HPC run-time budget.
+
+use hmd_bench::{experiments::roc, setup::Experiment};
+use hmd_hpc_sim::workload::AppClass;
+
+fn main() {
+    let exp = Experiment::from_env();
+    print!("{}", roc::run(&exp.train, &exp.test, AppClass::Virus, exp.seed));
+}

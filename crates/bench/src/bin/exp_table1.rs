@@ -1,0 +1,9 @@
+//! Reproduces Table I: best classifier per malware class and HPC budget.
+
+use hmd_bench::{experiments::table1, grid::run_grid, setup::Experiment};
+
+fn main() {
+    let exp = Experiment::from_env();
+    let grid = run_grid(&exp.train, &exp.test, exp.seed);
+    print!("{}", table1::run(&grid));
+}

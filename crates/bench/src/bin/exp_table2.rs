@@ -1,0 +1,8 @@
+//! Reproduces Table II: top-8 HPC features per malware class.
+
+use hmd_bench::{experiments::table2, setup::Experiment};
+
+fn main() {
+    let exp = Experiment::from_env();
+    print!("{}", table2::run(&exp.train));
+}

@@ -1,0 +1,9 @@
+//! Reproduces Table III: F-measure of 2SMaRT detectors with/without boosting.
+
+use hmd_bench::{experiments::table3, grid::run_grid, setup::Experiment};
+
+fn main() {
+    let exp = Experiment::from_env();
+    let grid = run_grid(&exp.train, &exp.test, exp.seed);
+    print!("{}", table3::run(&grid));
+}

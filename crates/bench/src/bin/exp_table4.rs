@@ -1,0 +1,9 @@
+//! Reproduces Table IV: average performance improvement from boosting.
+
+use hmd_bench::{experiments::table4, grid::run_grid, setup::Experiment};
+
+fn main() {
+    let exp = Experiment::from_env();
+    let grid = run_grid(&exp.train, &exp.test, exp.seed);
+    print!("{}", table4::run(&grid));
+}

@@ -1,0 +1,8 @@
+//! Reproduces Table V: hardware cost (latency, area) of the detectors.
+
+use hmd_bench::{experiments::table5, setup::Experiment};
+
+fn main() {
+    let exp = Experiment::from_env();
+    print!("{}", table5::run(&exp.train, exp.seed));
+}

@@ -1,0 +1,86 @@
+//! Runs every experiment and writes the consolidated report to
+//! `EXPERIMENTS.md` (or the path in `TWOSMART_REPORT`).
+//!
+//! ```text
+//! TWOSMART_SCALE=paper cargo run --release -p hmd-bench --bin run_all
+//! ```
+
+use hmd_bench::experiments::{ablation, fig1, fig4, fig5, table1, table2, table3, table4, table5};
+use hmd_bench::grid::run_grid;
+use hmd_bench::setup::{Experiment, Scale};
+use std::io::Write;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let path = std::env::var("TWOSMART_REPORT").unwrap_or_else(|_| "EXPERIMENTS.md".to_string());
+
+    eprintln!("[run_all] preparing corpus at {scale:?} scale…");
+    let t0 = Instant::now();
+    let exp = Experiment::prepare(scale);
+    eprintln!(
+        "[run_all] corpus: {} apps, train {}, test {} ({:.1}s)",
+        exp.corpus.len(),
+        exp.train.len(),
+        exp.test.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    eprintln!("[run_all] computing the classifier grid…");
+    let t1 = Instant::now();
+    let grid = run_grid(&exp.train, &exp.test, exp.seed);
+    eprintln!("[run_all] grid done ({:.1}s)", t1.elapsed().as_secs_f64());
+
+    let mut out = String::new();
+    out.push_str("# EXPERIMENTS — paper vs measured\n\n");
+    out.push_str(
+        "Reproduction of every table and figure of *2SMaRT: A Two-Stage Machine \
+         Learning-Based Approach for Run-Time Specialized Hardware-Assisted \
+         Malware Detection* (DATE 2019) on the synthetic HPC substrate. \
+         Absolute numbers are not expected to match the paper (its testbed was a \
+         physical Xeon X5550 running live malware); the *shape* — which \
+         classifier wins where, how F degrades with fewer HPCs, what boosting \
+         recovers, and the hardware-cost ordering — is the reproduction target.\n\n",
+    );
+    out.push_str(&format!(
+        "Setup: scale `{scale:?}` — {} applications ({} train / {} test, \
+         stratified 60/40), seed {}. Regenerate with \
+         `TWOSMART_SCALE={} cargo run --release -p hmd-bench --bin run_all`.\n\n",
+        exp.corpus.len(),
+        exp.train.len(),
+        exp.test.len(),
+        exp.seed,
+        match scale {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        },
+    ));
+
+    let sections: Vec<(&str, String)> = vec![
+        ("fig1", fig1::run(exp.seed)),
+        ("table1", table1::run(&grid)),
+        ("table2", table2::run(&exp.train)),
+        ("table3", table3::run(&grid)),
+        ("fig4", fig4::run(&grid)),
+        ("table4", table4::run(&grid)),
+        ("fig5a", fig5::run_5a(&exp.train, &exp.test, exp.seed)),
+        ("fig5b", fig5::run_5b(&exp.train, &exp.test, exp.seed)),
+        ("table5", table5::run(&exp.train, exp.seed)),
+        ("ablations", ablation::run(&exp.train, &exp.test, exp.seed)),
+    ];
+    for (name, section) in sections {
+        eprintln!("[run_all] {name} rendered");
+        out.push_str(&section);
+        out.push('\n');
+    }
+
+    let mut file = std::fs::File::create(&path)
+        .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    file.write_all(out.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!(
+        "[run_all] wrote {path} ({:.1}s total)",
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,571 @@
+//! Ablations: sensitivity of the 2SMaRT design choices.
+//!
+//! The paper fixes several design parameters without exploring them; these
+//! ablations quantify each one on the synthetic substrate:
+//!
+//! 1. [`boosting_iterations`] — AdaBoost ensemble size vs detection
+//!    performance (the paper uses WEKA's default 10).
+//! 2. [`window_size`] — run-time decision window vs online accuracy and
+//!    detection latency.
+//! 3. [`collection_strategy`] — batched multi-run collection vs perf's
+//!    time-division multiplexing vs the 4-common single run.
+//! 4. [`feature_sets`] — the published Table II sets vs sets derived by
+//!    re-running the reduction pipeline on this corpus.
+//! 5. [`label_noise`] — sensitivity of every classifier to AV-label noise.
+//! 6. [`ensemble_method`] — AdaBoost vs Bagging vs the single base learner.
+//! 7. [`split_stability`] — cross-validated error bars on the single-split
+//!    protocol.
+//! 8. [`extended_baselines`] — Naive Bayes and KNN against the paper's four.
+
+use crate::report::{markdown_table, pct};
+use hmd_hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
+use hmd_hpc_sim::event::Event;
+use hmd_hpc_sim::perf::{EventBatch, MultiplexedSession, PerfSession};
+use hmd_hpc_sim::workload::{AppClass, WorkloadSpec};
+use hmd_ml::classifier::ClassifierKind;
+use hmd_ml::data::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use twosmart::detector::TwoSmartDetector;
+use twosmart::features::{derive_feature_sets, FeatureSet};
+use twosmart::online::OnlineDetector;
+use twosmart::pipeline::{class_dataset_from, full_dataset, select_events};
+use twosmart::stage2::{SpecializedDetector, Stage2Config};
+
+/// Ablation 1 — boosting iterations: mean detection performance across the
+/// four classes at 4 HPCs, for ensembles of 1/5/10/20 base models.
+pub fn boosting_iterations(train: &Dataset, test: &Dataset, seed: u64) -> String {
+    let iteration_counts = [1usize, 5, 10, 20];
+    let mut out = String::new();
+    out.push_str("## Ablation — AdaBoost iterations (4 HPCs)\n\n");
+    let header: Vec<String> = std::iter::once("Classifier".to_string())
+        .chain(iteration_counts.iter().map(|i| format!("{i} iter")))
+        .collect();
+    let mut rows = Vec::new();
+    for kind in ClassifierKind::ALL {
+        let mut row = vec![kind.name().to_string()];
+        for &iters in &iteration_counts {
+            let mut perf = 0.0;
+            for class in AppClass::MALWARE {
+                let bin_train = class_dataset_from(train, class);
+                let bin_test = class_dataset_from(test, class);
+                let config = Stage2Config::new(kind)
+                    .with_hpcs(4)
+                    .with_boosting(true)
+                    .with_boost_iterations(iters);
+                let det = SpecializedDetector::train(&bin_train, class, &config, seed)
+                    .expect("detector trains");
+                perf += det.evaluate(&bin_test).performance();
+            }
+            row.push(pct(perf / 4.0));
+        }
+        rows.push(row);
+    }
+    out.push_str(&markdown_table(&header, &rows));
+    out.push_str(
+        "\nExpected: performance saturates near the WEKA default of 10 \
+         iterations; a single iteration is just the base learner.\n",
+    );
+    out
+}
+
+/// Ablation 2 — online decision window: accuracy of the smoothed run-time
+/// detector vs the window length (and hence decision latency).
+pub fn window_size(train: &Dataset, seed: u64) -> String {
+    let windows = [1usize, 5, 10, 20, 40];
+    let detector = TwoSmartDetector::builder()
+        .seed(seed)
+        .hpc_budget(4)
+        .train_on(train)
+        .expect("detector trains");
+    let library = WorkloadSpec::library();
+    let events = detector
+        .runtime_events()
+        .expect("4-HPC detector deployable")
+        .to_vec();
+    let session = PerfSession::open(&events).expect("common events fit the registers");
+
+    let mut out = String::new();
+    out.push_str("## Ablation — run-time decision window\n\n");
+    let header: Vec<String> = vec![
+        "Window (samples)".into(),
+        "Decision latency".into(),
+        "Online accuracy".into(),
+    ];
+    let mut rows = Vec::new();
+    for &window in &windows {
+        let mut rng = StdRng::seed_from_u64(seed ^ window as u64);
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        // Stream 10 instances of every family through the online detector.
+        for spec in library.iter() {
+            for _ in 0..10 {
+                let mut online =
+                    OnlineDetector::new(detector.clone(), window, 1).expect("deployable");
+                let mut app = spec.spawn(&mut rng);
+                let readings = session.profile(&mut app, window, &mut rng);
+                let mut verdict = None;
+                for r in &readings {
+                    verdict = online.push(&r.counts);
+                }
+                let flagged = verdict.expect("window filled").is_malware();
+                total += 1;
+                if flagged == spec.class.is_malware() {
+                    correct += 1;
+                }
+            }
+        }
+        rows.push(vec![
+            window.to_string(),
+            format!("{} ms", window * 10),
+            pct(correct as f64 / total as f64),
+        ]);
+    }
+    out.push_str(&markdown_table(&header, &rows));
+    out.push_str(
+        "\nExpected: longer windows average out phase noise and read noise, \
+         trading detection latency for accuracy; gains flatten once the \
+         window spans several program phases.\n",
+    );
+    out
+}
+
+/// Ablation 3 — collection strategy for a 16-event detector: batched
+/// multi-run (the paper's offline protocol), multiplexed single-run (perf's
+/// fallback), and the 4-common single-run that 2SMaRT actually deploys.
+pub fn collection_strategy(seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let library = WorkloadSpec::library();
+    // The 16 events of the Virus detector's 16-HPC configuration serve as
+    // the offline feature set.
+    let tmp = CorpusBuilder::new(CorpusSpec::tiny()).build();
+    let events16 = twosmart::stage2::events_for_budget(
+        &class_dataset_from(&full_dataset(&tmp), AppClass::Virus),
+        AppClass::Virus,
+        16,
+    );
+    let batches = EventBatch::schedule(&events16);
+    let mux = MultiplexedSession::open(&events16).expect("multiplexing accepts 16");
+    let common = FeatureSet::published(AppClass::Virus).common().to_vec();
+    let common_session = PerfSession::open(&common).expect("4 events fit");
+
+    // Collect a small virus-vs-benign corpus under each strategy.
+    let n_per_class = 60;
+    let samples = 12;
+    let mut batched_rows: Vec<(Vec<f64>, usize)> = Vec::new();
+    let mut mux_rows: Vec<(Vec<f64>, usize)> = Vec::new();
+    let mut common_rows: Vec<(Vec<f64>, usize)> = Vec::new();
+
+    let families: Vec<&WorkloadSpec> = library
+        .iter()
+        .filter(|w| w.class == AppClass::Benign || w.class == AppClass::Virus)
+        .collect();
+    let mut produced = [0usize; 2];
+    let mut fi = 0;
+    while produced[0] < n_per_class || produced[1] < n_per_class {
+        let spec = families[fi % families.len()];
+        fi += 1;
+        let label = usize::from(spec.class.is_malware());
+        if produced[label] >= n_per_class {
+            continue;
+        }
+        produced[label] += 1;
+        let prototype = spec.spawn(&mut rng);
+
+        // Batched: one fresh run per 4-event batch (the paper's protocol).
+        let mut features = vec![0.0; events16.len()];
+        for batch in batches.batches() {
+            let session = PerfSession::open(batch).expect("register-sized");
+            let mut app = prototype.clone();
+            let readings = session.profile(&mut app, samples, &mut rng);
+            let means = session.mean_counts(&readings);
+            for (e, m) in batch.iter().zip(means) {
+                let pos = events16.iter().position(|x| x == e).expect("event in set");
+                features[pos] = m;
+            }
+        }
+        batched_rows.push((features, label));
+
+        // Multiplexed: one run, all 16 events, scaling error included.
+        let mut app = prototype.clone();
+        let readings = mux.profile(&mut app, samples, &mut rng);
+        mux_rows.push((mux.mean_counts(&readings), label));
+
+        // Common-4: one run, 4 events.
+        let mut app = prototype.clone();
+        let readings = common_session.profile(&mut app, samples, &mut rng);
+        common_rows.push((common_session.mean_counts(&readings), label));
+    }
+
+    let evaluate = |rows: &[(Vec<f64>, usize)], seed: u64| -> f64 {
+        let features = rows.iter().map(|(f, _)| f.clone()).collect();
+        let labels = rows.iter().map(|(_, l)| *l).collect();
+        let data = Dataset::new(features, labels, 2).expect("rectangular");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, test) = data.stratified_split(0.6, &mut rng);
+        let mut model = ClassifierKind::J48.build(seed);
+        model.fit(&train).expect("J48 trains");
+        hmd_ml::metrics::DetectionScore::evaluate(model.as_ref(), &test).f_measure
+    };
+
+    let mut out = String::new();
+    out.push_str("## Ablation — collection strategy for a Virus detector (J48)\n\n");
+    let header: Vec<String> = vec![
+        "Strategy".into(),
+        "Events".into(),
+        "Runs per app".into(),
+        "F-measure".into(),
+    ];
+    let rows = vec![
+        vec![
+            "Batched (paper's offline protocol)".to_string(),
+            "16".into(),
+            batches.runs_required().to_string(),
+            pct(evaluate(&batched_rows, seed)),
+        ],
+        vec![
+            "Multiplexed (perf fallback)".to_string(),
+            "16".into(),
+            "1".into(),
+            pct(evaluate(&mux_rows, seed)),
+        ],
+        vec![
+            "Common 4 (2SMaRT run-time)".to_string(),
+            "4".into(),
+            "1".into(),
+            pct(evaluate(&common_rows, seed)),
+        ],
+    ];
+    out.push_str(&markdown_table(&header, &rows));
+    out.push_str(&format!(
+        "\nMultiplexing monitors all 16 events in one run but each event is \
+         counted only {:.0} % of the time; the scaling error costs accuracy \
+         relative to batched collection, while the 4-common single run keeps \
+         most of the signal — 2SMaRT's run-time argument.\n",
+        mux.duty_cycle() * 100.0
+    ));
+    out
+}
+
+/// Ablation 4 — published Table II feature sets vs sets derived from this
+/// corpus by re-running the reduction pipeline (8-HPC J48 detectors).
+pub fn feature_sets(train: &Dataset, test: &Dataset, seed: u64) -> String {
+    let derived = derive_feature_sets(train);
+    let mut out = String::new();
+    out.push_str("## Ablation — published vs derived feature sets (8 HPCs, J48)\n\n");
+    let header: Vec<String> = vec![
+        "Class".into(),
+        "Published F".into(),
+        "Derived F".into(),
+    ];
+    let mut rows = Vec::new();
+    for class in AppClass::MALWARE {
+        let bin_train = class_dataset_from(train, class);
+        let bin_test = class_dataset_from(test, class);
+
+        let config = Stage2Config::new(ClassifierKind::J48).with_hpcs(8);
+        let published = SpecializedDetector::train(&bin_train, class, &config, seed)
+            .expect("detector trains")
+            .evaluate(&bin_test)
+            .f_measure;
+
+        let derived_events: &Vec<Event> = &derived
+            .per_class
+            .iter()
+            .find(|(c, _)| *c == class)
+            .expect("derived covers every class")
+            .1;
+        let reduced_train = select_events(&bin_train, derived_events);
+        let reduced_test = select_events(&bin_test, derived_events);
+        let mut model = ClassifierKind::J48.build(seed);
+        model.fit(&reduced_train).expect("J48 trains");
+        let derived_f = hmd_ml::metrics::DetectionScore::evaluate(model.as_ref(), &reduced_test)
+            .f_measure;
+
+        rows.push(vec![
+            class.name().to_string(),
+            pct(published),
+            pct(derived_f),
+        ]);
+    }
+    out.push_str(&markdown_table(&header, &rows));
+    out.push_str(
+        "\nThe published sets win on this substrate — unsurprisingly, since \
+         the synthetic workloads were modelled around the events the paper \
+         reports — but the derived sets still carry most of the signal, \
+         confirming the correlation→PCA pipeline selects usable counters \
+         without access to the published list.\n",
+    );
+    out
+}
+
+/// Ablation 5 — label-noise sensitivity: mean 4-HPC F per classifier on
+/// corpora with 0 %, 3 % and 8 % mislabelled applications.
+pub fn label_noise(seed: u64) -> String {
+    let noise_levels = [0.0, 0.03, 0.08];
+    let mut out = String::new();
+    out.push_str("## Ablation — AV-label noise\n\n");
+    let header: Vec<String> = std::iter::once("Classifier".to_string())
+        .chain(noise_levels.iter().map(|n| format!("{:.0} % noise", n * 100.0)))
+        .collect();
+
+    // Mean 4-HPC F per classifier for each corpus.
+    let mut table = vec![vec![0.0f64; noise_levels.len()]; ClassifierKind::ALL.len()];
+    for (ni, &noise) in noise_levels.iter().enumerate() {
+        let spec = CorpusSpec {
+            benign: 120,
+            backdoor: 60,
+            rootkit: 50,
+            virus: 80,
+            trojan: 120,
+            samples_per_run: 12,
+            label_noise: noise,
+            seed: seed ^ 0xBEEF,
+        };
+        let corpus = CorpusBuilder::new(spec).build();
+        let data = full_dataset(&corpus);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, test) = data.stratified_split(0.6, &mut rng);
+        for (ki, kind) in ClassifierKind::ALL.iter().enumerate() {
+            let mut f_sum = 0.0;
+            for class in AppClass::MALWARE {
+                let bin_train = class_dataset_from(&train, class);
+                let bin_test = class_dataset_from(&test, class);
+                let config = Stage2Config::new(*kind).with_hpcs(4);
+                let det = SpecializedDetector::train(&bin_train, class, &config, seed)
+                    .expect("detector trains");
+                f_sum += det.evaluate(&bin_test).f_measure;
+            }
+            table[ki][ni] = f_sum / 4.0;
+        }
+    }
+    let rows: Vec<Vec<String>> = ClassifierKind::ALL
+        .iter()
+        .enumerate()
+        .map(|(ki, kind)| {
+            std::iter::once(kind.name().to_string())
+                .chain(table[ki].iter().map(|&f| pct(f)))
+                .collect()
+        })
+        .collect();
+    out.push_str(&markdown_table(&header, &rows));
+    out.push_str(
+        "\nMislabelled instances hurt twice — as corrupted training signal \
+         and as unfixable test errors — so F drops several points per \
+         percent of noise (exact values vary with the corpus draw, since a \
+         new noise level reshuffles the whole corpus generation stream).\n",
+    );
+    out
+}
+
+/// Ablation 6 — ensemble method: AdaBoost (the paper's choice) vs Bagging
+/// (the companion DAC'18 work's alternative) vs the single base learner,
+/// at 4 HPCs.
+pub fn ensemble_method(train: &Dataset, test: &Dataset, seed: u64) -> String {
+    use hmd_ml::bagging::Bagging;
+    use hmd_ml::boost::AdaBoost;
+    use hmd_ml::classifier::Classifier;
+    use hmd_ml::metrics::DetectionScore;
+    use hmd_ml::stacking::{Stacking, Voting};
+    use twosmart::features::COMMON_EVENTS;
+
+    let mut out = String::new();
+    out.push_str("## Ablation — ensemble method (4 HPCs, mean F × AUC)\n\n");
+    let header: Vec<String> = vec![
+        "Base".into(),
+        "Single".into(),
+        "AdaBoost ×10".into(),
+        "Bagging ×10".into(),
+    ];
+    let mut rows = Vec::new();
+    for kind in ClassifierKind::ALL {
+        let mut sums = [0.0f64; 3];
+        for class in AppClass::MALWARE {
+            let bin_train = select_events(&class_dataset_from(train, class), &COMMON_EVENTS);
+            let bin_test = select_events(&class_dataset_from(test, class), &COMMON_EVENTS);
+            let mut single = kind.build(seed);
+            single.fit(&bin_train).expect("single trains");
+            let mut boosted = AdaBoost::new(kind, 10, seed);
+            boosted.fit(&bin_train).expect("boosted trains");
+            let mut bagged = Bagging::new(kind, 10, seed);
+            bagged.fit(&bin_train).expect("bagged trains");
+            sums[0] += DetectionScore::evaluate(single.as_ref(), &bin_test).performance();
+            sums[1] += DetectionScore::evaluate(&boosted, &bin_test).performance();
+            sums[2] += DetectionScore::evaluate(&bagged, &bin_test).performance();
+        }
+        rows.push(vec![
+            kind.name().to_string(),
+            pct(sums[0] / 4.0),
+            pct(sums[1] / 4.0),
+            pct(sums[2] / 4.0),
+        ]);
+    }
+    out.push_str(&markdown_table(&header, &rows));
+
+    // Heterogeneous committees over all four base kinds.
+    let mut vote_sum = 0.0;
+    let mut stack_sum = 0.0;
+    for class in AppClass::MALWARE {
+        let bin_train = select_events(&class_dataset_from(train, class), &COMMON_EVENTS);
+        let bin_test = select_events(&class_dataset_from(test, class), &COMMON_EVENTS);
+        let mut vote = Voting::new(&ClassifierKind::ALL, seed);
+        vote.fit(&bin_train).expect("voting trains");
+        vote_sum += DetectionScore::evaluate(&vote, &bin_test).performance();
+        let mut stack = Stacking::new(&ClassifierKind::ALL, seed).with_folds(3);
+        stack.fit(&bin_train).expect("stacking trains");
+        stack_sum += DetectionScore::evaluate(&stack, &bin_test).performance();
+    }
+    out.push_str(&format!(
+        "\nHeterogeneous committees over all four bases: Voting **{}**, \
+         Stacking (MLR meta-learner) **{}**.\n",
+        pct(vote_sum / 4.0),
+        pct(stack_sum / 4.0)
+    ));
+    out.push_str(
+        "\nBoth homogeneous ensembles lift the weak learners; boosting \
+         (which reweights toward mistakes) typically edges out bagging \
+         (which only averages variance away) on the shallow models — \
+         consistent with the paper's choice of AdaBoost.\n",
+    );
+    out
+}
+
+/// Ablation 7 — split stability: 5-fold cross-validated F (mean ± std) of
+/// each classifier at 4 HPCs, to bound how much the paper-style single
+/// 60/40 split can wander.
+pub fn split_stability(train: &Dataset, test: &Dataset, seed: u64) -> String {
+    use hmd_ml::validation::cross_validate;
+    use twosmart::features::COMMON_EVENTS;
+
+    // Fold over the union so CV sees the full corpus.
+    let mut features: Vec<Vec<f64>> = train.features().to_vec();
+    features.extend(test.features().iter().cloned());
+    let mut labels: Vec<usize> = train.labels().to_vec();
+    labels.extend(test.labels().iter().copied());
+    let all = Dataset::new(features, labels, 5).expect("valid union");
+
+    let mut out = String::new();
+    out.push_str("## Ablation — split stability (5-fold CV, 4 HPCs, Virus detector)\n\n");
+    let header: Vec<String> = vec![
+        "Classifier".into(),
+        "CV mean F".into(),
+        "CV std".into(),
+    ];
+    let binary = select_events(&class_dataset_from(&all, AppClass::Virus), &COMMON_EVENTS);
+    let mut rows = Vec::new();
+    for kind in ClassifierKind::ALL {
+        let summary = cross_validate(&binary, kind, 5, seed).expect("folds train");
+        rows.push(vec![
+            kind.name().to_string(),
+            pct(summary.mean_f),
+            format!("±{:.1}", summary.std_f * 100.0),
+        ]);
+    }
+    out.push_str(&markdown_table(&header, &rows));
+    out.push_str(
+        "\nFold-to-fold standard deviations of a few points bound the \
+         single-split uncertainty of every F value reported above.\n",
+    );
+    out
+}
+
+/// Ablation 8 — extended baselines: the field's other standard classifiers
+/// (Gaussian Naive Bayes; KNN as used by Demme et al., the paper's
+/// reference \[5\]) against the paper's four, at the run-time budget.
+pub fn extended_baselines(train: &Dataset, test: &Dataset, seed: u64) -> String {
+    use hmd_ml::bayes::NaiveBayes;
+    use hmd_ml::classifier::Classifier;
+    use hmd_ml::knn::Knn;
+    use hmd_ml::metrics::DetectionScore;
+    use twosmart::features::COMMON_EVENTS;
+
+    let mut out = String::new();
+    out.push_str("## Ablation — extended baselines (4 HPCs, mean F over classes)\n\n");
+    let header: Vec<String> = vec!["Classifier".into(), "Mean F".into(), "Mean AUC".into()];
+    let mut rows = Vec::new();
+
+    let mut evaluate = |name: &str, build: &mut dyn FnMut() -> Box<dyn Classifier>| {
+        let mut f_sum = 0.0;
+        let mut auc_sum = 0.0;
+        for class in AppClass::MALWARE {
+            let bin_train = select_events(&class_dataset_from(train, class), &COMMON_EVENTS);
+            let bin_test = select_events(&class_dataset_from(test, class), &COMMON_EVENTS);
+            let mut model = build();
+            model.fit(&bin_train).expect("baseline trains");
+            let s = DetectionScore::evaluate(model.as_ref(), &bin_test);
+            f_sum += s.f_measure;
+            auc_sum += s.auc;
+        }
+        rows.push(vec![name.to_string(), pct(f_sum / 4.0), pct(auc_sum / 4.0)]);
+    };
+
+    for kind in ClassifierKind::ALL {
+        evaluate(kind.name(), &mut || kind.build(seed));
+    }
+    evaluate("NaiveBayes", &mut || Box::new(NaiveBayes::new()));
+    evaluate("KNN (k=5)", &mut || Box::new(Knn::new(5)));
+
+    out.push_str(&markdown_table(&header, &rows));
+    out.push_str(
+        "\nThe paper's four candidates remain competitive against the \
+         field's other standard choices on this substrate; KNN is strong but \
+         needs the whole training set at inference time — a non-starter for \
+         an FPGA detector, which is presumably why the paper excludes it.\n",
+    );
+    out
+}
+
+/// Runs all ablations and concatenates their reports.
+pub fn run(train: &Dataset, test: &Dataset, seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str("# Ablations\n\n");
+    out.push_str(&boosting_iterations(train, test, seed));
+    out.push('\n');
+    out.push_str(&window_size(train, seed));
+    out.push('\n');
+    out.push_str(&collection_strategy(seed));
+    out.push('\n');
+    out.push_str(&feature_sets(train, test, seed));
+    out.push('\n');
+    out.push_str(&label_noise(seed));
+    out.push('\n');
+    out.push_str(&ensemble_method(train, test, seed));
+    out.push('\n');
+    out.push_str(&split_stability(train, test, seed));
+    out.push('\n');
+    out.push_str(&extended_baselines(train, test, seed));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{Experiment, Scale};
+
+    #[test]
+    fn boosting_iterations_renders_all_kinds() {
+        let exp = Experiment::prepare(Scale::Tiny);
+        let t = boosting_iterations(&exp.train, &exp.test, 1);
+        for kind in ClassifierKind::ALL {
+            assert!(t.contains(kind.name()));
+        }
+        assert!(t.contains("10 iter"));
+    }
+
+    #[test]
+    fn collection_strategy_compares_three_protocols() {
+        let t = collection_strategy(2);
+        assert!(t.contains("Batched"));
+        assert!(t.contains("Multiplexed"));
+        assert!(t.contains("Common 4"));
+    }
+
+    #[test]
+    fn feature_sets_covers_every_class() {
+        let exp = Experiment::prepare(Scale::Tiny);
+        let t = feature_sets(&exp.train, &exp.test, 3);
+        for class in AppClass::MALWARE {
+            assert!(t.contains(class.name()));
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! One module per table/figure of the paper's evaluation section.
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`fig1`] | Fig. 1 — benign vs malware HPC traces |
+//! | [`table1`] | Table I — best classifier per class × HPC budget |
+//! | [`table2`] | Table II — top-8 features per class |
+//! | [`table3`] | Table III — F-measure grid ± boosting |
+//! | [`fig4`] | Fig. 4 — detection performance (F × AUC) grid |
+//! | [`table4`] | Table IV — boosting improvement aggregates |
+//! | [`fig5`] | Fig. 5 — 2SMaRT vs single-stage HMDs |
+//! | [`table5`] | Table V — FPGA latency/area |
+//! | [`ablation`] | design-choice sensitivity studies (not in the paper) |
+//! | [`roc`] | ROC sweeps behind the robustness metric (not in the paper) |
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig4;
+pub mod fig5;
+pub mod roc;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;

@@ -1,0 +1,73 @@
+//! ROC curves behind the paper's robustness (AUC) numbers.
+//!
+//! Fig. 4 multiplies F by AUC but never shows the curves; this experiment
+//! emits the full ROC sweep of every classifier for one malware class at
+//! the run-time budget, as plottable CSV, plus the AUC each curve
+//! integrates to.
+
+use crate::report::pct;
+use hmd_hpc_sim::workload::AppClass;
+use hmd_ml::classifier::ClassifierKind;
+use hmd_ml::data::Dataset;
+use hmd_ml::metrics::{auc_binary, roc_curve};
+use twosmart::pipeline::class_dataset_from;
+use twosmart::stage2::{SpecializedDetector, Stage2Config};
+
+/// Renders the ROC report for one malware class at 4 HPCs.
+///
+/// # Panics
+///
+/// Panics if training fails or `class` is benign.
+pub fn run(train: &Dataset, test: &Dataset, class: AppClass, seed: u64) -> String {
+    let bin_train = class_dataset_from(train, class);
+    let bin_test = class_dataset_from(test, class);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "## ROC curves — {class} detector, 4 HPCs (robustness behind Fig. 4)\n\n"
+    ));
+
+    for kind in ClassifierKind::ALL {
+        let config = Stage2Config::new(kind).with_hpcs(4);
+        let det = SpecializedDetector::train(&bin_train, class, &config, seed)
+            .expect("detector trains");
+        let scores: Vec<f64> = (0..bin_test.len())
+            .map(|i| {
+                let mut row = [0.0; hmd_hpc_sim::event::Event::COUNT];
+                for (e, v) in det.events().iter().zip(bin_test.features_of(i)) {
+                    row[e.index()] = *v;
+                }
+                det.score(&row)
+            })
+            .collect();
+        let labels = bin_test.labels().to_vec();
+        let auc = auc_binary(&scores, &labels);
+        let curve = roc_curve(&scores, &labels);
+
+        out.push_str(&format!(
+            "### {} — AUC {}\n\n```csv\nfpr,tpr,threshold\n",
+            kind.name(),
+            pct(auc)
+        ));
+        for p in &curve {
+            out.push_str(&format!("{:.4},{:.4},{:.6}\n", p.fpr, p.tpr, p.threshold));
+        }
+        out.push_str("```\n\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{Experiment, Scale};
+
+    #[test]
+    fn roc_report_has_a_curve_per_classifier() {
+        let exp = Experiment::prepare(Scale::Tiny);
+        let t = run(&exp.train, &exp.test, AppClass::Virus, 0);
+        assert_eq!(t.matches("### ").count(), 4);
+        assert_eq!(t.matches("```csv").count(), 4);
+        assert!(t.contains("fpr,tpr,threshold"));
+    }
+}

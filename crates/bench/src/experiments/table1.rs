@@ -1,0 +1,109 @@
+//! Table I — the ML classifier with the highest per-class detection rate
+//! at each HPC budget.
+//!
+//! The paper's motivating observation: the winner varies with both the
+//! malware class and the number of HPCs, so no single general classifier
+//! suffices.
+
+use crate::grid::{Grid, HpcConfig};
+use crate::report::markdown_table;
+use hmd_hpc_sim::workload::AppClass;
+
+/// Paper's published Table I winners, for side-by-side comparison.
+pub fn paper_winners(class: AppClass, config: HpcConfig) -> &'static str {
+    match (class, config) {
+        (AppClass::Trojan, HpcConfig::Hpc16) => "JRip",
+        (AppClass::Trojan, HpcConfig::Hpc8) => "JRip",
+        (AppClass::Trojan, HpcConfig::Hpc4) => "MLP",
+        (AppClass::Virus, HpcConfig::Hpc16) => "OneR",
+        (AppClass::Virus, HpcConfig::Hpc8) => "J48",
+        (AppClass::Virus, HpcConfig::Hpc4) => "MLP",
+        (AppClass::Rootkit, HpcConfig::Hpc16) => "J48",
+        (AppClass::Rootkit, HpcConfig::Hpc8) => "J48",
+        (AppClass::Rootkit, HpcConfig::Hpc4) => "MLP",
+        (AppClass::Backdoor, HpcConfig::Hpc16) => "MLP",
+        (AppClass::Backdoor, HpcConfig::Hpc8) => "OneR",
+        (AppClass::Backdoor, HpcConfig::Hpc4) => "OneR",
+        _ => "—",
+    }
+}
+
+/// Renders Table I from a computed grid.
+pub fn run(grid: &Grid) -> String {
+    let configs = [HpcConfig::Hpc16, HpcConfig::Hpc8, HpcConfig::Hpc4];
+    let header: Vec<String> = std::iter::once("Malware Class".to_string())
+        .chain(configs.iter().flat_map(|c| {
+            [
+                format!("{} HPCs (ours)", c.label()),
+                format!("{} (paper)", c.label()),
+            ]
+        }))
+        .collect();
+    let rows: Vec<Vec<String>> = [
+        AppClass::Trojan,
+        AppClass::Virus,
+        AppClass::Rootkit,
+        AppClass::Backdoor,
+    ]
+    .iter()
+    .map(|&class| {
+        std::iter::once(class.name().to_string())
+            .chain(configs.iter().flat_map(|&c| {
+                [
+                    grid.best_kind(class, c).name().to_string(),
+                    paper_winners(class, c).to_string(),
+                ]
+            }))
+            .collect()
+    })
+    .collect();
+
+    let mut out = String::new();
+    out.push_str("## Table I — best classifier per malware class and HPC budget\n\n");
+    out.push_str(&markdown_table(&header, &rows));
+
+    // The table's point: quantify winner diversity.
+    let mut winners: Vec<&str> = Vec::new();
+    for class in AppClass::MALWARE {
+        for c in configs {
+            winners.push(grid.best_kind(class, c).name());
+        }
+    }
+    winners.sort_unstable();
+    winners.dedup();
+    out.push_str(&format!(
+        "\nDistinct winners across the 12 cells: **{}** — {}.\n",
+        winners.len(),
+        if winners.len() > 1 {
+            "no single classifier dominates, as the paper argues"
+        } else {
+            "(unexpectedly uniform at this corpus scale)"
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::run_grid;
+    use crate::setup::{Experiment, Scale};
+
+    #[test]
+    fn table_renders_all_classes() {
+        let exp = Experiment::prepare(Scale::Tiny);
+        let grid = run_grid(&exp.train, &exp.test, 0);
+        let t = run(&grid);
+        for class in AppClass::MALWARE {
+            assert!(t.contains(class.name()), "missing {class}");
+        }
+        assert!(t.contains("Distinct winners"));
+    }
+
+    #[test]
+    fn paper_winners_match_published_table() {
+        assert_eq!(paper_winners(AppClass::Backdoor, HpcConfig::Hpc16), "MLP");
+        assert_eq!(paper_winners(AppClass::Backdoor, HpcConfig::Hpc4), "OneR");
+        assert_eq!(paper_winners(AppClass::Trojan, HpcConfig::Hpc16), "JRip");
+    }
+}

@@ -1,0 +1,254 @@
+//! The central evaluation grid: class × classifier × HPC configuration.
+//!
+//! Tables I, III and IV and Fig. 4 are all views of the same grid — every
+//! specialized detector trained and scored on the shared 60/40 split. The
+//! grid is computed once ([`run_grid`]) and each experiment extracts its
+//! projection.
+
+use hmd_hpc_sim::workload::AppClass;
+use hmd_ml::classifier::ClassifierKind;
+use hmd_ml::metrics::DetectionScore;
+use hmd_ml::data::Dataset;
+use serde::{Deserialize, Serialize};
+use twosmart::pipeline::class_dataset_from;
+use twosmart::stage2::{SpecializedDetector, Stage2Config};
+
+/// The paper's four HPC configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HpcConfig {
+    /// 16 correlation-selected events (4 profiling runs — offline only).
+    Hpc16,
+    /// 8 events: Common + the class's Custom set (2 runs).
+    Hpc8,
+    /// 4 Common events (single run — the run-time budget).
+    Hpc4,
+    /// 4 Common events with AdaBoost (the paper's Boosted-HMD).
+    Hpc4Boosted,
+}
+
+impl HpcConfig {
+    /// All configurations in the paper's column order.
+    pub const ALL: [HpcConfig; 4] = [
+        HpcConfig::Hpc16,
+        HpcConfig::Hpc8,
+        HpcConfig::Hpc4,
+        HpcConfig::Hpc4Boosted,
+    ];
+
+    /// Table-header label.
+    pub fn label(self) -> &'static str {
+        match self {
+            HpcConfig::Hpc16 => "16",
+            HpcConfig::Hpc8 => "8",
+            HpcConfig::Hpc4 => "4",
+            HpcConfig::Hpc4Boosted => "4-Boosted",
+        }
+    }
+
+    /// Number of HPC events read.
+    pub fn n_hpcs(self) -> usize {
+        match self {
+            HpcConfig::Hpc16 => 16,
+            HpcConfig::Hpc8 => 8,
+            HpcConfig::Hpc4 | HpcConfig::Hpc4Boosted => 4,
+        }
+    }
+
+    /// Whether AdaBoost wraps the base learner.
+    pub fn boosted(self) -> bool {
+        self == HpcConfig::Hpc4Boosted
+    }
+
+    /// The stage-2 configuration for a base kind.
+    pub fn stage2_config(self, kind: ClassifierKind) -> Stage2Config {
+        Stage2Config::new(kind)
+            .with_hpcs(self.n_hpcs())
+            .with_boosting(self.boosted())
+    }
+}
+
+/// One grid cell: a trained-and-evaluated specialized detector.
+#[derive(Debug, Clone, Serialize)]
+pub struct GridCell {
+    /// Malware class of the specialized detector.
+    pub class: AppClass,
+    /// Base learning algorithm.
+    pub kind: ClassifierKind,
+    /// HPC configuration.
+    pub config: HpcConfig,
+    /// Test-set F-measure and AUC.
+    pub score: DetectionScore,
+}
+
+impl GridCell {
+    /// Detection performance `F × AUC`.
+    pub fn performance(&self) -> f64 {
+        self.score.performance()
+    }
+}
+
+/// The full grid, with lookup helpers.
+#[derive(Debug, Clone, Serialize)]
+pub struct Grid {
+    cells: Vec<GridCell>,
+}
+
+impl Grid {
+    /// All cells.
+    pub fn cells(&self) -> &[GridCell] {
+        &self.cells
+    }
+
+    /// One cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combination was not evaluated (all combinations are,
+    /// unless training failed).
+    pub fn cell(&self, class: AppClass, kind: ClassifierKind, config: HpcConfig) -> &GridCell {
+        self.cells
+            .iter()
+            .find(|c| c.class == class && c.kind == kind && c.config == config)
+            .unwrap_or_else(|| panic!("no grid cell for {class}/{kind}/{}", config.label()))
+    }
+
+    /// The classifier with the highest F-measure for a class at a config
+    /// (one Table I cell).
+    pub fn best_kind(&self, class: AppClass, config: HpcConfig) -> ClassifierKind {
+        self.cells
+            .iter()
+            .filter(|c| c.class == class && c.config == config)
+            .max_by(|a, b| {
+                a.score
+                    .f_measure
+                    .partial_cmp(&b.score.f_measure)
+                    .expect("finite F")
+            })
+            .expect("grid covers every class/config")
+            .kind
+    }
+
+    /// Mean detection performance of one classifier at one config across
+    /// all classes (Table IV's aggregation).
+    pub fn mean_performance(&self, kind: ClassifierKind, config: HpcConfig) -> f64 {
+        let perfs: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| c.kind == kind && c.config == config)
+            .map(GridCell::performance)
+            .collect();
+        perfs.iter().sum::<f64>() / perfs.len() as f64
+    }
+
+    /// Mean detection performance over all classifiers and classes at one
+    /// config (the paper's "74.8 % at 16 HPCs vs 70.9 % at 4" aggregate).
+    pub fn overall_performance(&self, config: HpcConfig) -> f64 {
+        let perfs: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| c.config == config)
+            .map(GridCell::performance)
+            .collect();
+        perfs.iter().sum::<f64>() / perfs.len() as f64
+    }
+}
+
+/// Trains and evaluates every (class, classifier, config) combination on
+/// the given 5-class train/test split.
+///
+/// # Panics
+///
+/// Panics if any detector fails to train — the experiment datasets are
+/// always large enough.
+pub fn run_grid(train: &Dataset, test: &Dataset, seed: u64) -> Grid {
+    let mut cells = Vec::with_capacity(
+        AppClass::MALWARE.len() * ClassifierKind::ALL.len() * HpcConfig::ALL.len(),
+    );
+    for class in AppClass::MALWARE {
+        let bin_train = class_dataset_from(train, class);
+        let bin_test = class_dataset_from(test, class);
+        for kind in ClassifierKind::ALL {
+            for config in HpcConfig::ALL {
+                let det = SpecializedDetector::train(
+                    &bin_train,
+                    class,
+                    &config.stage2_config(kind),
+                    seed,
+                )
+                .unwrap_or_else(|e| panic!("training {class}/{kind}: {e}"));
+                cells.push(GridCell {
+                    class,
+                    kind,
+                    config,
+                    score: det.evaluate(&bin_test),
+                });
+            }
+        }
+    }
+    Grid { cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{Experiment, Scale};
+
+    #[test]
+    fn grid_covers_every_combination() {
+        let exp = Experiment::prepare(Scale::Tiny);
+        let grid = run_grid(&exp.train, &exp.test, 0);
+        assert_eq!(grid.cells().len(), 4 * 4 * 4);
+        for class in AppClass::MALWARE {
+            for kind in ClassifierKind::ALL {
+                for config in HpcConfig::ALL {
+                    let cell = grid.cell(class, kind, config);
+                    assert!((0.0..=1.0).contains(&cell.score.f_measure));
+                    assert!((0.0..=1.0).contains(&cell.score.auc));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_kind_is_the_max_f() {
+        let exp = Experiment::prepare(Scale::Tiny);
+        let grid = run_grid(&exp.train, &exp.test, 0);
+        let best = grid.best_kind(AppClass::Virus, HpcConfig::Hpc8);
+        let best_f = grid.cell(AppClass::Virus, best, HpcConfig::Hpc8).score.f_measure;
+        for kind in ClassifierKind::ALL {
+            assert!(grid.cell(AppClass::Virus, kind, HpcConfig::Hpc8).score.f_measure <= best_f);
+        }
+    }
+
+    #[test]
+    fn aggregates_are_means_of_cells() {
+        let exp = Experiment::prepare(Scale::Tiny);
+        let grid = run_grid(&exp.train, &exp.test, 0);
+        let kind = ClassifierKind::J48;
+        let config = HpcConfig::Hpc4;
+        let manual: f64 = AppClass::MALWARE
+            .iter()
+            .map(|&c| grid.cell(c, kind, config).performance())
+            .sum::<f64>()
+            / 4.0;
+        assert!((grid.mean_performance(kind, config) - manual).abs() < 1e-12);
+
+        let overall_manual: f64 = grid
+            .cells()
+            .iter()
+            .filter(|c| c.config == config)
+            .map(GridCell::performance)
+            .sum::<f64>()
+            / 16.0;
+        assert!((grid.overall_performance(config) - overall_manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_labels_and_sizes() {
+        assert_eq!(HpcConfig::Hpc16.n_hpcs(), 16);
+        assert_eq!(HpcConfig::Hpc4Boosted.n_hpcs(), 4);
+        assert!(HpcConfig::Hpc4Boosted.boosted());
+        assert!(!HpcConfig::Hpc4.boosted());
+        assert_eq!(HpcConfig::Hpc4Boosted.label(), "4-Boosted");
+    }
+}

@@ -1,0 +1,23 @@
+//! # hmd-bench — experiment harness for the 2SMaRT reproduction
+//!
+//! Regenerates every table and figure of the paper's evaluation section
+//! from the synthetic substrate. The shared machinery lives here:
+//!
+//! - [`setup`] — corpus scales and the standard 60/40 split.
+//! - [`grid`] — the class × classifier × HPC-budget evaluation grid that
+//!   Tables I/III/IV and Fig. 4 project.
+//! - [`experiments`] — one module per table/figure, each rendering a
+//!   markdown report with the paper's published values inline.
+//! - [`report`] — markdown formatting helpers.
+//!
+//! Binaries (`cargo run --release -p hmd-bench --bin <name>`):
+//! `exp_fig1`, `exp_table1`, `exp_table2`, `exp_table3`, `exp_fig4`,
+//! `exp_table4`, `exp_fig5a`, `exp_fig5b`, `exp_table5`, and `run_all`
+//! (regenerates `EXPERIMENTS.md`). Scale with `TWOSMART_SCALE=tiny|small|paper`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod grid;
+pub mod report;
+pub mod setup;

@@ -1,0 +1,64 @@
+//! Markdown report formatting shared by the experiment binaries.
+
+/// Builds a GitHub-flavoured markdown table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn markdown_table(header: &[String], rows: &[Vec<String>]) -> String {
+    assert!(!header.is_empty(), "table needs at least one column");
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "ragged table row");
+    }
+    let mut out = String::new();
+    out.push_str(&format!("| {} |\n", header.join(" | ")));
+    out.push_str(&format!(
+        "|{}\n",
+        "---|".repeat(header.len())
+    ));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `93.2`.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}", v * 100.0)
+}
+
+/// Formats a signed percentage-point delta, e.g. `+3.1` / `-0.4`.
+pub fn delta_pct(v: f64) -> String {
+    format!("{:+.1}", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_header_separator_rows() {
+        let t = markdown_table(
+            &["a".into(), "b".into()],
+            &[vec!["1".into(), "2".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("| a | b |"));
+        assert!(lines[1].starts_with("|---|"));
+        assert!(lines[2].contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        markdown_table(&["a".into()], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.932), "93.2");
+        assert_eq!(delta_pct(0.031), "+3.1");
+        assert_eq!(delta_pct(-0.004), "-0.4");
+    }
+}

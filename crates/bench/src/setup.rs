@@ -1,0 +1,116 @@
+//! Shared experiment setup: corpus scale, the 60/40 split, and seeds.
+//!
+//! Every `exp_*` binary runs on the same prepared [`Experiment`] so results
+//! are comparable across tables. The corpus scale is selected with the
+//! `TWOSMART_SCALE` environment variable: `tiny`, `small` (default), or
+//! `paper` (the full 3121-application corpus — slower, used for the
+//! published EXPERIMENTS.md numbers).
+
+use hmd_hpc_sim::corpus::{Corpus, CorpusBuilder, CorpusSpec};
+use hmd_ml::data::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use twosmart::pipeline::full_dataset;
+
+/// Corpus scale for an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// A few dozen applications — smoke tests only.
+    Tiny,
+    /// A few hundred applications — fast, representative shapes.
+    Small,
+    /// The paper's 3121-application corpus.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `TWOSMART_SCALE` (default [`Scale::Small`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value, listing the valid ones.
+    pub fn from_env() -> Scale {
+        match std::env::var("TWOSMART_SCALE").as_deref() {
+            Ok("tiny") => Scale::Tiny,
+            Ok("small") | Err(_) => Scale::Small,
+            Ok("paper") => Scale::Paper,
+            Ok(other) => panic!("TWOSMART_SCALE must be tiny|small|paper, got {other}"),
+        }
+    }
+
+    /// The corpus spec for this scale.
+    pub fn spec(self) -> CorpusSpec {
+        match self {
+            Scale::Tiny => CorpusSpec::tiny(),
+            Scale::Small => CorpusSpec {
+                benign: 200,
+                backdoor: 110,
+                rootkit: 90,
+                virus: 160,
+                trojan: 280,
+                samples_per_run: 15,
+                label_noise: 0.03,
+                seed: 42,
+            },
+            Scale::Paper => CorpusSpec::paper(),
+        }
+    }
+}
+
+/// A prepared experiment: corpus + stratified 60/40 split.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// The profiled corpus.
+    pub corpus: Corpus,
+    /// The 5-class, 44-event training set (60 %).
+    pub train: Dataset,
+    /// The 5-class, 44-event test set (40 %).
+    pub test: Dataset,
+    /// The seed used everywhere downstream.
+    pub seed: u64,
+}
+
+impl Experiment {
+    /// Seed shared by all experiment binaries.
+    pub const SEED: u64 = 2019;
+
+    /// Builds the corpus at the given scale and splits it 60/40.
+    pub fn prepare(scale: Scale) -> Experiment {
+        let corpus = CorpusBuilder::new(scale.spec()).build();
+        let data = full_dataset(&corpus);
+        let mut rng = StdRng::seed_from_u64(Self::SEED);
+        let (train, test) = data.stratified_split(0.6, &mut rng);
+        Experiment {
+            corpus,
+            train,
+            test,
+            seed: Self::SEED,
+        }
+    }
+
+    /// Builds at the scale named by `TWOSMART_SCALE`.
+    pub fn from_env() -> Experiment {
+        Experiment::prepare(Scale::from_env())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_experiment_prepares_split() {
+        let exp = Experiment::prepare(Scale::Tiny);
+        assert_eq!(exp.train.len() + exp.test.len(), exp.corpus.len());
+        assert_eq!(exp.train.n_classes(), 5);
+        // 60/40 within rounding.
+        let frac = exp.train.len() as f64 / exp.corpus.len() as f64;
+        assert!((0.4..0.8).contains(&frac), "train fraction {frac}");
+    }
+
+    #[test]
+    fn scales_have_increasing_sizes() {
+        assert!(Scale::Tiny.spec().total() < Scale::Small.spec().total());
+        assert!(Scale::Small.spec().total() < Scale::Paper.spec().total());
+    }
+}

@@ -1,0 +1,209 @@
+//! Single-stage baselines the paper compares 2SMaRT against (Fig. 5).
+//!
+//! Two comparators:
+//!
+//! - [`Stage1Only`] — using only the first stage (MLR) as the detector,
+//!   i.e. a sample is called "class c malware" exactly when the MLR routes
+//!   it to class c. Fig. 5a shows this floor (~80 % F) against full 2SMaRT.
+//! - [`SingleStageHmd`] — the state-of-the-art single-stage detector of
+//!   Patel et al. (DAC'17, the paper's reference \[2\]): **one general
+//!   binary classifier** trained on pooled malware-vs-benign data with
+//!   generic (correlation-ranked) features, with no per-class
+//!   specialization. Fig. 5b shows 2SMaRT with 4 HPCs beating it at both 4
+//!   and 8 HPCs.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use hmd_hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
+//! use twosmart::baseline::SingleStageHmd;
+//! use twosmart::pipeline::malware_dataset;
+//! use hmd_ml::classifier::ClassifierKind;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let corpus = CorpusBuilder::new(CorpusSpec::small()).build();
+//! let data = malware_dataset(&corpus);
+//! let hmd = SingleStageHmd::train(&data, ClassifierKind::J48, 4, 0)?;
+//! let score = hmd.evaluate(&data);
+//! println!("F = {:.3}", score.f_measure);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::pipeline::select_events;
+use hmd_hpc_sim::event::Event;
+use hmd_hpc_sim::workload::AppClass;
+use hmd_ml::classifier::{Classifier, ClassifierKind, TrainError};
+use hmd_ml::data::Dataset;
+use hmd_ml::feature::CorrelationRanker;
+use hmd_ml::metrics::{ConfusionMatrix, DetectionScore};
+
+use crate::features::COMMON_EVENTS;
+use crate::stage1::Stage1Model;
+
+/// The stage-1-only detector: MLR routing *is* the verdict.
+#[derive(Debug, Clone)]
+pub struct Stage1Only {
+    model: Stage1Model,
+}
+
+impl Stage1Only {
+    /// Trains the MLR on the Common events of a 5-class dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] if the MLR cannot fit.
+    pub fn train(data: &Dataset) -> Result<Stage1Only, TrainError> {
+        Ok(Stage1Only {
+            model: Stage1Model::train(data, &COMMON_EVENTS)?,
+        })
+    }
+
+    /// The wrapped stage-1 model.
+    pub fn stage1(&self) -> &Stage1Model {
+        &self.model
+    }
+
+    /// One-vs-rest F-measure of one malware class on a 5-class test set.
+    pub fn class_f_measure(&self, test: &Dataset, class: AppClass) -> f64 {
+        self.model.class_f_measure(test, class)
+    }
+
+    /// Multiclass accuracy on a 5-class test set.
+    pub fn accuracy(&self, test: &Dataset) -> f64 {
+        self.model.accuracy(test)
+    }
+}
+
+/// A Patel-et-al.-style general single-stage HMD: one binary classifier,
+/// pooled malware, generic features.
+#[derive(Debug)]
+pub struct SingleStageHmd {
+    kind: ClassifierKind,
+    events: Vec<Event>,
+    model: Box<dyn Classifier>,
+}
+
+impl Clone for SingleStageHmd {
+    fn clone(&self) -> Self {
+        SingleStageHmd {
+            kind: self.kind,
+            events: self.events.clone(),
+            model: self.model.clone_box(),
+        }
+    }
+}
+
+impl SingleStageHmd {
+    /// Trains on a binary (malware-vs-benign) 44-event dataset using the
+    /// `n_hpcs` most class-correlated events — the generic
+    /// (non-specialized) feature selection a single-stage design is limited
+    /// to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] if the learner cannot fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not a binary 44-event dataset, or `n_hpcs` is 0
+    /// or exceeds 44.
+    pub fn train(
+        data: &Dataset,
+        kind: ClassifierKind,
+        n_hpcs: usize,
+        seed: u64,
+    ) -> Result<SingleStageHmd, TrainError> {
+        assert_eq!(data.n_classes(), 2, "single-stage HMD is a binary detector");
+        assert_eq!(data.n_features(), Event::COUNT, "expected the 44-event layout");
+        assert!(
+            (1..=Event::COUNT).contains(&n_hpcs),
+            "n_hpcs must be in 1..=44, got {n_hpcs}"
+        );
+        let idx = CorrelationRanker::select_top(data, n_hpcs);
+        let events: Vec<Event> = idx
+            .iter()
+            .map(|&i| Event::from_index(i).expect("index < 44"))
+            .collect();
+        let reduced = data.select_features(&idx);
+        let mut model = kind.build(seed);
+        model.fit(&reduced)?;
+        Ok(SingleStageHmd {
+            kind,
+            events,
+            model,
+        })
+    }
+
+    /// The learning algorithm used.
+    pub fn kind(&self) -> ClassifierKind {
+        self.kind
+    }
+
+    /// The generic events the detector reads.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Binary verdict on a 44-event feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features44` does not have 44 entries.
+    pub fn is_malware(&self, features44: &[f64]) -> bool {
+        assert_eq!(features44.len(), Event::COUNT, "expected the 44-event layout");
+        let x: Vec<f64> = self.events.iter().map(|e| features44[e.index()]).collect();
+        self.model.predict(&x) == 1
+    }
+
+    /// F-measure and AUC on a binary 44-event test set.
+    pub fn evaluate(&self, test: &Dataset) -> DetectionScore {
+        let reduced = select_events(test, &self.events);
+        DetectionScore::evaluate(self.model.as_ref(), &reduced)
+    }
+
+    /// Accuracy on a binary 44-event test set.
+    pub fn accuracy(&self, test: &Dataset) -> f64 {
+        let reduced = select_events(test, &self.events);
+        ConfusionMatrix::from_model(self.model.as_ref(), &reduced).accuracy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{full_dataset, malware_dataset};
+    use hmd_hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
+
+    #[test]
+    fn stage1_only_reports_per_class_f() {
+        let corpus = CorpusBuilder::new(CorpusSpec::tiny()).build();
+        let data = full_dataset(&corpus);
+        let s1 = Stage1Only::train(&data).unwrap();
+        for class in AppClass::MALWARE {
+            let f = s1.class_f_measure(&data, class);
+            assert!((0.0..=1.0).contains(&f));
+        }
+        assert!(s1.accuracy(&data) > 0.2);
+    }
+
+    #[test]
+    fn single_stage_trains_with_generic_features() {
+        let corpus = CorpusBuilder::new(CorpusSpec::tiny()).build();
+        let data = malware_dataset(&corpus);
+        let hmd = SingleStageHmd::train(&data, ClassifierKind::J48, 4, 0).unwrap();
+        assert_eq!(hmd.events().len(), 4);
+        assert_eq!(hmd.kind(), ClassifierKind::J48);
+        let score = hmd.evaluate(&data);
+        assert!(score.f_measure > 0.0);
+        let _ = hmd.is_malware(&corpus.records()[0].features);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary detector")]
+    fn single_stage_rejects_multiclass() {
+        let corpus = CorpusBuilder::new(CorpusSpec::tiny()).build();
+        let data = full_dataset(&corpus);
+        let _ = SingleStageHmd::train(&data, ClassifierKind::J48, 4, 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! HPC feature sets: the paper's Common/Custom events (Table II) and the
+//! reduction pipeline that derives them.
+//!
+//! The paper reduces 44 events → 16 (correlation attribute evaluation) → 8
+//! per malware class (PCA loading analysis). Four of the eight are shared by
+//! all classes (**Common**: `branch-inst`, `cache-ref`, `branch-miss`,
+//! `node-st`) and are the only events a run-time detector programs; the
+//! remaining four per class (**Custom**) extend the set to 8 for offline
+//! study. [`FeatureSet::published`] is the exact Table II content;
+//! [`derive_feature_sets`] recomputes sets from a corpus with the same
+//! pipeline.
+//!
+//! # Examples
+//!
+//! ```
+//! use twosmart::features::FeatureSet;
+//! use hmd_hpc_sim::workload::AppClass;
+//!
+//! let fs = FeatureSet::published(AppClass::Virus);
+//! assert_eq!(fs.common().len(), 4);
+//! assert_eq!(fs.all().len(), 8);
+//! ```
+
+use hmd_hpc_sim::event::Event;
+use hmd_hpc_sim::workload::AppClass;
+use hmd_ml::data::Dataset;
+use hmd_ml::feature::{CorrelationRanker, PcaFeatureRanker};
+use serde::Serialize;
+
+/// The 4 Common events every 2SMaRT detector programs at run time.
+pub const COMMON_EVENTS: [Event; 4] = [
+    Event::BranchInstructions,
+    Event::CacheReferences,
+    Event::BranchMisses,
+    Event::NodeStores,
+];
+
+/// The per-class feature sets of one malware class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FeatureSet {
+    class: AppClass,
+    common: Vec<Event>,
+    custom: Vec<Event>,
+}
+
+impl FeatureSet {
+    /// Builds a feature set from explicit common and custom events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is benign, events repeat, or `common` is empty.
+    pub fn new(class: AppClass, common: Vec<Event>, custom: Vec<Event>) -> FeatureSet {
+        assert!(class.is_malware(), "feature sets are per malware class");
+        assert!(!common.is_empty(), "common feature set must not be empty");
+        let mut seen = std::collections::HashSet::new();
+        for e in common.iter().chain(&custom) {
+            assert!(seen.insert(*e), "event {e} appears twice in the feature set");
+        }
+        FeatureSet {
+            class,
+            common,
+            custom,
+        }
+    }
+
+    /// The published Table II feature set for `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is [`AppClass::Benign`].
+    pub fn published(class: AppClass) -> FeatureSet {
+        use Event::*;
+        let custom = match class {
+            AppClass::Backdoor => vec![BranchLoads, L1IcacheLoadMisses, LlcLoadMisses, ItlbLoadMisses],
+            AppClass::Trojan => vec![CacheMisses, L1IcacheLoadMisses, LlcLoadMisses, ItlbLoadMisses],
+            AppClass::Virus => vec![LlcLoads, L1DcacheLoads, L1DcacheStores, ItlbLoadMisses],
+            AppClass::Rootkit => vec![CacheMisses, BranchLoads, LlcLoadMisses, L1DcacheStores],
+            AppClass::Benign => panic!("no feature set for benign applications"),
+        };
+        FeatureSet::new(class, COMMON_EVENTS.to_vec(), custom)
+    }
+
+    /// The malware class this set detects.
+    pub fn class(&self) -> AppClass {
+        self.class
+    }
+
+    /// The common (run-time) events.
+    pub fn common(&self) -> &[Event] {
+        &self.common
+    }
+
+    /// The class-specific extension events.
+    pub fn custom(&self) -> &[Event] {
+        &self.custom
+    }
+
+    /// Common followed by custom events (the paper's 8-HPC configuration).
+    pub fn all(&self) -> Vec<Event> {
+        self.common.iter().chain(&self.custom).copied().collect()
+    }
+
+    /// Feature-column indices of the first `k` events of [`all`](Self::all)
+    /// — `k = 4` is the run-time configuration, `k = 8` the Custom one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the set size.
+    pub fn indices(&self, k: usize) -> Vec<usize> {
+        let all = self.all();
+        assert!(k <= all.len(), "set has only {} events", all.len());
+        all[..k].iter().map(|e| e.index()).collect()
+    }
+}
+
+/// Result of running the 44 → 16 → 8 reduction pipeline on a corpus.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct DerivedFeatures {
+    /// The 16 events surviving correlation attribute evaluation, best first.
+    pub top16: Vec<Event>,
+    /// Per-class 8-event sets from PCA loading analysis on the top 16.
+    pub per_class: Vec<(AppClass, Vec<Event>)>,
+    /// Events appearing in all four per-class sets (the derived "Common").
+    pub common: Vec<Event>,
+}
+
+/// Runs the paper's reduction pipeline on a 5-class dataset whose features
+/// are the 44 events in canonical order.
+///
+/// Step 1: correlation attribute evaluation on the multiclass problem keeps
+/// the 16 most class-correlated events. Step 2: per malware class, PCA on the
+/// class-vs-benign subset of those 16 ranks events by loading; the top 8 form
+/// the class's set. Events in all four sets are the derived Common features.
+///
+/// # Panics
+///
+/// Panics if `data` is not a 5-class, 44-feature dataset.
+pub fn derive_feature_sets(data: &Dataset) -> DerivedFeatures {
+    assert_eq!(data.n_features(), Event::COUNT, "expected all 44 events");
+    assert_eq!(data.n_classes(), 5, "expected the 5-class problem");
+
+    let top16_idx = CorrelationRanker::select_top(data, 16);
+    let top16: Vec<Event> = top16_idx
+        .iter()
+        .map(|&i| Event::from_index(i).expect("index < 44"))
+        .collect();
+
+    let mut per_class = Vec::new();
+    for class in AppClass::MALWARE {
+        let label = class.label();
+        // Class-vs-benign subset, restricted to the 16 surviving events.
+        let binary = data.filter_relabel(
+            |l| l == 0 || l == label,
+            |l| usize::from(l == label),
+            2,
+        );
+        let reduced = binary.select_features(&top16_idx);
+        let top8_local = PcaFeatureRanker::select_top(&reduced, 8.min(top16_idx.len()));
+        let events: Vec<Event> = top8_local
+            .iter()
+            .map(|&local| top16[local])
+            .collect();
+        per_class.push((class, events));
+    }
+
+    let common: Vec<Event> = per_class[0]
+        .1
+        .iter()
+        .filter(|e| per_class.iter().all(|(_, set)| set.contains(e)))
+        .copied()
+        .collect();
+
+    DerivedFeatures {
+        top16,
+        per_class,
+        common,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_sets_match_table_ii() {
+        for class in AppClass::MALWARE {
+            let fs = FeatureSet::published(class);
+            assert_eq!(fs.common(), &COMMON_EVENTS);
+            assert_eq!(fs.custom().len(), 4);
+            assert_eq!(fs.all().len(), 8);
+        }
+        // Spot-check the published table cells.
+        let virus = FeatureSet::published(AppClass::Virus);
+        assert!(virus.custom().contains(&Event::L1DcacheLoads));
+        assert!(virus.custom().contains(&Event::ItlbLoadMisses));
+        let rootkit = FeatureSet::published(AppClass::Rootkit);
+        assert!(rootkit.custom().contains(&Event::CacheMisses));
+        assert!(rootkit.custom().contains(&Event::L1DcacheStores));
+    }
+
+    #[test]
+    #[should_panic(expected = "benign")]
+    fn no_published_set_for_benign() {
+        FeatureSet::published(AppClass::Benign);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn duplicate_events_rejected() {
+        FeatureSet::new(
+            AppClass::Virus,
+            vec![Event::CpuCycles],
+            vec![Event::CpuCycles],
+        );
+    }
+
+    #[test]
+    fn indices_follow_common_then_custom_order() {
+        let fs = FeatureSet::published(AppClass::Backdoor);
+        let idx4 = fs.indices(4);
+        assert_eq!(
+            idx4,
+            COMMON_EVENTS.iter().map(|e| e.index()).collect::<Vec<_>>()
+        );
+        let idx8 = fs.indices(8);
+        assert_eq!(idx8.len(), 8);
+        assert_eq!(&idx8[..4], &idx4[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn indices_beyond_set_panics() {
+        FeatureSet::published(AppClass::Virus).indices(9);
+    }
+
+    #[test]
+    fn derivation_pipeline_produces_well_formed_sets() {
+        use crate::pipeline::full_dataset;
+        use hmd_hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
+        let corpus = CorpusBuilder::new(CorpusSpec::tiny()).build();
+        let derived = derive_feature_sets(&full_dataset(&corpus));
+        assert_eq!(derived.top16.len(), 16);
+        assert_eq!(derived.per_class.len(), 4);
+        for (class, events) in &derived.per_class {
+            assert!(class.is_malware());
+            assert_eq!(events.len(), 8);
+            // Per-class sets draw only from the correlation survivors.
+            assert!(events.iter().all(|e| derived.top16.contains(e)));
+            // No duplicates.
+            let set: std::collections::HashSet<_> = events.iter().collect();
+            assert_eq!(set.len(), 8);
+        }
+        // Derived common = intersection of the per-class sets.
+        for e in &derived.common {
+            assert!(derived.per_class.iter().all(|(_, s)| s.contains(e)));
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Online run-time detection: windowing and verdict smoothing on top of
+//! the raw two-stage classifier.
+//!
+//! A deployed HMD does not classify one 10 ms sample at a time — counter
+//! readings are noisy and program phases alternate. [`OnlineDetector`]
+//! wraps a 4-HPC [`TwoSmartDetector`] with the two mechanisms a real
+//! deployment needs:
+//!
+//! - a **sliding window** that aggregates the last `window` counter
+//!   readings into the mean-rate vector the classifier was trained on, and
+//! - **majority smoothing** over the last `votes` window verdicts, so a
+//!   single noisy window cannot flip the alarm.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use hmd_hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
+//! use twosmart::detector::TwoSmartDetector;
+//! use twosmart::online::OnlineDetector;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let corpus = CorpusBuilder::new(CorpusSpec::small()).build();
+//! let detector = TwoSmartDetector::builder().hpc_budget(4).train(&corpus)?;
+//! let mut online = OnlineDetector::new(detector, 8, 3)?;
+//! // feed counter readings as they arrive, one per 10 ms
+//! let reading = vec![1.0e6, 2.0e5, 4.0e4, 1.0e4];
+//! if let Some(verdict) = online.push(&reading) {
+//!     println!("smoothed verdict: {verdict:?}");
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::detector::{TwoSmartDetector, Verdict};
+use hmd_hpc_sim::workload::AppClass;
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing an [`OnlineDetector`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OnlineError {
+    /// The wrapped detector reads events beyond the 4 run-time HPCs.
+    NotDeployable,
+    /// `window` or `votes` was zero.
+    ZeroLength(&'static str),
+}
+
+impl fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineError::NotDeployable => write!(
+                f,
+                "detector reads beyond the 4 run-time HPCs; train with hpc_budget(4)"
+            ),
+            OnlineError::ZeroLength(what) => write!(f, "{what} must be at least 1"),
+        }
+    }
+}
+
+impl Error for OnlineError {}
+
+/// A deployable online detector: sliding-window aggregation plus
+/// majority-vote smoothing.
+#[derive(Debug, Clone)]
+pub struct OnlineDetector {
+    detector: TwoSmartDetector,
+    window: usize,
+    votes: usize,
+    samples: VecDeque<Vec<f64>>,
+    verdicts: VecDeque<Verdict>,
+}
+
+impl OnlineDetector {
+    /// Wraps a trained 4-HPC detector.
+    ///
+    /// `window` is the number of 10 ms readings aggregated per raw verdict;
+    /// `votes` is the number of recent raw verdicts over which the smoothed
+    /// decision takes a majority.
+    ///
+    /// # Errors
+    ///
+    /// [`OnlineError::NotDeployable`] if the detector was trained with more
+    /// than the 4 Common events; [`OnlineError::ZeroLength`] if `window` or
+    /// `votes` is zero.
+    pub fn new(
+        detector: TwoSmartDetector,
+        window: usize,
+        votes: usize,
+    ) -> Result<OnlineDetector, OnlineError> {
+        if window == 0 {
+            return Err(OnlineError::ZeroLength("window"));
+        }
+        if votes == 0 {
+            return Err(OnlineError::ZeroLength("votes"));
+        }
+        if detector.runtime_events().is_none() {
+            return Err(OnlineError::NotDeployable);
+        }
+        Ok(OnlineDetector {
+            detector,
+            window,
+            votes,
+            samples: VecDeque::with_capacity(window),
+            verdicts: VecDeque::with_capacity(votes),
+        })
+    }
+
+    /// The wrapped detector.
+    pub fn detector(&self) -> &TwoSmartDetector {
+        &self.detector
+    }
+
+    /// The aggregation window length in samples.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of raw verdicts in the smoothing majority.
+    pub fn votes(&self) -> usize {
+        self.votes
+    }
+
+    /// Number of further [`push`](Self::push) calls needed before a verdict
+    /// is produced (0 once the window is full).
+    pub fn warmup_remaining(&self) -> usize {
+        self.window.saturating_sub(self.samples.len())
+    }
+
+    /// Feeds one counter reading (in [`TwoSmartDetector::runtime_events`]
+    /// order). Returns the smoothed verdict once the window has filled,
+    /// `None` during warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counters` has the wrong length.
+    pub fn push(&mut self, counters: &[f64]) -> Option<Verdict> {
+        let events = self
+            .detector
+            .runtime_events()
+            .expect("constructor verified deployability");
+        assert_eq!(
+            counters.len(),
+            events.len(),
+            "one reading per programmed event"
+        );
+        if self.samples.len() == self.window {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(counters.to_vec());
+        if self.samples.len() < self.window {
+            return None;
+        }
+
+        // Window mean → raw verdict.
+        let k = counters.len();
+        let mut mean = vec![0.0; k];
+        for s in &self.samples {
+            for (m, v) in mean.iter_mut().zip(s) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= self.window as f64;
+        }
+        let raw = self.detector.detect_from_counters(&mean);
+
+        if self.verdicts.len() == self.votes {
+            self.verdicts.pop_front();
+        }
+        self.verdicts.push_back(raw);
+        Some(self.smoothed())
+    }
+
+    /// Majority decision over the retained raw verdicts: malware iff more
+    /// than half flag malware; the reported class is the most frequent
+    /// flagged class, with its mean confidence.
+    fn smoothed(&self) -> Verdict {
+        let malware: Vec<(AppClass, f64)> = self
+            .verdicts
+            .iter()
+            .filter_map(|v| match v {
+                Verdict::Malware { class, confidence } => Some((*class, *confidence)),
+                Verdict::Benign => None,
+            })
+            .collect();
+        if malware.len() * 2 <= self.verdicts.len() {
+            return Verdict::Benign;
+        }
+        // Most frequent class among the malware votes.
+        let mut best: Option<(AppClass, usize)> = None;
+        for class in AppClass::MALWARE {
+            let count = malware.iter().filter(|(c, _)| *c == class).count();
+            if count > 0 && best.is_none_or(|(_, bc)| count > bc) {
+                best = Some((class, count));
+            }
+        }
+        let (class, _) = best.expect("at least one malware vote");
+        let confs: Vec<f64> = malware
+            .iter()
+            .filter(|(c, _)| *c == class)
+            .map(|(_, conf)| *conf)
+            .collect();
+        Verdict::Malware {
+            class,
+            confidence: confs.iter().sum::<f64>() / confs.len() as f64,
+        }
+    }
+
+    /// Clears window and vote state (e.g. when the monitored process
+    /// changes).
+    pub fn reset(&mut self) {
+        self.samples.clear();
+        self.verdicts.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmd_hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
+    use hmd_ml::classifier::ClassifierKind;
+
+    fn deployable_detector() -> TwoSmartDetector {
+        let corpus = CorpusBuilder::new(CorpusSpec::tiny()).build();
+        AppClass::MALWARE
+            .iter()
+            .fold(
+                TwoSmartDetector::builder().seed(4).hpc_budget(4),
+                |b, &c| b.classifier_for(c, ClassifierKind::OneR),
+            )
+            .train(&corpus)
+            .expect("detector trains")
+    }
+
+    #[test]
+    fn warmup_returns_none_until_window_fills() {
+        let mut online = OnlineDetector::new(deployable_detector(), 3, 1).unwrap();
+        assert_eq!(online.push(&[1.0, 1.0, 1.0, 1.0]), None);
+        assert_eq!(online.push(&[1.0, 1.0, 1.0, 1.0]), None);
+        assert!(online.push(&[1.0, 1.0, 1.0, 1.0]).is_some());
+    }
+
+    #[test]
+    fn eight_hpc_detector_is_rejected() {
+        let corpus = CorpusBuilder::new(CorpusSpec::tiny()).build();
+        let det = AppClass::MALWARE
+            .iter()
+            .fold(
+                TwoSmartDetector::builder().seed(4).hpc_budget(8),
+                |b, &c| b.classifier_for(c, ClassifierKind::OneR),
+            )
+            .train(&corpus)
+            .unwrap();
+        assert_eq!(
+            OnlineDetector::new(det, 3, 1).unwrap_err(),
+            OnlineError::NotDeployable
+        );
+    }
+
+    #[test]
+    fn zero_lengths_are_rejected() {
+        let det = deployable_detector();
+        assert_eq!(
+            OnlineDetector::new(det.clone(), 0, 1).unwrap_err(),
+            OnlineError::ZeroLength("window")
+        );
+        assert_eq!(
+            OnlineDetector::new(det, 1, 0).unwrap_err(),
+            OnlineError::ZeroLength("votes")
+        );
+    }
+
+    #[test]
+    fn majority_smoothing_suppresses_single_outliers() {
+        // votes = 3: a single malware verdict among benign ones must not
+        // trigger the alarm. We simulate by feeding readings and checking
+        // the smoothed stream is stable even if raw verdicts flicker.
+        let det = deployable_detector();
+        let mut online = OnlineDetector::new(det, 1, 3).unwrap();
+        // Feed constant benign-looking low counters.
+        let mut alarms = 0;
+        for _ in 0..10 {
+            if let Some(v) = online.push(&[1e5, 1e4, 1e3, 1e2]) {
+                if v.is_malware() {
+                    alarms += 1;
+                }
+            }
+        }
+        // The verdict stream is deterministic for constant input: either
+        // always alarming or never; smoothing must not oscillate.
+        assert!(alarms == 0 || alarms == 10, "oscillating alarms: {alarms}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut online = OnlineDetector::new(deployable_detector(), 2, 2).unwrap();
+        online.push(&[1.0, 1.0, 1.0, 1.0]);
+        online.push(&[1.0, 1.0, 1.0, 1.0]);
+        online.reset();
+        assert_eq!(online.push(&[1.0, 1.0, 1.0, 1.0]), None, "warm-up restarts");
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let online = OnlineDetector::new(deployable_detector(), 5, 3).unwrap();
+        assert_eq!(online.window(), 5);
+        assert_eq!(online.votes(), 3);
+    }
+}

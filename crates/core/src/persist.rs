@@ -1,0 +1,186 @@
+//! Persistence: serializable snapshots of trained detectors.
+//!
+//! Training a 2SMaRT detector requires the full profiled corpus; a
+//! deployment only needs the fitted parameters. [`DetectorSnapshot`] is a
+//! serde-friendly image of a [`TwoSmartDetector`] — stage-1 MLR weights
+//! plus each specialized model as an [`AnyModel`] — that round-trips
+//! through any serde format.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use hmd_hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
+//! use twosmart::detector::TwoSmartDetector;
+//! use twosmart::persist::DetectorSnapshot;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let corpus = CorpusBuilder::new(CorpusSpec::small()).build();
+//! let detector = TwoSmartDetector::builder().train(&corpus)?;
+//! let snapshot = DetectorSnapshot::capture(&detector)?;
+//! // … serialize `snapshot` with any serde backend, ship it, then:
+//! let restored = snapshot.restore();
+//! assert_eq!(
+//!     restored.detect(&corpus.records()[0].features),
+//!     detector.detect(&corpus.records()[0].features),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::detector::TwoSmartDetector;
+use crate::stage1::Stage1Model;
+use crate::stage2::{SpecializedDetector, Stage2Config};
+use hmd_hpc_sim::event::Event;
+use hmd_hpc_sim::workload::AppClass;
+use hmd_ml::logistic::Mlr;
+use hmd_ml::model::AnyModel;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when a detector cannot be snapshotted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError {
+    what: String,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot snapshot detector: {}", self.what)
+    }
+}
+
+impl Error for SnapshotError {}
+
+/// Serializable image of one specialized stage-2 detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecialistSnapshot {
+    /// Malware class the specialist confirms.
+    pub class: AppClass,
+    /// Training configuration.
+    pub config: Stage2Config,
+    /// Events the model reads, in feature order.
+    pub events: Vec<Event>,
+    /// Decision threshold on the malware probability.
+    pub threshold: f64,
+    /// The fitted model.
+    pub model: AnyModel,
+}
+
+/// Serializable image of a trained [`TwoSmartDetector`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorSnapshot {
+    /// Stage-1 MLR (fitted on log counts).
+    pub stage1_model: Mlr,
+    /// Stage-1 input events.
+    pub stage1_events: Vec<Event>,
+    /// The four specialists.
+    pub stage2: Vec<SpecialistSnapshot>,
+}
+
+impl DetectorSnapshot {
+    /// Captures a trained detector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] if a stage-2 model is of a type
+    /// [`AnyModel`] does not know.
+    pub fn capture(detector: &TwoSmartDetector) -> Result<DetectorSnapshot, SnapshotError> {
+        let stage2 = detector
+            .stage2_all()
+            .iter()
+            .map(|d| {
+                let model = AnyModel::from_classifier(d.model()).ok_or_else(|| SnapshotError {
+                    what: format!("unknown model type for {}", d.class()),
+                })?;
+                Ok(SpecialistSnapshot {
+                    class: d.class(),
+                    config: *d.config(),
+                    events: d.events().to_vec(),
+                    threshold: d.threshold(),
+                    model,
+                })
+            })
+            .collect::<Result<Vec<_>, SnapshotError>>()?;
+        Ok(DetectorSnapshot {
+            stage1_model: detector.stage1().mlr().clone(),
+            stage1_events: detector.stage1().events().to_vec(),
+            stage2,
+        })
+    }
+
+    /// Rebuilds a working detector from the snapshot.
+    pub fn restore(&self) -> TwoSmartDetector {
+        let stage1 =
+            Stage1Model::from_parts(self.stage1_model.clone(), self.stage1_events.clone());
+        let stage2: Vec<SpecializedDetector> = self
+            .stage2
+            .iter()
+            .map(|s| {
+                let mut d = SpecializedDetector::from_parts(
+                    s.class,
+                    s.config,
+                    s.events.clone(),
+                    Box::new(s.model.clone()),
+                );
+                d.set_threshold(s.threshold);
+                d
+            })
+            .collect();
+        TwoSmartDetector::from_parts(stage1, stage2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmd_hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
+    use hmd_ml::classifier::ClassifierKind;
+
+    fn trained(boosted: bool) -> (TwoSmartDetector, hmd_hpc_sim::corpus::Corpus) {
+        let corpus = CorpusBuilder::new(CorpusSpec::tiny()).build();
+        let det = AppClass::MALWARE
+            .iter()
+            .fold(
+                TwoSmartDetector::builder().seed(6).boosted(boosted),
+                |b, &c| b.classifier_for(c, ClassifierKind::J48),
+            )
+            .train(&corpus)
+            .expect("detector trains");
+        (det, corpus)
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_verdicts() {
+        let (det, corpus) = trained(false);
+        let snapshot = DetectorSnapshot::capture(&det).unwrap();
+        let restored = snapshot.restore();
+        for r in corpus.records() {
+            assert_eq!(restored.detect(&r.features), det.detect(&r.features));
+        }
+    }
+
+    #[test]
+    fn boosted_detector_round_trips() {
+        let (det, corpus) = trained(true);
+        let snapshot = DetectorSnapshot::capture(&det).unwrap();
+        let json = serde_json::to_string(&snapshot).expect("serializes");
+        let reloaded: DetectorSnapshot = serde_json::from_str(&json).expect("deserializes");
+        let restored = reloaded.restore();
+        for r in corpus.records().iter().take(10) {
+            assert_eq!(restored.detect(&r.features), det.detect(&r.features));
+        }
+    }
+
+    #[test]
+    fn snapshot_is_structurally_complete() {
+        let (det, _) = trained(false);
+        let snapshot = DetectorSnapshot::capture(&det).unwrap();
+        assert_eq!(snapshot.stage2.len(), 4);
+        assert_eq!(snapshot.stage1_events.len(), 4);
+        for s in &snapshot.stage2 {
+            assert!(s.class.is_malware());
+            assert_eq!(s.events.len(), 4);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Corpus → dataset conversion and the experiment data protocol.
+//!
+//! Bridges the HPC substrate ([`hmd_hpc_sim::corpus::Corpus`]) and the ML
+//! substrate ([`hmd_ml::data::Dataset`]): the 5-class multiclass problem for
+//! stage 1, and per-class *class-vs-benign* binary problems for the
+//! specialized stage-2 detectors — exactly the datasets the paper trains on,
+//! split 60/40 with stratification.
+//!
+//! # Examples
+//!
+//! ```
+//! use hmd_hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
+//! use twosmart::pipeline::{full_dataset, class_dataset};
+//! use hmd_hpc_sim::workload::AppClass;
+//!
+//! let corpus = CorpusBuilder::new(CorpusSpec::tiny()).build();
+//! let multi = full_dataset(&corpus);
+//! assert_eq!(multi.n_classes(), 5);
+//! let virus = class_dataset(&corpus, AppClass::Virus);
+//! assert_eq!(virus.n_classes(), 2);
+//! ```
+
+use hmd_hpc_sim::corpus::Corpus;
+use hmd_hpc_sim::event::Event;
+use hmd_hpc_sim::workload::AppClass;
+use hmd_ml::data::Dataset;
+
+/// The 5-class multiclass dataset over all 44 events.
+///
+/// Labels follow [`AppClass::label`]: 0 = benign, 1 = backdoor,
+/// 2 = rootkit, 3 = virus, 4 = trojan.
+///
+/// # Panics
+///
+/// Panics if the corpus is empty.
+pub fn full_dataset(corpus: &Corpus) -> Dataset {
+    assert!(!corpus.is_empty(), "cannot build a dataset from an empty corpus");
+    let features = corpus
+        .records()
+        .iter()
+        .map(|r| r.features.clone())
+        .collect();
+    let labels = corpus.records().iter().map(|r| r.class.label()).collect();
+    Dataset::new(features, labels, AppClass::ALL.len())
+        .expect("corpus records are rectangular and finite")
+}
+
+/// The binary *class-vs-benign* dataset for one malware class, over all 44
+/// events: label 1 = the malware class, label 0 = benign. Other malware
+/// classes are excluded — each specialized detector answers its own
+/// classification question.
+///
+/// # Panics
+///
+/// Panics if `class` is benign or the corpus lacks instances of either side.
+pub fn class_dataset(corpus: &Corpus, class: AppClass) -> Dataset {
+    assert!(class.is_malware(), "specialized detectors are per malware class");
+    full_dataset(corpus).filter_relabel(
+        |l| l == 0 || l == class.label(),
+        |l| usize::from(l != 0),
+        2,
+    )
+}
+
+/// [`class_dataset`] over an already-built 5-class dataset (avoids
+/// re-deriving features when a harness manages its own splits).
+///
+/// # Panics
+///
+/// Panics if `class` is benign, `data` is not the 5-class problem, or the
+/// filter removes every instance.
+pub fn class_dataset_from(data: &Dataset, class: AppClass) -> Dataset {
+    assert!(class.is_malware(), "specialized detectors are per malware class");
+    assert_eq!(data.n_classes(), 5, "expected the 5-class problem");
+    data.filter_relabel(
+        |l| l == 0 || l == class.label(),
+        |l| usize::from(l != 0),
+        2,
+    )
+}
+
+/// The binary *any-malware-vs-benign* dataset over all 44 events — the
+/// problem the single-stage baseline (Fig. 5b's comparator) solves.
+///
+/// # Panics
+///
+/// Panics if the corpus is empty.
+pub fn malware_dataset(corpus: &Corpus) -> Dataset {
+    full_dataset(corpus).binarize(&[1, 2, 3, 4])
+}
+
+/// [`malware_dataset`] over an already-built 5-class dataset.
+///
+/// # Panics
+///
+/// Panics if `data` is not the 5-class problem.
+pub fn malware_dataset_from(data: &Dataset) -> Dataset {
+    assert_eq!(data.n_classes(), 5, "expected the 5-class problem");
+    data.binarize(&[1, 2, 3, 4])
+}
+
+/// Restricts a dataset built by this module to the given events.
+///
+/// # Panics
+///
+/// Panics if `data` does not have 44 features or `events` is empty.
+pub fn select_events(data: &Dataset, events: &[Event]) -> Dataset {
+    assert_eq!(
+        data.n_features(),
+        Event::COUNT,
+        "select_events expects the 44-event layout"
+    );
+    let idx: Vec<usize> = events.iter().map(|e| e.index()).collect();
+    data.select_features(&idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmd_hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
+
+    fn tiny() -> Corpus {
+        CorpusBuilder::new(CorpusSpec::tiny()).build()
+    }
+
+    #[test]
+    fn full_dataset_has_five_classes_and_all_events() {
+        let d = full_dataset(&tiny());
+        assert_eq!(d.n_classes(), 5);
+        assert_eq!(d.n_features(), Event::COUNT);
+        assert_eq!(d.len(), CorpusSpec::tiny().total());
+        let counts = d.class_counts();
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn class_dataset_is_binary_and_excludes_other_malware() {
+        let corpus = tiny();
+        let spec = CorpusSpec::tiny();
+        let d = class_dataset(&corpus, AppClass::Trojan);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d.len(), spec.benign + spec.trojan);
+        assert_eq!(d.class_counts(), vec![spec.benign, spec.trojan]);
+    }
+
+    #[test]
+    #[should_panic(expected = "per malware class")]
+    fn class_dataset_rejects_benign() {
+        class_dataset(&tiny(), AppClass::Benign);
+    }
+
+    #[test]
+    fn malware_dataset_pools_all_classes() {
+        let spec = CorpusSpec::tiny();
+        let d = malware_dataset(&tiny());
+        assert_eq!(d.n_classes(), 2);
+        let malware = spec.backdoor + spec.rootkit + spec.virus + spec.trojan;
+        assert_eq!(d.class_counts(), vec![spec.benign, malware]);
+    }
+
+    #[test]
+    fn select_events_projects_columns_in_order() {
+        let corpus = tiny();
+        let d = full_dataset(&corpus);
+        let sel = select_events(&d, &[Event::CpuCycles, Event::Instructions]);
+        assert_eq!(sel.n_features(), 2);
+        assert_eq!(
+            sel.features_of(0)[0],
+            d.features_of(0)[Event::CpuCycles.index()]
+        );
+    }
+}

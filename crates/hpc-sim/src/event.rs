@@ -1,0 +1,380 @@
+//! The microarchitectural event vocabulary.
+//!
+//! The paper collects **44 CPU events** exposed by the Linux `perf` tool on an
+//! Intel Xeon X5550 and samples them every 10 ms. This module defines that
+//! vocabulary as a closed enum so downstream code (feature reduction, the
+//! 4-register [`PerfSession`](crate::perf::PerfSession) constraint, the
+//! published Table II feature sets) can refer to events by name instead of by
+//! bare index.
+//!
+//! # Examples
+//!
+//! ```
+//! use hmd_hpc_sim::event::Event;
+//!
+//! assert_eq!(Event::COUNT, 44);
+//! assert_eq!(Event::BranchInstructions.perf_name(), "branch-instructions");
+//! assert_eq!(Event::BranchInstructions.short_name(), "branch-inst");
+//! assert_eq!(Event::from_perf_name("cache-references"), Some(Event::CacheReferences));
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A hardware event countable by one HPC register.
+///
+/// The variant order is the canonical feature order used throughout the
+/// workspace: `Event as usize` is the column index of the event in every
+/// 44-wide feature vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Event {
+    /// Retired branch instructions (`branch-instructions`).
+    BranchInstructions = 0,
+    /// Mispredicted branch instructions (`branch-misses`).
+    BranchMisses,
+    /// Bus cycles (`bus-cycles`).
+    BusCycles,
+    /// Last-level cache misses (`cache-misses`).
+    CacheMisses,
+    /// Last-level cache references (`cache-references`).
+    CacheReferences,
+    /// Core clock cycles (`cpu-cycles`).
+    CpuCycles,
+    /// Retired instructions (`instructions`).
+    Instructions,
+    /// Reference clock cycles (`ref-cycles`).
+    RefCycles,
+    /// Cycles the front-end is stalled (`stalled-cycles-frontend`).
+    StalledCyclesFrontend,
+    /// Cycles the back-end is stalled (`stalled-cycles-backend`).
+    StalledCyclesBackend,
+    /// L1 data-cache load accesses (`L1-dcache-loads`).
+    L1DcacheLoads,
+    /// L1 data-cache load misses (`L1-dcache-load-misses`).
+    L1DcacheLoadMisses,
+    /// L1 data-cache store accesses (`L1-dcache-stores`).
+    L1DcacheStores,
+    /// L1 data-cache store misses (`L1-dcache-store-misses`).
+    L1DcacheStoreMisses,
+    /// L1 data-cache prefetches (`L1-dcache-prefetches`).
+    L1DcachePrefetches,
+    /// L1 data-cache prefetch misses (`L1-dcache-prefetch-misses`).
+    L1DcachePrefetchMisses,
+    /// L1 instruction-cache load accesses (`L1-icache-loads`).
+    L1IcacheLoads,
+    /// L1 instruction-cache load misses (`L1-icache-load-misses`).
+    L1IcacheLoadMisses,
+    /// L1 instruction-cache prefetches (`L1-icache-prefetches`).
+    L1IcachePrefetches,
+    /// L1 instruction-cache prefetch misses (`L1-icache-prefetch-misses`).
+    L1IcachePrefetchMisses,
+    /// Last-level cache loads (`LLC-loads`).
+    LlcLoads,
+    /// Last-level cache load misses (`LLC-load-misses`).
+    LlcLoadMisses,
+    /// Last-level cache stores (`LLC-stores`).
+    LlcStores,
+    /// Last-level cache store misses (`LLC-store-misses`).
+    LlcStoreMisses,
+    /// Last-level cache prefetches (`LLC-prefetches`).
+    LlcPrefetches,
+    /// Last-level cache prefetch misses (`LLC-prefetch-misses`).
+    LlcPrefetchMisses,
+    /// Data TLB load accesses (`dTLB-loads`).
+    DtlbLoads,
+    /// Data TLB load misses (`dTLB-load-misses`).
+    DtlbLoadMisses,
+    /// Data TLB store accesses (`dTLB-stores`).
+    DtlbStores,
+    /// Data TLB store misses (`dTLB-store-misses`).
+    DtlbStoreMisses,
+    /// Data TLB prefetches (`dTLB-prefetches`).
+    DtlbPrefetches,
+    /// Data TLB prefetch misses (`dTLB-prefetch-misses`).
+    DtlbPrefetchMisses,
+    /// Instruction TLB load accesses (`iTLB-loads`).
+    ItlbLoads,
+    /// Instruction TLB load misses (`iTLB-load-misses`).
+    ItlbLoadMisses,
+    /// Branch-prediction unit loads (`branch-loads`).
+    BranchLoads,
+    /// Branch-prediction unit load misses (`branch-load-misses`).
+    BranchLoadMisses,
+    /// Local-NUMA-node loads (`node-loads`).
+    NodeLoads,
+    /// Local-NUMA-node load misses (`node-load-misses`).
+    NodeLoadMisses,
+    /// Local-NUMA-node stores (`node-stores`).
+    NodeStores,
+    /// Local-NUMA-node store misses (`node-store-misses`).
+    NodeStoreMisses,
+    /// Local-NUMA-node prefetches (`node-prefetches`).
+    NodePrefetches,
+    /// Local-NUMA-node prefetch misses (`node-prefetch-misses`).
+    NodePrefetchMisses,
+    /// Retired memory loads (`mem-loads`).
+    MemLoads,
+    /// Retired memory stores (`mem-stores`).
+    MemStores,
+}
+
+/// Broad microarchitectural subsystem an event belongs to.
+///
+/// Table II of the paper notes that the selected features span the pipeline
+/// front-end, back-end, cache subsystem and main memory; this classification
+/// lets the analysis code report that breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventGroup {
+    /// Instruction delivery: branches, icache, iTLB, front-end stalls.
+    PipelineFrontend,
+    /// Execution/retirement: cycles, instructions, back-end stalls.
+    PipelineBackend,
+    /// L1/LLC data-side cache hierarchy and dTLB.
+    CacheSubsystem,
+    /// NUMA-node and memory traffic.
+    MainMemory,
+}
+
+impl Event {
+    /// Number of distinct events (the paper's 44).
+    pub const COUNT: usize = 44;
+
+    /// All events in canonical (column-index) order.
+    pub const ALL: [Event; Event::COUNT] = [
+        Event::BranchInstructions,
+        Event::BranchMisses,
+        Event::BusCycles,
+        Event::CacheMisses,
+        Event::CacheReferences,
+        Event::CpuCycles,
+        Event::Instructions,
+        Event::RefCycles,
+        Event::StalledCyclesFrontend,
+        Event::StalledCyclesBackend,
+        Event::L1DcacheLoads,
+        Event::L1DcacheLoadMisses,
+        Event::L1DcacheStores,
+        Event::L1DcacheStoreMisses,
+        Event::L1DcachePrefetches,
+        Event::L1DcachePrefetchMisses,
+        Event::L1IcacheLoads,
+        Event::L1IcacheLoadMisses,
+        Event::L1IcachePrefetches,
+        Event::L1IcachePrefetchMisses,
+        Event::LlcLoads,
+        Event::LlcLoadMisses,
+        Event::LlcStores,
+        Event::LlcStoreMisses,
+        Event::LlcPrefetches,
+        Event::LlcPrefetchMisses,
+        Event::DtlbLoads,
+        Event::DtlbLoadMisses,
+        Event::DtlbStores,
+        Event::DtlbStoreMisses,
+        Event::DtlbPrefetches,
+        Event::DtlbPrefetchMisses,
+        Event::ItlbLoads,
+        Event::ItlbLoadMisses,
+        Event::BranchLoads,
+        Event::BranchLoadMisses,
+        Event::NodeLoads,
+        Event::NodeLoadMisses,
+        Event::NodeStores,
+        Event::NodeStoreMisses,
+        Event::NodePrefetches,
+        Event::NodePrefetchMisses,
+        Event::MemLoads,
+        Event::MemStores,
+    ];
+
+    /// Canonical feature-column index of this event.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The event from its feature-column index.
+    ///
+    /// Returns `None` if `index >= Event::COUNT`.
+    pub fn from_index(index: usize) -> Option<Event> {
+        Event::ALL.get(index).copied()
+    }
+
+    /// The name `perf list` uses for this event.
+    pub fn perf_name(self) -> &'static str {
+        match self {
+            Event::BranchInstructions => "branch-instructions",
+            Event::BranchMisses => "branch-misses",
+            Event::BusCycles => "bus-cycles",
+            Event::CacheMisses => "cache-misses",
+            Event::CacheReferences => "cache-references",
+            Event::CpuCycles => "cpu-cycles",
+            Event::Instructions => "instructions",
+            Event::RefCycles => "ref-cycles",
+            Event::StalledCyclesFrontend => "stalled-cycles-frontend",
+            Event::StalledCyclesBackend => "stalled-cycles-backend",
+            Event::L1DcacheLoads => "L1-dcache-loads",
+            Event::L1DcacheLoadMisses => "L1-dcache-load-misses",
+            Event::L1DcacheStores => "L1-dcache-stores",
+            Event::L1DcacheStoreMisses => "L1-dcache-store-misses",
+            Event::L1DcachePrefetches => "L1-dcache-prefetches",
+            Event::L1DcachePrefetchMisses => "L1-dcache-prefetch-misses",
+            Event::L1IcacheLoads => "L1-icache-loads",
+            Event::L1IcacheLoadMisses => "L1-icache-load-misses",
+            Event::L1IcachePrefetches => "L1-icache-prefetches",
+            Event::L1IcachePrefetchMisses => "L1-icache-prefetch-misses",
+            Event::LlcLoads => "LLC-loads",
+            Event::LlcLoadMisses => "LLC-load-misses",
+            Event::LlcStores => "LLC-stores",
+            Event::LlcStoreMisses => "LLC-store-misses",
+            Event::LlcPrefetches => "LLC-prefetches",
+            Event::LlcPrefetchMisses => "LLC-prefetch-misses",
+            Event::DtlbLoads => "dTLB-loads",
+            Event::DtlbLoadMisses => "dTLB-load-misses",
+            Event::DtlbStores => "dTLB-stores",
+            Event::DtlbStoreMisses => "dTLB-store-misses",
+            Event::DtlbPrefetches => "dTLB-prefetches",
+            Event::DtlbPrefetchMisses => "dTLB-prefetch-misses",
+            Event::ItlbLoads => "iTLB-loads",
+            Event::ItlbLoadMisses => "iTLB-load-misses",
+            Event::BranchLoads => "branch-loads",
+            Event::BranchLoadMisses => "branch-load-misses",
+            Event::NodeLoads => "node-loads",
+            Event::NodeLoadMisses => "node-load-misses",
+            Event::NodeStores => "node-stores",
+            Event::NodeStoreMisses => "node-store-misses",
+            Event::NodePrefetches => "node-prefetches",
+            Event::NodePrefetchMisses => "node-prefetch-misses",
+            Event::MemLoads => "mem-loads",
+            Event::MemStores => "mem-stores",
+        }
+    }
+
+    /// The abbreviated name the paper uses in Table II.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Event::BranchInstructions => "branch-inst",
+            Event::BranchMisses => "branch-miss",
+            Event::CacheMisses => "cache-miss",
+            Event::CacheReferences => "cache-ref",
+            Event::L1DcacheLoads => "L1-dcache-lds",
+            Event::L1DcacheLoadMisses => "L1-dcache-ld-miss",
+            Event::L1DcacheStores => "L1-dcache-st",
+            Event::L1IcacheLoadMisses => "L1-icache-ld-miss",
+            Event::LlcLoads => "LLC-lds",
+            Event::LlcLoadMisses => "LLC-ld-miss",
+            Event::DtlbLoadMisses => "dTLB-ld-miss",
+            Event::ItlbLoadMisses => "iTLB-ld-miss",
+            Event::BranchLoads => "branch-lds",
+            Event::NodeStores => "node-st",
+            other => other.perf_name(),
+        }
+    }
+
+    /// Look an event up by its `perf list` name.
+    pub fn from_perf_name(name: &str) -> Option<Event> {
+        Event::ALL.iter().copied().find(|e| e.perf_name() == name)
+    }
+
+    /// Look an event up by the paper's abbreviated (Table II) name.
+    pub fn from_short_name(name: &str) -> Option<Event> {
+        Event::ALL.iter().copied().find(|e| e.short_name() == name)
+    }
+
+    /// The microarchitectural subsystem this event instruments.
+    pub fn group(self) -> EventGroup {
+        use Event::*;
+        match self {
+            BranchInstructions | BranchMisses | BranchLoads | BranchLoadMisses
+            | L1IcacheLoads | L1IcacheLoadMisses | L1IcachePrefetches
+            | L1IcachePrefetchMisses | ItlbLoads | ItlbLoadMisses | StalledCyclesFrontend => {
+                EventGroup::PipelineFrontend
+            }
+            CpuCycles | Instructions | RefCycles | BusCycles | StalledCyclesBackend => {
+                EventGroup::PipelineBackend
+            }
+            CacheMisses | CacheReferences | L1DcacheLoads | L1DcacheLoadMisses
+            | L1DcacheStores | L1DcacheStoreMisses | L1DcachePrefetches
+            | L1DcachePrefetchMisses | LlcLoads | LlcLoadMisses | LlcStores | LlcStoreMisses
+            | LlcPrefetches | LlcPrefetchMisses | DtlbLoads | DtlbLoadMisses | DtlbStores
+            | DtlbStoreMisses | DtlbPrefetches | DtlbPrefetchMisses => {
+                EventGroup::CacheSubsystem
+            }
+            NodeLoads | NodeLoadMisses | NodeStores | NodeStoreMisses | NodePrefetches
+            | NodePrefetchMisses | MemLoads | MemStores => EventGroup::MainMemory,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.perf_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_has_exactly_44_distinct_events() {
+        assert_eq!(Event::ALL.len(), Event::COUNT);
+        let set: HashSet<_> = Event::ALL.iter().collect();
+        assert_eq!(set.len(), Event::COUNT);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, e) in Event::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+            assert_eq!(Event::from_index(i), Some(*e));
+        }
+        assert_eq!(Event::from_index(Event::COUNT), None);
+    }
+
+    #[test]
+    fn perf_names_are_unique_and_round_trip() {
+        let names: HashSet<_> = Event::ALL.iter().map(|e| e.perf_name()).collect();
+        assert_eq!(names.len(), Event::COUNT);
+        for e in Event::ALL {
+            assert_eq!(Event::from_perf_name(e.perf_name()), Some(e));
+        }
+        assert_eq!(Event::from_perf_name("no-such-event"), None);
+    }
+
+    #[test]
+    fn short_names_cover_table_ii_vocabulary() {
+        for name in [
+            "branch-inst",
+            "cache-ref",
+            "branch-miss",
+            "node-st",
+            "branch-lds",
+            "cache-miss",
+            "LLC-lds",
+            "L1-icache-ld-miss",
+            "L1-dcache-lds",
+            "LLC-ld-miss",
+            "iTLB-ld-miss",
+            "L1-dcache-st",
+        ] {
+            assert!(
+                Event::from_short_name(name).is_some(),
+                "table II name {name} must resolve"
+            );
+        }
+    }
+
+    #[test]
+    fn every_group_is_populated() {
+        let groups: HashSet<_> = Event::ALL.iter().map(|e| e.group()).collect();
+        assert_eq!(groups.len(), 4);
+    }
+
+    #[test]
+    fn display_matches_perf_name() {
+        assert_eq!(Event::NodeStores.to_string(), "node-stores");
+    }
+}

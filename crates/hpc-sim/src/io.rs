@@ -1,0 +1,122 @@
+//! Corpus and trace export: CSV interop with external analysis tools.
+//!
+//! A profiled [`Corpus`] or a recorded [`HpcTrace`] is often post-processed
+//! outside Rust (plotting Fig. 1, sanity-checking distributions in a
+//! notebook, feeding a different ML stack). These writers emit plain CSV
+//! with `perf`-style event names as column headers.
+//!
+//! # Examples
+//!
+//! ```
+//! use hmd_hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
+//! use hmd_hpc_sim::io::corpus_to_csv;
+//!
+//! let corpus = CorpusBuilder::new(CorpusSpec::tiny()).build();
+//! let csv = corpus_to_csv(&corpus);
+//! assert!(csv.starts_with("family,class,branch-instructions"));
+//! ```
+
+use crate::corpus::Corpus;
+use crate::event::Event;
+use crate::sampler::HpcTrace;
+use std::io::{self, Write};
+
+/// Renders a corpus as CSV: `family,class,<44 event columns>`.
+pub fn corpus_to_csv(corpus: &Corpus) -> String {
+    let mut out = String::new();
+    out.push_str("family,class");
+    for e in Event::ALL {
+        out.push(',');
+        out.push_str(e.perf_name());
+    }
+    out.push('\n');
+    for r in corpus.records() {
+        out.push_str(r.family);
+        out.push(',');
+        out.push_str(r.class.name());
+        for v in &r.features {
+            out.push_str(&format!(",{v}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes [`corpus_to_csv`] to any writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_corpus_csv<W: Write>(corpus: &Corpus, mut writer: W) -> io::Result<()> {
+    writer.write_all(corpus_to_csv(corpus).as_bytes())
+}
+
+/// Renders a trace as CSV: `time_ms,phase,<44 event columns>`.
+pub fn trace_to_csv(trace: &HpcTrace) -> String {
+    let mut out = String::new();
+    out.push_str("time_ms,phase");
+    for e in Event::ALL {
+        out.push(',');
+        out.push_str(e.perf_name());
+    }
+    out.push('\n');
+    for s in &trace.samples {
+        out.push_str(&format!("{},{}", s.time_ms, s.phase));
+        for v in &s.counts {
+            out.push_str(&format!(",{v}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{CorpusBuilder, CorpusSpec};
+    use crate::sampler::Sampler;
+    use crate::workload::WorkloadSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn corpus_csv_has_header_and_one_line_per_record() {
+        let corpus = CorpusBuilder::new(CorpusSpec::tiny()).build();
+        let csv = corpus_to_csv(&corpus);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), corpus.len() + 1);
+        assert_eq!(lines[0].split(',').count(), 2 + Event::COUNT);
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), 2 + Event::COUNT);
+        }
+    }
+
+    #[test]
+    fn corpus_csv_round_trips_a_value() {
+        let corpus = CorpusBuilder::new(CorpusSpec::tiny()).build();
+        let csv = corpus_to_csv(&corpus);
+        let second_line = csv.lines().nth(1).unwrap();
+        let cols: Vec<&str> = second_line.split(',').collect();
+        let parsed: f64 = cols[2].parse().unwrap();
+        assert_eq!(parsed, corpus.records()[0].features[0]);
+    }
+
+    #[test]
+    fn write_corpus_csv_to_a_buffer() {
+        let corpus = CorpusBuilder::new(CorpusSpec::tiny()).build();
+        let mut buf = Vec::new();
+        write_corpus_csv(&corpus, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), corpus_to_csv(&corpus));
+    }
+
+    #[test]
+    fn trace_csv_includes_time_and_phase() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let app = WorkloadSpec::library()[0].spawn(&mut rng);
+        let trace = Sampler::default().record(app, 5, &mut rng);
+        let csv = trace_to_csv(&trace);
+        assert!(csv.starts_with("time_ms,phase,"));
+        assert_eq!(csv.lines().count(), 6);
+        assert!(csv.lines().nth(1).unwrap().starts_with("0,"));
+    }
+}

@@ -1,0 +1,61 @@
+//! # hmd-hpc-sim — simulated hardware-performance-counter substrate
+//!
+//! This crate is the data-collection substrate of the
+//! [2SMaRT](https://doi.org/10.23919/DATE.2019.8715080) reproduction. The
+//! paper profiles >3000 benign and malware applications on an Intel Xeon
+//! X5550 using the Linux `perf` tool; since neither live malware nor bare
+//! hardware counters are available to a reproduction, this crate simulates
+//! both ends:
+//!
+//! - [`event`] — the 44-event `perf` vocabulary, with the paper's Table II
+//!   abbreviations.
+//! - [`profile`] — parametric microarchitectural behaviour: a small set of
+//!   physical knobs (IPC, miss rates, NUMA share…) from which all 44 event
+//!   rates are *derived*, preserving realistic cross-event correlation.
+//! - [`workload`] — benign program families (MiBench-style kernels, system
+//!   tools, interactive apps) and the four malware classes (Backdoor,
+//!   Rootkit, Virus, Trojan) as phase machines over behaviour profiles.
+//! - [`sampler`] — 10 ms ground-truth trace recording.
+//! - [`perf`] — the **4-register constraint**: a `perf_event_open`-style
+//!   session that refuses more than 4 concurrent events, and the 11-batch
+//!   schedule needed to cover all 44.
+//! - [`container`] — LXC-style isolation with a contamination model that
+//!   shows why the paper destroys containers after every run.
+//! - [`corpus`] — the full collection protocol: 11 runs × fresh container ×
+//!   4-counter session per application, aggregated to 44-feature vectors.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hmd_hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
+//! use hmd_hpc_sim::workload::AppClass;
+//!
+//! let corpus = CorpusBuilder::new(CorpusSpec::tiny()).build();
+//! let malware = corpus
+//!     .records()
+//!     .iter()
+//!     .filter(|r| r.class.is_malware())
+//!     .count();
+//! assert!(malware > 0);
+//! assert_eq!(corpus.class_count(AppClass::Benign), 8);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod container;
+pub mod corpus;
+pub mod event;
+pub mod io;
+pub mod perf;
+pub mod profile;
+pub mod sampler;
+pub mod workload;
+
+pub use container::{Container, ContainerHost, IsolationPolicy};
+pub use corpus::{AppRecord, Corpus, CorpusBuilder, CorpusSpec};
+pub use event::{Event, EventGroup};
+pub use perf::{CounterReading, EventBatch, MultiplexedSession, PerfError, PerfSession};
+pub use profile::{BehaviorProfile, Modulation};
+pub use sampler::{HpcSample, HpcTrace, Sampler};
+pub use workload::{AppClass, AppInstance, Phase, PhaseMachine, WorkloadSpec};

@@ -1,0 +1,465 @@
+//! A `perf_event_open`-style measurement session with the real hardware
+//! constraint: **at most 4 events can be counted simultaneously**.
+//!
+//! The paper's central premise is that the Intel Xeon X5550 exposes only 4
+//! programmable HPC registers, so capturing all 44 events requires 11
+//! separate runs of an application ([`EventBatch::schedule`]), which rules
+//! out multi-run collection as a run-time strategy. This module makes that
+//! constraint an API invariant: [`PerfSession::open`] refuses more than
+//! [`PerfSession::MAX_COUNTERS`] events.
+//!
+//! # Examples
+//!
+//! ```
+//! use hmd_hpc_sim::perf::{PerfSession, PerfError};
+//! use hmd_hpc_sim::event::Event;
+//!
+//! let ok = PerfSession::open(&[Event::BranchInstructions, Event::CacheReferences]);
+//! assert!(ok.is_ok());
+//!
+//! let too_many: Vec<_> = Event::ALL[..5].to_vec();
+//! assert!(matches!(PerfSession::open(&too_many), Err(PerfError::TooManyCounters { .. })));
+//! ```
+
+use crate::event::Event;
+use crate::workload::AppInstance;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by [`PerfSession`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PerfError {
+    /// More events requested than the hardware has counter registers.
+    TooManyCounters {
+        /// Number of events requested.
+        requested: usize,
+        /// Number of hardware counter registers.
+        available: usize,
+    },
+    /// The same event was requested twice in one session.
+    DuplicateEvent(Event),
+    /// No events were requested.
+    NoEvents,
+}
+
+impl fmt::Display for PerfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfError::TooManyCounters {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested {requested} events but only {available} HPC registers are available"
+            ),
+            PerfError::DuplicateEvent(e) => write!(f, "event {e} requested more than once"),
+            PerfError::NoEvents => write!(f, "no events requested"),
+        }
+    }
+}
+
+impl Error for PerfError {}
+
+/// A reading of the programmed events for one sampling interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterReading {
+    /// Start of the interval in milliseconds.
+    pub time_ms: u64,
+    /// One count per programmed event, in the order given to
+    /// [`PerfSession::open`].
+    pub counts: Vec<f64>,
+}
+
+/// An open measurement session over ≤ 4 events.
+///
+/// Reads include multiplicative measurement noise (counter skid,
+/// non-deterministic speculative execution), modelled as a per-read
+/// log-normal factor with σ = [`PerfSession::READ_NOISE_SIGMA`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfSession {
+    events: Vec<Event>,
+}
+
+impl PerfSession {
+    /// Number of simultaneously programmable HPC registers on the modelled
+    /// Xeon X5550.
+    pub const MAX_COUNTERS: usize = 4;
+
+    /// σ of the multiplicative Gaussian read noise.
+    pub const READ_NOISE_SIGMA: f64 = 0.03;
+
+    /// Programs the given events onto the counter registers.
+    ///
+    /// # Errors
+    ///
+    /// - [`PerfError::TooManyCounters`] if more than
+    ///   [`MAX_COUNTERS`](Self::MAX_COUNTERS) events are requested — the
+    ///   hardware cannot count them concurrently.
+    /// - [`PerfError::DuplicateEvent`] if an event is listed twice.
+    /// - [`PerfError::NoEvents`] if the list is empty.
+    pub fn open(events: &[Event]) -> Result<PerfSession, PerfError> {
+        if events.is_empty() {
+            return Err(PerfError::NoEvents);
+        }
+        if events.len() > Self::MAX_COUNTERS {
+            return Err(PerfError::TooManyCounters {
+                requested: events.len(),
+                available: Self::MAX_COUNTERS,
+            });
+        }
+        for (i, e) in events.iter().enumerate() {
+            if events[..i].contains(e) {
+                return Err(PerfError::DuplicateEvent(*e));
+            }
+        }
+        Ok(PerfSession {
+            events: events.to_vec(),
+        })
+    }
+
+    /// The programmed events, in register order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Runs `app` for `n_samples` 10 ms intervals, reading the programmed
+    /// counters each interval.
+    pub fn profile<R: Rng + ?Sized>(
+        &self,
+        app: &mut AppInstance,
+        n_samples: usize,
+        rng: &mut R,
+    ) -> Vec<CounterReading> {
+        let noise = Normal::new(0.0, Self::READ_NOISE_SIGMA).expect("const sigma");
+        (0..n_samples)
+            .map(|i| {
+                let truth = app.step(rng);
+                let counts = self
+                    .events
+                    .iter()
+                    .map(|e| {
+                        let factor = (noise.sample(rng)).exp();
+                        (truth[e.index()] * factor).max(0.0)
+                    })
+                    .collect();
+                CounterReading {
+                    time_ms: i as u64 * 10,
+                    counts,
+                }
+            })
+            .collect()
+    }
+
+    /// Mean count per programmed event over a profiling run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `readings` is empty or was produced by a different session
+    /// shape.
+    pub fn mean_counts(&self, readings: &[CounterReading]) -> Vec<f64> {
+        assert!(!readings.is_empty(), "no readings to aggregate");
+        let k = self.events.len();
+        let mut acc = vec![0.0; k];
+        for r in readings {
+            assert_eq!(r.counts.len(), k, "reading shape mismatch");
+            for (a, c) in acc.iter_mut().zip(&r.counts) {
+                *a += c;
+            }
+        }
+        for a in &mut acc {
+            *a /= readings.len() as f64;
+        }
+        acc
+    }
+}
+
+/// A time-division multiplexed session over more events than registers —
+/// what `perf` actually does when asked for too many events in one run.
+///
+/// The kernel rotates event groups onto the registers; each event is
+/// counted for only `1/groups` of the time and its total is *estimated* by
+/// scaling with `time_enabled / time_running`. The estimate is unbiased but
+/// noisy for bursty events — the reason the paper prefers batched
+/// collection offline and only 4 events at run time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiplexedSession {
+    events: Vec<Event>,
+    groups: usize,
+}
+
+impl MultiplexedSession {
+    /// Opens a multiplexed session over any number of events.
+    ///
+    /// # Errors
+    ///
+    /// [`PerfError::DuplicateEvent`] / [`PerfError::NoEvents`] as for
+    /// [`PerfSession::open`]. Any count is accepted — that is the point of
+    /// multiplexing.
+    pub fn open(events: &[Event]) -> Result<MultiplexedSession, PerfError> {
+        if events.is_empty() {
+            return Err(PerfError::NoEvents);
+        }
+        for (i, e) in events.iter().enumerate() {
+            if events[..i].contains(e) {
+                return Err(PerfError::DuplicateEvent(*e));
+            }
+        }
+        let groups = events.len().div_ceil(PerfSession::MAX_COUNTERS);
+        Ok(MultiplexedSession {
+            events: events.to_vec(),
+            groups,
+        })
+    }
+
+    /// The monitored events.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of register groups the kernel rotates through.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Fraction of wall time each event is actually counted.
+    pub fn duty_cycle(&self) -> f64 {
+        1.0 / self.groups as f64
+    }
+
+    /// Runs `app` for `n_samples` intervals. Each event is observed for one
+    /// rotation slice per interval and scaled up; the sub-sampling turns
+    /// within-interval burstiness into estimation noise that grows with the
+    /// number of groups.
+    pub fn profile<R: Rng + ?Sized>(
+        &self,
+        app: &mut AppInstance,
+        n_samples: usize,
+        rng: &mut R,
+    ) -> Vec<CounterReading> {
+        let read_noise = Normal::new(0.0, PerfSession::READ_NOISE_SIGMA).expect("const sigma");
+        // Sub-sampling error: observing 1/g of the interval and scaling by
+        // g multiplies variance by ~g for a bursty counter; model as extra
+        // multiplicative noise with sigma growing like sqrt(g-1).
+        let mux_sigma = 0.08 * ((self.groups as f64 - 1.0).max(0.0)).sqrt();
+        let mux_noise = Normal::new(0.0, mux_sigma.max(1e-12)).expect("finite sigma");
+        (0..n_samples)
+            .map(|i| {
+                let truth = app.step(rng);
+                let counts = self
+                    .events
+                    .iter()
+                    .map(|e| {
+                        let base = truth[e.index()];
+                        let factor =
+                            (read_noise.sample(rng) + mux_noise.sample(rng)).exp();
+                        (base * factor).max(0.0)
+                    })
+                    .collect();
+                CounterReading {
+                    time_ms: i as u64 * 10,
+                    counts,
+                }
+            })
+            .collect()
+    }
+
+    /// Mean count per monitored event over a profiling run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `readings` is empty or shaped for a different session.
+    pub fn mean_counts(&self, readings: &[CounterReading]) -> Vec<f64> {
+        assert!(!readings.is_empty(), "no readings to aggregate");
+        let k = self.events.len();
+        let mut acc = vec![0.0; k];
+        for r in readings {
+            assert_eq!(r.counts.len(), k, "reading shape mismatch");
+            for (a, c) in acc.iter_mut().zip(&r.counts) {
+                *a += c;
+            }
+        }
+        for a in &mut acc {
+            *a /= readings.len() as f64;
+        }
+        acc
+    }
+}
+
+/// Static schedule dividing a set of events into register-sized batches.
+///
+/// The paper divides its 44 events into 11 batches of 4 and runs each
+/// application once per batch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventBatch {
+    batches: Vec<Vec<Event>>,
+}
+
+impl EventBatch {
+    /// Greedily packs `events` into batches of at most
+    /// [`PerfSession::MAX_COUNTERS`] events, preserving order.
+    pub fn schedule(events: &[Event]) -> EventBatch {
+        let batches = events
+            .chunks(PerfSession::MAX_COUNTERS)
+            .map(|c| c.to_vec())
+            .collect();
+        EventBatch { batches }
+    }
+
+    /// The canonical 11-batch schedule over all 44 events.
+    pub fn full() -> EventBatch {
+        EventBatch::schedule(&Event::ALL)
+    }
+
+    /// The batches, each openable by one [`PerfSession`].
+    pub fn batches(&self) -> &[Vec<Event>] {
+        &self.batches
+    }
+
+    /// Number of application runs this schedule requires.
+    pub fn runs_required(&self) -> usize {
+        self.batches.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn open_enforces_register_budget() {
+        assert!(PerfSession::open(&Event::ALL[..4]).is_ok());
+        let err = PerfSession::open(&Event::ALL[..5]).unwrap_err();
+        assert_eq!(
+            err,
+            PerfError::TooManyCounters {
+                requested: 5,
+                available: 4
+            }
+        );
+    }
+
+    #[test]
+    fn open_rejects_duplicates_and_empty() {
+        let dup = [Event::CpuCycles, Event::CpuCycles];
+        assert_eq!(
+            PerfSession::open(&dup).unwrap_err(),
+            PerfError::DuplicateEvent(Event::CpuCycles)
+        );
+        assert_eq!(PerfSession::open(&[]).unwrap_err(), PerfError::NoEvents);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let msg = PerfError::TooManyCounters {
+            requested: 8,
+            available: 4,
+        }
+        .to_string();
+        assert!(msg.contains('8') && msg.contains('4'));
+    }
+
+    #[test]
+    fn full_schedule_is_11_batches_of_4() {
+        let s = EventBatch::full();
+        assert_eq!(s.runs_required(), 11);
+        assert!(s.batches().iter().all(|b| b.len() == 4));
+        let total: usize = s.batches().iter().map(|b| b.len()).sum();
+        assert_eq!(total, Event::COUNT);
+    }
+
+    #[test]
+    fn schedule_handles_non_multiple_counts() {
+        let s = EventBatch::schedule(&Event::ALL[..6]);
+        assert_eq!(s.runs_required(), 2);
+        assert_eq!(s.batches()[1].len(), 2);
+    }
+
+    #[test]
+    fn profile_reads_only_programmed_events_with_bounded_noise() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut app = WorkloadSpec::library()[0].spawn(&mut rng);
+        let events = [Event::Instructions, Event::CpuCycles];
+        let session = PerfSession::open(&events).unwrap();
+        let readings = session.profile(&mut app, 30, &mut rng);
+        assert_eq!(readings.len(), 30);
+        for r in &readings {
+            assert_eq!(r.counts.len(), 2);
+            assert!(r.counts.iter().all(|c| c.is_finite() && *c >= 0.0));
+        }
+        let means = session.mean_counts(&readings);
+        assert_eq!(means.len(), 2);
+        // IPC implied by the measurement should be physically plausible.
+        let ipc = means[0] / means[1];
+        assert!(ipc > 0.05 && ipc < 4.0, "implied IPC {ipc} implausible");
+    }
+
+    #[test]
+    fn multiplexed_session_accepts_many_events() {
+        let s = MultiplexedSession::open(&Event::ALL).unwrap();
+        assert_eq!(s.events().len(), 44);
+        assert_eq!(s.groups(), 11);
+        assert!((s.duty_cycle() - 1.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplexed_under_register_budget_has_no_extra_groups() {
+        let s = MultiplexedSession::open(&Event::ALL[..4]).unwrap();
+        assert_eq!(s.groups(), 1);
+        assert_eq!(s.duty_cycle(), 1.0);
+    }
+
+    #[test]
+    fn multiplexing_is_noisier_than_dedicated_counting() {
+        let events = [Event::Instructions];
+        let dedicated = PerfSession::open(&events).unwrap();
+        let multiplexed = MultiplexedSession::open(&Event::ALL).unwrap();
+        let spec = &WorkloadSpec::library()[3]; // steady sha kernel
+        let n = 300;
+
+        let rel_std = |vals: Vec<f64>| -> f64 {
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / vals.len() as f64;
+            var.sqrt() / mean
+        };
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut app = spec.spawn(&mut rng);
+        let d_vals: Vec<f64> = dedicated
+            .profile(&mut app, n, &mut rng)
+            .iter()
+            .map(|r| r.counts[0])
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut app = spec.spawn(&mut rng);
+        let idx = multiplexed
+            .events()
+            .iter()
+            .position(|e| *e == Event::Instructions)
+            .unwrap();
+        let m_vals: Vec<f64> = multiplexed
+            .profile(&mut app, n, &mut rng)
+            .iter()
+            .map(|r| r.counts[idx])
+            .collect();
+
+        assert!(
+            rel_std(m_vals) > rel_std(d_vals),
+            "multiplexed estimates must be noisier"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no readings")]
+    fn mean_counts_of_empty_readings_panics() {
+        let session = PerfSession::open(&[Event::CpuCycles]).unwrap();
+        session.mean_counts(&[]);
+    }
+}

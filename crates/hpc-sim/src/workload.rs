@@ -1,0 +1,1151 @@
+//! Synthetic application workloads: benign program families and the four
+//! malware classes studied by the paper.
+//!
+//! The paper profiles >3000 applications: benign programs (MiBench kernels,
+//! Linux system programs, browsers, text editors, a word processor) and Linux
+//! malware from four classes — Backdoor, Rootkit, Virus and Trojan. Since live
+//! malware corpora cannot ship with a reproduction, each family here is a
+//! [`WorkloadSpec`]: a base [`BehaviorProfile`] plus a [`PhaseMachine`] whose
+//! phases modulate the profile the way the real family's execution does
+//! (dormancy/beacons for backdoors, scan/infect loops for viruses, kernel
+//! hooking for rootkits, host-mimicry with payload bursts for trojans).
+//!
+//! # Examples
+//!
+//! ```
+//! use hmd_hpc_sim::workload::{AppClass, WorkloadSpec};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let spec = &WorkloadSpec::library()[0];
+//! let mut app = spec.spawn(&mut rng);
+//! let rates = app.step(&mut rng);
+//! assert_eq!(rates.len(), 44);
+//! ```
+
+use crate::event::Event;
+use crate::profile::{BehaviorProfile, Modulation};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The application label: benign or one of the paper's four malware classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AppClass {
+    /// A non-malicious program.
+    Benign,
+    /// Remote-access implant: mostly dormant, periodic beacon bursts.
+    Backdoor,
+    /// Kernel-level stealth malware: hooking, store-heavy kernel activity.
+    Rootkit,
+    /// Self-replicating file infector: scan and inject loops.
+    Virus,
+    /// Malware masquerading as a legitimate host application.
+    Trojan,
+}
+
+impl AppClass {
+    /// All five classes in the canonical (stage-1 label) order.
+    pub const ALL: [AppClass; 5] = [
+        AppClass::Benign,
+        AppClass::Backdoor,
+        AppClass::Rootkit,
+        AppClass::Virus,
+        AppClass::Trojan,
+    ];
+
+    /// The four malware classes (everything but [`AppClass::Benign`]).
+    pub const MALWARE: [AppClass; 4] = [
+        AppClass::Backdoor,
+        AppClass::Rootkit,
+        AppClass::Virus,
+        AppClass::Trojan,
+    ];
+
+    /// `true` for any class other than [`AppClass::Benign`].
+    pub fn is_malware(self) -> bool {
+        self != AppClass::Benign
+    }
+
+    /// Stable numeric label (0 = benign, 1.. = malware classes).
+    pub fn label(self) -> usize {
+        match self {
+            AppClass::Benign => 0,
+            AppClass::Backdoor => 1,
+            AppClass::Rootkit => 2,
+            AppClass::Virus => 3,
+            AppClass::Trojan => 4,
+        }
+    }
+
+    /// Inverse of [`AppClass::label`].
+    pub fn from_label(label: usize) -> Option<AppClass> {
+        AppClass::ALL.get(label).copied()
+    }
+
+    /// Human-readable class name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppClass::Benign => "Benign",
+            AppClass::Backdoor => "Backdoor",
+            AppClass::Rootkit => "Rootkit",
+            AppClass::Virus => "Virus",
+            AppClass::Trojan => "Trojan",
+        }
+    }
+}
+
+impl fmt::Display for AppClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One phase of a program's execution.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Phase {
+    /// Phase name (for trace annotation and debugging).
+    pub name: &'static str,
+    /// Behaviour adjustment while the phase is active.
+    pub modulation: Modulation,
+    /// Mean phase length in 10 ms samples (geometric dwell time, ≥ 1).
+    pub mean_len: f64,
+}
+
+/// Cyclic phase sequencer with geometric dwell times.
+///
+/// Each sample the machine either stays in the current phase (probability
+/// `1 - 1/mean_len`) or advances to the next phase, wrapping around.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PhaseMachine {
+    phases: Vec<Phase>,
+    current: usize,
+}
+
+impl PhaseMachine {
+    /// Creates a machine over the given phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any `mean_len < 1.0`.
+    pub fn new(phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "phase machine needs at least one phase");
+        assert!(
+            phases.iter().all(|p| p.mean_len >= 1.0),
+            "phase mean_len must be >= 1"
+        );
+        PhaseMachine { phases, current: 0 }
+    }
+
+    /// A single steady phase with no modulation.
+    pub fn steady() -> Self {
+        PhaseMachine::new(vec![Phase {
+            name: "steady",
+            modulation: Modulation::NEUTRAL,
+            mean_len: f64::INFINITY,
+        }])
+    }
+
+    /// The currently active phase.
+    pub fn current(&self) -> &Phase {
+        &self.phases[self.current]
+    }
+
+    /// Advances one sample; possibly transitions to the next phase.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let p_leave = 1.0 / self.phases[self.current].mean_len;
+        if rng.gen::<f64>() < p_leave {
+            self.current = (self.current + 1) % self.phases.len();
+        }
+    }
+
+    /// Starts the machine in a uniformly random phase (so concurrently
+    /// spawned apps of one family are not phase-locked).
+    pub fn randomize_start<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.current = rng.gen_range(0..self.phases.len());
+    }
+
+    /// The phases of this machine.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+}
+
+/// A family of applications sharing behaviour: a named template from which
+/// individual [`AppInstance`]s are spawned.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WorkloadSpec {
+    /// Family name, e.g. `"mibench/qsort"` or `"trojan/banker"`.
+    pub name: &'static str,
+    /// Ground-truth class of every app spawned from this family.
+    pub class: AppClass,
+    /// Family-level behaviour template.
+    pub base: BehaviorProfile,
+    /// Execution phases.
+    pub phases: Vec<Phase>,
+    /// Log-σ of per-application knob individualization.
+    pub individual_sigma: f64,
+}
+
+impl WorkloadSpec {
+    /// Spawns one concrete application: individualized knobs + fresh phase
+    /// machine started in a random phase.
+    pub fn spawn<R: Rng + ?Sized>(&self, rng: &mut R) -> AppInstance {
+        let profile = self.base.individualized(self.individual_sigma, rng);
+        let mut machine = PhaseMachine::new(self.phases.clone());
+        machine.randomize_start(rng);
+        AppInstance {
+            family: self.name,
+            class: self.class,
+            profile,
+            machine,
+        }
+    }
+
+    /// The full workload library: every benign and malware family the
+    /// synthetic corpus draws from.
+    pub fn library() -> Vec<WorkloadSpec> {
+        let mut lib = benign_families();
+        lib.extend(malware_families());
+        lib
+    }
+}
+
+/// A running application: individualized profile plus phase state.
+///
+/// Produced by [`WorkloadSpec::spawn`]; stepped once per 10 ms sample.
+#[derive(Debug, Clone)]
+pub struct AppInstance {
+    family: &'static str,
+    class: AppClass,
+    profile: BehaviorProfile,
+    machine: PhaseMachine,
+}
+
+impl AppInstance {
+    /// The family this app was spawned from.
+    pub fn family(&self) -> &'static str {
+        self.family
+    }
+
+    /// Ground-truth class.
+    pub fn class(&self) -> AppClass {
+        self.class
+    }
+
+    /// The individualized behaviour profile (before phase modulation).
+    pub fn profile(&self) -> &BehaviorProfile {
+        &self.profile
+    }
+
+    /// Name of the phase the app is currently in.
+    pub fn phase_name(&self) -> &'static str {
+        self.machine.current().name
+    }
+
+    /// Produces the ground-truth event counts for the next 10 ms sample and
+    /// advances the phase machine.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> [f64; Event::COUNT] {
+        let effective = self.profile.modulated(&self.machine.current().modulation);
+        let rates = effective.sample_rates(rng);
+        self.machine.step(rng);
+        rates
+    }
+}
+
+/// Benign families: MiBench-style kernels, system programs and interactive
+/// applications, spanning compute-bound, memory-bound, branchy and idle
+/// behaviour so the benign class has wide (realistic) variance.
+pub fn benign_families() -> Vec<WorkloadSpec> {
+    let b = BehaviorProfile::balanced;
+    let steady = |name| {
+        vec![Phase {
+            name,
+            modulation: Modulation::NEUTRAL,
+            mean_len: 1e9,
+        }]
+    };
+    vec![
+        // MiBench automotive/qsort: compute + data movement, well predicted.
+        WorkloadSpec {
+            name: "mibench/qsort",
+            class: AppClass::Benign,
+            base: BehaviorProfile {
+                ipc: 1.6,
+                branch_frac: 0.19,
+                load_frac: 0.30,
+                store_frac: 0.13,
+                branch_miss_rate: 0.034,
+                l1d_load_miss_rate: 0.02,
+                llc_miss_rate: 0.10,
+                ..b()
+            },
+            phases: steady("sorting"),
+            individual_sigma: 0.22,
+        },
+        // MiBench network/dijkstra: pointer chasing, dcache-missy.
+        WorkloadSpec {
+            name: "mibench/dijkstra",
+            class: AppClass::Benign,
+            base: BehaviorProfile {
+                ipc: 0.8,
+                branch_frac: 0.16,
+                load_frac: 0.34,
+                store_frac: 0.08,
+                l1d_load_miss_rate: 0.07,
+                llc_miss_rate: 0.35,
+                dtlb_miss_rate: 0.008,
+                ..b()
+            },
+            phases: steady("relaxing-edges"),
+            individual_sigma: 0.22,
+        },
+        // MiBench telecomm/fft: vector math, low branching, prefetch-friendly.
+        WorkloadSpec {
+            name: "mibench/fft",
+            class: AppClass::Benign,
+            base: BehaviorProfile {
+                ipc: 2.1,
+                branch_frac: 0.08,
+                load_frac: 0.33,
+                store_frac: 0.16,
+                branch_miss_rate: 0.01,
+                l1d_load_miss_rate: 0.04,
+                llc_miss_rate: 0.25,
+                prefetch_intensity: 2.0,
+                ..b()
+            },
+            phases: steady("butterflies"),
+            individual_sigma: 0.20,
+        },
+        // MiBench security/sha: tight arithmetic loop, cache-resident.
+        WorkloadSpec {
+            name: "mibench/sha",
+            class: AppClass::Benign,
+            base: BehaviorProfile {
+                ipc: 2.4,
+                branch_frac: 0.10,
+                load_frac: 0.20,
+                store_frac: 0.07,
+                branch_miss_rate: 0.008,
+                l1d_load_miss_rate: 0.004,
+                llc_miss_rate: 0.05,
+                ..b()
+            },
+            phases: steady("hashing"),
+            individual_sigma: 0.18,
+        },
+        // MiBench consumer/jpeg: mixed compute and table lookups.
+        WorkloadSpec {
+            name: "mibench/jpeg",
+            class: AppClass::Benign,
+            base: BehaviorProfile {
+                ipc: 1.4,
+                branch_frac: 0.14,
+                load_frac: 0.28,
+                store_frac: 0.12,
+                branch_miss_rate: 0.03,
+                l1d_load_miss_rate: 0.025,
+                llc_miss_rate: 0.18,
+                ..b()
+            },
+            phases: vec![
+                Phase {
+                    name: "decode",
+                    modulation: Modulation {
+                        memory: 1.2,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 40.0,
+                },
+                Phase {
+                    name: "idct",
+                    modulation: Modulation {
+                        ipc: 1.3,
+                        branch: 0.6,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 30.0,
+                },
+            ],
+            individual_sigma: 0.20,
+        },
+        // MiBench telecomm/crc32: streaming, bus-bound.
+        WorkloadSpec {
+            name: "mibench/crc32",
+            class: AppClass::Benign,
+            base: BehaviorProfile {
+                ipc: 1.8,
+                branch_frac: 0.12,
+                load_frac: 0.35,
+                store_frac: 0.04,
+                branch_miss_rate: 0.005,
+                l1d_load_miss_rate: 0.05,
+                llc_miss_rate: 0.55,
+                prefetch_intensity: 2.5,
+                ..b()
+            },
+            phases: steady("streaming"),
+            individual_sigma: 0.20,
+        },
+        // Linux system programs (ls, ps, grep, tar): short bursts of syscalls.
+        WorkloadSpec {
+            name: "system/coreutils",
+            class: AppClass::Benign,
+            base: BehaviorProfile {
+                utilization: 0.45,
+                ipc: 0.9,
+                branch_frac: 0.19,
+                load_frac: 0.27,
+                store_frac: 0.12,
+                branch_miss_rate: 0.04,
+                l1i_miss_rate: 0.012,
+                itlb_miss_rate: 0.003,
+                llc_miss_rate: 0.22,
+                ..b()
+            },
+            phases: vec![
+                Phase {
+                    name: "syscall-burst",
+                    modulation: Modulation {
+                        utilization: 1.4,
+                        icache: 1.5,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 8.0,
+                },
+                Phase {
+                    name: "io-wait",
+                    modulation: Modulation {
+                        utilization: 0.35,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 12.0,
+                },
+            ],
+            individual_sigma: 0.28,
+        },
+        // Browser: large icache footprint, JIT, bursty interaction.
+        WorkloadSpec {
+            name: "interactive/browser",
+            class: AppClass::Benign,
+            base: BehaviorProfile {
+                utilization: 0.55,
+                ipc: 1.0,
+                branch_frac: 0.22,
+                load_frac: 0.27,
+                store_frac: 0.13,
+                branch_miss_rate: 0.042,
+                l1i_miss_rate: 0.02,
+                itlb_miss_rate: 0.005,
+                l1d_load_miss_rate: 0.035,
+                llc_miss_rate: 0.30,
+                ..b()
+            },
+            phases: vec![
+                Phase {
+                    name: "render",
+                    modulation: Modulation {
+                        utilization: 1.5,
+                        memory: 1.3,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 25.0,
+                },
+                Phase {
+                    name: "idle",
+                    modulation: Modulation {
+                        utilization: 0.25,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 60.0,
+                },
+                Phase {
+                    name: "script",
+                    modulation: Modulation {
+                        branch: 1.3,
+                        icache: 1.6,
+                        itlb: 1.5,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 20.0,
+                },
+            ],
+            individual_sigma: 0.26,
+        },
+        // Text editor: mostly idle, keystroke bursts.
+        WorkloadSpec {
+            name: "interactive/editor",
+            class: AppClass::Benign,
+            base: BehaviorProfile {
+                utilization: 0.18,
+                ipc: 0.85,
+                branch_frac: 0.19,
+                load_frac: 0.25,
+                store_frac: 0.10,
+                branch_miss_rate: 0.04,
+                llc_miss_rate: 0.15,
+                ..b()
+            },
+            phases: vec![
+                Phase {
+                    name: "keystroke",
+                    modulation: Modulation {
+                        utilization: 2.5,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 5.0,
+                },
+                Phase {
+                    name: "idle",
+                    modulation: Modulation {
+                        utilization: 0.4,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 40.0,
+                },
+            ],
+            individual_sigma: 0.26,
+        },
+        // Word processor: layout recomputation bursts over an idle baseline.
+        WorkloadSpec {
+            name: "interactive/wordproc",
+            class: AppClass::Benign,
+            base: BehaviorProfile {
+                utilization: 0.30,
+                ipc: 1.0,
+                branch_frac: 0.19,
+                load_frac: 0.28,
+                store_frac: 0.14,
+                branch_miss_rate: 0.038,
+                l1i_miss_rate: 0.015,
+                llc_miss_rate: 0.25,
+                ..b()
+            },
+            phases: vec![
+                Phase {
+                    name: "layout",
+                    modulation: Modulation {
+                        utilization: 2.0,
+                        memory: 1.4,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 15.0,
+                },
+                Phase {
+                    name: "idle",
+                    modulation: Modulation {
+                        utilization: 0.5,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 35.0,
+                },
+            ],
+            individual_sigma: 0.24,
+        },
+        // Compiler: branchy, icache-heavy (worst-case benign for front-end
+        // features; keeps backdoor/trojan detection honest).
+        WorkloadSpec {
+            name: "dev/compiler",
+            class: AppClass::Benign,
+            base: BehaviorProfile {
+                ipc: 1.1,
+                branch_frac: 0.20,
+                load_frac: 0.28,
+                store_frac: 0.11,
+                branch_miss_rate: 0.042,
+                l1i_miss_rate: 0.025,
+                itlb_miss_rate: 0.006,
+                llc_miss_rate: 0.28,
+                ..b()
+            },
+            phases: steady("compiling"),
+            individual_sigma: 0.24,
+        },
+        // Legacy bytecode interpreter: terrible branch prediction (malware-
+        // level branch-miss rates) on a steady, high-utilization profile —
+        // a pooled detector must separate it from backdoors/trojans by
+        // combining features, a specialist only by its own margin.
+        WorkloadSpec {
+            name: "decoy/interpreter",
+            class: AppClass::Benign,
+            base: BehaviorProfile {
+                utilization: 0.85,
+                ipc: 0.8,
+                branch_frac: 0.25,
+                load_frac: 0.25,
+                store_frac: 0.08,
+                branch_miss_rate: 0.088,
+                l1i_miss_rate: 0.012,
+                llc_miss_rate: 0.18,
+                numa_remote_frac: 0.08,
+                ..b()
+            },
+            phases: steady("interpreting"),
+            individual_sigma: 0.24,
+        },
+        // JIT-based analytics engine: branchy AND missy like a trojan, but
+        // with almost no node-store traffic.
+        WorkloadSpec {
+            name: "decoy/jit-analytics",
+            class: AppClass::Benign,
+            base: BehaviorProfile {
+                utilization: 0.65,
+                ipc: 1.0,
+                branch_frac: 0.26,
+                load_frac: 0.27,
+                store_frac: 0.05,
+                branch_miss_rate: 0.068,
+                l1i_miss_rate: 0.02,
+                itlb_miss_rate: 0.005,
+                llc_miss_rate: 0.25,
+                l1d_store_miss_rate: 0.008,
+                numa_remote_frac: 0.05,
+                ..b()
+            },
+            phases: vec![
+                Phase {
+                    name: "compile",
+                    modulation: Modulation {
+                        icache: 1.6,
+                        branch: 1.1,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 12.0,
+                },
+                Phase {
+                    name: "execute",
+                    modulation: Modulation {
+                        ipc: 1.2,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 30.0,
+                },
+            ],
+            individual_sigma: 0.24,
+        },
+        // Backup agent: virus-like scan traffic (very high load/cache-ref,
+        // high utilization) with benign-level branch behaviour.
+        WorkloadSpec {
+            name: "decoy/backup-agent",
+            class: AppClass::Benign,
+            base: BehaviorProfile {
+                utilization: 0.78,
+                ipc: 1.15,
+                branch_frac: 0.17,
+                load_frac: 0.32,
+                store_frac: 0.15,
+                branch_miss_rate: 0.018,
+                l1d_load_miss_rate: 0.07,
+                llc_miss_rate: 0.35,
+                prefetch_intensity: 1.6,
+                ..b()
+            },
+            phases: steady("archiving"),
+            individual_sigma: 0.24,
+        },
+        // In-memory database workload: store-heavy (keeps rootkit detection
+        // honest on node-store features).
+        WorkloadSpec {
+            name: "server/kvstore",
+            class: AppClass::Benign,
+            base: BehaviorProfile {
+                ipc: 0.9,
+                branch_frac: 0.15,
+                load_frac: 0.30,
+                store_frac: 0.20,
+                branch_miss_rate: 0.02,
+                l1d_load_miss_rate: 0.05,
+                l1d_store_miss_rate: 0.045,
+                llc_miss_rate: 0.40,
+                dtlb_miss_rate: 0.010,
+                numa_remote_frac: 0.20,
+                ..b()
+            },
+            phases: steady("serving"),
+            individual_sigma: 0.24,
+        },
+    ]
+}
+
+/// Malware families, one or more per class, with behaviour signatures chosen
+/// to match the qualitative literature (and the paper's Table II custom
+/// feature sets — the events each class perturbs are exactly the events the
+/// published feature reduction selects for it).
+pub fn malware_families() -> Vec<WorkloadSpec> {
+    let b = BehaviorProfile::balanced;
+    vec![
+        // --- Backdoor: dormant implant + periodic beacon bursts of
+        // branch-heavy, icache/iTLB-missy network/crypto code.
+        WorkloadSpec {
+            name: "backdoor/beacon",
+            class: AppClass::Backdoor,
+            base: BehaviorProfile {
+                utilization: 0.50,
+                ipc: 0.95,
+                branch_frac: 0.33,
+                load_frac: 0.24,
+                store_frac: 0.07,
+                branch_miss_rate: 0.13,
+                l1d_load_miss_rate: 0.045,
+                l1i_miss_rate: 0.03,
+                itlb_miss_rate: 0.009,
+                llc_miss_rate: 0.30,
+                numa_remote_frac: 0.10,
+                ..b()
+            },
+            phases: vec![
+                Phase {
+                    name: "dormant",
+                    modulation: Modulation {
+                        utilization: 0.4,
+                        branch: 0.85,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 28.0,
+                },
+                Phase {
+                    name: "beacon",
+                    modulation: Modulation {
+                        utilization: 2.6,
+                        branch: 1.5,
+                        icache: 2.0,
+                        itlb: 2.2,
+                        miss: 1.4,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 10.0,
+                },
+                Phase {
+                    name: "exfil",
+                    modulation: Modulation {
+                        utilization: 2.0,
+                        memory: 1.5,
+                        store: 1.3,
+                        miss: 1.6,
+                        numa: 1.5,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 7.0,
+                },
+            ],
+            individual_sigma: 0.27,
+        },
+        WorkloadSpec {
+            name: "backdoor/shell",
+            class: AppClass::Backdoor,
+            base: BehaviorProfile {
+                utilization: 0.52,
+                ipc: 0.9,
+                branch_frac: 0.34,
+                load_frac: 0.23,
+                store_frac: 0.07,
+                branch_miss_rate: 0.135,
+                l1i_miss_rate: 0.035,
+                itlb_miss_rate: 0.010,
+                llc_miss_rate: 0.28,
+                ..b()
+            },
+            phases: vec![
+                Phase {
+                    name: "listen",
+                    modulation: Modulation {
+                        utilization: 0.35,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 35.0,
+                },
+                Phase {
+                    name: "command",
+                    modulation: Modulation {
+                        utilization: 2.2,
+                        branch: 1.4,
+                        icache: 1.8,
+                        itlb: 1.9,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 12.0,
+                },
+            ],
+            individual_sigma: 0.27,
+        },
+        // --- Rootkit: kernel hooking — store-heavy, cache-missy, high
+        // node-store traffic, elevated branch loads from indirect hooks.
+        WorkloadSpec {
+            name: "rootkit/hooker",
+            class: AppClass::Rootkit,
+            base: BehaviorProfile {
+                utilization: 0.60,
+                ipc: 0.75,
+                branch_frac: 0.25,
+                load_frac: 0.28,
+                store_frac: 0.19,
+                branch_miss_rate: 0.09,
+                l1d_load_miss_rate: 0.06,
+                l1d_store_miss_rate: 0.07,
+                llc_miss_rate: 0.45,
+                dtlb_miss_rate: 0.012,
+                numa_remote_frac: 0.22,
+                ..b()
+            },
+            phases: vec![
+                Phase {
+                    name: "intercept",
+                    modulation: Modulation {
+                        branch: 1.3,
+                        miss: 1.3,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 20.0,
+                },
+                Phase {
+                    name: "hide",
+                    modulation: Modulation {
+                        memory: 1.4,
+                        store: 1.5,
+                        dtlb: 1.6,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 15.0,
+                },
+            ],
+            individual_sigma: 0.29,
+        },
+        WorkloadSpec {
+            name: "rootkit/keylogger",
+            class: AppClass::Rootkit,
+            base: BehaviorProfile {
+                utilization: 0.50,
+                ipc: 0.8,
+                branch_frac: 0.24,
+                load_frac: 0.27,
+                store_frac: 0.17,
+                branch_miss_rate: 0.085,
+                l1d_store_miss_rate: 0.06,
+                llc_miss_rate: 0.42,
+                dtlb_miss_rate: 0.011,
+                numa_remote_frac: 0.22,
+                ..b()
+            },
+            phases: vec![
+                Phase {
+                    name: "capture",
+                    modulation: Modulation {
+                        store: 1.4,
+                        miss: 1.2,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 25.0,
+                },
+                Phase {
+                    name: "flush-log",
+                    modulation: Modulation {
+                        memory: 1.6,
+                        store: 1.8,
+                        numa: 1.4,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 8.0,
+                },
+            ],
+            individual_sigma: 0.29,
+        },
+        // --- Virus: file-infector — scan loops (data-load heavy, LLC loads),
+        // inject bursts (stores + iTLB misses from self-modifying code).
+        WorkloadSpec {
+            name: "virus/infector",
+            class: AppClass::Virus,
+            base: BehaviorProfile {
+                utilization: 0.86,
+                ipc: 1.2,
+                branch_frac: 0.26,
+                load_frac: 0.33,
+                store_frac: 0.16,
+                branch_miss_rate: 0.052,
+                l1d_load_miss_rate: 0.075,
+                llc_miss_rate: 0.35,
+                itlb_miss_rate: 0.008,
+                ..b()
+            },
+            phases: vec![
+                Phase {
+                    name: "scan",
+                    modulation: Modulation {
+                        memory: 1.4,
+                        miss: 1.3,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 22.0,
+                },
+                Phase {
+                    name: "infect",
+                    modulation: Modulation {
+                        store: 1.8,
+                        itlb: 2.4,
+                        icache: 1.6,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 9.0,
+                },
+            ],
+            individual_sigma: 0.29,
+        },
+        WorkloadSpec {
+            name: "virus/polymorphic",
+            class: AppClass::Virus,
+            base: BehaviorProfile {
+                utilization: 0.83,
+                ipc: 1.1,
+                branch_frac: 0.27,
+                load_frac: 0.32,
+                store_frac: 0.17,
+                branch_miss_rate: 0.055,
+                l1d_load_miss_rate: 0.07,
+                llc_miss_rate: 0.33,
+                itlb_miss_rate: 0.010,
+                l1i_miss_rate: 0.018,
+                ..b()
+            },
+            phases: vec![
+                Phase {
+                    name: "decrypt-self",
+                    modulation: Modulation {
+                        itlb: 2.8,
+                        icache: 2.0,
+                        store: 1.4,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 6.0,
+                },
+                Phase {
+                    name: "scan",
+                    modulation: Modulation {
+                        memory: 1.5,
+                        miss: 1.25,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 20.0,
+                },
+                Phase {
+                    name: "infect",
+                    modulation: Modulation {
+                        store: 1.7,
+                        itlb: 2.2,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 8.0,
+                },
+            ],
+            individual_sigma: 0.29,
+        },
+        // --- Trojan: mimics a benign host, with payload bursts that are
+        // cache-missy and inject code (icache/iTLB misses, LLC misses).
+        WorkloadSpec {
+            name: "trojan/banker",
+            class: AppClass::Trojan,
+            base: BehaviorProfile {
+                utilization: 0.60,
+                ipc: 1.05,
+                branch_frac: 0.27,
+                load_frac: 0.27,
+                store_frac: 0.15,
+                branch_miss_rate: 0.085,
+                l1d_load_miss_rate: 0.045,
+                l1i_miss_rate: 0.018,
+                itlb_miss_rate: 0.006,
+                llc_miss_rate: 0.32,
+                ..b()
+            },
+            phases: vec![
+                Phase {
+                    name: "host-mimic",
+                    modulation: Modulation::NEUTRAL,
+                    mean_len: 30.0,
+                },
+                Phase {
+                    name: "payload",
+                    modulation: Modulation {
+                        utilization: 1.8,
+                        miss: 1.7,
+                        icache: 2.2,
+                        itlb: 2.4,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 10.0,
+                },
+                Phase {
+                    name: "report",
+                    modulation: Modulation {
+                        memory: 1.4,
+                        numa: 1.4,
+                        miss: 1.4,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 6.0,
+                },
+            ],
+            individual_sigma: 0.29,
+        },
+        WorkloadSpec {
+            name: "trojan/dropper",
+            class: AppClass::Trojan,
+            base: BehaviorProfile {
+                utilization: 0.64,
+                ipc: 1.0,
+                branch_frac: 0.28,
+                load_frac: 0.28,
+                store_frac: 0.16,
+                branch_miss_rate: 0.09,
+                l1i_miss_rate: 0.02,
+                itlb_miss_rate: 0.007,
+                llc_miss_rate: 0.34,
+                l1d_load_miss_rate: 0.045,
+                ..b()
+            },
+            phases: vec![
+                Phase {
+                    name: "host-mimic",
+                    modulation: Modulation::NEUTRAL,
+                    mean_len: 25.0,
+                },
+                Phase {
+                    name: "unpack",
+                    modulation: Modulation {
+                        store: 1.6,
+                        icache: 2.0,
+                        itlb: 2.0,
+                        miss: 1.5,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 8.0,
+                },
+                Phase {
+                    name: "install",
+                    modulation: Modulation {
+                        memory: 1.5,
+                        store: 1.5,
+                        miss: 1.6,
+                        ..Modulation::NEUTRAL
+                    },
+                    mean_len: 7.0,
+                },
+            ],
+            individual_sigma: 0.29,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn class_labels_round_trip() {
+        for c in AppClass::ALL {
+            assert_eq!(AppClass::from_label(c.label()), Some(c));
+        }
+        assert_eq!(AppClass::from_label(5), None);
+    }
+
+    #[test]
+    fn malware_excludes_benign() {
+        assert!(!AppClass::MALWARE.contains(&AppClass::Benign));
+        assert!(AppClass::MALWARE.iter().all(|c| c.is_malware()));
+        assert!(!AppClass::Benign.is_malware());
+    }
+
+    #[test]
+    fn library_covers_all_classes_with_valid_profiles() {
+        let lib = WorkloadSpec::library();
+        let classes: HashSet<_> = lib.iter().map(|w| w.class).collect();
+        assert_eq!(classes.len(), 5, "every class must have a family");
+        for w in &lib {
+            w.base
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(!w.phases.is_empty(), "{} has no phases", w.name);
+        }
+    }
+
+    #[test]
+    fn family_names_are_unique() {
+        let lib = WorkloadSpec::library();
+        let names: HashSet<_> = lib.iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), lib.len());
+    }
+
+    #[test]
+    fn phase_machine_cycles_through_phases() {
+        let phases = vec![
+            Phase {
+                name: "a",
+                modulation: Modulation::NEUTRAL,
+                mean_len: 1.0,
+            },
+            Phase {
+                name: "b",
+                modulation: Modulation::NEUTRAL,
+                mean_len: 1.0,
+            },
+        ];
+        let mut m = PhaseMachine::new(phases);
+        let mut rng = StdRng::seed_from_u64(0);
+        // mean_len 1.0 -> leaves every step.
+        assert_eq!(m.current().name, "a");
+        m.step(&mut rng);
+        assert_eq!(m.current().name, "b");
+        m.step(&mut rng);
+        assert_eq!(m.current().name, "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phase_machine_panics() {
+        PhaseMachine::new(vec![]);
+    }
+
+    #[test]
+    fn steady_machine_never_changes_phase() {
+        let mut m = PhaseMachine::steady();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            m.step(&mut rng);
+        }
+        assert_eq!(m.current().name, "steady");
+    }
+
+    #[test]
+    fn spawned_apps_are_individualized() {
+        let spec = &WorkloadSpec::library()[0];
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = spec.spawn(&mut rng);
+        let b = spec.spawn(&mut rng);
+        assert_ne!(a.profile(), b.profile());
+        assert_eq!(a.class(), spec.class);
+        assert_eq!(a.family(), spec.name);
+    }
+
+    #[test]
+    fn backdoor_is_branchier_than_fft_on_average() {
+        // Sanity-check the class signature that drives Fig. 1.
+        let lib = WorkloadSpec::library();
+        let fft = lib.iter().find(|w| w.name == "mibench/fft").unwrap();
+        let bd = lib.iter().find(|w| w.name == "backdoor/beacon").unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean_branch = |spec: &WorkloadSpec, rng: &mut StdRng| -> f64 {
+            let mut app = spec.spawn(rng);
+            let n = 200;
+            (0..n)
+                .map(|_| {
+                    let r = app.step(rng);
+                    r[Event::BranchMisses.index()] / r[Event::BranchInstructions.index()].max(1.0)
+                })
+                .sum::<f64>()
+                / n as f64
+        };
+        assert!(mean_branch(bd, &mut rng) > mean_branch(fft, &mut rng));
+    }
+}

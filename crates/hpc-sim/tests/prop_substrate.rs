@@ -1,0 +1,136 @@
+//! Property-based tests of the HPC substrate invariants.
+
+use hmd_hpc_sim::event::Event;
+use hmd_hpc_sim::perf::{EventBatch, PerfSession};
+use hmd_hpc_sim::profile::{BehaviorProfile, Modulation};
+use hmd_hpc_sim::workload::WorkloadSpec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Arbitrary valid behaviour profile.
+fn arb_profile() -> impl Strategy<Value = BehaviorProfile> {
+    (
+        0.05f64..=1.0,   // utilization
+        0.1f64..=3.5,    // ipc
+        0.0f64..=0.35,   // branch_frac
+        0.0f64..=0.35,   // load_frac
+        0.0f64..=0.25,   // store_frac
+        0.0f64..=0.3,    // branch_miss_rate
+        0.0f64..=0.3,    // l1d_load_miss_rate
+        0.0f64..=0.9,    // llc_miss_rate
+        0.0f64..=0.05,   // itlb_miss_rate
+        0.0f64..=0.6,    // jitter_sigma
+    )
+        .prop_map(
+            |(utilization, ipc, branch, load, store, bmr, l1d, llc, itlb, jitter)| {
+                BehaviorProfile {
+                    utilization,
+                    ipc,
+                    branch_frac: branch,
+                    load_frac: load,
+                    store_frac: store,
+                    branch_miss_rate: bmr,
+                    l1d_load_miss_rate: l1d,
+                    llc_miss_rate: llc,
+                    itlb_miss_rate: itlb,
+                    jitter_sigma: jitter,
+                    ..BehaviorProfile::balanced()
+                }
+            },
+        )
+}
+
+fn arb_modulation() -> impl Strategy<Value = Modulation> {
+    (
+        0.01f64..=10.0,
+        0.1f64..=5.0,
+        0.1f64..=5.0,
+        0.1f64..=5.0,
+        0.1f64..=100.0,
+    )
+        .prop_map(|(utilization, branch, memory, store, miss)| Modulation {
+            utilization,
+            branch,
+            memory,
+            store,
+            miss,
+            ..Modulation::NEUTRAL
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_profiles_are_valid(p in arb_profile()) {
+        prop_assert!(p.validate().is_ok(), "{:?}", p.validate());
+    }
+
+    #[test]
+    fn samples_are_finite_nonnegative_and_physical(p in arb_profile(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rates = p.sample_rates(&mut rng);
+        for (i, v) in rates.iter().enumerate() {
+            prop_assert!(v.is_finite() && *v >= 0.0, "event {i} = {v}");
+        }
+        // Core physical orderings hold regardless of the knobs.
+        prop_assert!(
+            rates[Event::BranchMisses.index()] <= rates[Event::BranchInstructions.index()] + 1e-9
+        );
+        prop_assert!(
+            rates[Event::CacheMisses.index()] <= rates[Event::CacheReferences.index()] + 1e-9
+        );
+        prop_assert!(
+            rates[Event::LlcLoadMisses.index()] <= rates[Event::LlcLoads.index()] + 1e-9
+        );
+        prop_assert!(
+            rates[Event::ItlbLoadMisses.index()] <= rates[Event::ItlbLoads.index()] + 1e-9
+        );
+    }
+
+    #[test]
+    fn modulation_preserves_validity(p in arb_profile(), m in arb_modulation()) {
+        prop_assert!(p.modulated(&m).validate().is_ok());
+    }
+
+    #[test]
+    fn individualization_preserves_validity(
+        p in arb_profile(),
+        sigma in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert!(p.individualized(sigma, &mut rng).validate().is_ok());
+    }
+
+    #[test]
+    fn batch_schedule_covers_all_requested_events(n in 1usize..=44) {
+        let events = &Event::ALL[..n];
+        let schedule = EventBatch::schedule(events);
+        let mut covered: Vec<Event> = schedule.batches().iter().flatten().copied().collect();
+        covered.sort();
+        let mut expected = events.to_vec();
+        expected.sort();
+        prop_assert_eq!(covered, expected);
+        for batch in schedule.batches() {
+            prop_assert!(batch.len() <= PerfSession::MAX_COUNTERS);
+            prop_assert!(PerfSession::open(batch).is_ok());
+        }
+    }
+
+    #[test]
+    fn app_steps_are_always_physical(family in 0usize..20, seed in any::<u64>()) {
+        let library = WorkloadSpec::library();
+        let spec = &library[family % library.len()];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut app = spec.spawn(&mut rng);
+        for _ in 0..20 {
+            let r = app.step(&mut rng);
+            prop_assert!(r.iter().all(|v| v.is_finite() && *v >= 0.0));
+            prop_assert!(
+                r[Event::BranchMisses.index()] <= r[Event::BranchInstructions.index()] + 1e-9
+            );
+        }
+    }
+}

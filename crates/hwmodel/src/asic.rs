@@ -1,0 +1,149 @@
+//! ASIC projection of the FPGA cost estimates.
+//!
+//! The paper notes its FPGA logic counts are "similarly proportional to an
+//! ASIC implementation". This module makes that proportionality concrete:
+//! LUT-equivalents → NAND2-gate-equivalents → silicon area at a chosen
+//! process node, using the standard rule of thumb that one 6-input LUT
+//! implements logic worth ≈ 6 NAND2 gate equivalents.
+//!
+//! # Examples
+//!
+//! ```
+//! use hmd_hwmodel::asic::{AsicProjection, ProcessNode};
+//! use hmd_hwmodel::resource::FpgaResources;
+//!
+//! let fpga = FpgaResources::new(10_000, 5_000, 0);
+//! let asic = AsicProjection::project(&fpga, ProcessNode::N28);
+//! assert!(asic.area_mm2() > 0.0);
+//! ```
+
+use crate::resource::FpgaResources;
+use serde::{Deserialize, Serialize};
+
+/// NAND2 gate equivalents per LUT-equivalent (6-input LUT rule of thumb).
+pub const GATES_PER_LUT: f64 = 6.0;
+
+/// A CMOS process node with its NAND2 gate density.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessNode {
+    /// 90 nm (the OpenSPARC T1 era).
+    N90,
+    /// 45 nm.
+    N45,
+    /// 28 nm (the Virtex-7's node).
+    N28,
+    /// 16 nm FinFET.
+    N16,
+}
+
+impl ProcessNode {
+    /// All supported nodes, newest last.
+    pub const ALL: [ProcessNode; 4] = [
+        ProcessNode::N90,
+        ProcessNode::N45,
+        ProcessNode::N28,
+        ProcessNode::N16,
+    ];
+
+    /// Approximate NAND2-equivalent gate density in kGates/mm².
+    pub fn kgates_per_mm2(self) -> f64 {
+        match self {
+            ProcessNode::N90 => 400.0,
+            ProcessNode::N45 => 1_600.0,
+            ProcessNode::N28 => 4_000.0,
+            ProcessNode::N16 => 11_000.0,
+        }
+    }
+
+    /// Feature size in nanometres.
+    pub fn nanometres(self) -> u32 {
+        match self {
+            ProcessNode::N90 => 90,
+            ProcessNode::N45 => 45,
+            ProcessNode::N28 => 28,
+            ProcessNode::N16 => 16,
+        }
+    }
+}
+
+/// An ASIC area estimate derived from FPGA resources.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AsicProjection {
+    gates: f64,
+    node: ProcessNode,
+}
+
+impl AsicProjection {
+    /// Projects FPGA resources onto `node`.
+    pub fn project(fpga: &FpgaResources, node: ProcessNode) -> AsicProjection {
+        AsicProjection {
+            gates: fpga.lut_equivalents() * GATES_PER_LUT,
+            node,
+        }
+    }
+
+    /// NAND2-equivalent gate count.
+    pub fn gate_equivalents(&self) -> f64 {
+        self.gates
+    }
+
+    /// The process node of the projection.
+    pub fn node(&self) -> ProcessNode {
+        self.node
+    }
+
+    /// Silicon area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.gates / (self.node.kgates_per_mm2() * 1000.0)
+    }
+
+    /// The same logic re-projected onto another node.
+    pub fn at_node(&self, node: ProcessNode) -> AsicProjection {
+        AsicProjection {
+            gates: self.gates,
+            node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_count_scales_with_resources() {
+        let small = AsicProjection::project(&FpgaResources::new(1_000, 0, 0), ProcessNode::N28);
+        let large = AsicProjection::project(&FpgaResources::new(10_000, 0, 0), ProcessNode::N28);
+        assert!((large.gate_equivalents() / small.gate_equivalents() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn newer_nodes_shrink_area() {
+        let fpga = FpgaResources::new(20_000, 10_000, 0);
+        let mut last = f64::INFINITY;
+        for node in ProcessNode::ALL {
+            let area = AsicProjection::project(&fpga, node).area_mm2();
+            assert!(area < last, "{node:?}: {area} !< {last}");
+            last = area;
+        }
+    }
+
+    #[test]
+    fn reprojection_preserves_gates() {
+        let fpga = FpgaResources::new(5_000, 0, 2);
+        let a = AsicProjection::project(&fpga, ProcessNode::N90);
+        let b = a.at_node(ProcessNode::N16);
+        assert_eq!(a.gate_equivalents(), b.gate_equivalents());
+        assert!(b.area_mm2() < a.area_mm2());
+    }
+
+    #[test]
+    fn mlp_detector_is_sub_square_millimetre_at_28nm() {
+        // Sanity scale check: the paper's largest detector (8-HPC MLP,
+        // ~61 % of an OpenSPARC) should land well below 1 mm² at 28 nm.
+        let fpga = FpgaResources::new(27_000, 3_000, 0);
+        let asic = AsicProjection::project(&fpga, ProcessNode::N28);
+        assert!(asic.area_mm2() < 1.0, "{} mm²", asic.area_mm2());
+        assert!(asic.area_mm2() > 0.001);
+    }
+}

@@ -1,0 +1,308 @@
+//! The analytic cost model: topology → latency (cycles @ 10 ns) and area.
+//!
+//! The paper synthesizes its classifiers with Vivado HLS to a Virtex-7 and
+//! reports latency in clock cycles at 10 ns and area relative to an
+//! OpenSPARC core (Table V). This model reproduces those numbers
+//! analytically from the fitted model's topology, with constants calibrated
+//! against Table V's anchor points:
+//!
+//! - **Trees** pipeline one comparator level per cycle → latency ≈ depth.
+//! - **Rule lists** evaluate all conditions in parallel, then AND-reduce
+//!   and priority-encode → latency ≈ log₂(longest antecedent) + 1.
+//! - **Bucket lookups** are a single parallel comparator rank → 1 cycle.
+//! - **Neural nets** share one pipelined MAC (6-cycle latency per MAC, the
+//!   ratio that reproduces the paper's 302-cycle 8-HPC MLP: 50 MACs × 6).
+//! - **Ensembles** evaluate bases sequentially on a shared engine, paying a
+//!   per-base weighted-vote overhead, and keep one copy of the widest base
+//!   plus parameter storage for the rest — which is why boosting multiplies
+//!   latency ~10-70× for shallow models but adds only a few % area.
+//!
+//! # Examples
+//!
+//! ```
+//! use hmd_hwmodel::cost::CostModel;
+//! use hmd_hwmodel::topology::ModelTopology;
+//!
+//! let cost = CostModel::default();
+//! let tree = ModelTopology::Tree { nodes: 15, leaves: 8, depth: 4 };
+//! assert!(cost.latency_cycles(&tree) < 10);
+//! assert!(cost.resources(&tree).area_pct() < 5.0);
+//! ```
+
+use crate::resource::FpgaResources;
+use crate::topology::ModelTopology;
+use serde::{Deserialize, Serialize};
+
+/// Cost-model constants (per-component resource and timing prices).
+///
+/// Defaults are calibrated against the paper's Table V; override fields to
+/// model a different device or implementation style.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// LUTs per 32-bit threshold comparator.
+    pub comparator_luts: u64,
+    /// FFs per pipeline stage.
+    pub stage_ffs: u64,
+    /// LUTs per LUT-implemented multiply-accumulate unit.
+    pub mac_luts: u64,
+    /// LUTs per neuron activation table (sigmoid/softmax approximation).
+    pub activation_luts: u64,
+    /// LUTs of fixed per-detector overhead (counter interface, control).
+    pub fixed_luts: u64,
+    /// LUTs per stored parameter in ensemble model memory.
+    pub param_storage_luts: u64,
+    /// Pipeline latency (cycles) of one MAC on the shared engine.
+    pub mac_cycles: u64,
+    /// Extra cycles per ensemble member (weight fetch + vote accumulate).
+    pub vote_overhead_cycles: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            comparator_luts: 22,
+            stage_ffs: 36,
+            mac_luts: 520,
+            activation_luts: 420,
+            fixed_luts: 96,
+            param_storage_luts: 6,
+            mac_cycles: 6,
+            vote_overhead_cycles: 5,
+        }
+    }
+}
+
+impl CostModel {
+    /// Evaluation latency in clock cycles at 10 ns (100 MHz), matching the
+    /// paper's "Latency @10ns" column.
+    pub fn latency_cycles(&self, topo: &ModelTopology) -> u64 {
+        match topo {
+            // One comparator level per pipeline stage.
+            ModelTopology::Tree { depth, .. } => (*depth as u64).saturating_sub(1).max(1),
+            // Parallel condition evaluation, AND-reduction tree, priority
+            // encode.
+            ModelTopology::Rules { max_conditions, .. } => {
+                1 + ceil_log2(*max_conditions + 1)
+            }
+            // One parallel comparator rank + encode.
+            ModelTopology::Buckets { .. } => 1,
+            // Shared pipelined MAC engine, plus activation evaluation.
+            ModelTopology::Neural { .. } | ModelTopology::Linear { .. } => {
+                self.mac_cycles * topo.mac_count() as u64 + 2
+            }
+            // Sequential base evaluation with per-base vote overhead, plus
+            // a final comparison of the two class accumulators.
+            ModelTopology::Ensemble { bases } => {
+                bases
+                    .iter()
+                    .map(|b| self.latency_cycles(b) + self.vote_overhead_cycles)
+                    .sum::<u64>()
+                    + ceil_log2(bases.len().max(1))
+                    + 1
+            }
+        }
+    }
+
+    /// Implementation resources.
+    pub fn resources(&self, topo: &ModelTopology) -> FpgaResources {
+        let fixed = FpgaResources::new(self.fixed_luts, self.stage_ffs, 0);
+        match topo {
+            ModelTopology::Tree {
+                nodes,
+                leaves,
+                depth,
+            } => {
+                let internal = (nodes - leaves) as u64;
+                fixed
+                    + FpgaResources::new(
+                        internal * self.comparator_luts + *leaves as u64 * 4,
+                        *depth as u64 * self.stage_ffs,
+                        0,
+                    )
+            }
+            ModelTopology::Rules {
+                rules, conditions, ..
+            } => {
+                fixed
+                    + FpgaResources::new(
+                        *conditions as u64 * self.comparator_luts + *rules as u64 * 8,
+                        self.stage_ffs,
+                        0,
+                    )
+            }
+            ModelTopology::Buckets { thresholds } => {
+                fixed
+                    + FpgaResources::new(
+                        (*thresholds as u64).max(1) * self.comparator_luts,
+                        self.stage_ffs,
+                        0,
+                    )
+            }
+            ModelTopology::Neural { layers } => {
+                let macs = topo.mac_count() as u64;
+                let neurons: u64 = layers.iter().map(|(_, o)| *o as u64).sum();
+                fixed
+                    + FpgaResources::new(
+                        macs * self.mac_luts + neurons * self.activation_luts,
+                        macs * 2 + neurons * self.stage_ffs,
+                        0,
+                    )
+            }
+            ModelTopology::Linear { inputs, outputs } => {
+                let macs = (inputs * outputs) as u64;
+                fixed
+                    + FpgaResources::new(
+                        macs * self.mac_luts + *outputs as u64 * 16,
+                        macs * 2,
+                        0,
+                    )
+            }
+            ModelTopology::Ensemble { bases } => {
+                // One shared engine sized for the widest base, plus stored
+                // parameters for every member and a weighted-vote datapath.
+                let engine = bases
+                    .iter()
+                    .map(|b| self.resources(b))
+                    .max_by(|a, b| {
+                        a.lut_equivalents()
+                            .partial_cmp(&b.lut_equivalents())
+                            .expect("finite")
+                    })
+                    .unwrap_or_else(FpgaResources::zero);
+                let params: u64 = bases
+                    .iter()
+                    .map(|b| b.parameter_count() as u64 * self.param_storage_luts)
+                    .sum();
+                let vote = FpgaResources::new(120, 64, 0);
+                engine + FpgaResources::new(params, 0, 0) + vote
+            }
+        }
+    }
+
+    /// Convenience: `(latency, area %)` — one Table V cell.
+    pub fn table_v_cell(&self, topo: &ModelTopology) -> (u64, f64) {
+        (self.latency_cycles(topo), self.resources(topo).area_pct())
+    }
+}
+
+fn ceil_log2(n: usize) -> u64 {
+    assert!(n > 0, "log2 of zero");
+    (usize::BITS - (n - 1).leading_zeros()).into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(depth: usize, nodes: usize) -> ModelTopology {
+        ModelTopology::Tree {
+            nodes,
+            leaves: nodes.div_ceil(2),
+            depth,
+        }
+    }
+
+    fn mlp(d: usize, h: usize, k: usize) -> ModelTopology {
+        ModelTopology::Neural {
+            layers: vec![(d, h), (h, k)],
+        }
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+    }
+
+    #[test]
+    fn mlp_latency_matches_paper_anchor() {
+        // Paper: MLP with 8 HPCs -> 302 cycles. WEKA 'a' rule: h = 5, k = 2
+        // -> 50 MACs. 50 × 6 + 2 = 302.
+        let cost = CostModel::default();
+        assert_eq!(cost.latency_cycles(&mlp(8, 5, 2)), 302);
+        // 4 HPCs: h = 3 -> 18 MACs -> 110 (paper: 102).
+        let four = cost.latency_cycles(&mlp(4, 3, 2));
+        assert!((100..=120).contains(&four), "4-HPC MLP latency {four}");
+    }
+
+    #[test]
+    fn tree_latency_tracks_depth() {
+        let cost = CostModel::default();
+        assert_eq!(cost.latency_cycles(&tree(4, 15)), 3);
+        assert_eq!(cost.latency_cycles(&tree(10, 63)), 9);
+        assert_eq!(cost.latency_cycles(&tree(1, 1)), 1, "lone leaf still takes a cycle");
+    }
+
+    #[test]
+    fn mlp_dwarfs_tree_in_area_and_latency() {
+        let cost = CostModel::default();
+        let t = tree(6, 31);
+        let n = mlp(8, 5, 2);
+        assert!(cost.latency_cycles(&n) > 20 * cost.latency_cycles(&t));
+        assert!(cost.resources(&n).area_pct() > 10.0 * cost.resources(&t).area_pct());
+    }
+
+    #[test]
+    fn boosting_multiplies_latency_but_not_area() {
+        let cost = CostModel::default();
+        let base = tree(4, 15);
+        let ens = ModelTopology::Ensemble {
+            bases: vec![base.clone(); 10],
+        };
+        let base_lat = cost.latency_cycles(&base);
+        let ens_lat = cost.latency_cycles(&ens);
+        assert!(ens_lat > 10 * base_lat, "{ens_lat} vs {base_lat}");
+        // Area grows by storage only, far less than 10x.
+        let base_area = cost.resources(&base).area_pct();
+        let ens_area = cost.resources(&ens).area_pct();
+        assert!(ens_area > base_area);
+        assert!(ens_area < 5.0 * base_area, "{ens_area} vs {base_area}");
+    }
+
+    #[test]
+    fn fewer_inputs_cost_less() {
+        let cost = CostModel::default();
+        assert!(
+            cost.resources(&mlp(4, 3, 2)).area_pct() < cost.resources(&mlp(8, 5, 2)).area_pct()
+        );
+        assert!(cost.latency_cycles(&mlp(4, 3, 2)) < cost.latency_cycles(&mlp(8, 5, 2)));
+    }
+
+    #[test]
+    fn rules_latency_uses_longest_antecedent() {
+        let cost = CostModel::default();
+        let short = ModelTopology::Rules {
+            rules: 3,
+            conditions: 5,
+            max_conditions: 1,
+        };
+        let long = ModelTopology::Rules {
+            rules: 3,
+            conditions: 12,
+            max_conditions: 8,
+        };
+        assert!(cost.latency_cycles(&short) < cost.latency_cycles(&long));
+        assert_eq!(cost.latency_cycles(&short), 2);
+    }
+
+    #[test]
+    fn oner_is_single_cycle() {
+        let cost = CostModel::default();
+        assert_eq!(
+            cost.latency_cycles(&ModelTopology::Buckets { thresholds: 3 }),
+            1
+        );
+    }
+
+    #[test]
+    fn table_v_cell_is_consistent() {
+        let cost = CostModel::default();
+        let t = tree(5, 31);
+        let (lat, area) = cost.table_v_cell(&t);
+        assert_eq!(lat, cost.latency_cycles(&t));
+        assert!((area - cost.resources(&t).area_pct()).abs() < 1e-12);
+    }
+}

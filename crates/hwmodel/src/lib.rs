@@ -1,0 +1,59 @@
+//! # hmd-hwmodel — FPGA implementation-cost model for HMD classifiers
+//!
+//! The 2SMaRT paper evaluates the hardware cost of its detectors by
+//! synthesizing them with Vivado HLS onto a Xilinx Virtex-7 and reporting
+//! latency (cycles @ 10 ns) and area relative to an OpenSPARC core
+//! (Table V). A reproduction has no FPGA toolchain, so this crate models
+//! those costs analytically from the *fitted* model structure:
+//!
+//! 1. [`topology::extract_topology`] turns any fitted workspace classifier
+//!    into a neutral [`topology::ModelTopology`] (comparator trees, rule
+//!    lists, MAC layers, ensembles).
+//! 2. [`cost::CostModel`] prices a topology in cycles and
+//!    [`resource::FpgaResources`], with constants calibrated against the
+//!    paper's Table V anchors (e.g. the 8-HPC MLP's 302 cycles = 50 MACs ×
+//!    6-cycle shared engine + activation).
+//!
+//! # Quick start
+//!
+//! ```
+//! use hmd_hwmodel::prelude::*;
+//! use hmd_ml::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = Dataset::new(
+//!     vec![vec![0.0], vec![0.1], vec![0.9], vec![1.0]],
+//!     vec![0, 0, 1, 1],
+//!     2,
+//! )?;
+//! let mut tree = J48::new();
+//! tree.fit(&data)?;
+//! let topo = extract_topology(&tree).expect("fitted");
+//! let cost = CostModel::default();
+//! println!("{} cycles, {:.2} % area", cost.latency_cycles(&topo),
+//!          cost.resources(&topo).area_pct());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod asic;
+pub mod cost;
+pub mod report;
+pub mod resource;
+pub mod topology;
+
+/// Convenient glob-import of the crate's main types.
+pub mod prelude {
+    pub use crate::cost::CostModel;
+    pub use crate::asic::{AsicProjection, ProcessNode};
+    pub use crate::report::{throughput_per_second, wall_clock_ns, CostBreakdown};
+    pub use crate::resource::FpgaResources;
+    pub use crate::topology::{extract_topology, ModelTopology};
+}
+
+pub use cost::CostModel;
+pub use resource::FpgaResources;
+pub use topology::{extract_topology, ModelTopology};

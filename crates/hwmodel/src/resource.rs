@@ -1,0 +1,144 @@
+//! FPGA resource accounting.
+//!
+//! The paper reports classifier area as the total of LUTs, FFs and DSP
+//! units on a Xilinx Virtex-7, normalized to the footprint of an OpenSPARC
+//! core synthesized on the same device. [`FpgaResources`] is the raw bundle;
+//! [`FpgaResources::area_pct`] is the paper's "Area (%)" column.
+//!
+//! # Examples
+//!
+//! ```
+//! use hmd_hwmodel::resource::FpgaResources;
+//!
+//! let a = FpgaResources::new(1000, 500, 0);
+//! let b = FpgaResources::new(200, 100, 2);
+//! let total = a + b;
+//! assert_eq!(total.luts(), 1200);
+//! assert!(total.area_pct() > 0.0);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::Add;
+
+/// LUT-equivalents of the OpenSPARC T1 core on a Virtex-7 — the area
+/// reference the paper normalizes against.
+pub const OPENSPARC_LUT_EQUIV: f64 = 44_000.0;
+
+/// LUT-equivalents charged per DSP48 slice when folding heterogeneous
+/// resources into one area number.
+pub const DSP_LUT_EQUIV: f64 = 196.0;
+
+/// LUT-equivalents charged per flip-flop (FFs pack beside LUTs; they are
+/// cheap but not free).
+pub const FF_LUT_EQUIV: f64 = 0.25;
+
+/// A bundle of Virtex-7 resources.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FpgaResources {
+    luts: u64,
+    ffs: u64,
+    dsps: u64,
+}
+
+impl FpgaResources {
+    /// A resource bundle.
+    pub fn new(luts: u64, ffs: u64, dsps: u64) -> FpgaResources {
+        FpgaResources { luts, ffs, dsps }
+    }
+
+    /// An empty bundle.
+    pub fn zero() -> FpgaResources {
+        FpgaResources::default()
+    }
+
+    /// Look-up tables.
+    pub fn luts(&self) -> u64 {
+        self.luts
+    }
+
+    /// Flip-flops.
+    pub fn ffs(&self) -> u64 {
+        self.ffs
+    }
+
+    /// DSP48 slices.
+    pub fn dsps(&self) -> u64 {
+        self.dsps
+    }
+
+    /// Folds everything into LUT-equivalents.
+    pub fn lut_equivalents(&self) -> f64 {
+        self.luts as f64 + self.ffs as f64 * FF_LUT_EQUIV + self.dsps as f64 * DSP_LUT_EQUIV
+    }
+
+    /// Area as a percentage of the OpenSPARC reference core — the paper's
+    /// Table V "Area (%)" metric.
+    pub fn area_pct(&self) -> f64 {
+        100.0 * self.lut_equivalents() / OPENSPARC_LUT_EQUIV
+    }
+
+    /// Scales every resource count by an integer factor (e.g. replicating a
+    /// module per ensemble member).
+    pub fn scaled(&self, factor: u64) -> FpgaResources {
+        FpgaResources {
+            luts: self.luts * factor,
+            ffs: self.ffs * factor,
+            dsps: self.dsps * factor,
+        }
+    }
+}
+
+impl Add for FpgaResources {
+    type Output = FpgaResources;
+
+    fn add(self, rhs: FpgaResources) -> FpgaResources {
+        FpgaResources {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            dsps: self.dsps + rhs.dsps,
+        }
+    }
+}
+
+impl Sum for FpgaResources {
+    fn sum<I: Iterator<Item = FpgaResources>>(iter: I) -> FpgaResources {
+        iter.fold(FpgaResources::zero(), Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_componentwise() {
+        let t = FpgaResources::new(10, 20, 1) + FpgaResources::new(5, 5, 2);
+        assert_eq!(t, FpgaResources::new(15, 25, 3));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: FpgaResources = (1..=3).map(|i| FpgaResources::new(i, 0, 0)).sum();
+        assert_eq!(total.luts(), 6);
+    }
+
+    #[test]
+    fn area_pct_of_reference_is_100() {
+        let r = FpgaResources::new(OPENSPARC_LUT_EQUIV as u64, 0, 0);
+        assert!((r.area_pct() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dsps_count_towards_area() {
+        let no_dsp = FpgaResources::new(100, 0, 0);
+        let dsp = FpgaResources::new(100, 0, 4);
+        assert!(dsp.area_pct() > no_dsp.area_pct());
+    }
+
+    #[test]
+    fn scaled_multiplies_counts() {
+        let r = FpgaResources::new(3, 2, 1).scaled(4);
+        assert_eq!(r, FpgaResources::new(12, 8, 4));
+    }
+}

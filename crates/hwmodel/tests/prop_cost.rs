@@ -1,0 +1,109 @@
+//! Property-based tests of the cost model: for any plausible topology the
+//! estimates must be positive, finite, and monotone in model size.
+
+use hmd_hwmodel::cost::CostModel;
+use hmd_hwmodel::topology::ModelTopology;
+use proptest::prelude::*;
+
+/// Arbitrary structurally-consistent tree topology.
+fn arb_tree() -> impl Strategy<Value = ModelTopology> {
+    (1usize..=12).prop_map(|internal| ModelTopology::Tree {
+        nodes: 2 * internal + 1,
+        leaves: internal + 1,
+        depth: internal + 1, // worst-case chain depth
+    })
+}
+
+fn arb_rules() -> impl Strategy<Value = ModelTopology> {
+    (1usize..=10, 1usize..=6).prop_map(|(rules, max_conditions)| ModelTopology::Rules {
+        rules,
+        conditions: rules * max_conditions,
+        max_conditions,
+    })
+}
+
+fn arb_neural() -> impl Strategy<Value = ModelTopology> {
+    (1usize..=16, 1usize..=10, 2usize..=5).prop_map(|(d, h, k)| ModelTopology::Neural {
+        layers: vec![(d, h), (h, k)],
+    })
+}
+
+fn arb_topology() -> impl Strategy<Value = ModelTopology> {
+    prop_oneof![
+        arb_tree(),
+        arb_rules(),
+        arb_neural(),
+        (1usize..=8).prop_map(|t| ModelTopology::Buckets { thresholds: t }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn estimates_are_positive_and_finite(topo in arb_topology()) {
+        let cost = CostModel::default();
+        prop_assert!(cost.latency_cycles(&topo) >= 1);
+        let r = cost.resources(&topo);
+        prop_assert!(r.luts() > 0);
+        prop_assert!(r.area_pct().is_finite() && r.area_pct() > 0.0);
+    }
+
+    #[test]
+    fn ensembles_cost_more_latency_than_any_base(
+        base in arb_topology(),
+        n in 2usize..=12,
+    ) {
+        let cost = CostModel::default();
+        let ens = ModelTopology::Ensemble {
+            bases: vec![base.clone(); n],
+        };
+        prop_assert!(cost.latency_cycles(&ens) > cost.latency_cycles(&base));
+        // Area grows, but far sub-linearly (shared engine + storage).
+        let base_area = cost.resources(&base).lut_equivalents();
+        let ens_area = cost.resources(&ens).lut_equivalents();
+        prop_assert!(ens_area > base_area);
+        prop_assert!(ens_area < base_area * n as f64 + 2000.0);
+    }
+
+    #[test]
+    fn deeper_trees_are_slower_not_cheaper(internal in 1usize..=11) {
+        let cost = CostModel::default();
+        let small = ModelTopology::Tree {
+            nodes: 2 * internal + 1,
+            leaves: internal + 1,
+            depth: internal + 1,
+        };
+        let big = ModelTopology::Tree {
+            nodes: 2 * (internal + 1) + 1,
+            leaves: internal + 2,
+            depth: internal + 2,
+        };
+        prop_assert!(cost.latency_cycles(&big) >= cost.latency_cycles(&small));
+        prop_assert!(
+            cost.resources(&big).lut_equivalents() > cost.resources(&small).lut_equivalents()
+        );
+    }
+
+    #[test]
+    fn wider_networks_cost_more(d in 1usize..=15, h in 1usize..=9, k in 2usize..=4) {
+        let cost = CostModel::default();
+        let narrow = ModelTopology::Neural { layers: vec![(d, h), (h, k)] };
+        let wide = ModelTopology::Neural { layers: vec![(d + 1, h + 1), (h + 1, k)] };
+        prop_assert!(cost.latency_cycles(&wide) > cost.latency_cycles(&narrow));
+        prop_assert!(
+            cost.resources(&wide).lut_equivalents() > cost.resources(&narrow).lut_equivalents()
+        );
+    }
+
+    #[test]
+    fn breakdown_total_never_exceeds_twice_full_model(topo in arb_topology()) {
+        use hmd_hwmodel::report::CostBreakdown;
+        let cost = CostModel::default();
+        let itemized = CostBreakdown::of(&cost, &topo).total_luts();
+        let full = cost.resources(&topo).luts();
+        // The breakdown omits small per-leaf/per-rule extras, never doubles.
+        prop_assert!(itemized <= 2 * full, "itemized {itemized} vs full {full}");
+        prop_assert!(itemized * 2 >= full, "itemized {itemized} vs full {full}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Correlation attribute evaluation (WEKA's `CorrelationAttributeEval`).
+//!
+//! Ranks each feature by the magnitude of its Pearson correlation with the
+//! class. For a nominal class the evaluator computes, per feature, the
+//! prevalence-weighted mean of `|corr(feature, 1{class = k})|` over the
+//! classes — WEKA's treatment of nominal classes via binarization.
+//!
+//! # Examples
+//!
+//! ```
+//! use hmd_ml::feature::correlation::CorrelationRanker;
+//! use hmd_ml::data::Dataset;
+//!
+//! let data = Dataset::new(
+//!     vec![vec![0.0, 5.0], vec![1.0, 5.1], vec![10.0, 4.9], vec![11.0, 5.0]],
+//!     vec![0, 0, 1, 1],
+//!     2,
+//! )?;
+//! let ranking = CorrelationRanker::rank(&data);
+//! assert_eq!(ranking[0].0, 0, "feature 0 tracks the class, feature 1 is flat");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::data::Dataset;
+
+/// Pearson correlation between two equal-length slices; 0 when either side
+/// is constant.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson needs equal-length slices");
+    assert!(!a.is_empty(), "pearson of empty slices");
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let dx = x - ma;
+        let dy = y - mb;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va <= 1e-300 || vb <= 1e-300 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Ranks features by class correlation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorrelationRanker;
+
+impl CorrelationRanker {
+    /// Merit of one feature: prevalence-weighted mean `|r|` against each
+    /// one-vs-rest class indicator.
+    pub fn merit(data: &Dataset, feature: usize) -> f64 {
+        let col = data.column(feature);
+        let counts = data.class_counts();
+        let total: usize = counts.iter().sum();
+        let mut merit = 0.0;
+        for (class, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let indicator: Vec<f64> = data
+                .labels()
+                .iter()
+                .map(|&l| f64::from(l == class))
+                .collect();
+            merit += pearson(&col, &indicator).abs() * count as f64 / total as f64;
+        }
+        merit
+    }
+
+    /// All features ranked by descending merit: `(feature_index, merit)`.
+    pub fn rank(data: &Dataset) -> Vec<(usize, f64)> {
+        let mut ranking: Vec<(usize, f64)> = (0..data.n_features())
+            .map(|f| (f, Self::merit(data, f)))
+            .collect();
+        ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite merits"));
+        ranking
+    }
+
+    /// The indices of the `k` highest-merit features, best first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > n_features`.
+    pub fn select_top(data: &Dataset, k: usize) -> Vec<usize> {
+        assert!(k > 0, "must select at least one feature");
+        assert!(
+            k <= data.n_features(),
+            "cannot select {k} of {} features",
+            data.n_features()
+        );
+        Self::rank(data).into_iter().take(k).map(|(i, _)| i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_known_values() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[6.0, 4.0, 2.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn pearson_length_mismatch_panics() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    fn labelled() -> Dataset {
+        // f0 = class signal, f1 = anti-signal (also informative),
+        // f2 = constant, f3 = weak noise.
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let c = i % 2;
+            let noise = ((i * 37) % 10) as f64 / 10.0;
+            features.push(vec![
+                c as f64 * 10.0 + noise,
+                -(c as f64) * 8.0 + noise,
+                3.0,
+                noise,
+            ]);
+            labels.push(c);
+        }
+        Dataset::new(features, labels, 2).unwrap()
+    }
+
+    #[test]
+    fn rank_orders_by_informativeness() {
+        let ranking = CorrelationRanker::rank(&labelled());
+        let order: Vec<usize> = ranking.iter().map(|(i, _)| *i).collect();
+        // Signal features first, constant dead last or tied with noise.
+        assert!(order[0] == 0 || order[0] == 1);
+        assert!(order[1] == 0 || order[1] == 1);
+        assert_eq!(*order.last().unwrap(), 2, "constant feature has zero merit");
+    }
+
+    #[test]
+    fn merits_are_descending() {
+        let ranking = CorrelationRanker::rank(&labelled());
+        for w in ranking.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn select_top_returns_k_unique_features() {
+        let top = CorrelationRanker::select_top(&labelled(), 2);
+        assert_eq!(top.len(), 2);
+        assert_ne!(top[0], top[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot select")]
+    fn select_more_than_available_panics() {
+        CorrelationRanker::select_top(&labelled(), 5);
+    }
+
+    #[test]
+    fn multiclass_merit_weights_by_prevalence() {
+        // Feature separates only class 2 (rare); merit should be > 0 but
+        // smaller than a feature separating the common classes.
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            let c = if i < 27 { i % 2 } else { 2 };
+            features.push(vec![
+                f64::from(c == 2) * 5.0 + (i % 3) as f64 * 0.1,
+                c as f64,
+            ]);
+            labels.push(c);
+        }
+        let data = Dataset::new(features, labels, 3).unwrap();
+        let rare_merit = CorrelationRanker::merit(&data, 0);
+        let broad_merit = CorrelationRanker::merit(&data, 1);
+        assert!(rare_merit > 0.0);
+        assert!(broad_merit > rare_merit);
+    }
+}

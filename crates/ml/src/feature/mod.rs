@@ -1,0 +1,13 @@
+//! Feature reduction: correlation attribute evaluation and PCA.
+//!
+//! The paper's two-step reduction — 44 events → top 16 by correlation with
+//! the class → top 8 by PCA loading analysis — lives here. Both steps rank
+//! **original features** (HPC events) rather than projecting into component
+//! space, because the goal is to know *which counters to program*, not to
+//! transform readings.
+
+pub mod correlation;
+pub mod pca;
+
+pub use correlation::CorrelationRanker;
+pub use pca::{Pca, PcaFeatureRanker};

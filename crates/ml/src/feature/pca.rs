@@ -1,0 +1,265 @@
+//! Principal Component Analysis and PCA-based feature ranking.
+//!
+//! The paper's second reduction step applies PCA to the 16
+//! correlation-selected HPCs and keeps the **8 most important original
+//! features** — i.e. it uses the component loadings to score counters, not
+//! to project data (a projected feature would not be a programmable HPC).
+//! [`Pca`] is the full decomposition (standardize → covariance → Jacobi
+//! eigendecomposition); [`PcaFeatureRanker`] scores each original feature by
+//! `Σ_k √λ_k · |loading_k|` over the components retained to reach a variance
+//! threshold.
+//!
+//! # Examples
+//!
+//! ```
+//! use hmd_ml::feature::pca::Pca;
+//! use hmd_ml::data::Dataset;
+//!
+//! let data = Dataset::new(
+//!     vec![vec![1.0, 2.0], vec![2.0, 4.1], vec![3.0, 5.9], vec![4.0, 8.2]],
+//!     vec![0, 0, 1, 1],
+//!     2,
+//! )?;
+//! let pca = Pca::fit(&data);
+//! // Two strongly correlated features: one dominant component.
+//! assert!(pca.explained_variance_ratio()[0] > 0.95);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::data::{Dataset, Standardizer};
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A fitted PCA decomposition over standardized features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pca {
+    eigenvalues: Vec<f64>,
+    /// `features × components`; column `k` is component `k`'s loadings.
+    components: Matrix,
+    standardizer: Standardizer,
+}
+
+impl Pca {
+    /// Fits PCA: z-scores the features, eigendecomposes their covariance
+    /// (= correlation) matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset has fewer than 2 instances.
+    pub fn fit(data: &Dataset) -> Pca {
+        assert!(data.len() >= 2, "PCA needs at least 2 instances");
+        let standardizer = Standardizer::fit(data);
+        let z = standardizer.transform(data);
+        let x = Matrix::from_rows(z.features());
+        let cov = x.covariance();
+        let (eigenvalues, components) = cov.jacobi_eigen();
+        // Numerical noise can make tiny eigenvalues slightly negative.
+        let eigenvalues = eigenvalues.into_iter().map(|v| v.max(0.0)).collect();
+        Pca {
+            eigenvalues,
+            components,
+            standardizer,
+        }
+    }
+
+    /// Eigenvalues in descending order.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Fraction of total variance captured by each component.
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        let total: f64 = self.eigenvalues.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.eigenvalues.len()];
+        }
+        self.eigenvalues.iter().map(|v| v / total).collect()
+    }
+
+    /// Loading of original feature `feature` on component `component`.
+    pub fn loading(&self, feature: usize, component: usize) -> f64 {
+        self.components.get(feature, component)
+    }
+
+    /// Smallest number of leading components whose cumulative explained
+    /// variance reaches `threshold` (e.g. WEKA's default 0.95).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < threshold <= 1`.
+    pub fn components_for_variance(&self, threshold: f64) -> usize {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "variance threshold must be in (0, 1], got {threshold}"
+        );
+        let ratios = self.explained_variance_ratio();
+        let mut acc = 0.0;
+        for (k, r) in ratios.iter().enumerate() {
+            acc += r;
+            if acc >= threshold - 1e-12 {
+                return k + 1;
+            }
+        }
+        ratios.len()
+    }
+
+    /// Projects one raw feature row onto the first `k` components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the number of components.
+    pub fn project_row(&self, row: &[f64], k: usize) -> Vec<f64> {
+        assert!(k <= self.eigenvalues.len(), "only {} components", self.eigenvalues.len());
+        let z = self.standardizer.transform_row(row);
+        (0..k)
+            .map(|c| {
+                z.iter()
+                    .enumerate()
+                    .map(|(f, v)| v * self.components.get(f, c))
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// Ranks original features by their weighted PCA loadings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcaFeatureRanker;
+
+impl PcaFeatureRanker {
+    /// Variance coverage used to choose how many components contribute to
+    /// the score (WEKA's PCA default).
+    pub const VARIANCE_THRESHOLD: f64 = 0.95;
+
+    /// Importance of each original feature:
+    /// `Σ_{k < K} λ_k · |loading(f, k)|` with `K` covering
+    /// [`VARIANCE_THRESHOLD`](Self::VARIANCE_THRESHOLD) of the variance.
+    /// Weighting by λ (rather than √λ) rewards features that participate in
+    /// large correlated groups over isolated noise directions.
+    pub fn scores(data: &Dataset) -> Vec<f64> {
+        let pca = Pca::fit(data);
+        let k = pca.components_for_variance(Self::VARIANCE_THRESHOLD);
+        (0..data.n_features())
+            .map(|f| {
+                (0..k)
+                    .map(|c| pca.eigenvalues()[c] * pca.loading(f, c).abs())
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// All features ranked by descending importance: `(feature, score)`.
+    pub fn rank(data: &Dataset) -> Vec<(usize, f64)> {
+        let mut ranking: Vec<(usize, f64)> =
+            Self::scores(data).into_iter().enumerate().collect();
+        ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        ranking
+    }
+
+    /// Indices of the `k` most important original features, best first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > n_features`.
+    pub fn select_top(data: &Dataset, k: usize) -> Vec<usize> {
+        assert!(k > 0, "must select at least one feature");
+        assert!(
+            k <= data.n_features(),
+            "cannot select {k} of {} features",
+            data.n_features()
+        );
+        Self::rank(data).into_iter().take(k).map(|(i, _)| i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three features: two strongly correlated signal features and one
+    /// independent noise feature (full-rank covariance).
+    fn correlated() -> Dataset {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..50 {
+            let t = i as f64;
+            let noise_a = ((i * 31) % 7) as f64 * 0.01;
+            let noise_b = ((i * 17) % 5) as f64;
+            features.push(vec![t, 2.0 * t + noise_a, noise_b]);
+            labels.push(i % 2);
+        }
+        Dataset::new(features, labels, 2).unwrap()
+    }
+
+    #[test]
+    fn dominant_component_captures_correlated_pair() {
+        let pca = Pca::fit(&correlated());
+        let ratio = pca.explained_variance_ratio();
+        assert!(ratio[0] > 0.6, "first component ratio {}", ratio[0]);
+        // Ratios sum to 1.
+        assert!((ratio.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigenvalues_descend_and_are_nonnegative() {
+        let pca = Pca::fit(&correlated());
+        let ev = pca.eigenvalues();
+        for w in ev.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(ev.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn components_for_variance_monotone() {
+        let pca = Pca::fit(&correlated());
+        let k50 = pca.components_for_variance(0.5);
+        let k99 = pca.components_for_variance(0.99);
+        assert!(k50 <= k99);
+        assert_eq!(pca.components_for_variance(1.0), 3);
+    }
+
+    #[test]
+    fn projection_decorrelates() {
+        let data = correlated();
+        let pca = Pca::fit(&data);
+        let proj: Vec<Vec<f64>> = data
+            .features()
+            .iter()
+            .map(|r| pca.project_row(r, 2))
+            .collect();
+        // Components are uncorrelated.
+        let c0: Vec<f64> = proj.iter().map(|p| p[0]).collect();
+        let c1: Vec<f64> = proj.iter().map(|p| p[1]).collect();
+        let r = crate::feature::correlation::pearson(&c0, &c1);
+        assert!(r.abs() < 0.05, "component correlation {r}");
+    }
+
+    #[test]
+    fn ranker_prefers_high_variance_signal_features() {
+        let top = PcaFeatureRanker::select_top(&correlated(), 2);
+        assert!(top.contains(&0) && top.contains(&1), "top = {top:?}");
+    }
+
+    #[test]
+    fn rank_is_descending_and_complete() {
+        let ranking = PcaFeatureRanker::rank(&correlated());
+        assert_eq!(ranking.len(), 3);
+        for w in ranking.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 instances")]
+    fn pca_rejects_single_instance() {
+        let data = Dataset::new(vec![vec![1.0, 2.0]], vec![0], 1).unwrap();
+        Pca::fit(&data);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot select")]
+    fn select_too_many_panics() {
+        PcaFeatureRanker::select_top(&correlated(), 4);
+    }
+}

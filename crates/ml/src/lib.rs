@@ -1,0 +1,89 @@
+//! # hmd-ml — from-scratch machine learning for hardware malware detection
+//!
+//! The ML substrate of the 2SMaRT (DATE 2019) reproduction. The paper runs
+//! its experiments in WEKA; this crate reimplements every algorithm the
+//! paper uses, with WEKA-like defaults, in pure Rust:
+//!
+//! | Paper / WEKA | Here |
+//! |---|---|
+//! | J48 (C4.5 tree) | [`tree::J48`] |
+//! | JRip (RIPPER rules) | [`rules::JRip`] |
+//! | MultilayerPerceptron | [`mlp::Mlp`] |
+//! | OneR | [`oner::OneR`] |
+//! | Logistic (multinomial) | [`logistic::Mlr`] |
+//! | AdaBoostM1 | [`boost::AdaBoost`] |
+//! | Bagging (DAC'18 companion) | [`bagging::Bagging`] |
+//! | Voting / Stacking (RAID'15 companion) | [`stacking::Voting`], [`stacking::Stacking`] |
+//! | Naive Bayes / KNN (extended baselines) | [`bayes::NaiveBayes`], [`knn::Knn`] |
+//! | CorrelationAttributeEval | [`feature::CorrelationRanker`] |
+//! | PrincipalComponents | [`feature::Pca`], [`feature::PcaFeatureRanker`] |
+//!
+//! Shared infrastructure: [`data::Dataset`] (stratified 60/40 splits,
+//! per-class binarization, weighted resampling), [`metrics`] (F-measure,
+//! AUC, detection performance `F × AUC`), and [`matrix`] (dense linear
+//! algebra with a Jacobi eigensolver).
+//!
+//! # Quick start
+//!
+//! ```
+//! use hmd_ml::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = Dataset::new(
+//!     vec![vec![0.0, 1.0], vec![0.1, 0.8], vec![1.0, 0.1], vec![0.9, 0.0],
+//!          vec![0.05, 0.9], vec![0.95, 0.2]],
+//!     vec![0, 0, 1, 1, 0, 1],
+//!     2,
+//! )?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let (train, test) = data.stratified_split(0.6, &mut rng);
+//! let mut model = ClassifierKind::J48.build(0);
+//! model.fit(&train)?;
+//! let score = DetectionScore::evaluate(model.as_ref(), &test);
+//! assert!(score.f_measure >= 0.0 && score.auc <= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bagging;
+pub mod bayes;
+pub mod boost;
+pub mod classifier;
+pub mod data;
+pub mod feature;
+pub mod io;
+pub mod knn;
+pub mod logistic;
+pub mod matrix;
+pub mod metrics;
+pub mod mlp;
+pub mod model;
+pub mod oner;
+pub mod rules;
+pub mod stacking;
+pub mod tree;
+pub mod validation;
+
+/// Convenient glob-import of the crate's main types.
+pub mod prelude {
+    pub use crate::bagging::Bagging;
+    pub use crate::bayes::NaiveBayes;
+    pub use crate::boost::AdaBoost;
+    pub use crate::classifier::{Classifier, ClassifierKind, TrainError};
+    pub use crate::data::{DataError, Dataset, MinMaxScaler, Standardizer};
+    pub use crate::feature::{CorrelationRanker, Pca, PcaFeatureRanker};
+    pub use crate::knn::Knn;
+    pub use crate::logistic::Mlr;
+    pub use crate::model::AnyModel;
+    pub use crate::metrics::{auc_binary, roc_curve, ConfusionMatrix, DetectionScore, RocPoint};
+    pub use crate::validation::{cross_validate, CvSummary};
+    pub use crate::mlp::Mlp;
+    pub use crate::oner::OneR;
+    pub use crate::rules::JRip;
+    pub use crate::stacking::{Stacking, Voting};
+    pub use crate::tree::J48;
+}

@@ -1,0 +1,385 @@
+//! Minimal dense linear algebra for the ML substrate.
+//!
+//! Only what PCA and the linear models need: a row-major [`Matrix`] with
+//! multiplication, transpose, covariance, and a cyclic Jacobi
+//! eigendecomposition for symmetric matrices. Implemented here rather than
+//! pulled in as a dependency to keep the workspace self-contained.
+//!
+//! # Examples
+//!
+//! ```
+//! use hmd_ml::matrix::Matrix;
+//!
+//! let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+//! let t = m.transpose();
+//! assert_eq!(t.get(0, 1), 3.0);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths or `rows` is empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Matrix {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have equal length"
+        );
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self × other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "inner dimensions must agree ({}×{} · {}×{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out.data[r * other.cols + c] += a * other.get(k, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Column means.
+    pub fn col_means(&self) -> Vec<f64> {
+        let mut means = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (c, m) in means.iter_mut().enumerate() {
+                *m += self.get(r, c);
+            }
+        }
+        for m in &mut means {
+            *m /= self.rows as f64;
+        }
+        means
+    }
+
+    /// Sample covariance matrix of the columns (divides by `n − 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has fewer than 2 rows.
+    pub fn covariance(&self) -> Matrix {
+        assert!(self.rows >= 2, "covariance needs at least 2 rows");
+        let means = self.col_means();
+        let mut cov = Matrix::zeros(self.cols, self.cols);
+        for r in 0..self.rows {
+            for i in 0..self.cols {
+                let di = self.get(r, i) - means[i];
+                #[allow(clippy::needless_range_loop)] // j indexes the upper triangle
+                for j in i..self.cols {
+                    let dj = self.get(r, j) - means[j];
+                    cov.data[i * self.cols + j] += di * dj;
+                }
+            }
+        }
+        let denom = (self.rows - 1) as f64;
+        for i in 0..self.cols {
+            for j in i..self.cols {
+                let v = cov.get(i, j) / denom;
+                cov.set(i, j, v);
+                cov.set(j, i, v);
+            }
+        }
+        cov
+    }
+
+    /// Maximum absolute off-diagonal element (square matrices only).
+    fn max_off_diagonal(&self) -> f64 {
+        let mut m: f64 = 0.0;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if i != j {
+                    m = m.max(self.get(i, j).abs());
+                }
+            }
+        }
+        m
+    }
+
+    /// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+    ///
+    /// Returns `(eigenvalues, eigenvectors)` sorted by descending
+    /// eigenvalue; eigenvector `k` is column `k` of the returned matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn jacobi_eigen(&self) -> (Vec<f64>, Matrix) {
+        assert_eq!(self.rows, self.cols, "eigendecomposition needs a square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut v = Matrix::identity(n);
+        let max_sweeps = 100;
+        let tol = 1e-12 * (1.0 + self.max_off_diagonal());
+
+        for _ in 0..max_sweeps {
+            if a.max_off_diagonal() < tol {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = a.get(p, q);
+                    if apq.abs() < tol {
+                        continue;
+                    }
+                    let app = a.get(p, p);
+                    let aqq = a.get(q, q);
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+
+                    for k in 0..n {
+                        let akp = a.get(k, p);
+                        let akq = a.get(k, q);
+                        a.set(k, p, c * akp - s * akq);
+                        a.set(k, q, s * akp + c * akq);
+                    }
+                    for k in 0..n {
+                        let apk = a.get(p, k);
+                        let aqk = a.get(q, k);
+                        a.set(p, k, c * apk - s * aqk);
+                        a.set(q, k, s * apk + c * aqk);
+                    }
+                    for k in 0..n {
+                        let vkp = v.get(k, p);
+                        let vkq = v.get(k, q);
+                        v.set(k, p, c * vkp - s * vkq);
+                        v.set(k, q, s * vkp + c * vkq);
+                    }
+                }
+            }
+        }
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let eigvals: Vec<f64> = (0..n).map(|i| a.get(i, i)).collect();
+        order.sort_by(|&i, &j| eigvals[j].partial_cmp(&eigvals[i]).expect("finite eigenvalues"));
+
+        let sorted_vals: Vec<f64> = order.iter().map(|&i| eigvals[i]).collect();
+        let mut sorted_vecs = Matrix::zeros(n, n);
+        for (new_c, &old_c) in order.iter().enumerate() {
+            for r in 0..n {
+                sorted_vecs.set(r, new_c, v.get(r, old_c));
+            }
+        }
+        (sorted_vals, sorted_vecs)
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(m.matmul(&i), m);
+        assert_eq!(i.matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c.get(0, 0), 58.0);
+        assert_eq!(c.get(1, 1), 154.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn covariance_of_known_data() {
+        // cov of [(1,2),(3,6),(5,10)] : x var = 4, y var = 16, cov = 8.
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 6.0], vec![5.0, 10.0]]);
+        let c = m.covariance();
+        assert!((c.get(0, 0) - 4.0).abs() < 1e-12);
+        assert!((c.get(1, 1) - 16.0).abs() < 1e-12);
+        assert!((c.get(0, 1) - 8.0).abs() < 1e-12);
+        assert_eq!(c.get(0, 1), c.get(1, 0));
+    }
+
+    #[test]
+    fn jacobi_recovers_known_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let (vals, vecs) = m.jacobi_eigen();
+        assert!((vals[0] - 3.0).abs() < 1e-9);
+        assert!((vals[1] - 1.0).abs() < 1e-9);
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let r = (vecs.get(0, 0) / vecs.get(1, 0)).abs();
+        assert!((r - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_reconstruct_matrix() {
+        let m = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 2.0],
+        ]);
+        let (vals, vecs) = m.jacobi_eigen();
+        // Reconstruct A = V Λ Vᵀ.
+        let mut lambda = Matrix::zeros(3, 3);
+        for (i, v) in vals.iter().enumerate() {
+            lambda.set(i, i, *v);
+        }
+        let recon = vecs.matmul(&lambda).matmul(&vecs.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(
+                    (recon.get(i, j) - m.get(i, j)).abs() < 1e-8,
+                    "({i},{j}): {} vs {}",
+                    recon.get(i, j),
+                    m.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_are_sorted_descending() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 5.0, 0.0],
+            vec![0.0, 0.0, 3.0],
+        ]);
+        let (vals, _) = m.jacobi_eigen();
+        assert!(vals[0] >= vals[1] && vals[1] >= vals[2]);
+        assert!((vals[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,432 @@
+//! Evaluation metrics: confusion matrix, precision/recall/F-measure,
+//! accuracy and ROC AUC.
+//!
+//! The paper evaluates detectors by **F-measure** (harmonic mean of
+//! precision and recall — robust to the class imbalance of the malware
+//! corpus), **robustness** (area under the ROC curve) and **detection
+//! performance**, defined as their product `F × AUC`.
+//!
+//! # Examples
+//!
+//! ```
+//! use hmd_ml::metrics::{ConfusionMatrix, auc_binary};
+//!
+//! let cm = ConfusionMatrix::from_pairs(&[(1, 1), (1, 0), (0, 0), (0, 0)], 2);
+//! assert_eq!(cm.accuracy(), 0.75);
+//! let auc = auc_binary(&[0.9, 0.4, 0.3, 0.1], &[1, 1, 0, 0]);
+//! assert_eq!(auc, 1.0);
+//! ```
+
+use crate::classifier::Classifier;
+use crate::data::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// A `k × k` confusion matrix; rows are true classes, columns predictions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from `(truth, prediction)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any label or prediction `>= n_classes`.
+    pub fn from_pairs(pairs: &[(usize, usize)], n_classes: usize) -> ConfusionMatrix {
+        let mut counts = vec![0usize; n_classes * n_classes];
+        for &(truth, pred) in pairs {
+            assert!(truth < n_classes, "truth label {truth} out of range");
+            assert!(pred < n_classes, "prediction {pred} out of range");
+            counts[truth * n_classes + pred] += 1;
+        }
+        ConfusionMatrix { n_classes, counts }
+    }
+
+    /// Evaluates `model` on every instance of `data`.
+    pub fn from_model(model: &dyn Classifier, data: &Dataset) -> ConfusionMatrix {
+        let pairs: Vec<(usize, usize)> = (0..data.len())
+            .map(|i| (data.label_of(i), model.predict(data.features_of(i))))
+            .collect();
+        ConfusionMatrix::from_pairs(&pairs, data.n_classes())
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Count of instances with true class `truth` predicted as `pred`.
+    pub fn count(&self, truth: usize, pred: usize) -> usize {
+        self.counts[truth * self.n_classes + pred]
+    }
+
+    /// Total instances.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of correctly classified instances.
+    ///
+    /// Returns 0 for an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.n_classes).map(|i| self.count(i, i)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision of one class: `TP / (TP + FP)`; 0 if never predicted.
+    pub fn precision(&self, class: usize) -> f64 {
+        let tp = self.count(class, class);
+        let predicted: usize = (0..self.n_classes).map(|t| self.count(t, class)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of one class: `TP / (TP + FN)`; 0 if the class is absent.
+    pub fn recall(&self, class: usize) -> f64 {
+        let tp = self.count(class, class);
+        let actual: usize = (0..self.n_classes).map(|p| self.count(class, p)).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp as f64 / actual as f64
+        }
+    }
+
+    /// F-measure of one class: harmonic mean of precision and recall.
+    pub fn f_measure(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Class-prevalence-weighted mean F-measure over all classes (WEKA's
+    /// "weighted avg" row).
+    pub fn weighted_f_measure(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (0..self.n_classes)
+            .map(|c| {
+                let actual: usize = (0..self.n_classes).map(|p| self.count(c, p)).sum();
+                self.f_measure(c) * actual as f64
+            })
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "confusion matrix ({} classes, rows = truth):", self.n_classes)?;
+        for t in 0..self.n_classes {
+            let row: Vec<String> = (0..self.n_classes)
+                .map(|p| format!("{:>6}", self.count(t, p)))
+                .collect();
+            writeln!(f, "  {}", row.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Area under the ROC curve for binary labels, computed by the
+/// Mann-Whitney U statistic (rank method, ties get half credit) — exactly
+/// the area the trapezoidal ROC sweep yields.
+///
+/// `scores[i]` is the model's confidence that instance `i` is positive;
+/// `labels[i]` is 1 for positive, 0 for negative.
+///
+/// Returns 0.5 when either class is absent (no ranking information).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or a label is not 0/1.
+pub fn auc_binary(scores: &[f64], labels: &[usize]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "one score per label");
+    assert!(labels.iter().all(|&l| l <= 1), "labels must be 0 or 1");
+    let n_pos = labels.iter().filter(|&&l| l == 1).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Mann-Whitney via mid-ranks: sort by score, assign tied scores their
+    // average rank, sum the positive ranks.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&i, &j| scores[i].partial_cmp(&scores[j]).expect("finite scores"));
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // 1-based ranks i+1 ..= j+1 share the mid-rank.
+        let mid_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &order[i..=j] {
+            if labels[k] == 1 {
+                rank_sum_pos += mid_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// One operating point of a ROC sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Score threshold producing this point (predict positive if
+    /// `score >= threshold`).
+    pub threshold: f64,
+    /// False-positive rate at the threshold.
+    pub fpr: f64,
+    /// True-positive rate (recall) at the threshold.
+    pub tpr: f64,
+}
+
+/// The full ROC curve: one point per distinct score, plus the (0,0) and
+/// (1,1) endpoints, ordered by increasing FPR.
+///
+/// The trapezoidal area under the returned points equals
+/// [`auc_binary`] up to floating-point error — asserted in tests.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, a label is not 0/1, or either
+/// class is absent.
+pub fn roc_curve(scores: &[f64], labels: &[usize]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), labels.len(), "one score per label");
+    assert!(labels.iter().all(|&l| l <= 1), "labels must be 0 or 1");
+    let n_pos = labels.iter().filter(|&&l| l == 1).count();
+    let n_neg = labels.len() - n_pos;
+    assert!(n_pos > 0 && n_neg > 0, "ROC needs both classes");
+
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&i, &j| scores[j].partial_cmp(&scores[i]).expect("finite scores"));
+
+    let mut points = vec![RocPoint {
+        threshold: f64::INFINITY,
+        fpr: 0.0,
+        tpr: 0.0,
+    }];
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut i = 0;
+    while i < order.len() {
+        let score = scores[order[i]];
+        // Consume the whole tie group before emitting a point.
+        while i < order.len() && scores[order[i]] == score {
+            if labels[order[i]] == 1 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(RocPoint {
+            threshold: score,
+            fpr: fp as f64 / n_neg as f64,
+            tpr: tp as f64 / n_pos as f64,
+        });
+    }
+    points
+}
+
+/// One-vs-rest AUC for class `class`: positive = instances of `class`.
+pub fn auc_one_vs_rest(model: &dyn Classifier, data: &Dataset, class: usize) -> f64 {
+    let scores: Vec<f64> = (0..data.len())
+        .map(|i| model.predict_proba(data.features_of(i))[class])
+        .collect();
+    let labels: Vec<usize> = data
+        .labels()
+        .iter()
+        .map(|&l| usize::from(l == class))
+        .collect();
+    auc_binary(&scores, &labels)
+}
+
+/// Prevalence-weighted mean one-vs-rest AUC over all classes.
+pub fn weighted_auc(model: &dyn Classifier, data: &Dataset) -> f64 {
+    let counts = data.class_counts();
+    let total: usize = counts.iter().sum();
+    (0..data.n_classes())
+        .map(|c| auc_one_vs_rest(model, data, c) * counts[c] as f64)
+        .sum::<f64>()
+        / total as f64
+}
+
+/// The paper's full evaluation of a binary detector on a test set:
+/// F-measure of the malware (positive = class 1) class, AUC, and their
+/// product (detection performance).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectionScore {
+    /// F-measure of the positive (malware) class, in `[0, 1]`.
+    pub f_measure: f64,
+    /// Area under the ROC curve (robustness), in `[0, 1]`.
+    pub auc: f64,
+}
+
+impl DetectionScore {
+    /// Evaluates a fitted binary detector on `data` (positive = class 1).
+    pub fn evaluate(model: &dyn Classifier, data: &Dataset) -> DetectionScore {
+        let cm = ConfusionMatrix::from_model(model, data);
+        DetectionScore {
+            f_measure: cm.f_measure(1),
+            auc: auc_one_vs_rest(model, data, 1),
+        }
+    }
+
+    /// Detection performance: `F × AUC` (the paper's combined metric).
+    pub fn performance(&self) -> f64 {
+        self.f_measure * self.auc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts_and_accuracy() {
+        let cm = ConfusionMatrix::from_pairs(&[(0, 0), (0, 1), (1, 1), (1, 1)], 2);
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 1), 2);
+        assert_eq!(cm.total(), 4);
+        assert_eq!(cm.accuracy(), 0.75);
+    }
+
+    #[test]
+    fn precision_recall_f_known_values() {
+        // class 1: TP=2, FP=1, FN=1 -> p=2/3, r=2/3, F=2/3.
+        let cm = ConfusionMatrix::from_pairs(&[(1, 1), (1, 1), (1, 0), (0, 1), (0, 0)], 2);
+        assert!((cm.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.recall(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.f_measure(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_classes_give_zero_not_nan() {
+        let cm = ConfusionMatrix::from_pairs(&[(0, 0)], 2);
+        assert_eq!(cm.precision(1), 0.0);
+        assert_eq!(cm.recall(1), 0.0);
+        assert_eq!(cm.f_measure(1), 0.0);
+    }
+
+    #[test]
+    fn weighted_f_weights_by_prevalence() {
+        // Perfect on class 0 (3 instances), zero on class 1 (1 instance).
+        let cm = ConfusionMatrix::from_pairs(&[(0, 0), (0, 0), (0, 0), (1, 0)], 2);
+        let f0 = cm.f_measure(0);
+        let expected = (f0 * 3.0 + 0.0 * 1.0) / 4.0;
+        assert!((cm.weighted_f_measure() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        assert_eq!(auc_binary(&[0.9, 0.8, 0.2, 0.1], &[1, 1, 0, 0]), 1.0);
+        assert_eq!(auc_binary(&[0.1, 0.2, 0.8, 0.9], &[1, 1, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn auc_ties_give_half_credit() {
+        assert_eq!(auc_binary(&[0.5, 0.5], &[1, 0]), 0.5);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(auc_binary(&[0.3, 0.7], &[1, 1]), 0.5);
+    }
+
+    #[test]
+    fn auc_random_scores_near_half() {
+        // Deterministic pseudo-random pattern.
+        let scores: Vec<f64> = (0..200).map(|i| ((i * 7919) % 1000) as f64 / 1000.0).collect();
+        let labels: Vec<usize> = (0..200).map(|i| (i * 104729) % 2).collect();
+        let auc = auc_binary(&scores, &labels);
+        assert!((auc - 0.5).abs() < 0.1, "auc {auc}");
+    }
+
+    #[test]
+    fn confusion_matrix_displays_all_cells() {
+        let cm = ConfusionMatrix::from_pairs(&[(0, 0), (1, 1), (1, 0)], 2);
+        let text = cm.to_string();
+        assert!(text.contains("rows = truth"));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn roc_curve_endpoints_and_monotonicity() {
+        let scores = [0.9, 0.8, 0.7, 0.6, 0.4, 0.2];
+        let labels = [1, 1, 0, 1, 0, 0];
+        let curve = roc_curve(&scores, &labels);
+        assert_eq!(curve.first().map(|p| (p.fpr, p.tpr)), Some((0.0, 0.0)));
+        assert_eq!(curve.last().map(|p| (p.fpr, p.tpr)), Some((1.0, 1.0)));
+        for w in curve.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+    }
+
+    #[test]
+    fn trapezoid_over_roc_curve_equals_auc() {
+        let scores = [0.9, 0.8, 0.8, 0.6, 0.4, 0.4, 0.1];
+        let labels = [1, 0, 1, 1, 0, 1, 0];
+        let curve = roc_curve(&scores, &labels);
+        let mut area = 0.0;
+        for w in curve.windows(2) {
+            area += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
+        }
+        let auc = auc_binary(&scores, &labels);
+        assert!((area - auc).abs() < 1e-12, "trapezoid {area} vs rank {auc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn roc_requires_both_classes() {
+        roc_curve(&[0.1, 0.2], &[1, 1]);
+    }
+
+    #[test]
+    fn one_vs_rest_and_weighted_auc_on_a_fitted_model() {
+        use crate::classifier::{Classifier, ClassifierKind};
+        let data = Dataset::new(
+            (0..30).map(|i| vec![i as f64]).collect(),
+            (0..30).map(|i| usize::from(i >= 15)).collect(),
+            2,
+        )
+        .unwrap();
+        let mut model = ClassifierKind::J48.build(0);
+        model.fit(&data).unwrap();
+        let auc1 = auc_one_vs_rest(model.as_ref(), &data, 1);
+        let auc0 = auc_one_vs_rest(model.as_ref(), &data, 0);
+        assert!(auc1 > 0.95, "separable data: {auc1}");
+        // One-vs-rest AUCs of a binary problem mirror each other.
+        assert!((auc0 - auc1).abs() < 1e-9);
+        let w = weighted_auc(model.as_ref(), &data);
+        assert!((w - auc1).abs() < 1e-9, "balanced classes: weighted = per-class");
+    }
+
+    #[test]
+    fn detection_score_performance_is_product() {
+        let s = DetectionScore {
+            f_measure: 0.9,
+            auc: 0.8,
+        };
+        assert!((s.performance() - 0.72).abs() < 1e-12);
+    }
+}

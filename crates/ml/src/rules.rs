@@ -1,0 +1,645 @@
+//! JRip: the RIPPER rule learner (Cohen, 1995; WEKA's `JRip`).
+//!
+//! RIPPER learns an **ordered list of conjunctive rules** per class using
+//! incremental reduced-error pruning: each rule is grown greedily by FOIL
+//! information gain on a grow set, pruned backwards on a held-out prune set,
+//! and accepted only while it stays accurate; a revision pass then tries to
+//! replace each rule with a regrown alternative. Classes are processed from
+//! rarest to most frequent, with the most frequent class as the default —
+//! RIPPER's standard multiclass scheme.
+//!
+//! The fitted model exposes [`JRip::rule_count`] and
+//! [`JRip::condition_count`], which the hardware model maps to comparator
+//! chains (Table V).
+//!
+//! # Examples
+//!
+//! ```
+//! use hmd_ml::rules::JRip;
+//! use hmd_ml::classifier::Classifier;
+//! use hmd_ml::data::Dataset;
+//!
+//! let data = Dataset::new(
+//!     vec![vec![0.0], vec![0.1], vec![0.9], vec![1.0]],
+//!     vec![0, 0, 1, 1],
+//!     2,
+//! )?;
+//! let mut model = JRip::new(7);
+//! model.fit(&data)?;
+//! assert_eq!(model.predict(&[0.95]), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::classifier::{Classifier, TrainError};
+use crate::data::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One atomic condition: a threshold test on an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Condition {
+    /// `feature[attr] <= value`
+    Le {
+        /// Attribute index.
+        attr: usize,
+        /// Threshold.
+        value: f64,
+    },
+    /// `feature[attr] >= value`
+    Ge {
+        /// Attribute index.
+        attr: usize,
+        /// Threshold.
+        value: f64,
+    },
+}
+
+impl Condition {
+    /// Evaluates the condition on one instance.
+    pub fn matches(&self, x: &[f64]) -> bool {
+        match *self {
+            Condition::Le { attr, value } => x[attr] <= value,
+            Condition::Ge { attr, value } => x[attr] >= value,
+        }
+    }
+}
+
+impl std::fmt::Display for Condition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Condition::Le { attr, value } => write!(f, "f{attr} <= {value:.6}"),
+            Condition::Ge { attr, value } => write!(f, "f{attr} >= {value:.6}"),
+        }
+    }
+}
+
+/// A conjunctive rule: all conditions must hold for `class` to fire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// The conjunction of threshold tests.
+    pub conditions: Vec<Condition>,
+    /// Class assigned when the rule fires.
+    pub class: usize,
+    /// Laplace-smoothed training precision of the rule.
+    pub confidence: f64,
+}
+
+impl Rule {
+    /// `true` if every condition holds on `x`.
+    pub fn matches(&self, x: &[f64]) -> bool {
+        self.conditions.iter().all(|c| c.matches(x))
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let conds: Vec<String> = self.conditions.iter().map(|c| c.to_string()).collect();
+        write!(
+            f,
+            "IF {} THEN class {} ({:.2})",
+            if conds.is_empty() {
+                "true".to_string()
+            } else {
+                conds.join(" AND ")
+            },
+            self.class,
+            self.confidence
+        )
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Fitted {
+    rules: Vec<Rule>,
+    default_class: usize,
+    default_confidence: f64,
+    n_classes: usize,
+}
+
+/// The JRip / RIPPER classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JRip {
+    seed: u64,
+    max_conditions: usize,
+    optimize: bool,
+    fitted: Option<Fitted>,
+}
+
+impl JRip {
+    /// Maximum antecedents per rule (guards against degenerate growth).
+    pub const DEFAULT_MAX_CONDITIONS: usize = 8;
+
+    /// A new unfitted JRip. `seed` drives the grow/prune splits so training
+    /// is deterministic.
+    pub fn new(seed: u64) -> JRip {
+        JRip {
+            seed,
+            max_conditions: Self::DEFAULT_MAX_CONDITIONS,
+            optimize: true,
+            fitted: None,
+        }
+    }
+
+    /// Enables or disables the rule-revision (optimization) pass.
+    pub fn with_optimization(mut self, optimize: bool) -> JRip {
+        self.optimize = optimize;
+        self
+    }
+
+    /// Number of learned rules (excluding the default), if fitted.
+    pub fn rule_count(&self) -> Option<usize> {
+        self.fitted.as_ref().map(|f| f.rules.len())
+    }
+
+    /// Total number of conditions across all rules, if fitted.
+    pub fn condition_count(&self) -> Option<usize> {
+        self.fitted
+            .as_ref()
+            .map(|f| f.rules.iter().map(|r| r.conditions.len()).sum())
+    }
+
+    /// The fitted rule list, if fitted.
+    pub fn rules(&self) -> Option<&[Rule]> {
+        self.fitted.as_ref().map(|f| f.rules.as_slice())
+    }
+
+    /// Longest antecedent among the fitted rules (0 for a rule-free model),
+    /// if fitted.
+    pub fn max_rule_conditions(&self) -> Option<usize> {
+        self.fitted
+            .as_ref()
+            .map(|f| f.rules.iter().map(|r| r.conditions.len()).max().unwrap_or(0))
+    }
+
+    /// Grows one rule for `class` on the grow set by FOIL gain.
+    fn grow_rule(&self, data: &Dataset, grow: &[usize], class: usize) -> Vec<Condition> {
+        let mut conditions: Vec<Condition> = Vec::new();
+        let mut covered: Vec<usize> = grow.to_vec();
+        while conditions.len() < self.max_conditions {
+            let p0 = covered
+                .iter()
+                .filter(|&&i| data.label_of(i) == class)
+                .count() as f64;
+            let n0 = covered.len() as f64 - p0;
+            if p0 == 0.0 || n0 == 0.0 {
+                break; // already pure (or hopeless)
+            }
+            let base = (p0 / (p0 + n0)).log2();
+            let mut best: Option<(f64, Condition)> = None;
+            for attr in 0..data.n_features() {
+                let mut values: Vec<f64> = covered
+                    .iter()
+                    .map(|&i| data.features_of(i)[attr])
+                    .collect();
+                values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+                values.dedup();
+                if values.len() < 2 {
+                    continue;
+                }
+                // Candidate thresholds: midpoints, subsampled for speed.
+                let stride = (values.len() / 24).max(1);
+                for w in values.windows(2).step_by(stride) {
+                    let threshold = (w[0] + w[1]) / 2.0;
+                    for cond in [
+                        Condition::Le {
+                            attr,
+                            value: threshold,
+                        },
+                        Condition::Ge {
+                            attr,
+                            value: threshold,
+                        },
+                    ] {
+                        let mut p = 0.0f64;
+                        let mut n = 0.0f64;
+                        for &i in &covered {
+                            if cond.matches(data.features_of(i)) {
+                                if data.label_of(i) == class {
+                                    p += 1.0;
+                                } else {
+                                    n += 1.0;
+                                }
+                            }
+                        }
+                        if p == 0.0 {
+                            continue;
+                        }
+                        // FOIL gain: p * (log2(p/(p+n)) - log2(p0/(p0+n0))).
+                        let gain = p * ((p / (p + n)).log2() - base);
+                        let better = match &best {
+                            None => gain > 1e-9,
+                            Some((bg, _)) => gain > *bg,
+                        };
+                        if better {
+                            best = Some((gain, cond));
+                        }
+                    }
+                }
+            }
+            let Some((_, cond)) = best else { break };
+            conditions.push(cond);
+            covered.retain(|&i| cond.matches(data.features_of(i)));
+            let neg = covered
+                .iter()
+                .filter(|&&i| data.label_of(i) != class)
+                .count();
+            if neg == 0 {
+                break;
+            }
+        }
+        conditions
+    }
+
+    /// Prunes trailing conditions to maximize `(p - n) / (p + n)` on the
+    /// prune set.
+    fn prune_rule(
+        &self,
+        data: &Dataset,
+        prune: &[usize],
+        class: usize,
+        mut conditions: Vec<Condition>,
+    ) -> Vec<Condition> {
+        let metric = |conds: &[Condition]| -> f64 {
+            let mut p = 0.0;
+            let mut n = 0.0;
+            for &i in prune {
+                if conds.iter().all(|c| c.matches(data.features_of(i))) {
+                    if data.label_of(i) == class {
+                        p += 1.0;
+                    } else {
+                        n += 1.0;
+                    }
+                }
+            }
+            if p + n == 0.0 {
+                -1.0
+            } else {
+                (p - n) / (p + n)
+            }
+        };
+        loop {
+            if conditions.len() <= 1 {
+                break;
+            }
+            let current = metric(&conditions);
+            let shorter = &conditions[..conditions.len() - 1];
+            if metric(shorter) >= current {
+                conditions.pop();
+            } else {
+                break;
+            }
+        }
+        conditions
+    }
+
+    /// Accuracy of a rule on a set: `(p, n)` covered positives/negatives.
+    fn coverage(&self, data: &Dataset, idx: &[usize], class: usize, conds: &[Condition]) -> (f64, f64) {
+        let mut p = 0.0;
+        let mut n = 0.0;
+        for &i in idx {
+            if conds.iter().all(|c| c.matches(data.features_of(i))) {
+                if data.label_of(i) == class {
+                    p += 1.0;
+                } else {
+                    n += 1.0;
+                }
+            }
+        }
+        (p, n)
+    }
+
+    /// Learns the ordered ruleset for one class over `remaining`, removing
+    /// covered instances from it.
+    fn learn_class(
+        &self,
+        data: &Dataset,
+        remaining: &mut Vec<usize>,
+        class: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Rule> {
+        let mut rules = Vec::new();
+        loop {
+            let positives = remaining
+                .iter()
+                .filter(|&&i| data.label_of(i) == class)
+                .count();
+            if positives == 0 || remaining.len() < 4 {
+                break;
+            }
+            // 2:1 grow/prune split (RIPPER's default), stratified by shuffle.
+            let mut shuffled = remaining.clone();
+            shuffled.shuffle(rng);
+            let cut = (shuffled.len() * 2) / 3;
+            let (grow, prune) = shuffled.split_at(cut.max(1));
+
+            let grown = self.grow_rule(data, grow, class);
+            if grown.is_empty() {
+                break;
+            }
+            let pruned = if prune.is_empty() {
+                grown
+            } else {
+                self.prune_rule(data, prune, class, grown)
+            };
+
+            // Acceptance: error on the full remaining set must be < 50 %.
+            let (p, n) = self.coverage(data, remaining, class, &pruned);
+            if p == 0.0 || n > p {
+                break;
+            }
+            let confidence = (p + 1.0) / (p + n + 2.0);
+            rules.push(Rule {
+                conditions: pruned.clone(),
+                class,
+                confidence,
+            });
+            remaining.retain(|&i| !pruned.iter().all(|c| c.matches(data.features_of(i))));
+        }
+        rules
+    }
+
+    /// One revision pass: try regrowing each rule from scratch on the data
+    /// it uniquely covers; keep the replacement if total error over the
+    /// training set decreases.
+    fn optimize_rules(
+        &self,
+        data: &Dataset,
+        rules: Vec<Rule>,
+        default_class: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Rule> {
+        let all: Vec<usize> = (0..data.len()).collect();
+        let error_of = |rs: &[Rule]| -> usize {
+            all.iter()
+                .filter(|&&i| {
+                    let pred = rs
+                        .iter()
+                        .find(|r| r.matches(data.features_of(i)))
+                        .map_or(default_class, |r| r.class);
+                    pred != data.label_of(i)
+                })
+                .count()
+        };
+        let mut best = rules;
+        let mut best_err = error_of(&best);
+        for k in 0..best.len() {
+            let class = best[k].class;
+            // Instances reaching rule k (not matched by earlier rules).
+            let reaching: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    !best[..k]
+                        .iter()
+                        .any(|r| r.matches(data.features_of(i)))
+                })
+                .collect();
+            if reaching.len() < 4 {
+                continue;
+            }
+            let mut shuffled = reaching;
+            shuffled.shuffle(rng);
+            let cut = (shuffled.len() * 2) / 3;
+            let (grow, prune) = shuffled.split_at(cut.max(1));
+            let regrown = self.grow_rule(data, grow, class);
+            if regrown.is_empty() {
+                continue;
+            }
+            let replacement = if prune.is_empty() {
+                regrown
+            } else {
+                self.prune_rule(data, prune, class, regrown)
+            };
+            let mut candidate = best.clone();
+            let (p, n) = self.coverage(data, &all, class, &replacement);
+            candidate[k] = Rule {
+                conditions: replacement,
+                class,
+                confidence: (p + 1.0) / (p + n + 2.0),
+            };
+            let err = error_of(&candidate);
+            if err < best_err {
+                best = candidate;
+                best_err = err;
+            }
+        }
+        best
+    }
+}
+
+impl Classifier for JRip {
+    fn fit(&mut self, data: &Dataset) -> Result<(), TrainError> {
+        if data.len() < 4 {
+            return Err(TrainError::TooFewInstances {
+                needed: 4,
+                got: data.len(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let counts = data.class_counts();
+        // Rarest class first; most frequent becomes the default.
+        let mut order: Vec<usize> = (0..data.n_classes()).filter(|&c| counts[c] > 0).collect();
+        order.sort_by_key(|&c| counts[c]);
+        let default_class = *order.last().expect("at least one class present");
+
+        let mut remaining: Vec<usize> = (0..data.len()).collect();
+        let mut rules = Vec::new();
+        for &class in &order[..order.len() - 1] {
+            rules.extend(self.learn_class(data, &mut remaining, class, &mut rng));
+        }
+        if self.optimize && !rules.is_empty() {
+            rules = self.optimize_rules(data, rules, default_class, &mut rng);
+        }
+        // Default-class confidence from the uncovered remainder.
+        let default_hits = remaining
+            .iter()
+            .filter(|&&i| data.label_of(i) == default_class)
+            .count() as f64;
+        let default_confidence = (default_hits + 1.0) / (remaining.len() as f64 + 2.0);
+
+        self.fitted = Some(Fitted {
+            rules,
+            default_class,
+            default_confidence,
+            n_classes: data.n_classes(),
+        });
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let f = self.fitted.as_ref().expect("JRip not fitted");
+        let (class, confidence) = f
+            .rules
+            .iter()
+            .find(|r| r.matches(x))
+            .map_or((f.default_class, f.default_confidence), |r| {
+                (r.class, r.confidence)
+            });
+        let mut p = vec![(1.0 - confidence) / (f.n_classes as f64 - 1.0).max(1.0); f.n_classes];
+        p[class] = if f.n_classes == 1 { 1.0 } else { confidence };
+        p
+    }
+
+    fn n_classes(&self) -> usize {
+        self.fitted.as_ref().expect("JRip not fitted").n_classes
+    }
+
+    fn name(&self) -> &'static str {
+        "JRip"
+    }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn banded() -> Dataset {
+        // Class 1 iff x in [0.4, 0.6]: needs a two-condition rule.
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..100 {
+            let x = i as f64 / 100.0;
+            features.push(vec![x, (i % 7) as f64]);
+            labels.push(usize::from((0.4..=0.6).contains(&x)));
+        }
+        Dataset::new(features, labels, 2).unwrap()
+    }
+
+    #[test]
+    fn learns_band_rule() {
+        let data = banded();
+        let mut m = JRip::new(3);
+        m.fit(&data).unwrap();
+        assert_eq!(m.predict(&[0.5, 0.0]), 1);
+        assert_eq!(m.predict(&[0.1, 0.0]), 0);
+        assert_eq!(m.predict(&[0.9, 0.0]), 0);
+    }
+
+    #[test]
+    fn rules_target_the_minority_class() {
+        let data = banded();
+        let mut m = JRip::new(3);
+        m.fit(&data).unwrap();
+        let rules = m.rules().unwrap();
+        assert!(!rules.is_empty());
+        assert!(
+            rules.iter().all(|r| r.class == 1),
+            "rules should cover the rare class; default handles the rest"
+        );
+    }
+
+    #[test]
+    fn training_accuracy_is_high_on_separable_data() {
+        let data = banded();
+        let mut m = JRip::new(3);
+        m.fit(&data).unwrap();
+        let correct = (0..data.len())
+            .filter(|&i| m.predict(data.features_of(i)) == data.label_of(i))
+            .count();
+        assert!(correct as f64 / data.len() as f64 > 0.93, "{correct}/100");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut m = JRip::new(0);
+        m.fit(&banded()).unwrap();
+        for x in [[0.5, 0.0], [0.0, 0.0]] {
+            let p = m.predict_proba(&x);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn condition_and_rule_counts_reported() {
+        let mut m = JRip::new(1);
+        m.fit(&banded()).unwrap();
+        let rules = m.rule_count().unwrap();
+        let conds = m.condition_count().unwrap();
+        assert!(rules >= 1);
+        assert!(conds >= rules, "each rule has at least one condition");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = banded();
+        let mut a = JRip::new(9);
+        let mut b = JRip::new(9);
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        assert_eq!(a.rules(), b.rules());
+    }
+
+    #[test]
+    fn multiclass_orders_by_rarity() {
+        // Three classes along x with different sizes.
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            let x = i as f64;
+            features.push(vec![x]);
+            labels.push(if x < 5.0 {
+                2
+            } else if x < 15.0 {
+                1
+            } else {
+                0
+            });
+        }
+        let data = Dataset::new(features, labels, 3).unwrap();
+        let mut m = JRip::new(4);
+        m.fit(&data).unwrap();
+        assert_eq!(m.predict(&[2.0]), 2);
+        assert_eq!(m.predict(&[10.0]), 1);
+        assert_eq!(m.predict(&[25.0]), 0);
+    }
+
+    #[test]
+    fn rules_render_readably() {
+        let rule = Rule {
+            conditions: vec![
+                Condition::Le { attr: 0, value: 1.5 },
+                Condition::Ge { attr: 2, value: 0.25 },
+            ],
+            class: 1,
+            confidence: 0.9,
+        };
+        let text = rule.to_string();
+        assert!(text.contains("f0 <= 1.5"));
+        assert!(text.contains("AND"));
+        assert!(text.contains("THEN class 1"));
+    }
+
+    #[test]
+    fn condition_matches() {
+        let le = Condition::Le { attr: 0, value: 1.0 };
+        let ge = Condition::Ge { attr: 0, value: 1.0 };
+        assert!(le.matches(&[0.5]) && !le.matches(&[1.5]));
+        assert!(ge.matches(&[1.5]) && !ge.matches(&[0.5]));
+        assert!(le.matches(&[1.0]) && ge.matches(&[1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn predict_before_fit_panics() {
+        JRip::new(0).predict(&[0.0]);
+    }
+
+    #[test]
+    fn too_few_instances_is_an_error() {
+        let data = Dataset::new(vec![vec![0.0], vec![1.0]], vec![0, 1], 2).unwrap();
+        assert!(matches!(
+            JRip::new(0).fit(&data),
+            Err(TrainError::TooFewInstances { .. })
+        ));
+    }
+}

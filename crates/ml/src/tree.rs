@@ -1,0 +1,679 @@
+//! J48: the C4.5 decision-tree learner (Quinlan, 1993; WEKA's `J48`).
+//!
+//! Binary splits on numeric attributes chosen by **gain ratio**, stopped at
+//! a minimum leaf size, then simplified bottom-up by C4.5's
+//! **pessimistic-error pruning** with the standard confidence factor 0.25.
+//! The fitted tree exposes its node count and depth, which the
+//! [`hwmodel`](../../hmd_hwmodel/index.html) crate turns into comparator-tree
+//! FPGA cost (Table V).
+//!
+//! # Examples
+//!
+//! ```
+//! use hmd_ml::tree::J48;
+//! use hmd_ml::classifier::Classifier;
+//! use hmd_ml::data::Dataset;
+//!
+//! let data = Dataset::new(
+//!     vec![vec![0.0], vec![0.2], vec![0.9], vec![1.0]],
+//!     vec![0, 0, 1, 1],
+//!     2,
+//! )?;
+//! let mut tree = J48::new();
+//! tree.fit(&data)?;
+//! assert_eq!(tree.predict(&[0.1]), 0);
+//! assert!(tree.depth() >= 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::classifier::{Classifier, TrainError};
+use crate::data::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// A node of the fitted tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        class_counts: Vec<f64>,
+    },
+    Split {
+        attribute: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn count_nodes(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => 1 + left.count_nodes() + right.count_nodes(),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+
+    fn leaf_counts(&self) -> Vec<f64> {
+        match self {
+            Node::Leaf { class_counts } => class_counts.clone(),
+            Node::Split { left, right, .. } => {
+                let mut c = left.leaf_counts();
+                for (a, b) in c.iter_mut().zip(right.leaf_counts()) {
+                    *a += b;
+                }
+                c
+            }
+        }
+    }
+
+    fn classify<'a>(&'a self, x: &[f64]) -> &'a [f64] {
+        match self {
+            Node::Leaf { class_counts } => class_counts,
+            Node::Split {
+                attribute,
+                threshold,
+                left,
+                right,
+            } => {
+                if x[*attribute] <= *threshold {
+                    left.classify(x)
+                } else {
+                    right.classify(x)
+                }
+            }
+        }
+    }
+}
+
+/// The J48 / C4.5 decision tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct J48 {
+    min_leaf: usize,
+    confidence: f64,
+    prune: bool,
+    root: Option<Node>,
+    n_classes: usize,
+}
+
+impl J48 {
+    /// WEKA's default minimum instances per leaf (`-M 2`).
+    pub const DEFAULT_MIN_LEAF: usize = 2;
+    /// WEKA's default pruning confidence factor (`-C 0.25`).
+    pub const DEFAULT_CONFIDENCE: f64 = 0.25;
+
+    /// A new unfitted tree with WEKA-default hyperparameters.
+    pub fn new() -> J48 {
+        J48 {
+            min_leaf: Self::DEFAULT_MIN_LEAF,
+            confidence: Self::DEFAULT_CONFIDENCE,
+            prune: true,
+            root: None,
+            n_classes: 0,
+        }
+    }
+
+    /// Sets the minimum number of instances per leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_leaf == 0`.
+    pub fn with_min_leaf(mut self, min_leaf: usize) -> J48 {
+        assert!(min_leaf > 0, "min_leaf must be positive");
+        self.min_leaf = min_leaf;
+        self
+    }
+
+    /// Enables or disables pessimistic-error pruning (WEKA's `-U` when
+    /// disabled).
+    pub fn with_pruning(mut self, prune: bool) -> J48 {
+        self.prune = prune;
+        self
+    }
+
+    /// Sets the pruning confidence factor in `(0, 0.5]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn with_confidence(mut self, confidence: f64) -> J48 {
+        assert!(
+            confidence > 0.0 && confidence <= 0.5,
+            "confidence must be in (0, 0.5], got {confidence}"
+        );
+        self.confidence = confidence;
+        self
+    }
+
+    /// Total node count of the fitted tree (0 if unfitted).
+    pub fn node_count(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::count_nodes)
+    }
+
+    /// Number of leaves of the fitted tree (0 if unfitted).
+    pub fn leaf_count(&self) -> usize {
+        self.node_count().div_ceil(2)
+    }
+
+    /// Depth of the fitted tree (0 if unfitted; a lone leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::depth)
+    }
+
+    /// Renders the fitted tree as indented text, WEKA-style, using
+    /// `feature_names` for attributes (falls back to `f<i>` when a name is
+    /// missing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is unfitted.
+    pub fn to_text(&self, feature_names: &[&str]) -> String {
+        let root = self.root.as_ref().expect("J48 not fitted");
+        let mut out = String::new();
+        fn name(names: &[&str], attr: usize) -> String {
+            names.get(attr).map_or_else(|| format!("f{attr}"), |n| (*n).to_string())
+        }
+        fn render(node: &Node, names: &[&str], indent: usize, out: &mut String) {
+            let pad = "|   ".repeat(indent);
+            match node {
+                Node::Leaf { class_counts } => {
+                    let total: f64 = class_counts.iter().sum();
+                    let best = class_counts
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    out.push_str(&format!("{pad}=> class {best} ({total:.0})\n"));
+                }
+                Node::Split {
+                    attribute,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    out.push_str(&format!(
+                        "{pad}{} <= {threshold:.6}\n",
+                        name(names, *attribute)
+                    ));
+                    render(left, names, indent + 1, out);
+                    out.push_str(&format!(
+                        "{pad}{} > {threshold:.6}\n",
+                        name(names, *attribute)
+                    ));
+                    render(right, names, indent + 1, out);
+                }
+            }
+        }
+        render(root, feature_names, 0, &mut out);
+        out
+    }
+
+    fn build(&self, idx: &[usize], data: &Dataset) -> Node {
+        let counts = class_counts(idx, data);
+        let n = idx.len();
+        if is_pure(&counts) || n < 2 * self.min_leaf {
+            return Node::Leaf {
+                class_counts: counts,
+            };
+        }
+        let parent_entropy = entropy(&counts);
+        let mut best: Option<(f64, usize, f64)> = None; // (gain_ratio, attr, threshold)
+        for attr in 0..data.n_features() {
+            if let Some((gain, ratio, threshold)) =
+                self.best_split(idx, data, attr, parent_entropy)
+            {
+                // C4.5 requires positive information gain.
+                if gain <= 1e-12 {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((best_ratio, _, _)) => ratio > best_ratio,
+                };
+                if better {
+                    best = Some((ratio, attr, threshold));
+                }
+            }
+        }
+        let Some((_, attribute, threshold)) = best else {
+            return Node::Leaf {
+                class_counts: counts,
+            };
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+            .iter()
+            .partition(|&&i| data.features_of(i)[attribute] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            return Node::Leaf {
+                class_counts: counts,
+            };
+        }
+        Node::Split {
+            attribute,
+            threshold,
+            left: Box::new(self.build(&left_idx, data)),
+            right: Box::new(self.build(&right_idx, data)),
+        }
+    }
+
+    /// Best `(gain, gain_ratio, threshold)` for one attribute, or `None` if
+    /// the attribute is constant on `idx`.
+    fn best_split(
+        &self,
+        idx: &[usize],
+        data: &Dataset,
+        attr: usize,
+        parent_entropy: f64,
+    ) -> Option<(f64, f64, f64)> {
+        let n_classes = data.n_classes();
+        let mut pairs: Vec<(f64, usize)> = idx
+            .iter()
+            .map(|&i| (data.features_of(i)[attr], data.label_of(i)))
+            .collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+        let n = pairs.len() as f64;
+
+        let mut right_counts = vec![0.0; n_classes];
+        for &(_, l) in &pairs {
+            right_counts[l] += 1.0;
+        }
+        let mut left_counts = vec![0.0; n_classes];
+        let mut best: Option<(f64, f64, f64)> = None;
+        for i in 0..pairs.len() - 1 {
+            let (v, l) = pairs[i];
+            left_counts[l] += 1.0;
+            right_counts[l] -= 1.0;
+            let next_v = pairs[i + 1].0;
+            if next_v == v {
+                continue; // cannot split between equal values
+            }
+            let n_left = (i + 1) as f64;
+            let n_right = n - n_left;
+            if (n_left as usize) < self.min_leaf || (n_right as usize) < self.min_leaf {
+                continue;
+            }
+            let child_entropy =
+                (n_left / n) * entropy(&left_counts) + (n_right / n) * entropy(&right_counts);
+            let gain = parent_entropy - child_entropy;
+            let split_info = {
+                let pl = n_left / n;
+                let pr = n_right / n;
+                -(pl * pl.log2() + pr * pr.log2())
+            };
+            if split_info <= 1e-12 {
+                continue;
+            }
+            let ratio = gain / split_info;
+            let threshold = (v + next_v) / 2.0;
+            let better = match best {
+                None => true,
+                Some((_, best_ratio, _)) => ratio > best_ratio,
+            };
+            if better {
+                best = Some((gain, ratio, threshold));
+            }
+        }
+        best
+    }
+
+    /// Bottom-up subtree replacement using C4.5's pessimistic error
+    /// estimate. Returns the (possibly replaced) node and its estimated
+    /// error count.
+    fn prune_node(&self, node: Node) -> (Node, f64) {
+        match node {
+            leaf @ Node::Leaf { .. } => {
+                let est = self.leaf_estimated_errors(&leaf);
+                (leaf, est)
+            }
+            Node::Split {
+                attribute,
+                threshold,
+                left,
+                right,
+            } => {
+                let (left, left_err) = self.prune_node(*left);
+                let (right, right_err) = self.prune_node(*right);
+                let subtree_err = left_err + right_err;
+                let rebuilt = Node::Split {
+                    attribute,
+                    threshold,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                };
+                let collapsed = Node::Leaf {
+                    class_counts: rebuilt.leaf_counts(),
+                };
+                let leaf_err = self.leaf_estimated_errors(&collapsed);
+                if leaf_err <= subtree_err + 0.1 {
+                    (collapsed, leaf_err)
+                } else {
+                    (rebuilt, subtree_err)
+                }
+            }
+        }
+    }
+
+    fn leaf_estimated_errors(&self, leaf: &Node) -> f64 {
+        let Node::Leaf { class_counts } = leaf else {
+            unreachable!("leaf_estimated_errors called on a split")
+        };
+        let n: f64 = class_counts.iter().sum();
+        if n == 0.0 {
+            return 0.0;
+        }
+        let errors = n - class_counts.iter().cloned().fold(0.0, f64::max);
+        n * pessimistic_error_rate(errors, n, self.confidence)
+    }
+}
+
+/// C4.5's upper confidence limit on the error rate of a leaf that makes
+/// `e` errors out of `n` instances, at confidence factor `cf` (normal
+/// approximation to the binomial upper limit).
+pub fn pessimistic_error_rate(e: f64, n: f64, cf: f64) -> f64 {
+    assert!(n > 0.0, "leaf must cover instances");
+    let z = normal_upper_quantile(cf);
+    let f = e / n;
+    let z2 = z * z;
+    let numer = f + z2 / (2.0 * n) + z * (f / n - f * f / n + z2 / (4.0 * n * n)).sqrt();
+    (numer / (1.0 + z2 / n)).min(1.0)
+}
+
+/// Upper quantile z with `P(Z > z) = p` for the standard normal
+/// (Acklam/Beasley-Springer-Moro rational approximation).
+fn normal_upper_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1)");
+    // Invert the lower quantile of q = 1 - p.
+    let q = 1.0 - p;
+    // Beasley-Springer-Moro.
+    let a = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    let b = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    let c = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    let d = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let plow = 0.02425;
+    if q < plow {
+        let u = (-2.0 * q.ln()).sqrt();
+        -((((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5])
+            / ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0))
+    } else if q <= 1.0 - plow {
+        let u = q - 0.5;
+        let t = u * u;
+        u * (((((a[0] * t + a[1]) * t + a[2]) * t + a[3]) * t + a[4]) * t + a[5])
+            / (((((b[0] * t + b[1]) * t + b[2]) * t + b[3]) * t + b[4]) * t + 1.0)
+    } else {
+        let u = (-2.0 * (1.0 - q).ln()).sqrt();
+        (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5])
+            / ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0)
+    }
+}
+
+fn class_counts(idx: &[usize], data: &Dataset) -> Vec<f64> {
+    let mut counts = vec![0.0; data.n_classes()];
+    for &i in idx {
+        counts[data.label_of(i)] += 1.0;
+    }
+    counts
+}
+
+fn is_pure(counts: &[f64]) -> bool {
+    counts.iter().filter(|&&c| c > 0.0).count() <= 1
+}
+
+fn entropy(counts: &[f64]) -> f64 {
+    let n: f64 = counts.iter().sum();
+    if n == 0.0 {
+        return 0.0;
+    }
+    -counts
+        .iter()
+        .filter(|&&c| c > 0.0)
+        .map(|&c| {
+            let p = c / n;
+            p * p.log2()
+        })
+        .sum::<f64>()
+}
+
+impl Default for J48 {
+    fn default() -> Self {
+        J48::new()
+    }
+}
+
+impl Classifier for J48 {
+    fn fit(&mut self, data: &Dataset) -> Result<(), TrainError> {
+        if data.len() < 2 {
+            return Err(TrainError::TooFewInstances {
+                needed: 2,
+                got: data.len(),
+            });
+        }
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let mut root = self.build(&idx, data);
+        if self.prune {
+            root = self.prune_node(root).0;
+        }
+        self.root = Some(root);
+        self.n_classes = data.n_classes();
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let root = self.root.as_ref().expect("J48 not fitted");
+        let counts = root.classify(x);
+        // Laplace smoothing at the leaf.
+        let total: f64 = counts.iter().sum();
+        counts
+            .iter()
+            .map(|&c| (c + 1.0) / (total + self.n_classes as f64))
+            .collect()
+    }
+
+    fn n_classes(&self) -> usize {
+        assert!(self.root.is_some(), "J48 not fitted");
+        self.n_classes
+    }
+
+    fn name(&self) -> &'static str {
+        "J48"
+    }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn band() -> Dataset {
+        // Class 1 iff x in [0.4, 0.6): needs two splits on one attribute,
+        // each with positive greedy gain (unlike XOR, which defeats any
+        // myopic splitter including real C4.5).
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..36 {
+            let x = i as f64 / 36.0;
+            features.push(vec![x, (i % 5) as f64]);
+            labels.push(usize::from((0.4..0.6).contains(&x)));
+        }
+        Dataset::new(features, labels, 2).unwrap()
+    }
+
+    #[test]
+    fn learns_axis_aligned_split() {
+        let data = Dataset::new(
+            vec![vec![0.0], vec![0.1], vec![0.2], vec![0.8], vec![0.9], vec![1.0]],
+            vec![0, 0, 0, 1, 1, 1],
+            2,
+        )
+        .unwrap();
+        let mut t = J48::new();
+        t.fit(&data).unwrap();
+        assert_eq!(t.predict(&[0.05]), 0);
+        assert_eq!(t.predict(&[0.95]), 1);
+        assert_eq!(t.depth(), 2); // one split, two leaves
+    }
+
+    #[test]
+    fn learns_band_structure() {
+        let data = band();
+        let mut t = J48::new().with_pruning(false);
+        t.fit(&data).unwrap();
+        let correct = (0..data.len())
+            .filter(|&i| t.predict(data.features_of(i)) == data.label_of(i))
+            .count();
+        assert_eq!(correct, data.len(), "unpruned tree fits the band exactly");
+        assert!(t.depth() >= 3, "band needs two threshold levels");
+    }
+
+    #[test]
+    fn pruning_shrinks_noisy_trees() {
+        // Unique feature values with ~20 % label noise and no real signal:
+        // the unpruned tree isolates each noisy instance (positive gain on
+        // unique values); pessimistic pruning collapses those splits.
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..160usize {
+            features.push(vec![i as f64, (i.wrapping_mul(2654435761) % 97) as f64]);
+            labels.push(usize::from(i.wrapping_mul(40503) % 5 == 0));
+        }
+        let data = Dataset::new(features, labels, 2).unwrap();
+        let mut unpruned = J48::new().with_pruning(false);
+        unpruned.fit(&data).unwrap();
+        let mut pruned = J48::new();
+        pruned.fit(&data).unwrap();
+        assert!(
+            pruned.node_count() < unpruned.node_count(),
+            "pruned {} !< unpruned {}",
+            pruned.node_count(),
+            unpruned.node_count()
+        );
+    }
+
+    #[test]
+    fn pure_dataset_yields_single_leaf() {
+        let data = Dataset::new(vec![vec![1.0], vec![2.0], vec![3.0]], vec![1, 1, 1], 2).unwrap();
+        let mut t = J48::new();
+        t.fit(&data).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[99.0]), 1);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut t = J48::new();
+        t.fit(&band()).unwrap();
+        let p = t.predict_proba(&[0.5, 0.5]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&v| v > 0.0), "Laplace keeps probabilities positive");
+    }
+
+    #[test]
+    fn min_leaf_limits_granularity() {
+        let data = band();
+        let fine = {
+            let mut t = J48::new().with_min_leaf(2).with_pruning(false);
+            t.fit(&data).unwrap();
+            t.node_count()
+        };
+        let coarse = {
+            let mut t = J48::new().with_min_leaf(12).with_pruning(false);
+            t.fit(&data).unwrap();
+            t.node_count()
+        };
+        assert!(coarse < fine, "coarse {coarse} !< fine {fine}");
+    }
+
+    #[test]
+    fn pessimistic_error_is_above_observed_rate() {
+        let u = pessimistic_error_rate(1.0, 10.0, 0.25);
+        assert!(u > 0.1 && u < 0.5, "upper bound {u}");
+        // More data, same rate -> tighter bound.
+        let u_big = pessimistic_error_rate(10.0, 100.0, 0.25);
+        assert!(u_big < u);
+    }
+
+    #[test]
+    fn normal_quantile_sanity() {
+        // P(Z > 0.6745) ≈ 0.25
+        let z = normal_upper_quantile(0.25);
+        assert!((z - 0.6745).abs() < 1e-3, "z = {z}");
+        let z50 = normal_upper_quantile(0.5);
+        assert!(z50.abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn predict_before_fit_panics() {
+        J48::new().predict(&[1.0]);
+    }
+
+    #[test]
+    fn too_few_instances_is_an_error() {
+        let data = Dataset::new(vec![vec![0.0]], vec![0], 1).unwrap();
+        assert!(J48::new().fit(&data).is_err());
+    }
+
+    #[test]
+    fn to_text_renders_structure() {
+        let data = band();
+        let mut t = J48::new();
+        t.fit(&data).unwrap();
+        let text = t.to_text(&["x", "phase"]);
+        assert!(text.contains("x <="), "split on the informative feature: {text}");
+        assert!(text.contains("=> class"), "leaves rendered");
+        // Unknown names fall back to indices.
+        let fallback = t.to_text(&[]);
+        assert!(fallback.contains("f0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn to_text_before_fit_panics() {
+        J48::new().to_text(&[]);
+    }
+
+    #[test]
+    fn leaf_count_relation_holds() {
+        let mut t = J48::new();
+        t.fit(&band()).unwrap();
+        // Binary tree: leaves = (nodes + 1) / 2.
+        assert_eq!(t.leaf_count(), t.node_count().div_ceil(2));
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the ML substrate: every classifier must behave
+//! sanely on arbitrary (finite) data, and core metric/feature invariants
+//! must hold for any input.
+
+use hmd_ml::prelude::*;
+use proptest::prelude::*;
+
+/// Arbitrary small binary dataset with at least 4 instances per class.
+fn arb_binary_dataset() -> impl Strategy<Value = Dataset> {
+    (4usize..=12, 1usize..=4).prop_flat_map(|(per_class, d)| {
+        let n = per_class * 2;
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(-1e6f64..1e6, d),
+                n,
+            ),
+            Just(per_class),
+        )
+            .prop_map(move |(features, per_class)| {
+                let labels: Vec<usize> = (0..per_class * 2).map(|i| i % 2).collect();
+                Dataset::new(features, labels, 2).expect("constructed valid")
+            })
+    })
+}
+
+fn assert_sane_probs(p: &[f64]) {
+    assert_eq!(p.len(), 2);
+    assert!(p.iter().all(|v| v.is_finite() && (-1e-9..=1.0 + 1e-9).contains(v)));
+    assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6, "{p:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_classifier_fits_and_predicts_on_arbitrary_data(
+        data in arb_binary_dataset(),
+        seed in any::<u64>(),
+    ) {
+        for kind in ClassifierKind::ALL {
+            // MLP epochs trimmed: the property is "no panic, sane output",
+            // not accuracy.
+            let mut model: Box<dyn Classifier> = match kind {
+                ClassifierKind::Mlp => Box::new(Mlp::new(seed).with_epochs(5)),
+                other => other.build(seed),
+            };
+            model.fit(&data).expect("fit succeeds on valid data");
+            prop_assert_eq!(model.n_classes(), 2);
+            for i in 0..data.len() {
+                let p = model.predict_proba(data.features_of(i));
+                assert_sane_probs(&p);
+                let pred = model.predict(data.features_of(i));
+                prop_assert!(pred < 2);
+            }
+        }
+    }
+
+    #[test]
+    fn adaboost_is_sane_on_arbitrary_data(data in arb_binary_dataset(), seed in any::<u64>()) {
+        let mut ens = AdaBoost::new(ClassifierKind::OneR, 5, seed);
+        ens.fit(&data).expect("fit succeeds");
+        for i in 0..data.len() {
+            assert_sane_probs(&ens.predict_proba(data.features_of(i)));
+        }
+        prop_assert!(ens.ensemble_size() >= 1);
+        prop_assert!(ens.ensemble_size() <= 5);
+    }
+
+    #[test]
+    fn stratified_split_partitions_exactly(
+        data in arb_binary_dataset(),
+        frac in 0.1f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (train, test) = data.stratified_split(frac, &mut rng);
+        prop_assert_eq!(train.len() + test.len(), data.len());
+        let total: Vec<usize> = train
+            .class_counts()
+            .iter()
+            .zip(test.class_counts())
+            .map(|(a, b)| a + b)
+            .collect();
+        prop_assert_eq!(total, data.class_counts());
+        // Both sides keep both classes.
+        prop_assert!(train.class_counts().iter().all(|&c| c > 0));
+        prop_assert!(test.class_counts().iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn auc_is_bounded_and_label_symmetric(
+        scores in proptest::collection::vec(0.0f64..1.0, 4..40),
+    ) {
+        let labels: Vec<usize> = (0..scores.len()).map(|i| i % 2).collect();
+        let auc = auc_binary(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&auc));
+        // Flipping labels mirrors the AUC around 0.5.
+        let flipped: Vec<usize> = labels.iter().map(|l| 1 - l).collect();
+        let mirrored = auc_binary(&scores, &flipped);
+        prop_assert!((auc + mirrored - 1.0).abs() < 1e-9, "{auc} + {mirrored}");
+    }
+
+    #[test]
+    fn confusion_matrix_metrics_are_bounded(
+        pairs in proptest::collection::vec((0usize..3, 0usize..3), 1..60),
+    ) {
+        let cm = ConfusionMatrix::from_pairs(&pairs, 3);
+        prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
+        for c in 0..3 {
+            prop_assert!((0.0..=1.0).contains(&cm.precision(c)));
+            prop_assert!((0.0..=1.0).contains(&cm.recall(c)));
+            prop_assert!((0.0..=1.0).contains(&cm.f_measure(c)));
+        }
+        prop_assert!((0.0..=1.0).contains(&cm.weighted_f_measure()));
+        prop_assert_eq!(cm.total(), pairs.len());
+    }
+
+    #[test]
+    fn standardizer_and_minmax_round_trip_shapes(data in arb_binary_dataset()) {
+        let std = Standardizer::fit(&data);
+        let mm = MinMaxScaler::fit(&data);
+        for i in 0..data.len() {
+            let row = data.features_of(i);
+            prop_assert_eq!(std.transform_row(row).len(), row.len());
+            let scaled = mm.transform_row(row);
+            // Training rows stay within the fitted range.
+            prop_assert!(scaled.iter().all(|v| (-1.0 - 1e-9..=1.0 + 1e-9).contains(v)));
+        }
+    }
+
+    #[test]
+    fn correlation_merits_are_bounded(data in arb_binary_dataset()) {
+        for f in 0..data.n_features() {
+            let merit = CorrelationRanker::merit(&data, f);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&merit), "merit {merit}");
+        }
+        let ranking = CorrelationRanker::rank(&data);
+        for w in ranking.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1, "ranking not descending");
+        }
+    }
+
+    #[test]
+    fn pca_eigenvalues_nonnegative_and_ratios_sum_to_one(data in arb_binary_dataset()) {
+        let pca = Pca::fit(&data);
+        prop_assert!(pca.eigenvalues().iter().all(|&v| v >= 0.0));
+        let total: f64 = pca.explained_variance_ratio().iter().sum();
+        // All-constant datasets degenerate to 0; otherwise ratios sum to 1.
+        prop_assert!(total.abs() < 1e-9 || (total - 1.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn weighted_resample_has_requested_size(
+        data in arb_binary_dataset(),
+        n in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let weights = vec![1.0; data.len()];
+        let sample = data.weighted_resample(&weights, n, &mut rng);
+        prop_assert_eq!(sample.len(), n);
+    }
+}

@@ -1,0 +1,92 @@
+//! Why the paper destroys the container after every profiling run.
+//!
+//! Malware left in a reused environment keeps running and inflates the
+//! counters of whatever is measured next. This example profiles the same
+//! benign application twice — once in a fresh container, once in a
+//! container that previously ran a rootkit — and shows the measurement
+//! bias, then shows that the destroy-per-run policy removes it.
+//!
+//! ```text
+//! cargo run --release --example container_contamination
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use twosmart_suite::hpc_sim::container::{ContainerHost, IsolationPolicy};
+use twosmart_suite::hpc_sim::event::Event;
+use twosmart_suite::hpc_sim::workload::{AppClass, WorkloadSpec};
+
+fn mean_instructions(samples: &[[f64; Event::COUNT]]) -> f64 {
+    samples
+        .iter()
+        .map(|s| s[Event::Instructions.index()])
+        .sum::<f64>()
+        / samples.len() as f64
+}
+
+fn main() {
+    let library = WorkloadSpec::library();
+    let benign = library
+        .iter()
+        .find(|w| w.name == "mibench/sha")
+        .expect("family exists");
+    let rootkit = library
+        .iter()
+        .find(|w| w.class == AppClass::Rootkit)
+        .expect("family exists");
+
+    let mut host = ContainerHost::new();
+    let n = 200;
+
+    // Clean baseline.
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut fresh = host.create();
+    let mut app = benign.spawn(&mut rng);
+    let clean = fresh.run(&mut app, n, &mut rng);
+    host.destroy(fresh);
+
+    // Contaminated measurement: rootkit ran here first and was not cleaned.
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut dirty = host.create();
+    let mut mal_rng = StdRng::seed_from_u64(77);
+    let mut mal = rootkit.spawn(&mut mal_rng);
+    dirty.run(&mut mal, 5, &mut mal_rng);
+    assert!(dirty.is_contaminated());
+    let mut app = benign.spawn(&mut rng);
+    let contaminated = dirty.run(&mut app, n, &mut rng);
+    host.destroy(dirty);
+
+    let clean_mean = mean_instructions(&clean);
+    let dirty_mean = mean_instructions(&contaminated);
+    println!("mean instructions / 10 ms for `{}`:", benign.name);
+    println!("  fresh container:        {clean_mean:.3e}");
+    println!(
+        "  contaminated container: {dirty_mean:.3e}  ({:+.1} % bias)",
+        100.0 * (dirty_mean - clean_mean) / clean_mean
+    );
+
+    // The paper's policy: destroy after each run — the bias disappears.
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut slot = host.create();
+    let mut mal_rng = StdRng::seed_from_u64(77);
+    let mut mal = rootkit.spawn(&mut mal_rng);
+    host.run_with_policy(IsolationPolicy::Reuse, &mut slot, &mut mal, 5, &mut mal_rng);
+    let mut app = benign.spawn(&mut rng);
+    let isolated = host.run_with_policy(
+        IsolationPolicy::DestroyEachRun,
+        &mut slot,
+        &mut app,
+        n,
+        &mut rng,
+    );
+    let isolated_mean = mean_instructions(&isolated);
+    println!(
+        "  destroy-each-run policy: {isolated_mean:.3e}  ({:+.2} % vs fresh)",
+        100.0 * (isolated_mean - clean_mean) / clean_mean
+    );
+    println!(
+        "\ncontainers created: {}, destroyed: {}",
+        host.created_count(),
+        host.destroyed_count()
+    );
+}

@@ -1,0 +1,90 @@
+//! The feature-reduction pipeline: 44 events → 16 (correlation) → 8 per
+//! class (PCA), and why it matters for run-time detection.
+//!
+//! ```text
+//! cargo run --release --example feature_reduction
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use twosmart_suite::hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
+use twosmart_suite::hpc_sim::event::Event;
+use twosmart_suite::hpc_sim::perf::EventBatch;
+use twosmart_suite::ml::feature::{CorrelationRanker, Pca};
+use twosmart_suite::twosmart::features::{derive_feature_sets, FeatureSet, COMMON_EVENTS};
+use twosmart_suite::twosmart::pipeline::full_dataset;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = CorpusBuilder::new(CorpusSpec::small()).build();
+    let data = full_dataset(&corpus);
+    let mut rng = StdRng::seed_from_u64(3);
+    let (train, _test) = data.stratified_split(0.6, &mut rng);
+
+    // Collecting all 44 events needs 11 runs of each application — that is
+    // the cost the reduction removes.
+    let schedule = EventBatch::full();
+    println!(
+        "full event coverage: {} events = {} runs of every application",
+        Event::COUNT,
+        schedule.runs_required()
+    );
+
+    // Step 1: correlation attribute evaluation, 44 -> 16.
+    println!("\ntop 16 events by class correlation:");
+    for (rank, (idx, merit)) in CorrelationRanker::rank(&train).iter().take(16).enumerate() {
+        let event = Event::from_index(*idx).expect("index < 44");
+        println!("  {:>2}. {:<26} merit {:.4}", rank + 1, event.short_name(), merit);
+    }
+
+    // Step 2: PCA on the survivors; how concentrated is the variance?
+    let top16 = CorrelationRanker::select_top(&train, 16);
+    let reduced = train.select_features(&top16);
+    let pca = Pca::fit(&reduced);
+    let k95 = pca.components_for_variance(0.95);
+    println!(
+        "\nPCA on the 16 survivors: {k95} components explain 95 % of variance \
+         (eigenvalues {:?}…)",
+        &pca.eigenvalues()[..3.min(pca.eigenvalues().len())]
+            .iter()
+            .map(|v| (v * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+
+    // The full pipeline, per class.
+    let derived = derive_feature_sets(&train);
+    println!("\nderived per-class top-8 sets:");
+    for (class, events) in &derived.per_class {
+        println!(
+            "  {:<9} {}",
+            class.name(),
+            events
+                .iter()
+                .map(|e| e.short_name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    println!(
+        "\npublished Table II common set: {}",
+        COMMON_EVENTS
+            .iter()
+            .map(|e| e.short_name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "published Virus custom set:    {}",
+        FeatureSet::published(twosmart_suite::hpc_sim::workload::AppClass::Virus)
+            .custom()
+            .iter()
+            .map(|e| e.short_name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "\nwith 4 common events, ONE run suffices: {} run(s) instead of {}",
+        EventBatch::schedule(&COMMON_EVENTS).runs_required(),
+        schedule.runs_required()
+    );
+    Ok(())
+}

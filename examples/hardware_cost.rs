@@ -1,0 +1,85 @@
+//! Hardware-cost exploration: what each detector costs on a Virtex-7.
+//!
+//! Trains every classifier at the paper's HPC budgets, extracts the fitted
+//! topology, and prices it with the calibrated FPGA cost model (Table V's
+//! methodology).
+//!
+//! ```text
+//! cargo run --release --example hardware_cost
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use twosmart_suite::hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
+use twosmart_suite::hpc_sim::workload::AppClass;
+use twosmart_suite::hwmodel::{extract_topology, CostModel};
+use twosmart_suite::ml::classifier::ClassifierKind;
+use twosmart_suite::twosmart::pipeline::{class_dataset_from, full_dataset};
+use twosmart_suite::twosmart::stage2::{SpecializedDetector, Stage2Config};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = CorpusBuilder::new(CorpusSpec::small()).build();
+    let data = full_dataset(&corpus);
+    let mut rng = StdRng::seed_from_u64(3);
+    let (train, _test) = data.stratified_split(0.6, &mut rng);
+    let binary = class_dataset_from(&train, AppClass::Trojan);
+    let cost = CostModel::default();
+
+    println!("Trojan detector cost at each configuration (cycles @10 ns / area %):\n");
+    println!(
+        "{:<6} {:>14} {:>14} {:>16}",
+        "clf", "8 HPC", "4 HPC", "4 HPC boosted"
+    );
+    for kind in ClassifierKind::ALL {
+        let mut row = format!("{:<6}", kind.name());
+        for (hpcs, boosted) in [(8, false), (4, false), (4, true)] {
+            let config = Stage2Config::new(kind)
+                .with_hpcs(hpcs)
+                .with_boosting(boosted);
+            let det = SpecializedDetector::train(&binary, AppClass::Trojan, &config, 1)?;
+            let topo = extract_topology(det.model()).expect("known model");
+            let (lat, area) = cost.table_v_cell(&topo);
+            row.push_str(&format!(" {:>7} /{:>5.2}%", lat, area));
+        }
+        println!("{row}");
+    }
+
+    // Where does the cost come from? Inspect one topology in detail.
+    let config = Stage2Config::new(ClassifierKind::Mlp).with_hpcs(8);
+    let det = SpecializedDetector::train(&binary, AppClass::Trojan, &config, 1)?;
+    let topo = extract_topology(det.model()).expect("fitted MLP");
+    println!(
+        "\n8-HPC MLP breakdown: {} MACs, {} parameters -> {} LUT-equivalents",
+        topo.mac_count(),
+        topo.parameter_count(),
+        cost.resources(&topo).lut_equivalents().round()
+    );
+    println!(
+        "detection throughput at 100 MHz: one decision per {} cycles = {:.1} µs",
+        cost.latency_cycles(&topo),
+        cost.latency_cycles(&topo) as f64 * 0.01
+    );
+
+    // Where the LUTs go, and what the same logic costs as an ASIC.
+    use twosmart_suite::hwmodel::asic::{AsicProjection, ProcessNode};
+    use twosmart_suite::hwmodel::report::CostBreakdown;
+    let breakdown = CostBreakdown::of(&cost, &topo);
+    println!(
+        "\nLUT breakdown: arithmetic {}, activation {}, storage {}, control {} (dominant: {})",
+        breakdown.arithmetic_luts,
+        breakdown.activation_luts,
+        breakdown.storage_luts,
+        breakdown.control_luts,
+        breakdown.dominant()
+    );
+    for node in ProcessNode::ALL {
+        let asic = AsicProjection::project(&cost.resources(&topo), node);
+        println!(
+            "  as ASIC at {:>2} nm: {:.0} kGE, {:.4} mm²",
+            node.nanometres(),
+            asic.gate_equivalents() / 1000.0,
+            asic.area_mm2()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Model persistence: train once, ship the fitted parameters, detect
+//! anywhere.
+//!
+//! A deployment target (the FPGA host, an agent on another machine) should
+//! not need the profiling corpus — it loads a [`DetectorSnapshot`] and
+//! starts classifying.
+//!
+//! ```text
+//! cargo run --release --example model_persistence
+//! ```
+
+use std::fs;
+use twosmart_suite::hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
+use twosmart_suite::twosmart::detector::TwoSmartDetector;
+use twosmart_suite::twosmart::persist::DetectorSnapshot;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Train side: profile + fit.
+    println!("training…");
+    let corpus = CorpusBuilder::new(CorpusSpec::small()).build();
+    let detector = TwoSmartDetector::builder()
+        .seed(21)
+        .hpc_budget(4)
+        .boosted(true)
+        .train(&corpus)?;
+
+    // Serialize the fitted parameters (JSON here; any serde format works).
+    let snapshot = DetectorSnapshot::capture(&detector)?;
+    let json = serde_json::to_string_pretty(&snapshot)?;
+    let path = std::env::temp_dir().join("twosmart-detector.json");
+    fs::write(&path, &json)?;
+    println!(
+        "snapshot written to {} ({} KiB, {} specialists)",
+        path.display(),
+        json.len() / 1024,
+        snapshot.stage2.len()
+    );
+
+    // Deploy side: load and detect — no corpus, no training.
+    let loaded: DetectorSnapshot = serde_json::from_str(&fs::read_to_string(&path)?)?;
+    let restored = loaded.restore();
+
+    let mut agree = 0;
+    let n = 50.min(corpus.len());
+    for record in &corpus.records()[..n] {
+        if restored.detect(&record.features) == detector.detect(&record.features) {
+            agree += 1;
+        }
+    }
+    println!("restored detector agrees with the original on {agree}/{n} samples");
+    assert_eq!(agree, n, "round trip must be exact");
+
+    fs::remove_file(&path)?;
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! Run-time monitoring: the deployment scenario the paper designs for.
+//!
+//! Only **4 HPC registers** exist, so a deployed detector programs the 4
+//! Common events once and classifies from those counters alone — no second
+//! profiling run is possible. This example trains offline, then watches a
+//! stream of applications through a [`PerfSession`] limited to the Common
+//! events, detecting per 10 ms window.
+//!
+//! ```text
+//! cargo run --release --example runtime_monitor
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use twosmart_suite::hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
+use twosmart_suite::hpc_sim::perf::PerfSession;
+use twosmart_suite::hpc_sim::workload::{AppClass, WorkloadSpec};
+use twosmart_suite::twosmart::detector::TwoSmartDetector;
+use twosmart_suite::twosmart::online::OnlineDetector;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Offline: train the detector at the 4-HPC run-time budget.
+    println!("offline training…");
+    let corpus = CorpusBuilder::new(CorpusSpec::small()).build();
+    let detector = TwoSmartDetector::builder()
+        .seed(11)
+        .hpc_budget(4)
+        .train(&corpus)?;
+    let events = detector
+        .runtime_events()
+        .expect("4-HPC detector is deployable")
+        .to_vec();
+    println!(
+        "deployment programs {} counters: {}",
+        events.len(),
+        events
+            .iter()
+            .map(|e| e.short_name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // Online: one PerfSession over exactly those counters. Opening a fifth
+    // event would fail — the hardware constraint is enforced by the API.
+    let session = PerfSession::open(&events)?;
+    let mut rng = StdRng::seed_from_u64(99);
+    let library = WorkloadSpec::library();
+
+    // A stream of applications arrives; the OnlineDetector aggregates a
+    // 20-sample sliding window and smooths over 3 verdicts so one noisy
+    // window cannot flip the alarm.
+    let window = 20;
+    let votes = 3;
+    println!("\nmonitoring (window {window} × 10 ms, {votes}-vote smoothing):");
+    let mut hits = 0;
+    let mut total = 0;
+    for spec in library
+        .iter()
+        .cycle()
+        .take(2 * library.len())
+    {
+        let mut online = OnlineDetector::new(detector.clone(), window, votes)?;
+        let mut app = spec.spawn(&mut rng);
+        // Stream enough samples for the window plus two smoothing votes.
+        let readings = session.profile(&mut app, window + 2, &mut rng);
+        let mut verdict = None;
+        for r in &readings {
+            verdict = online.push(&r.counts);
+        }
+        let flagged = verdict.expect("window filled").is_malware();
+        let truth = spec.class.is_malware();
+        total += 1;
+        if flagged == truth {
+            hits += 1;
+        }
+        println!(
+            "  {:<22} truth={:<9} flagged={}",
+            spec.name,
+            spec.class.name(),
+            if flagged { "MALWARE" } else { "ok" }
+        );
+    }
+    println!(
+        "\n{hits}/{total} decisions correct; decision latency: \
+         ({window}+{votes}-1) × 10 ms of samples + inference"
+    );
+
+    // The constraint that motivates the whole design:
+    let too_many: Vec<_> = twosmart_suite::hpc_sim::event::Event::ALL[..5].to_vec();
+    match PerfSession::open(&too_many) {
+        Err(e) => println!("opening 5 events fails as expected: {e}"),
+        Ok(_) => unreachable!("hardware exposes only {} registers", PerfSession::MAX_COUNTERS),
+    }
+    let _ = AppClass::ALL; // (silence unused import on some feature sets)
+    Ok(())
+}

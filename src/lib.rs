@@ -1,0 +1,16 @@
+//! Umbrella crate for the 2SMaRT reproduction workspace.
+//!
+//! This crate exists so that the repository root can host runnable
+//! [`examples`](https://doc.rust-lang.org/cargo/reference/cargo-targets.html#examples)
+//! and cross-crate integration tests. It re-exports the member crates under
+//! short names so examples read naturally:
+//!
+//! ```rust
+//! use twosmart_suite::hpc_sim::AppClass;
+//! assert_eq!(AppClass::ALL.len(), 5);
+//! ```
+
+pub use hmd_hpc_sim as hpc_sim;
+pub use hmd_hwmodel as hwmodel;
+pub use hmd_ml as ml;
+pub use twosmart;

@@ -1,0 +1,166 @@
+//! End-to-end integration: the full paper pipeline from synthetic
+//! profiling through two-stage detection, spanning all four crates.
+
+use twosmart_suite::hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
+use twosmart_suite::hpc_sim::event::Event;
+use twosmart_suite::hpc_sim::workload::AppClass;
+use twosmart_suite::hwmodel::{extract_topology, CostModel};
+use twosmart_suite::ml::classifier::ClassifierKind;
+use twosmart_suite::twosmart::detector::TwoSmartDetector;
+use twosmart_suite::twosmart::pipeline::{class_dataset_from, full_dataset};
+use twosmart_suite::twosmart::stage2::{SpecializedDetector, Stage2Config};
+
+fn small_corpus() -> twosmart_suite::hpc_sim::corpus::Corpus {
+    // Mid-size corpus, no label noise: integration thresholds should be
+    // about signal flow, not noise calibration.
+    CorpusBuilder::new(CorpusSpec {
+        benign: 60,
+        backdoor: 30,
+        rootkit: 30,
+        virus: 30,
+        trojan: 40,
+        samples_per_run: 10,
+        label_noise: 0.0,
+        seed: 5,
+    })
+    .build()
+}
+
+#[test]
+fn full_pipeline_detects_malware_better_than_chance() {
+    let corpus = small_corpus();
+    let data = full_dataset(&corpus);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    let (train, test) = data.stratified_split(0.6, &mut rng);
+
+    let detector = TwoSmartDetector::builder()
+        .seed(1)
+        .hpc_budget(4)
+        .classifier_for(AppClass::Backdoor, ClassifierKind::J48)
+        .classifier_for(AppClass::Rootkit, ClassifierKind::J48)
+        .classifier_for(AppClass::Virus, ClassifierKind::J48)
+        .classifier_for(AppClass::Trojan, ClassifierKind::J48)
+        .train_on(&train)
+        .expect("detector trains");
+
+    let f = detector.binary_f_measure(&test);
+    assert!(f > 0.7, "end-to-end malware F = {f}, expected useful signal");
+}
+
+#[test]
+fn auto_selection_trains_one_specialist_per_class() {
+    let corpus = small_corpus();
+    let detector = TwoSmartDetector::builder()
+        .seed(3)
+        .train(&corpus)
+        .expect("auto-selected detector trains");
+    let classes: Vec<AppClass> = detector.stage2_all().iter().map(|d| d.class()).collect();
+    assert_eq!(classes.len(), 4);
+    for class in AppClass::MALWARE {
+        assert!(classes.contains(&class), "missing specialist for {class}");
+        // Each specialist reads only the run-time budget.
+        assert_eq!(detector.stage2(class).events().len(), 4);
+    }
+}
+
+#[test]
+fn runtime_counter_path_agrees_with_offline_path() {
+    let corpus = small_corpus();
+    let detector = TwoSmartDetector::builder()
+        .seed(2)
+        .classifier_for(AppClass::Backdoor, ClassifierKind::OneR)
+        .classifier_for(AppClass::Rootkit, ClassifierKind::OneR)
+        .classifier_for(AppClass::Virus, ClassifierKind::OneR)
+        .classifier_for(AppClass::Trojan, ClassifierKind::OneR)
+        .train(&corpus)
+        .expect("detector trains");
+    let events = detector.runtime_events().expect("4-HPC deployable");
+    for record in corpus.records().iter().take(25) {
+        let counters: Vec<f64> = events.iter().map(|e| record.features[e.index()]).collect();
+        assert_eq!(
+            detector.detect_from_counters(&counters),
+            detector.detect(&record.features),
+        );
+    }
+}
+
+#[test]
+fn boosting_does_not_degrade_tree_detectors() {
+    // The paper's Table IV headline, as a conservative integration check:
+    // boosted 4-HPC J48 should at least match plain 4-HPC J48 on average.
+    let corpus = small_corpus();
+    let data = full_dataset(&corpus);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+    let (train, test) = data.stratified_split(0.6, &mut rng);
+
+    let mut plain_sum = 0.0;
+    let mut boosted_sum = 0.0;
+    for class in AppClass::MALWARE {
+        let bin_train = class_dataset_from(&train, class);
+        let bin_test = class_dataset_from(&test, class);
+        let plain = SpecializedDetector::train(
+            &bin_train,
+            class,
+            &Stage2Config::new(ClassifierKind::J48).with_hpcs(4),
+            7,
+        )
+        .expect("plain trains");
+        let boosted = SpecializedDetector::train(
+            &bin_train,
+            class,
+            &Stage2Config::new(ClassifierKind::J48)
+                .with_hpcs(4)
+                .with_boosting(true),
+            7,
+        )
+        .expect("boosted trains");
+        plain_sum += plain.evaluate(&bin_test).performance();
+        boosted_sum += boosted.evaluate(&bin_test).performance();
+    }
+    assert!(
+        boosted_sum >= plain_sum - 0.05,
+        "boosted {boosted_sum:.3} vs plain {plain_sum:.3}"
+    );
+}
+
+#[test]
+fn hardware_costs_follow_the_papers_ordering() {
+    let corpus = small_corpus();
+    let data = full_dataset(&corpus);
+    let binary = class_dataset_from(&data, AppClass::Virus);
+    let cost = CostModel::default();
+
+    let price = |kind: ClassifierKind, boosted: bool| -> (u64, f64) {
+        let config = Stage2Config::new(kind).with_hpcs(4).with_boosting(boosted);
+        let det = SpecializedDetector::train(&binary, AppClass::Virus, &config, 0)
+            .expect("detector trains");
+        let topo = extract_topology(det.model()).expect("known model");
+        cost.table_v_cell(&topo)
+    };
+
+    let (mlp_lat, mlp_area) = price(ClassifierKind::Mlp, false);
+    let (tree_lat, tree_area) = price(ClassifierKind::J48, false);
+    let (oner_lat, _) = price(ClassifierKind::OneR, false);
+    assert!(mlp_lat > tree_lat, "MLP {mlp_lat} vs J48 {tree_lat}");
+    assert!(mlp_area > tree_area);
+    assert_eq!(oner_lat, 1, "OneR is a single comparator rank");
+
+    let (boosted_lat, boosted_area) = price(ClassifierKind::OneR, true);
+    assert!(boosted_lat > oner_lat, "boosting serializes base models");
+    assert!(boosted_area < mlp_area, "boosted OneR still far below MLP");
+}
+
+#[test]
+fn corpus_protocol_destroys_one_container_per_run() {
+    let spec = CorpusSpec::tiny();
+    let corpus = CorpusBuilder::new(spec.clone()).build();
+    assert_eq!(
+        corpus.containers_destroyed(),
+        (spec.total() * 11) as u64,
+        "11 batched runs per application, fresh container each"
+    );
+    assert!(corpus
+        .records()
+        .iter()
+        .all(|r| r.features.len() == Event::COUNT));
+}
