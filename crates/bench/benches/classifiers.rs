@@ -18,7 +18,11 @@ fn bench_training(c: &mut Criterion) {
     let exp = Experiment::prepare(Scale::Tiny);
     let binary = class_dataset_from(&exp.train, AppClass::Virus);
     let mut group = c.benchmark_group("train");
-    for kind in [ClassifierKind::J48, ClassifierKind::JRip, ClassifierKind::OneR] {
+    for kind in [
+        ClassifierKind::J48,
+        ClassifierKind::JRip,
+        ClassifierKind::OneR,
+    ] {
         for config in [HpcConfig::Hpc4, HpcConfig::Hpc8] {
             group.bench_with_input(
                 BenchmarkId::new(kind.name(), config.label()),

@@ -1,0 +1,28 @@
+//! Criterion benchmark of the deterministic parallel grid engine:
+//! the full 64-cell class × classifier × HPC-config grid at 1, 2 and 4
+//! worker threads. The output is bit-identical at every thread count
+//! (asserted by `tests/determinism.rs`); only the wall-clock changes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmd_bench::grid::run_grid;
+use hmd_bench::setup::{Experiment, Scale};
+use hmd_ml::par::with_threads;
+use std::hint::black_box;
+
+fn bench_grid_thread_scaling(c: &mut Criterion) {
+    let exp = Experiment::prepare(Scale::Tiny);
+    let mut group = c.benchmark_group("grid");
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("threads/{threads}"), |b| {
+            b.iter(|| {
+                with_threads(threads, || {
+                    run_grid(black_box(&exp.train), &exp.test, exp.seed)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_thread_scaling);
+criterion_main!(benches);

@@ -33,12 +33,20 @@ fn main() {
 
     // Stage 1 accuracy at 4 common and at 16 correlation-selected events.
     let s1_common = Stage1Model::train(&train, &COMMON_EVENTS).unwrap();
-    println!("stage1 accuracy (4 common HPCs): {:.3}", s1_common.accuracy(&test));
+    println!(
+        "stage1 accuracy (4 common HPCs): {:.3}",
+        s1_common.accuracy(&test)
+    );
     // Confusion matrix for tuning.
     {
         use hmd_ml::metrics::ConfusionMatrix;
         let pairs: Vec<(usize, usize)> = (0..test.len())
-            .map(|i| (test.label_of(i), s1_common.predict_class(test.features_of(i)).label()))
+            .map(|i| {
+                (
+                    test.label_of(i),
+                    s1_common.predict_class(test.features_of(i)).label(),
+                )
+            })
             .collect();
         let cm = ConfusionMatrix::from_pairs(&pairs, 5);
         println!("stage1 confusion (rows=truth Ben,Bd,Rk,Vi,Tj):");
@@ -49,14 +57,22 @@ fn main() {
     }
     let e16 = events_for_budget(&train.binarize(&[1, 2, 3, 4]), AppClass::Virus, 16);
     let s1_16 = Stage1Model::train(&train, &e16).unwrap();
-    println!("stage1 accuracy (16 HPCs):       {:.3}", s1_16.accuracy(&test));
+    println!(
+        "stage1 accuracy (16 HPCs):       {:.3}",
+        s1_16.accuracy(&test)
+    );
 
     {
-        use hmd_ml::feature::CorrelationRanker;
         use hmd_hpc_sim::event::Event;
+        use hmd_ml::feature::CorrelationRanker;
         println!("\ncorrelation merit ranking (top 20):");
         for (i, (idx, merit)) in CorrelationRanker::rank(&train).iter().take(20).enumerate() {
-            println!("  {:>2}. {:<28} {:.4}", i + 1, Event::from_index(*idx).unwrap().short_name(), merit);
+            println!(
+                "  {:>2}. {:<28} {:.4}",
+                i + 1,
+                Event::from_index(*idx).unwrap().short_name(),
+                merit
+            );
         }
     }
 
@@ -68,11 +84,17 @@ fn main() {
             let bin_train = class_dataset_from(&train, class);
             let bin_test = class_dataset_from(&test, class);
             for kind in ClassifierKind::ALL {
-                for (label, hpcs, boosted) in [("8", 8usize, false), ("4", 4, false), ("4B", 4, true)] {
-                    let config = Stage2Config::new(kind).with_hpcs(hpcs).with_boosting(boosted);
+                for (label, hpcs, boosted) in
+                    [("8", 8usize, false), ("4", 4, false), ("4B", 4, true)]
+                {
+                    let config = Stage2Config::new(kind)
+                        .with_hpcs(hpcs)
+                        .with_boosting(boosted);
                     let det = SpecializedDetector::train(&bin_train, class, &config, 3).unwrap();
                     let s: DetectionScore = det.evaluate(&bin_test);
-                    perf.entry((kind.name(), label)).or_default().push(s.performance());
+                    perf.entry((kind.name(), label))
+                        .or_default()
+                        .push(s.performance());
                 }
             }
         }
@@ -83,13 +105,20 @@ fn main() {
                 v.iter().sum::<f64>() / v.len() as f64
             };
             let (p8, p4, p4b) = (m("8"), m("4"), m("4B"));
-            println!("  {:<5} 8->4B {:+.1}%  4->4B {:+.1}%", kind.name(),
-                     100.0 * (p4b - p8) / p8, 100.0 * (p4b - p4) / p4);
+            println!(
+                "  {:<5} 8->4B {:+.1}%  4->4B {:+.1}%",
+                kind.name(),
+                100.0 * (p4b - p8) / p8,
+                100.0 * (p4b - p4) / p4
+            );
         }
     }
 
     println!("\nper-class F / AUC (test):");
-    println!("{:<10} {:<6} {:>7} {:>7} {:>7} {:>9}", "class", "clf", "16", "8", "4", "4-boost");
+    println!(
+        "{:<10} {:<6} {:>7} {:>7} {:>7} {:>9}",
+        "class", "clf", "16", "8", "4", "4-boost"
+    );
     for class in AppClass::MALWARE {
         let bin_train = class_dataset_from(&train, class);
         let bin_test = class_dataset_from(&test, class);
@@ -102,7 +131,10 @@ fn main() {
                 match SpecializedDetector::train(&bin_train, class, &config, 3) {
                     Ok(det) => {
                         let s = det.evaluate(&bin_test);
-                        row.push_str(&format!(" {:>7}", format!("{:.1}/{:.0}", s.f_measure * 100.0, s.auc * 100.0)));
+                        row.push_str(&format!(
+                            " {:>7}",
+                            format!("{:.1}/{:.0}", s.f_measure * 100.0, s.auc * 100.0)
+                        ));
                     }
                     Err(e) => row.push_str(&format!(" {e:>7}")),
                 }

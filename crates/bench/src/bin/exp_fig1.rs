@@ -1,5 +1,8 @@
 //! Reproduces Fig. 1: HPC traces of branch events, benign vs malware.
 
 fn main() {
-    print!("{}", hmd_bench::experiments::fig1::run(hmd_bench::setup::Experiment::SEED));
+    print!(
+        "{}",
+        hmd_bench::experiments::fig1::run(hmd_bench::setup::Experiment::SEED)
+    );
 }

@@ -6,5 +6,8 @@ use hmd_hpc_sim::workload::AppClass;
 
 fn main() {
     let exp = Experiment::from_env();
-    print!("{}", roc::run(&exp.train, &exp.test, AppClass::Virus, exp.seed));
+    print!(
+        "{}",
+        roc::run(&exp.train, &exp.test, AppClass::Virus, exp.seed)
+    );
 }

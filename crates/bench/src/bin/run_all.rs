@@ -45,7 +45,14 @@ fn main() {
     out.push_str(&format!(
         "Setup: scale `{scale:?}` — {} applications ({} train / {} test, \
          stratified 60/40), seed {}. Regenerate with \
-         `TWOSMART_SCALE={} cargo run --release -p hmd-bench --bin run_all`.\n\n",
+         `TWOSMART_SCALE={} cargo run --release -p hmd-bench --bin run_all`.\n\n\
+         All numbers below are deterministic in the seed: the grid, the \
+         experiment sections and every ensemble train in parallel \
+         (`TWOSMART_THREADS` workers), but results are collected in task \
+         order with per-task derived RNG seeds, so the report is \
+         bit-identical at any thread count. Wall-clock timings printed on \
+         stderr during generation do depend on the thread count and \
+         machine; use `cargo bench -p hmd-bench` for comparable timings.\n\n",
         exp.corpus.len(),
         exp.train.len(),
         exp.test.len(),
@@ -57,26 +64,43 @@ fn main() {
         },
     ));
 
-    let sections: Vec<(&str, String)> = vec![
-        ("fig1", fig1::run(exp.seed)),
-        ("table1", table1::run(&grid)),
-        ("table2", table2::run(&exp.train)),
-        ("table3", table3::run(&grid)),
-        ("fig4", fig4::run(&grid)),
-        ("table4", table4::run(&grid)),
-        ("fig5a", fig5::run_5a(&exp.train, &exp.test, exp.seed)),
-        ("fig5b", fig5::run_5b(&exp.train, &exp.test, exp.seed)),
-        ("table5", table5::run(&exp.train, exp.seed)),
-        ("ablations", ablation::run(&exp.train, &exp.test, exp.seed)),
+    // Sections only read the shared grid/split, so they render in
+    // parallel; par_map returns them in this declaration order, which is
+    // the report's section order.
+    type Section<'a> = Box<dyn FnOnce() -> String + Send + 'a>;
+    let sections: Vec<(&str, Section)> = vec![
+        ("fig1", Box::new(|| fig1::run(exp.seed))),
+        ("table1", Box::new(|| table1::run(&grid))),
+        ("table2", Box::new(|| table2::run(&exp.train))),
+        ("table3", Box::new(|| table3::run(&grid))),
+        ("fig4", Box::new(|| fig4::run(&grid))),
+        ("table4", Box::new(|| table4::run(&grid))),
+        (
+            "fig5a",
+            Box::new(|| fig5::run_5a(&exp.train, &exp.test, exp.seed)),
+        ),
+        (
+            "fig5b",
+            Box::new(|| fig5::run_5b(&exp.train, &exp.test, exp.seed)),
+        ),
+        ("table5", Box::new(|| table5::run(&exp.train, exp.seed))),
+        (
+            "ablations",
+            Box::new(|| ablation::run(&exp.train, &exp.test, exp.seed)),
+        ),
     ];
-    for (name, section) in sections {
+    let rendered = hmd_ml::par::par_map(sections, |_, (name, render)| {
+        let section = render();
         eprintln!("[run_all] {name} rendered");
+        section
+    });
+    for section in rendered {
         out.push_str(&section);
         out.push('\n');
     }
 
-    let mut file = std::fs::File::create(&path)
-        .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    let mut file =
+        std::fs::File::create(&path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
     file.write_all(out.as_bytes())
         .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     eprintln!(

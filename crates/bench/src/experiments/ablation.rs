@@ -253,11 +253,7 @@ pub fn feature_sets(train: &Dataset, test: &Dataset, seed: u64) -> String {
     let derived = derive_feature_sets(train);
     let mut out = String::new();
     out.push_str("## Ablation — published vs derived feature sets (8 HPCs, J48)\n\n");
-    let header: Vec<String> = vec![
-        "Class".into(),
-        "Published F".into(),
-        "Derived F".into(),
-    ];
+    let header: Vec<String> = vec!["Class".into(), "Published F".into(), "Derived F".into()];
     let mut rows = Vec::new();
     for class in AppClass::MALWARE {
         let bin_train = class_dataset_from(train, class);
@@ -279,8 +275,8 @@ pub fn feature_sets(train: &Dataset, test: &Dataset, seed: u64) -> String {
         let reduced_test = select_events(&bin_test, derived_events);
         let mut model = ClassifierKind::J48.build(seed);
         model.fit(&reduced_train).expect("J48 trains");
-        let derived_f = hmd_ml::metrics::DetectionScore::evaluate(model.as_ref(), &reduced_test)
-            .f_measure;
+        let derived_f =
+            hmd_ml::metrics::DetectionScore::evaluate(model.as_ref(), &reduced_test).f_measure;
 
         rows.push(vec![
             class.name().to_string(),
@@ -306,7 +302,11 @@ pub fn label_noise(seed: u64) -> String {
     let mut out = String::new();
     out.push_str("## Ablation — AV-label noise\n\n");
     let header: Vec<String> = std::iter::once("Classifier".to_string())
-        .chain(noise_levels.iter().map(|n| format!("{:.0} % noise", n * 100.0)))
+        .chain(
+            noise_levels
+                .iter()
+                .map(|n| format!("{:.0} % noise", n * 100.0)),
+        )
         .collect();
 
     // Mean 4-HPC F per classifier for each corpus.
@@ -446,11 +446,7 @@ pub fn split_stability(train: &Dataset, test: &Dataset, seed: u64) -> String {
 
     let mut out = String::new();
     out.push_str("## Ablation — split stability (5-fold CV, 4 HPCs, Virus detector)\n\n");
-    let header: Vec<String> = vec![
-        "Classifier".into(),
-        "CV mean F".into(),
-        "CV std".into(),
-    ];
+    let header: Vec<String> = vec!["Classifier".into(), "CV mean F".into(), "CV std".into()];
     let binary = select_events(&class_dataset_from(&all, AppClass::Virus), &COMMON_EVENTS);
     let mut rows = Vec::new();
     for kind in ClassifierKind::ALL {

@@ -72,11 +72,7 @@ pub fn run_5a(train: &Dataset, test: &Dataset, seed: u64) -> String {
 
     // §III-C accuracy claims.
     let acc4 = stage1_only.accuracy(test);
-    let e16 = events_for_budget(
-        &malware_dataset_from(train),
-        AppClass::Virus,
-        16,
-    );
+    let e16 = events_for_budget(&malware_dataset_from(train), AppClass::Virus, 16);
     let s1_16 = Stage1Model::train(train, &e16).expect("16-HPC MLR trains");
     let acc16 = s1_16.accuracy(test);
     out.push_str(&format!(
@@ -114,11 +110,7 @@ pub fn run_5b(train: &Dataset, test: &Dataset, seed: u64) -> String {
         .map(|&c| (c, twosmart::pipeline::class_dataset_from(test, c)))
         .collect();
     let per_class_mean = |eval: &dyn Fn(AppClass, &Dataset) -> f64| -> f64 {
-        class_tests
-            .iter()
-            .map(|(c, t)| eval(*c, t))
-            .sum::<f64>()
-            / class_tests.len() as f64
+        class_tests.iter().map(|(c, t)| eval(*c, t)).sum::<f64>() / class_tests.len() as f64
     };
 
     let mut out = String::new();
@@ -139,10 +131,10 @@ pub fn run_5b(train: &Dataset, test: &Dataset, seed: u64) -> String {
     let mut rows = Vec::new();
     let mut sums = [0.0f64; 4];
     for kind in ClassifierKind::ALL {
-        let base4_model = SingleStageHmd::train(&pooled_train, kind, 4, seed)
-            .expect("baseline trains");
-        let base8_model = SingleStageHmd::train(&pooled_train, kind, 8, seed)
-            .expect("baseline trains");
+        let base4_model =
+            SingleStageHmd::train(&pooled_train, kind, 4, seed).expect("baseline trains");
+        let base8_model =
+            SingleStageHmd::train(&pooled_train, kind, 8, seed).expect("baseline trains");
         let base4 = per_class_mean(&|_, t| base4_model.evaluate(t).f_measure);
         let base8 = per_class_mean(&|_, t| base8_model.evaluate(t).f_measure);
 
@@ -162,10 +154,8 @@ pub fn run_5b(train: &Dataset, test: &Dataset, seed: u64) -> String {
         )
         .train_on(train)
         .expect("boosted 2SMaRT trains");
-        let smart4 =
-            per_class_mean(&|c, t| smart4_model.stage2(c).evaluate(t).f_measure);
-        let smart4b =
-            per_class_mean(&|c, t| smart4b_model.stage2(c).evaluate(t).f_measure);
+        let smart4 = per_class_mean(&|c, t| smart4_model.stage2(c).evaluate(t).f_measure);
+        let smart4b = per_class_mean(&|c, t| smart4b_model.stage2(c).evaluate(t).f_measure);
 
         for (s, v) in sums.iter_mut().zip([base4, base8, smart4, smart4b]) {
             *s += v;

@@ -29,8 +29,8 @@ pub fn run(train: &Dataset, test: &Dataset, class: AppClass, seed: u64) -> Strin
 
     for kind in ClassifierKind::ALL {
         let config = Stage2Config::new(kind).with_hpcs(4);
-        let det = SpecializedDetector::train(&bin_train, class, &config, seed)
-            .expect("detector trains");
+        let det =
+            SpecializedDetector::train(&bin_train, class, &config, seed).expect("detector trains");
         let scores: Vec<f64> = (0..bin_test.len())
             .map(|i| {
                 let mut row = [0.0; hmd_hpc_sim::event::Event::COUNT];

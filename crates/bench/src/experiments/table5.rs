@@ -153,16 +153,21 @@ mod tests {
 
     #[test]
     fn paper_anchors_match_publication() {
-        assert_eq!(paper_cell(ClassifierKind::Mlp, HpcConfig::Hpc8), Some((302, 61.1)));
-        assert_eq!(paper_cell(ClassifierKind::OneR, HpcConfig::Hpc4), Some((1, 0.49)));
+        assert_eq!(
+            paper_cell(ClassifierKind::Mlp, HpcConfig::Hpc8),
+            Some((302, 61.1))
+        );
+        assert_eq!(
+            paper_cell(ClassifierKind::OneR, HpcConfig::Hpc4),
+            Some((1, 0.49))
+        );
         assert_eq!(paper_cell(ClassifierKind::J48, HpcConfig::Hpc16), None);
     }
 
     #[test]
     fn mlp_costs_dominate() {
         let exp = Experiment::prepare(Scale::Tiny);
-        let (mlp_lat, mlp_area) =
-            measure_cell(&exp.train, ClassifierKind::Mlp, HpcConfig::Hpc8, 0);
+        let (mlp_lat, mlp_area) = measure_cell(&exp.train, ClassifierKind::Mlp, HpcConfig::Hpc8, 0);
         let (tree_lat, tree_area) =
             measure_cell(&exp.train, ClassifierKind::J48, HpcConfig::Hpc8, 0);
         assert!(mlp_lat > tree_lat);

@@ -7,8 +7,8 @@
 
 use hmd_hpc_sim::workload::AppClass;
 use hmd_ml::classifier::ClassifierKind;
-use hmd_ml::metrics::DetectionScore;
 use hmd_ml::data::Dataset;
+use hmd_ml::metrics::DetectionScore;
 use serde::{Deserialize, Serialize};
 use twosmart::pipeline::class_dataset_from;
 use twosmart::stage2::{SpecializedDetector, Stage2Config};
@@ -113,78 +113,95 @@ impl Grid {
     }
 
     /// The classifier with the highest F-measure for a class at a config
-    /// (one Table I cell).
+    /// (one Table I cell). NaN scores order below every real score
+    /// (`total_cmp`), so a degenerate cell never wins.
     pub fn best_kind(&self, class: AppClass, config: HpcConfig) -> ClassifierKind {
         self.cells
             .iter()
             .filter(|c| c.class == class && c.config == config)
-            .max_by(|a, b| {
-                a.score
-                    .f_measure
-                    .partial_cmp(&b.score.f_measure)
-                    .expect("finite F")
-            })
+            .max_by(|a, b| a.score.f_measure.total_cmp(&b.score.f_measure))
             .expect("grid covers every class/config")
             .kind
     }
 
     /// Mean detection performance of one classifier at one config across
-    /// all classes (Table IV's aggregation).
+    /// all classes (Table IV's aggregation). `0.0` when no cell matches
+    /// (rather than the `0/0 = NaN` a plain mean would give).
     pub fn mean_performance(&self, kind: ClassifierKind, config: HpcConfig) -> f64 {
-        let perfs: Vec<f64> = self
-            .cells
-            .iter()
-            .filter(|c| c.kind == kind && c.config == config)
-            .map(GridCell::performance)
-            .collect();
-        perfs.iter().sum::<f64>() / perfs.len() as f64
+        Grid::mean(
+            self.cells
+                .iter()
+                .filter(|c| c.kind == kind && c.config == config)
+                .map(GridCell::performance),
+        )
     }
 
     /// Mean detection performance over all classifiers and classes at one
     /// config (the paper's "74.8 % at 16 HPCs vs 70.9 % at 4" aggregate).
+    /// `0.0` when no cell matches.
     pub fn overall_performance(&self, config: HpcConfig) -> f64 {
-        let perfs: Vec<f64> = self
-            .cells
-            .iter()
-            .filter(|c| c.config == config)
-            .map(GridCell::performance)
-            .collect();
-        perfs.iter().sum::<f64>() / perfs.len() as f64
+        Grid::mean(
+            self.cells
+                .iter()
+                .filter(|c| c.config == config)
+                .map(GridCell::performance),
+        )
+    }
+
+    fn mean(perfs: impl Iterator<Item = f64>) -> f64 {
+        let (sum, n) = perfs.fold((0.0, 0usize), |(s, n), p| (s + p, n + 1));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
     }
 }
 
 /// Trains and evaluates every (class, classifier, config) combination on
 /// the given 5-class train/test split.
 ///
+/// The 64 cells train concurrently on [`hmd_ml::par::par_map`] (thread
+/// count from `TWOSMART_THREADS` / [`hmd_ml::par::with_threads`]). Every
+/// cell is a pure function of `(datasets, class, config, seed)` and cells
+/// are collected in the paper's row order, so the grid is **bit-identical**
+/// to a serial run at any thread count.
+///
 /// # Panics
 ///
 /// Panics if any detector fails to train — the experiment datasets are
 /// always large enough.
 pub fn run_grid(train: &Dataset, test: &Dataset, seed: u64) -> Grid {
-    let mut cells = Vec::with_capacity(
+    // Project the per-class binary splits once (4 tasks), then fan out the
+    // full class × kind × config grid.
+    let splits = hmd_ml::par::par_map(AppClass::MALWARE.to_vec(), |_, class| {
+        (
+            class_dataset_from(train, class),
+            class_dataset_from(test, class),
+        )
+    });
+    let mut combos = Vec::with_capacity(
         AppClass::MALWARE.len() * ClassifierKind::ALL.len() * HpcConfig::ALL.len(),
     );
-    for class in AppClass::MALWARE {
-        let bin_train = class_dataset_from(train, class);
-        let bin_test = class_dataset_from(test, class);
+    for class_idx in 0..AppClass::MALWARE.len() {
         for kind in ClassifierKind::ALL {
             for config in HpcConfig::ALL {
-                let det = SpecializedDetector::train(
-                    &bin_train,
-                    class,
-                    &config.stage2_config(kind),
-                    seed,
-                )
-                .unwrap_or_else(|e| panic!("training {class}/{kind}: {e}"));
-                cells.push(GridCell {
-                    class,
-                    kind,
-                    config,
-                    score: det.evaluate(&bin_test),
-                });
+                combos.push((class_idx, kind, config));
             }
         }
     }
+    let cells = hmd_ml::par::par_map(combos, |_, (class_idx, kind, config)| {
+        let class = AppClass::MALWARE[class_idx];
+        let (bin_train, bin_test) = &splits[class_idx];
+        let det = SpecializedDetector::train(bin_train, class, &config.stage2_config(kind), seed)
+            .unwrap_or_else(|e| panic!("training {class}/{kind}: {e}"));
+        GridCell {
+            class,
+            kind,
+            config,
+            score: det.evaluate(bin_test),
+        }
+    });
     Grid { cells }
 }
 
@@ -214,9 +231,17 @@ mod tests {
         let exp = Experiment::prepare(Scale::Tiny);
         let grid = run_grid(&exp.train, &exp.test, 0);
         let best = grid.best_kind(AppClass::Virus, HpcConfig::Hpc8);
-        let best_f = grid.cell(AppClass::Virus, best, HpcConfig::Hpc8).score.f_measure;
+        let best_f = grid
+            .cell(AppClass::Virus, best, HpcConfig::Hpc8)
+            .score
+            .f_measure;
         for kind in ClassifierKind::ALL {
-            assert!(grid.cell(AppClass::Virus, kind, HpcConfig::Hpc8).score.f_measure <= best_f);
+            assert!(
+                grid.cell(AppClass::Virus, kind, HpcConfig::Hpc8)
+                    .score
+                    .f_measure
+                    <= best_f
+            );
         }
     }
 

@@ -12,10 +12,7 @@ pub fn markdown_table(header: &[String], rows: &[Vec<String>]) -> String {
     }
     let mut out = String::new();
     out.push_str(&format!("| {} |\n", header.join(" | ")));
-    out.push_str(&format!(
-        "|{}\n",
-        "---|".repeat(header.len())
-    ));
+    out.push_str(&format!("|{}\n", "---|".repeat(header.len())));
     for row in rows {
         out.push_str(&format!("| {} |\n", row.join(" | ")));
     }
@@ -38,10 +35,7 @@ mod tests {
 
     #[test]
     fn table_renders_header_separator_rows() {
-        let t = markdown_table(
-            &["a".into(), "b".into()],
-            &[vec!["1".into(), "2".into()]],
-        );
+        let t = markdown_table(&["a".into(), "b".into()], &[vec!["1".into(), "2".into()]]);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].contains("| a | b |"));

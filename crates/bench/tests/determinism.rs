@@ -1,0 +1,113 @@
+//! The hard requirement of the parallel execution engine: a parallel grid
+//! run is **cell-for-cell bit-identical** to a serial run, at any thread
+//! count, because cells are pure functions of (data, combination, seed)
+//! and are collected in input order.
+
+use hmd_bench::grid::{run_grid, Grid};
+use hmd_bench::setup::{Experiment, Scale};
+use hmd_hpc_sim::workload::AppClass;
+use hmd_ml::par::{thread_count, with_threads};
+use twosmart::detector::{TwoSmartDetector, Verdict};
+
+fn assert_grids_bit_identical(serial: &Grid, parallel: &Grid, threads: usize) {
+    assert_eq!(serial.cells().len(), parallel.cells().len());
+    for (a, b) in serial.cells().iter().zip(parallel.cells()) {
+        assert_eq!(a.class, b.class, "cell order diverged at {threads} threads");
+        assert_eq!(a.kind, b.kind, "cell order diverged at {threads} threads");
+        assert_eq!(
+            a.config, b.config,
+            "cell order diverged at {threads} threads"
+        );
+        assert_eq!(
+            a.score.f_measure.to_bits(),
+            b.score.f_measure.to_bits(),
+            "{}/{}/{} F-measure diverged at {threads} threads",
+            a.class,
+            a.kind,
+            a.config.label()
+        );
+        assert_eq!(
+            a.score.auc.to_bits(),
+            b.score.auc.to_bits(),
+            "{}/{}/{} AUC diverged at {threads} threads",
+            a.class,
+            a.kind,
+            a.config.label()
+        );
+    }
+}
+
+#[test]
+fn parallel_grid_is_bit_identical_to_serial() {
+    let exp = Experiment::prepare(Scale::Tiny);
+    let serial = with_threads(1, || run_grid(&exp.train, &exp.test, exp.seed));
+    for threads in [2, 4] {
+        let parallel = with_threads(threads, || run_grid(&exp.train, &exp.test, exp.seed));
+        assert_grids_bit_identical(&serial, &parallel, threads);
+    }
+    // Default thread count (TWOSMART_THREADS / machine parallelism).
+    let default_run = run_grid(&exp.train, &exp.test, exp.seed);
+    assert_grids_bit_identical(&serial, &default_run, thread_count());
+}
+
+#[test]
+fn detector_training_is_invariant_across_thread_counts() {
+    let exp = Experiment::prepare(Scale::Tiny);
+    // Unpinned classes exercise the per-class derived selection RNG.
+    let train = || {
+        TwoSmartDetector::builder()
+            .seed(exp.seed)
+            .train_on(&exp.train)
+            .expect("detector trains")
+    };
+    let serial = with_threads(1, train);
+    let parallel = with_threads(4, train);
+    for class in AppClass::MALWARE {
+        assert_eq!(
+            serial.stage2(class).config().kind,
+            parallel.stage2(class).config().kind,
+            "classifier selection for {class} diverged"
+        );
+    }
+    for i in 0..exp.test.len() {
+        let (a, b) = (
+            serial.detect(exp.test.features_of(i)),
+            parallel.detect(exp.test.features_of(i)),
+        );
+        match (a, b) {
+            (Verdict::Benign, Verdict::Benign) => {}
+            (
+                Verdict::Malware {
+                    class: ca,
+                    confidence: fa,
+                },
+                Verdict::Malware {
+                    class: cb,
+                    confidence: fb,
+                },
+            ) => {
+                assert_eq!(ca, cb, "row {i}: routed class diverged");
+                assert_eq!(fa.to_bits(), fb.to_bits(), "row {i}: confidence diverged");
+            }
+            (a, b) => panic!("row {i}: verdicts diverged: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn thread_count_resolution_order() {
+    // with_threads override beats the environment, which beats the
+    // machine default. (Other tests in this binary only use with_threads,
+    // which shadows the env var, so mutating it here cannot affect their
+    // thread counts — and thread count never affects results anyway.)
+    std::env::set_var("TWOSMART_THREADS", "3");
+    assert_eq!(thread_count(), 3);
+    with_threads(5, || assert_eq!(thread_count(), 5));
+    assert_eq!(thread_count(), 3);
+    std::env::set_var("TWOSMART_THREADS", "not-a-number");
+    assert!(thread_count() >= 1, "unparsable values fall through");
+    std::env::set_var("TWOSMART_THREADS", "0");
+    assert!(thread_count() >= 1, "zero falls through to the default");
+    std::env::remove_var("TWOSMART_THREADS");
+    assert!(thread_count() >= 1);
+}

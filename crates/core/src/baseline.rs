@@ -115,7 +115,11 @@ impl SingleStageHmd {
         seed: u64,
     ) -> Result<SingleStageHmd, TrainError> {
         assert_eq!(data.n_classes(), 2, "single-stage HMD is a binary detector");
-        assert_eq!(data.n_features(), Event::COUNT, "expected the 44-event layout");
+        assert_eq!(
+            data.n_features(),
+            Event::COUNT,
+            "expected the 44-event layout"
+        );
         assert!(
             (1..=Event::COUNT).contains(&n_hpcs),
             "n_hpcs must be in 1..=44, got {n_hpcs}"
@@ -151,7 +155,11 @@ impl SingleStageHmd {
     ///
     /// Panics if `features44` does not have 44 entries.
     pub fn is_malware(&self, features44: &[f64]) -> bool {
-        assert_eq!(features44.len(), Event::COUNT, "expected the 44-event layout");
+        assert_eq!(
+            features44.len(),
+            Event::COUNT,
+            "expected the 44-event layout"
+        );
         let x: Vec<f64> = self.events.iter().map(|e| features44[e.index()]).collect();
         self.model.predict(&x) == 1
     }

@@ -120,7 +120,10 @@ impl TwoSmartBuilder {
     ///
     /// Panics if `class` is benign.
     pub fn classifier_for(mut self, class: AppClass, kind: ClassifierKind) -> TwoSmartBuilder {
-        assert!(class.is_malware(), "only malware classes have stage-2 detectors");
+        assert!(
+            class.is_malware(),
+            "only malware classes have stage-2 detectors"
+        );
         self.pinned.retain(|(c, _)| *c != class);
         self.pinned.push((class, kind));
         self
@@ -149,19 +152,27 @@ impl TwoSmartBuilder {
     pub fn train_on(&self, data: &Dataset) -> Result<TwoSmartDetector, TrainError> {
         let stage1 = Stage1Model::train(data, &COMMON_EVENTS)?;
 
-        let mut stage2 = Vec::with_capacity(AppClass::MALWARE.len());
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        for class in AppClass::MALWARE {
+        // The four specialists are independent, so they train in parallel.
+        // Each class's selection RNG is seeded from (builder seed, class
+        // index) — never from a stream shared across classes — so the
+        // detector is identical at any thread count.
+        let stage2 = hmd_ml::par::par_map(AppClass::MALWARE.to_vec(), |idx, class| {
             let binary = class_dataset_from(data, class);
             let kind = match self.pinned.iter().find(|(c, _)| *c == class) {
                 Some((_, kind)) => *kind,
-                None => self.select_kind(&binary, class, &mut rng)?,
+                None => {
+                    let class_seed = hmd_ml::par::derive_seed(self.seed, idx as u64);
+                    let mut rng = StdRng::seed_from_u64(class_seed);
+                    self.select_kind(&binary, class, &mut rng)?
+                }
             };
             let config = Stage2Config::new(kind)
                 .with_hpcs(self.n_hpcs)
                 .with_boosting(self.boosted);
-            stage2.push(SpecializedDetector::train(&binary, class, &config, self.seed)?);
-        }
+            SpecializedDetector::train(&binary, class, &config, self.seed)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, TrainError>>()?;
 
         Ok(TwoSmartDetector { stage1, stage2 })
     }
@@ -224,17 +235,18 @@ impl TwoSmartDetector {
     ///
     /// Panics unless `stage2` holds exactly one specialist per malware
     /// class.
-    pub fn from_parts(
-        stage1: Stage1Model,
-        stage2: Vec<SpecializedDetector>,
-    ) -> TwoSmartDetector {
+    pub fn from_parts(stage1: Stage1Model, stage2: Vec<SpecializedDetector>) -> TwoSmartDetector {
         for class in AppClass::MALWARE {
             assert!(
                 stage2.iter().any(|d| d.class() == class),
                 "missing specialist for {class}"
             );
         }
-        assert_eq!(stage2.len(), AppClass::MALWARE.len(), "one specialist per class");
+        assert_eq!(
+            stage2.len(),
+            AppClass::MALWARE.len(),
+            "one specialist per class"
+        );
         TwoSmartDetector { stage1, stage2 }
     }
 
@@ -267,7 +279,11 @@ impl TwoSmartDetector {
     ///
     /// Panics if `features44` does not have 44 entries.
     pub fn detect(&self, features44: &[f64]) -> Verdict {
-        assert_eq!(features44.len(), Event::COUNT, "expected the 44-event layout");
+        assert_eq!(
+            features44.len(),
+            Event::COUNT,
+            "expected the 44-event layout"
+        );
         let routed = self.stage1.predict_class(features44);
         if routed == AppClass::Benign {
             return Verdict::Benign;

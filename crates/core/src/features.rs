@@ -54,7 +54,10 @@ impl FeatureSet {
         assert!(!common.is_empty(), "common feature set must not be empty");
         let mut seen = std::collections::HashSet::new();
         for e in common.iter().chain(&custom) {
-            assert!(seen.insert(*e), "event {e} appears twice in the feature set");
+            assert!(
+                seen.insert(*e),
+                "event {e} appears twice in the feature set"
+            );
         }
         FeatureSet {
             class,
@@ -71,8 +74,18 @@ impl FeatureSet {
     pub fn published(class: AppClass) -> FeatureSet {
         use Event::*;
         let custom = match class {
-            AppClass::Backdoor => vec![BranchLoads, L1IcacheLoadMisses, LlcLoadMisses, ItlbLoadMisses],
-            AppClass::Trojan => vec![CacheMisses, L1IcacheLoadMisses, LlcLoadMisses, ItlbLoadMisses],
+            AppClass::Backdoor => vec![
+                BranchLoads,
+                L1IcacheLoadMisses,
+                LlcLoadMisses,
+                ItlbLoadMisses,
+            ],
+            AppClass::Trojan => vec![
+                CacheMisses,
+                L1IcacheLoadMisses,
+                LlcLoadMisses,
+                ItlbLoadMisses,
+            ],
             AppClass::Virus => vec![LlcLoads, L1DcacheLoads, L1DcacheStores, ItlbLoadMisses],
             AppClass::Rootkit => vec![CacheMisses, BranchLoads, LlcLoadMisses, L1DcacheStores],
             AppClass::Benign => panic!("no feature set for benign applications"),
@@ -149,17 +162,10 @@ pub fn derive_feature_sets(data: &Dataset) -> DerivedFeatures {
     for class in AppClass::MALWARE {
         let label = class.label();
         // Class-vs-benign subset, restricted to the 16 surviving events.
-        let binary = data.filter_relabel(
-            |l| l == 0 || l == label,
-            |l| usize::from(l == label),
-            2,
-        );
+        let binary = data.filter_relabel(|l| l == 0 || l == label, |l| usize::from(l == label), 2);
         let reduced = binary.select_features(&top16_idx);
         let top8_local = PcaFeatureRanker::select_top(&reduced, 8.min(top16_idx.len()));
-        let events: Vec<Event> = top8_local
-            .iter()
-            .map(|&local| top16[local])
-            .collect();
+        let events: Vec<Event> = top8_local.iter().map(|&local| top16[local]).collect();
         per_class.push((class, events));
     }
 

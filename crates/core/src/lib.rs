@@ -46,8 +46,8 @@ pub mod stage1;
 pub mod stage2;
 
 pub use detector::{TwoSmartBuilder, TwoSmartDetector, Verdict};
+pub use features::{derive_feature_sets, DerivedFeatures, FeatureSet, COMMON_EVENTS};
 pub use online::{OnlineDetector, OnlineError};
 pub use persist::{DetectorSnapshot, SnapshotError, SpecialistSnapshot};
-pub use features::{derive_feature_sets, DerivedFeatures, FeatureSet, COMMON_EVENTS};
 pub use stage1::Stage1Model;
 pub use stage2::{SpecializedDetector, Stage2Config};

@@ -111,8 +111,7 @@ impl DetectorSnapshot {
 
     /// Rebuilds a working detector from the snapshot.
     pub fn restore(&self) -> TwoSmartDetector {
-        let stage1 =
-            Stage1Model::from_parts(self.stage1_model.clone(), self.stage1_events.clone());
+        let stage1 = Stage1Model::from_parts(self.stage1_model.clone(), self.stage1_events.clone());
         let stage2: Vec<SpecializedDetector> = self
             .stage2
             .iter()

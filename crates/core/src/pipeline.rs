@@ -34,7 +34,10 @@ use hmd_ml::data::Dataset;
 ///
 /// Panics if the corpus is empty.
 pub fn full_dataset(corpus: &Corpus) -> Dataset {
-    assert!(!corpus.is_empty(), "cannot build a dataset from an empty corpus");
+    assert!(
+        !corpus.is_empty(),
+        "cannot build a dataset from an empty corpus"
+    );
     let features = corpus
         .records()
         .iter()
@@ -54,7 +57,10 @@ pub fn full_dataset(corpus: &Corpus) -> Dataset {
 ///
 /// Panics if `class` is benign or the corpus lacks instances of either side.
 pub fn class_dataset(corpus: &Corpus, class: AppClass) -> Dataset {
-    assert!(class.is_malware(), "specialized detectors are per malware class");
+    assert!(
+        class.is_malware(),
+        "specialized detectors are per malware class"
+    );
     full_dataset(corpus).filter_relabel(
         |l| l == 0 || l == class.label(),
         |l| usize::from(l != 0),
@@ -70,13 +76,12 @@ pub fn class_dataset(corpus: &Corpus, class: AppClass) -> Dataset {
 /// Panics if `class` is benign, `data` is not the 5-class problem, or the
 /// filter removes every instance.
 pub fn class_dataset_from(data: &Dataset, class: AppClass) -> Dataset {
-    assert!(class.is_malware(), "specialized detectors are per malware class");
+    assert!(
+        class.is_malware(),
+        "specialized detectors are per malware class"
+    );
     assert_eq!(data.n_classes(), 5, "expected the 5-class problem");
-    data.filter_relabel(
-        |l| l == 0 || l == class.label(),
-        |l| usize::from(l != 0),
-        2,
-    )
+    data.filter_relabel(|l| l == 0 || l == class.label(), |l| usize::from(l != 0), 2)
 }
 
 /// The binary *any-malware-vs-benign* dataset over all 44 events — the

@@ -100,7 +100,11 @@ impl Stage1Model {
     ///
     /// Panics if `features44` does not have 44 entries.
     pub fn predict_class(&self, features44: &[f64]) -> AppClass {
-        assert_eq!(features44.len(), Event::COUNT, "expected the 44-event layout");
+        assert_eq!(
+            features44.len(),
+            Event::COUNT,
+            "expected the 44-event layout"
+        );
         let projected: Vec<f64> = self.events.iter().map(|e| features44[e.index()]).collect();
         self.predict_from_counters(&projected)
     }
@@ -127,7 +131,11 @@ impl Stage1Model {
     ///
     /// Panics if `features44` does not have 44 entries.
     pub fn predict_proba(&self, features44: &[f64]) -> Vec<f64> {
-        assert_eq!(features44.len(), Event::COUNT, "expected the 44-event layout");
+        assert_eq!(
+            features44.len(),
+            Event::COUNT,
+            "expected the 44-event layout"
+        );
         let projected: Vec<f64> = self.events.iter().map(|e| features44[e.index()]).collect();
         self.model.predict_proba(&log_row(&projected))
     }

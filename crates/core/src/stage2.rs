@@ -164,7 +164,10 @@ impl SpecializedDetector {
         config: &Stage2Config,
         seed: u64,
     ) -> Result<SpecializedDetector, TrainError> {
-        assert!(class.is_malware(), "specialized detectors are per malware class");
+        assert!(
+            class.is_malware(),
+            "specialized detectors are per malware class"
+        );
         assert_eq!(data.n_classes(), 2, "stage 2 solves binary problems");
         let events = events_for_budget(data, class, config.n_hpcs);
         let reduced = select_events(data, &events);
@@ -195,7 +198,10 @@ impl SpecializedDetector {
         events: Vec<Event>,
         model: Box<dyn Classifier>,
     ) -> SpecializedDetector {
-        assert!(class.is_malware(), "specialized detectors are per malware class");
+        assert!(
+            class.is_malware(),
+            "specialized detectors are per malware class"
+        );
         assert!(!events.is_empty(), "detector needs at least one event");
         SpecializedDetector {
             class,
@@ -242,7 +248,7 @@ impl SpecializedDetector {
         let labels: Vec<usize> = validation.labels().to_vec();
 
         let mut sorted = scores.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         sorted.dedup();
         let mut candidates = vec![0.5];
         candidates.extend(sorted.windows(2).map(|w| (w[0] + w[1]) / 2.0));
@@ -268,7 +274,7 @@ impl SpecializedDetector {
         };
         let best = candidates
             .into_iter()
-            .max_by(|a, b| f_at(*a).partial_cmp(&f_at(*b)).expect("finite F"))
+            .max_by(|a, b| f_at(*a).total_cmp(&f_at(*b)))
             .expect("at least the default candidate");
         self.threshold = best;
         best
@@ -295,7 +301,11 @@ impl SpecializedDetector {
     ///
     /// Panics if `features44` does not have 44 entries.
     pub fn score(&self, features44: &[f64]) -> f64 {
-        assert_eq!(features44.len(), Event::COUNT, "expected the 44-event layout");
+        assert_eq!(
+            features44.len(),
+            Event::COUNT,
+            "expected the 44-event layout"
+        );
         let x: Vec<f64> = self.events.iter().map(|e| features44[e.index()]).collect();
         self.model.predict_proba(&x)[1]
     }
@@ -411,7 +421,10 @@ mod tests {
         det.set_threshold(0.0);
         assert!(corpus.records().iter().all(|r| det.is_malware(&r.features)));
         det.set_threshold(1.0);
-        assert!(corpus.records().iter().all(|r| !det.is_malware(&r.features)));
+        assert!(corpus
+            .records()
+            .iter()
+            .all(|r| !det.is_malware(&r.features)));
     }
 
     #[test]

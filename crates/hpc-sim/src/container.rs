@@ -223,9 +223,7 @@ mod tests {
         // compare aggregate magnitude rather than exact values.
         let dirty_counts = dirty.run(&mut app_b, 50, &mut rng_b);
 
-        let sum = |v: &Vec<[f64; Event::COUNT]>| -> f64 {
-            v.iter().flat_map(|s| s.iter()).sum()
-        };
+        let sum = |v: &Vec<[f64; Event::COUNT]>| -> f64 { v.iter().flat_map(|s| s.iter()).sum() };
         assert!(
             sum(&dirty_counts) > sum(&clean_counts),
             "contamination must inflate totals"

@@ -286,21 +286,40 @@ impl Event {
     pub fn group(self) -> EventGroup {
         use Event::*;
         match self {
-            BranchInstructions | BranchMisses | BranchLoads | BranchLoadMisses
-            | L1IcacheLoads | L1IcacheLoadMisses | L1IcachePrefetches
-            | L1IcachePrefetchMisses | ItlbLoads | ItlbLoadMisses | StalledCyclesFrontend => {
-                EventGroup::PipelineFrontend
-            }
+            BranchInstructions
+            | BranchMisses
+            | BranchLoads
+            | BranchLoadMisses
+            | L1IcacheLoads
+            | L1IcacheLoadMisses
+            | L1IcachePrefetches
+            | L1IcachePrefetchMisses
+            | ItlbLoads
+            | ItlbLoadMisses
+            | StalledCyclesFrontend => EventGroup::PipelineFrontend,
             CpuCycles | Instructions | RefCycles | BusCycles | StalledCyclesBackend => {
                 EventGroup::PipelineBackend
             }
-            CacheMisses | CacheReferences | L1DcacheLoads | L1DcacheLoadMisses
-            | L1DcacheStores | L1DcacheStoreMisses | L1DcachePrefetches
-            | L1DcachePrefetchMisses | LlcLoads | LlcLoadMisses | LlcStores | LlcStoreMisses
-            | LlcPrefetches | LlcPrefetchMisses | DtlbLoads | DtlbLoadMisses | DtlbStores
-            | DtlbStoreMisses | DtlbPrefetches | DtlbPrefetchMisses => {
-                EventGroup::CacheSubsystem
-            }
+            CacheMisses
+            | CacheReferences
+            | L1DcacheLoads
+            | L1DcacheLoadMisses
+            | L1DcacheStores
+            | L1DcacheStoreMisses
+            | L1DcachePrefetches
+            | L1DcachePrefetchMisses
+            | LlcLoads
+            | LlcLoadMisses
+            | LlcStores
+            | LlcStoreMisses
+            | LlcPrefetches
+            | LlcPrefetchMisses
+            | DtlbLoads
+            | DtlbLoadMisses
+            | DtlbStores
+            | DtlbStoreMisses
+            | DtlbPrefetches
+            | DtlbPrefetchMisses => EventGroup::CacheSubsystem,
             NodeLoads | NodeLoadMisses | NodeStores | NodeStoreMisses | NodePrefetches
             | NodePrefetchMisses | MemLoads | MemStores => EventGroup::MainMemory,
         }

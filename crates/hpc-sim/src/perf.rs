@@ -253,8 +253,7 @@ impl MultiplexedSession {
                     .iter()
                     .map(|e| {
                         let base = truth[e.index()];
-                        let factor =
-                            (read_noise.sample(rng) + mux_noise.sample(rng)).exp();
+                        let factor = (read_noise.sample(rng) + mux_noise.sample(rng)).exp();
                         (base * factor).max(0.0)
                     })
                     .collect();
@@ -424,8 +423,7 @@ mod tests {
 
         let rel_std = |vals: Vec<f64>| -> f64 {
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
             var.sqrt() / mean
         };
 

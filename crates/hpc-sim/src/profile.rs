@@ -144,7 +144,10 @@ impl BehaviorProfile {
             ));
         }
         if self.jitter_sigma < 0.0 || self.jitter_sigma > 2.0 {
-            return Err(format!("jitter_sigma = {} outside [0, 2]", self.jitter_sigma));
+            return Err(format!(
+                "jitter_sigma = {} outside [0, 2]",
+                self.jitter_sigma
+            ));
         }
         Ok(())
     }
@@ -281,16 +284,14 @@ impl BehaviorProfile {
 
         // Stall cycles: front-end dominated by icache/iTLB/branch repair,
         // back-end by memory latency; both capped by total cycles.
-        let stalled_frontend = (l1i_load_misses * 18.0
-            + itlb_load_misses * 30.0
-            + branch_misses * 14.0)
-            .min(cycles * 0.9)
-            * j(rng).min(1.5);
-        let stalled_backend = (llc_load_misses * 120.0
-            + dtlb_load_misses * 25.0
-            + l1d_load_misses * 8.0)
-            .min(cycles * 0.95)
-            * j(rng).min(1.5);
+        let stalled_frontend =
+            (l1i_load_misses * 18.0 + itlb_load_misses * 30.0 + branch_misses * 14.0)
+                .min(cycles * 0.9)
+                * j(rng).min(1.5);
+        let stalled_backend =
+            (llc_load_misses * 120.0 + dtlb_load_misses * 25.0 + l1d_load_misses * 8.0)
+                .min(cycles * 0.95)
+                * j(rng).min(1.5);
 
         let bus_cycles = cycles / 4.0 * (1.0 + 0.01 * j(rng));
         let ref_cycles = CYCLES_PER_SAMPLE * self.utilization * (1.0 + 0.002 * j(rng));

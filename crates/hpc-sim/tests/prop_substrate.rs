@@ -11,16 +11,16 @@ use rand::SeedableRng;
 /// Arbitrary valid behaviour profile.
 fn arb_profile() -> impl Strategy<Value = BehaviorProfile> {
     (
-        0.05f64..=1.0,   // utilization
-        0.1f64..=3.5,    // ipc
-        0.0f64..=0.35,   // branch_frac
-        0.0f64..=0.35,   // load_frac
-        0.0f64..=0.25,   // store_frac
-        0.0f64..=0.3,    // branch_miss_rate
-        0.0f64..=0.3,    // l1d_load_miss_rate
-        0.0f64..=0.9,    // llc_miss_rate
-        0.0f64..=0.05,   // itlb_miss_rate
-        0.0f64..=0.6,    // jitter_sigma
+        0.05f64..=1.0, // utilization
+        0.1f64..=3.5,  // ipc
+        0.0f64..=0.35, // branch_frac
+        0.0f64..=0.35, // load_frac
+        0.0f64..=0.25, // store_frac
+        0.0f64..=0.3,  // branch_miss_rate
+        0.0f64..=0.3,  // l1d_load_miss_rate
+        0.0f64..=0.9,  // llc_miss_rate
+        0.0f64..=0.05, // itlb_miss_rate
+        0.0f64..=0.6,  // jitter_sigma
     )
         .prop_map(
             |(utilization, ipc, branch, load, store, bmr, l1d, llc, itlb, jitter)| {

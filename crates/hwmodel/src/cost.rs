@@ -81,9 +81,7 @@ impl CostModel {
             ModelTopology::Tree { depth, .. } => (*depth as u64).saturating_sub(1).max(1),
             // Parallel condition evaluation, AND-reduction tree, priority
             // encode.
-            ModelTopology::Rules { max_conditions, .. } => {
-                1 + ceil_log2(*max_conditions + 1)
-            }
+            ModelTopology::Rules { max_conditions, .. } => 1 + ceil_log2(*max_conditions + 1),
             // One parallel comparator rank + encode.
             ModelTopology::Buckets { .. } => 1,
             // Shared pipelined MAC engine, plus activation evaluation.
@@ -150,12 +148,7 @@ impl CostModel {
             }
             ModelTopology::Linear { inputs, outputs } => {
                 let macs = (inputs * outputs) as u64;
-                fixed
-                    + FpgaResources::new(
-                        macs * self.mac_luts + *outputs as u64 * 16,
-                        macs * 2,
-                        0,
-                    )
+                fixed + FpgaResources::new(macs * self.mac_luts + *outputs as u64 * 16, macs * 2, 0)
             }
             ModelTopology::Ensemble { bases } => {
                 // One shared engine sized for the widest base, plus stored
@@ -233,7 +226,11 @@ mod tests {
         let cost = CostModel::default();
         assert_eq!(cost.latency_cycles(&tree(4, 15)), 3);
         assert_eq!(cost.latency_cycles(&tree(10, 63)), 9);
-        assert_eq!(cost.latency_cycles(&tree(1, 1)), 1, "lone leaf still takes a cycle");
+        assert_eq!(
+            cost.latency_cycles(&tree(1, 1)),
+            1,
+            "lone leaf still takes a cycle"
+        );
     }
 
     #[test]

@@ -47,8 +47,8 @@ pub mod topology;
 
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
-    pub use crate::cost::CostModel;
     pub use crate::asic::{AsicProjection, ProcessNode};
+    pub use crate::cost::CostModel;
     pub use crate::report::{throughput_per_second, wall_clock_ns, CostBreakdown};
     pub use crate::resource::FpgaResources;
     pub use crate::topology::{extract_topology, ModelTopology};

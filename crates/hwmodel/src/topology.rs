@@ -84,9 +84,7 @@ impl ModelTopology {
     /// (0 for comparator-only models).
     pub fn mac_count(&self) -> usize {
         match self {
-            ModelTopology::Neural { layers } => {
-                layers.iter().map(|(i, o)| i * o).sum()
-            }
+            ModelTopology::Neural { layers } => layers.iter().map(|(i, o)| i * o).sum(),
             ModelTopology::Linear { inputs, outputs } => inputs * outputs,
             ModelTopology::Ensemble { bases } => bases.iter().map(Self::mac_count).sum(),
             _ => 0,
@@ -99,9 +97,7 @@ impl ModelTopology {
             ModelTopology::Tree { nodes, leaves, .. } => nodes - leaves,
             ModelTopology::Rules { conditions, .. } => *conditions,
             ModelTopology::Buckets { thresholds } => *thresholds,
-            ModelTopology::Ensemble { bases } => {
-                bases.iter().map(Self::comparator_count).sum()
-            }
+            ModelTopology::Ensemble { bases } => bases.iter().map(Self::comparator_count).sum(),
             _ => 0,
         }
     }
@@ -111,11 +107,11 @@ impl ModelTopology {
     pub fn parameter_count(&self) -> usize {
         match self {
             ModelTopology::Tree { nodes, .. } => *nodes,
-            ModelTopology::Rules { conditions, rules, .. } => conditions + rules,
+            ModelTopology::Rules {
+                conditions, rules, ..
+            } => conditions + rules,
             ModelTopology::Buckets { thresholds } => thresholds + 1,
-            ModelTopology::Neural { layers } => {
-                layers.iter().map(|(i, o)| (i + 1) * o).sum()
-            }
+            ModelTopology::Neural { layers } => layers.iter().map(|(i, o)| (i + 1) * o).sum(),
             ModelTopology::Linear { inputs, outputs } => (inputs + 1) * outputs,
             ModelTopology::Ensemble { bases } => {
                 bases.iter().map(Self::parameter_count).sum::<usize>() + bases.len()
@@ -197,8 +193,8 @@ mod tests {
         for kind in ClassifierKind::ALL {
             let mut model = kind.build(0);
             model.fit(&data).unwrap();
-            let topo = extract_topology(model.as_ref())
-                .unwrap_or_else(|| panic!("{kind} topology"));
+            let topo =
+                extract_topology(model.as_ref()).unwrap_or_else(|| panic!("{kind} topology"));
             match (kind, &topo) {
                 (ClassifierKind::J48, ModelTopology::Tree { .. })
                 | (ClassifierKind::JRip, ModelTopology::Rules { .. })
@@ -219,7 +215,9 @@ mod tests {
             panic!("expected ensemble");
         };
         assert_eq!(bases.len(), ens.ensemble_size());
-        assert!(bases.iter().all(|b| matches!(b, ModelTopology::Tree { .. })));
+        assert!(bases
+            .iter()
+            .all(|b| matches!(b, ModelTopology::Tree { .. })));
     }
 
     #[test]

@@ -127,26 +127,29 @@ impl Classifier for Bagging {
         let n = data.len();
         let d = data.n_features();
         let keep = ((d as f64 * self.feature_fraction).ceil() as usize).clamp(1, d);
-        let mut rng = StdRng::seed_from_u64(self.seed);
         let uniform = vec![1.0; n];
-        let mut models = Vec::with_capacity(self.size);
-        for t in 0..self.size {
+        let (base, seed) = (self.base, self.seed);
+        // Members train in parallel; each draws its resample and feature
+        // subset from an RNG seeded by (ensemble seed, member index), so
+        // the ensemble is identical at any thread count.
+        let models = crate::par::par_map((0..self.size).collect(), |_, t| {
+            let mut rng = StdRng::seed_from_u64(crate::par::derive_seed(seed, t as u64));
             let sample = data.weighted_resample(&uniform, n, &mut rng);
             let mut features: Vec<usize> = (0..d).collect();
-            if keep < d {
+            let view = if keep < d {
                 features.shuffle(&mut rng);
                 features.truncate(keep);
                 features.sort_unstable();
-            }
-            let view = if keep < d {
                 sample.select_features(&features)
             } else {
                 sample
             };
-            let mut model = self.base.build(self.seed.wrapping_add(t as u64 + 1));
+            let mut model = base.build(seed.wrapping_add(t as u64 + 1));
             model.fit(&view)?;
-            models.push(BaggedModel { model, features });
-        }
+            Ok(BaggedModel { model, features })
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, TrainError>>()?;
         self.models = models;
         self.n_classes = data.n_classes();
         Ok(())
@@ -225,6 +228,21 @@ mod tests {
         }
         // Still predicts.
         let _ = ens.predict(data.features_of(0));
+    }
+
+    #[test]
+    fn members_draw_distinct_bootstraps() {
+        // The per-member derived seeds must give members *different*
+        // resamples/subsets — a collapsed derivation would quietly turn
+        // the ensemble into one model repeated.
+        let data = noisy_band();
+        let mut ens = Bagging::new(ClassifierKind::J48, 6, 2).with_feature_fraction(0.5);
+        ens.fit(&data).unwrap();
+        let subsets: Vec<&[usize]> = ens.models.iter().map(|m| m.features.as_slice()).collect();
+        assert!(
+            subsets.iter().any(|s| *s != subsets[0]),
+            "all members kept the same feature subset: {subsets:?}"
+        );
     }
 
     #[test]

@@ -150,8 +150,8 @@ impl Classifier for NaiveBayes {
                 let mut lp = c.log_prior;
                 for ((v, m), var) in x.iter().zip(&c.means).zip(&c.vars) {
                     let diff = v - m;
-                    lp += -0.5 * (2.0 * std::f64::consts::PI * var).ln()
-                        - diff * diff / (2.0 * var);
+                    lp +=
+                        -0.5 * (2.0 * std::f64::consts::PI * var).ln() - diff * diff / (2.0 * var);
                 }
                 lp
             })
@@ -221,7 +221,12 @@ mod tests {
     #[test]
     fn constant_features_do_not_produce_nans() {
         let data = Dataset::new(
-            vec![vec![3.0, 1.0], vec![3.0, 2.0], vec![3.0, 7.0], vec![3.0, 9.0]],
+            vec![
+                vec![3.0, 1.0],
+                vec![3.0, 2.0],
+                vec![3.0, 7.0],
+                vec![3.0, 9.0],
+            ],
             vec![0, 0, 1, 1],
             2,
         )

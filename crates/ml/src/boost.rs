@@ -132,9 +132,8 @@ impl Classifier for AdaBoost {
 
             // Weighted error on the *original* training set.
             let mut err = 0.0;
-            let predictions: Vec<usize> = (0..n)
-                .map(|i| model.predict(data.features_of(i)))
-                .collect();
+            let predictions: Vec<usize> =
+                (0..n).map(|i| model.predict(data.features_of(i))).collect();
             for i in 0..n {
                 if predictions[i] != data.label_of(i) {
                     err += weights[i];

@@ -215,11 +215,11 @@ impl Dataset {
     ///
     /// Panics if any index is out of range or `indices` is empty.
     pub fn subset(&self, indices: &[usize]) -> Dataset {
-        assert!(!indices.is_empty(), "subset must keep at least one instance");
-        let features = indices
-            .iter()
-            .map(|&i| self.features[i].clone())
-            .collect();
+        assert!(
+            !indices.is_empty(),
+            "subset must keep at least one instance"
+        );
+        let features = indices.iter().map(|&i| self.features[i].clone()).collect();
         let labels = indices.iter().map(|&i| self.labels[i]).collect();
         Dataset {
             features,
@@ -615,8 +615,8 @@ mod tests {
         for c in 0..z.n_features() {
             let col = z.column(c);
             let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
-            let var: f64 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / col.len() as f64;
+            let var: f64 =
+                col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
             assert!(mean.abs() < 1e-9, "column {c} mean {mean}");
             assert!((var - 1.0).abs() < 1e-9, "column {c} var {var}");
         }

@@ -98,7 +98,11 @@ impl CorrelationRanker {
             "cannot select {k} of {} features",
             data.n_features()
         );
-        Self::rank(data).into_iter().take(k).map(|(i, _)| i).collect()
+        Self::rank(data)
+            .into_iter()
+            .take(k)
+            .map(|(i, _)| i)
+            .collect()
     }
 }
 

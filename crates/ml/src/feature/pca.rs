@@ -109,7 +109,11 @@ impl Pca {
     ///
     /// Panics if `k` exceeds the number of components.
     pub fn project_row(&self, row: &[f64], k: usize) -> Vec<f64> {
-        assert!(k <= self.eigenvalues.len(), "only {} components", self.eigenvalues.len());
+        assert!(
+            k <= self.eigenvalues.len(),
+            "only {} components",
+            self.eigenvalues.len()
+        );
         let z = self.standardizer.transform_row(row);
         (0..k)
             .map(|c| {
@@ -150,8 +154,7 @@ impl PcaFeatureRanker {
 
     /// All features ranked by descending importance: `(feature, score)`.
     pub fn rank(data: &Dataset) -> Vec<(usize, f64)> {
-        let mut ranking: Vec<(usize, f64)> =
-            Self::scores(data).into_iter().enumerate().collect();
+        let mut ranking: Vec<(usize, f64)> = Self::scores(data).into_iter().enumerate().collect();
         ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
         ranking
     }
@@ -168,7 +171,11 @@ impl PcaFeatureRanker {
             "cannot select {k} of {} features",
             data.n_features()
         );
-        Self::rank(data).into_iter().take(k).map(|(i, _)| i).collect()
+        Self::rank(data)
+            .into_iter()
+            .take(k)
+            .map(|(i, _)| i)
+            .collect()
     }
 }
 

@@ -170,12 +170,8 @@ mod tests {
     #[test]
     fn closer_neighbours_dominate_the_vote() {
         // One close class-0 point against two far class-1 points.
-        let data = Dataset::new(
-            vec![vec![0.0], vec![100.0], vec![101.0]],
-            vec![0, 1, 1],
-            2,
-        )
-        .unwrap();
+        let data =
+            Dataset::new(vec![vec![0.0], vec![100.0], vec![101.0]], vec![0, 1, 1], 2).unwrap();
         let mut knn = Knn::new(3);
         knn.fit(&data).unwrap();
         assert_eq!(knn.predict(&[1.0]), 0, "distance weighting beats majority");

@@ -63,6 +63,7 @@ pub mod metrics;
 pub mod mlp;
 pub mod model;
 pub mod oner;
+pub mod par;
 pub mod rules;
 pub mod stacking;
 pub mod tree;
@@ -78,12 +79,13 @@ pub mod prelude {
     pub use crate::feature::{CorrelationRanker, Pca, PcaFeatureRanker};
     pub use crate::knn::Knn;
     pub use crate::logistic::Mlr;
-    pub use crate::model::AnyModel;
     pub use crate::metrics::{auc_binary, roc_curve, ConfusionMatrix, DetectionScore, RocPoint};
-    pub use crate::validation::{cross_validate, CvSummary};
     pub use crate::mlp::Mlp;
+    pub use crate::model::AnyModel;
     pub use crate::oner::OneR;
+    pub use crate::par::{par_map, with_threads};
     pub use crate::rules::JRip;
     pub use crate::stacking::{Stacking, Voting};
     pub use crate::tree::J48;
+    pub use crate::validation::{cross_validate, CvSummary};
 }

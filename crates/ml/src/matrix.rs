@@ -80,7 +80,10 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -91,7 +94,10 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -203,7 +209,10 @@ impl Matrix {
     ///
     /// Panics if the matrix is not square.
     pub fn jacobi_eigen(&self) -> (Vec<f64>, Matrix) {
-        assert_eq!(self.rows, self.cols, "eigendecomposition needs a square matrix");
+        assert_eq!(
+            self.rows, self.cols,
+            "eigendecomposition needs a square matrix"
+        );
         let n = self.rows;
         let mut a = self.clone();
         let mut v = Matrix::identity(n);
@@ -251,7 +260,11 @@ impl Matrix {
 
         let mut order: Vec<usize> = (0..n).collect();
         let eigvals: Vec<f64> = (0..n).map(|i| a.get(i, i)).collect();
-        order.sort_by(|&i, &j| eigvals[j].partial_cmp(&eigvals[i]).expect("finite eigenvalues"));
+        order.sort_by(|&i, &j| {
+            eigvals[j]
+                .partial_cmp(&eigvals[i])
+                .expect("finite eigenvalues")
+        });
 
         let sorted_vals: Vec<f64> = order.iter().map(|&i| eigvals[i]).collect();
         let mut sorted_vecs = Matrix::zeros(n, n);

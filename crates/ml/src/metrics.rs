@@ -131,7 +131,11 @@ impl ConfusionMatrix {
 
 impl std::fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "confusion matrix ({} classes, rows = truth):", self.n_classes)?;
+        writeln!(
+            f,
+            "confusion matrix ({} classes, rows = truth):",
+            self.n_classes
+        )?;
         for t in 0..self.n_classes {
             let row: Vec<String> = (0..self.n_classes)
                 .map(|p| format!("{:>6}", self.count(t, p)))
@@ -149,7 +153,10 @@ impl std::fmt::Display for ConfusionMatrix {
 /// `scores[i]` is the model's confidence that instance `i` is positive;
 /// `labels[i]` is 1 for positive, 0 for negative.
 ///
-/// Returns 0.5 when either class is absent (no ranking information).
+/// Returns 0.5 when either class is absent (no ranking information), or
+/// when any score is NaN (a NaN score ranks against nothing; debug builds
+/// additionally fail a `debug_assert` naming the offending index, since a
+/// NaN confidence is always an upstream model bug).
 ///
 /// # Panics
 ///
@@ -162,10 +169,15 @@ pub fn auc_binary(scores: &[f64], labels: &[usize]) -> f64 {
     if n_pos == 0 || n_neg == 0 {
         return 0.5;
     }
+    if let Some(bad) = scores.iter().position(|s| s.is_nan()) {
+        debug_assert!(false, "auc_binary: NaN score at index {bad}");
+        return 0.5;
+    }
     // Mann-Whitney via mid-ranks: sort by score, assign tied scores their
-    // average rank, sum the positive ranks.
+    // average rank, sum the positive ranks. `total_cmp` keeps the sort
+    // well-defined for every float, including ±0 and infinities.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&i, &j| scores[i].partial_cmp(&scores[j]).expect("finite scores"));
+    order.sort_by(|&i, &j| scores[i].total_cmp(&scores[j]));
     let mut rank_sum_pos = 0.0;
     let mut i = 0;
     while i < order.len() {
@@ -204,6 +216,11 @@ pub struct RocPoint {
 /// The trapezoidal area under the returned points equals
 /// [`auc_binary`] up to floating-point error — asserted in tests.
 ///
+/// If any score is NaN, the curve degenerates to the chance diagonal (the
+/// two endpoints, trapezoidal area 0.5, matching [`auc_binary`]'s NaN
+/// fallback); debug builds additionally fail a `debug_assert` naming the
+/// offending index.
+///
 /// # Panics
 ///
 /// Panics if the slices differ in length, a label is not 0/1, or either
@@ -215,8 +232,23 @@ pub fn roc_curve(scores: &[f64], labels: &[usize]) -> Vec<RocPoint> {
     let n_neg = labels.len() - n_pos;
     assert!(n_pos > 0 && n_neg > 0, "ROC needs both classes");
 
+    if let Some(bad) = scores.iter().position(|s| s.is_nan()) {
+        debug_assert!(false, "roc_curve: NaN score at index {bad}");
+        return vec![
+            RocPoint {
+                threshold: f64::INFINITY,
+                fpr: 0.0,
+                tpr: 0.0,
+            },
+            RocPoint {
+                threshold: f64::NEG_INFINITY,
+                fpr: 1.0,
+                tpr: 1.0,
+            },
+        ];
+    }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&i, &j| scores[j].partial_cmp(&scores[i]).expect("finite scores"));
+    order.sort_by(|&i, &j| scores[j].total_cmp(&scores[i]));
 
     let mut points = vec![RocPoint {
         threshold: f64::INFINITY,
@@ -355,7 +387,9 @@ mod tests {
     #[test]
     fn auc_random_scores_near_half() {
         // Deterministic pseudo-random pattern.
-        let scores: Vec<f64> = (0..200).map(|i| ((i * 7919) % 1000) as f64 / 1000.0).collect();
+        let scores: Vec<f64> = (0..200)
+            .map(|i| ((i * 7919) % 1000) as f64 / 1000.0)
+            .collect();
         let labels: Vec<usize> = (0..200).map(|i| (i * 104729) % 2).collect();
         let auc = auc_binary(&scores, &labels);
         assert!((auc - 0.5).abs() < 0.1, "auc {auc}");
@@ -403,7 +437,7 @@ mod tests {
 
     #[test]
     fn one_vs_rest_and_weighted_auc_on_a_fitted_model() {
-        use crate::classifier::{Classifier, ClassifierKind};
+        use crate::classifier::ClassifierKind;
         let data = Dataset::new(
             (0..30).map(|i| vec![i as f64]).collect(),
             (0..30).map(|i| usize::from(i >= 15)).collect(),
@@ -418,7 +452,10 @@ mod tests {
         // One-vs-rest AUCs of a binary problem mirror each other.
         assert!((auc0 - auc1).abs() < 1e-9);
         let w = weighted_auc(model.as_ref(), &data);
-        assert!((w - auc1).abs() < 1e-9, "balanced classes: weighted = per-class");
+        assert!(
+            (w - auc1).abs() < 1e-9,
+            "balanced classes: weighted = per-class"
+        );
     }
 
     #[test]

@@ -119,13 +119,9 @@ impl Mlp {
 
     /// Fitted network topology `(inputs, hidden, outputs)`, if fitted.
     pub fn topology(&self) -> Option<(usize, usize, usize)> {
-        self.fitted.as_ref().map(|f| {
-            (
-                f.w_hidden[0].len() - 1,
-                f.w_hidden.len(),
-                f.w_output.len(),
-            )
-        })
+        self.fitted
+            .as_ref()
+            .map(|f| (f.w_hidden[0].len() - 1, f.w_hidden.len(), f.w_output.len()))
     }
 
     fn forward(f: &Fitted, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
@@ -231,8 +227,7 @@ impl Classifier for Mlp {
                 // Hidden deltas.
                 let delta_hidden: Vec<f64> = (0..h)
                     .map(|j| {
-                        let upstream: f64 =
-                            (0..k).map(|c| delta_out[c] * w_output[c][j]).sum();
+                        let upstream: f64 = (0..k).map(|c| delta_out[c] * w_output[c][j]).sum();
                         upstream * hidden[j] * (1.0 - hidden[j])
                     })
                     .collect();
@@ -241,24 +236,22 @@ impl Classifier for Mlp {
                 for c in 0..k {
                     for j in 0..h {
                         let g = delta_out[c] * hidden[j];
-                        v_output[c][j] =
-                            self.momentum * v_output[c][j] - self.learning_rate * g;
+                        v_output[c][j] = self.momentum * v_output[c][j] - self.learning_rate * g;
                         w_output[c][j] += v_output[c][j];
                     }
-                    v_output[c][h] = self.momentum * v_output[c][h]
-                        - self.learning_rate * delta_out[c];
+                    v_output[c][h] =
+                        self.momentum * v_output[c][h] - self.learning_rate * delta_out[c];
                     w_output[c][h] += v_output[c][h];
                 }
                 // Update hidden layer.
                 for j in 0..h {
                     for a in 0..d {
                         let g = delta_hidden[j] * x[a];
-                        v_hidden[j][a] =
-                            self.momentum * v_hidden[j][a] - self.learning_rate * g;
+                        v_hidden[j][a] = self.momentum * v_hidden[j][a] - self.learning_rate * g;
                         w_hidden[j][a] += v_hidden[j][a];
                     }
-                    v_hidden[j][d] = self.momentum * v_hidden[j][d]
-                        - self.learning_rate * delta_hidden[j];
+                    v_hidden[j][d] =
+                        self.momentum * v_hidden[j][d] - self.learning_rate * delta_hidden[j];
                     w_hidden[j][d] += v_hidden[j][d];
                 }
             }

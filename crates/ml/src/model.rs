@@ -233,10 +233,7 @@ mod tests {
             weights: vec![1.0],
             n_classes: 2,
         };
-        assert!(matches!(
-            boosted.fit(&data),
-            Err(TrainError::Unfittable(_))
-        ));
+        assert!(matches!(boosted.fit(&data), Err(TrainError::Unfittable(_))));
     }
 
     #[test]

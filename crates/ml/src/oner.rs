@@ -106,9 +106,7 @@ impl OneR {
             let majority = *counts.iter().max().expect("nonempty counts");
             let majority_class = argmax_counts(&counts);
             let next_differs = pairs.get(i + 1).is_none_or(|&(v, _)| v != value);
-            let next_breaks_run = pairs
-                .get(i + 1)
-                .is_none_or(|&(_, l)| l != majority_class);
+            let next_breaks_run = pairs.get(i + 1).is_none_or(|&(_, l)| l != majority_class);
             if majority >= self.min_bucket && next_differs && next_breaks_run {
                 let upper = match pairs.get(i + 1) {
                     Some(&(v, _)) => (value + v) / 2.0,
@@ -142,7 +140,9 @@ impl OneR {
         let mut merged: Vec<Bucket> = Vec::new();
         for b in buckets {
             match merged.last_mut() {
-                Some(prev) if argmax_counts(&prev.class_counts) == argmax_counts(&b.class_counts) => {
+                Some(prev)
+                    if argmax_counts(&prev.class_counts) == argmax_counts(&b.class_counts) =>
+                {
                     prev.upper = b.upper;
                     for (a, c) in prev.class_counts.iter_mut().zip(&b.class_counts) {
                         *a += c;
@@ -320,7 +320,12 @@ mod tests {
     #[test]
     fn handles_constant_attribute() {
         let data = Dataset::new(
-            vec![vec![1.0, 1.0], vec![1.0, 2.0], vec![1.0, 8.0], vec![1.0, 9.0]],
+            vec![
+                vec![1.0, 1.0],
+                vec![1.0, 2.0],
+                vec![1.0, 8.0],
+                vec![1.0, 9.0],
+            ],
             vec![0, 0, 1, 1],
             2,
         )

@@ -1,0 +1,229 @@
+//! Deterministic parallel execution for the reproduction's embarrassingly
+//! parallel loops (grid cells, CV folds, ensemble members, per-class
+//! detectors).
+//!
+//! Built on [`std::thread::scope`] only — no external dependencies — and
+//! designed so that **parallel results are bit-identical to serial results
+//! at any thread count**:
+//!
+//! - [`par_map`] assigns tasks by *input index* and collects results back
+//!   into input order, so which OS thread ran a task never matters.
+//! - Callers that need randomness derive a per-task seed with
+//!   [`derive_seed`]`(base, index)` instead of sharing one RNG stream
+//!   across tasks. The seed depends only on the caller's base seed and the
+//!   task's index — never on scheduling.
+//!
+//! The worker count comes from, in priority order: a scoped
+//! [`with_threads`] override (used by tests and benches), the
+//! `TWOSMART_THREADS` environment variable, and
+//! [`std::thread::available_parallelism`].
+//!
+//! # Examples
+//!
+//! ```
+//! use hmd_ml::par::{par_map, with_threads};
+//!
+//! let serial = with_threads(1, || par_map(vec![1u64, 2, 3], |i, x| x * i as u64));
+//! let parallel = with_threads(4, || par_map(vec![1u64, 2, 3], |i, x| x * i as u64));
+//! assert_eq!(serial, parallel);
+//! ```
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads [`par_map`] will use on this thread.
+///
+/// Resolution order: [`with_threads`] override, then the
+/// `TWOSMART_THREADS` environment variable (values `< 1` or unparsable are
+/// ignored), then [`std::thread::available_parallelism`]. Always `>= 1`.
+pub fn thread_count() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n;
+    }
+    if let Ok(raw) = std::env::var("TWOSMART_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `body` with the worker count pinned to `threads` (clamped to
+/// `>= 1`), restoring the previous setting afterwards — even on panic.
+///
+/// The override is thread-local, so concurrent tests can pin different
+/// counts without racing on the process environment. It applies to the
+/// calling thread only; it is what determinism tests use to compare
+/// `with_threads(1, ..)` against `with_threads(n, ..)`.
+pub fn with_threads<T>(threads: usize, body: impl FnOnce() -> T) -> T {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(Some(threads.max(1))));
+    let _restore = Restore(prev);
+    body()
+}
+
+/// Derives the RNG seed for task `index` of a computation seeded with
+/// `base`.
+///
+/// SplitMix64-style finalizer over `base` and the task index: stable
+/// across runs, platforms and thread counts, and decorrelated for
+/// neighbouring indices. Parallelized call sites must seed each task's RNG
+/// from this (never share a sequential RNG stream across tasks), which is
+/// what makes their output independent of scheduling.
+#[must_use]
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index.wrapping_add(1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Maps `task(index, item)` over `items` on [`thread_count`] scoped
+/// threads, returning results in input order.
+///
+/// Tasks are claimed from a shared atomic counter, so threads stay busy
+/// even when task costs are skewed; determinism comes from indexing, not
+/// scheduling: slot `i` of the output is always `task(i, items[i])`.
+/// With one worker (or zero/one items) it degenerates to a plain serial
+/// loop on the calling thread with no spawn overhead.
+///
+/// # Panics
+///
+/// Propagates the panic of any task (remaining tasks may or may not run).
+pub fn par_map<T, U, F>(items: Vec<T>, task: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = thread_count().min(n);
+    if threads <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| task(i, item))
+            .collect();
+    }
+    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = tasks[i]
+                    .lock()
+                    .expect("task slot poisoned")
+                    .take()
+                    .expect("each task is claimed exactly once");
+                let out = task(i, item);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every task stores its result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let out = with_threads(8, || {
+            par_map((0..100usize).collect(), |i, x| {
+                assert_eq!(i, x);
+                // Skew task costs so late tasks finish before early ones.
+                if i % 7 == 0 {
+                    std::thread::yield_now();
+                }
+                x * 2
+            })
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_serial_at_every_thread_count() {
+        let work = || par_map((0..37u64).collect(), |i, x| derive_seed(x, i as u64));
+        let serial = with_threads(1, work);
+        for threads in [2, 3, 8, 61] {
+            assert_eq!(with_threads(threads, work), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn with_threads_nests_and_restores() {
+        with_threads(3, || {
+            assert_eq!(thread_count(), 3);
+            with_threads(1, || assert_eq!(thread_count(), 1));
+            assert_eq!(thread_count(), 3);
+        });
+    }
+
+    #[test]
+    fn with_threads_restores_on_panic() {
+        with_threads(5, || {
+            let r = std::panic::catch_unwind(|| with_threads(2, || panic!("boom")));
+            assert!(r.is_err());
+            assert_eq!(thread_count(), 5);
+        });
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        with_threads(0, || assert_eq!(thread_count(), 1));
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_work() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(with_threads(4, || par_map(empty, |_, x: u8| x)).is_empty());
+        assert_eq!(with_threads(4, || par_map(vec![9], |i, x| x + i)), vec![9]);
+    }
+
+    #[test]
+    fn derived_seeds_differ_per_task_and_are_stable() {
+        let a = derive_seed(42, 0);
+        let b = derive_seed(42, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, derive_seed(42, 0), "pure function of (base, index)");
+        assert_ne!(derive_seed(43, 0), a, "base seed matters");
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map((0..16u32).collect(), |_, x| {
+                    assert!(x != 5, "deliberate failure");
+                    x
+                })
+            })
+        });
+        assert!(r.is_err());
+    }
+}

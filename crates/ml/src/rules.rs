@@ -168,9 +168,13 @@ impl JRip {
     /// Longest antecedent among the fitted rules (0 for a rule-free model),
     /// if fitted.
     pub fn max_rule_conditions(&self) -> Option<usize> {
-        self.fitted
-            .as_ref()
-            .map(|f| f.rules.iter().map(|r| r.conditions.len()).max().unwrap_or(0))
+        self.fitted.as_ref().map(|f| {
+            f.rules
+                .iter()
+                .map(|r| r.conditions.len())
+                .max()
+                .unwrap_or(0)
+        })
     }
 
     /// Grows one rule for `class` on the grow set by FOIL gain.
@@ -189,10 +193,8 @@ impl JRip {
             let base = (p0 / (p0 + n0)).log2();
             let mut best: Option<(f64, Condition)> = None;
             for attr in 0..data.n_features() {
-                let mut values: Vec<f64> = covered
-                    .iter()
-                    .map(|&i| data.features_of(i)[attr])
-                    .collect();
+                let mut values: Vec<f64> =
+                    covered.iter().map(|&i| data.features_of(i)[attr]).collect();
                 values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
                 values.dedup();
                 if values.len() < 2 {
@@ -295,7 +297,13 @@ impl JRip {
     }
 
     /// Accuracy of a rule on a set: `(p, n)` covered positives/negatives.
-    fn coverage(&self, data: &Dataset, idx: &[usize], class: usize, conds: &[Condition]) -> (f64, f64) {
+    fn coverage(
+        &self,
+        data: &Dataset,
+        idx: &[usize],
+        class: usize,
+        conds: &[Condition],
+    ) -> (f64, f64) {
         let mut p = 0.0;
         let mut n = 0.0;
         for &i in idx {
@@ -390,11 +398,7 @@ impl JRip {
             let reaching: Vec<usize> = all
                 .iter()
                 .copied()
-                .filter(|&i| {
-                    !best[..k]
-                        .iter()
-                        .any(|r| r.matches(data.features_of(i)))
-                })
+                .filter(|&i| !best[..k].iter().any(|r| r.matches(data.features_of(i))))
                 .collect();
             if reaching.len() < 4 {
                 continue;
@@ -607,8 +611,14 @@ mod tests {
     fn rules_render_readably() {
         let rule = Rule {
             conditions: vec![
-                Condition::Le { attr: 0, value: 1.5 },
-                Condition::Ge { attr: 2, value: 0.25 },
+                Condition::Le {
+                    attr: 0,
+                    value: 1.5,
+                },
+                Condition::Ge {
+                    attr: 2,
+                    value: 0.25,
+                },
             ],
             class: 1,
             confidence: 0.9,
@@ -621,8 +631,14 @@ mod tests {
 
     #[test]
     fn condition_matches() {
-        let le = Condition::Le { attr: 0, value: 1.0 };
-        let ge = Condition::Ge { attr: 0, value: 1.0 };
+        let le = Condition::Le {
+            attr: 0,
+            value: 1.0,
+        };
+        let ge = Condition::Ge {
+            attr: 0,
+            value: 1.0,
+        };
         assert!(le.matches(&[0.5]) && !le.matches(&[1.5]));
         assert!(ge.matches(&[1.5]) && !ge.matches(&[0.5]));
         assert!(le.matches(&[1.0]) && ge.matches(&[1.0]));

@@ -196,10 +196,7 @@ impl Stacking {
     }
 
     fn meta_row(&self, x: &[f64]) -> Vec<f64> {
-        self.bases
-            .iter()
-            .flat_map(|b| b.predict_proba(x))
-            .collect()
+        self.bases.iter().flat_map(|b| b.predict_proba(x)).collect()
     }
 }
 

@@ -176,7 +176,9 @@ impl J48 {
         let root = self.root.as_ref().expect("J48 not fitted");
         let mut out = String::new();
         fn name(names: &[&str], attr: usize) -> String {
-            names.get(attr).map_or_else(|| format!("f{attr}"), |n| (*n).to_string())
+            names
+                .get(attr)
+                .map_or_else(|| format!("f{attr}"), |n| (*n).to_string())
         }
         fn render(node: &Node, names: &[&str], indent: usize, out: &mut String) {
             let pad = "|   ".repeat(indent);
@@ -225,8 +227,7 @@ impl J48 {
         let parent_entropy = entropy(&counts);
         let mut best: Option<(f64, usize, f64)> = None; // (gain_ratio, attr, threshold)
         for attr in 0..data.n_features() {
-            if let Some((gain, ratio, threshold)) =
-                self.best_split(idx, data, attr, parent_entropy)
+            if let Some((gain, ratio, threshold)) = self.best_split(idx, data, attr, parent_entropy)
             {
                 // C4.5 requires positive information gain.
                 if gain <= 1e-12 {
@@ -538,7 +539,14 @@ mod tests {
     #[test]
     fn learns_axis_aligned_split() {
         let data = Dataset::new(
-            vec![vec![0.0], vec![0.1], vec![0.2], vec![0.8], vec![0.9], vec![1.0]],
+            vec![
+                vec![0.0],
+                vec![0.1],
+                vec![0.2],
+                vec![0.8],
+                vec![0.9],
+                vec![1.0],
+            ],
             vec![0, 0, 0, 1, 1, 1],
             2,
         )
@@ -601,7 +609,10 @@ mod tests {
         t.fit(&band()).unwrap();
         let p = t.predict_proba(&[0.5, 0.5]);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
-        assert!(p.iter().all(|&v| v > 0.0), "Laplace keeps probabilities positive");
+        assert!(
+            p.iter().all(|&v| v > 0.0),
+            "Laplace keeps probabilities positive"
+        );
     }
 
     #[test]
@@ -656,7 +667,10 @@ mod tests {
         let mut t = J48::new();
         t.fit(&data).unwrap();
         let text = t.to_text(&["x", "phase"]);
-        assert!(text.contains("x <="), "split on the informative feature: {text}");
+        assert!(
+            text.contains("x <="),
+            "split on the informative feature: {text}"
+        );
         assert!(text.contains("=> class"), "leaves rendered");
         // Unknown names fall back to indices.
         let fallback = t.to_text(&[]);

@@ -10,10 +10,7 @@ fn arb_binary_dataset() -> impl Strategy<Value = Dataset> {
     (4usize..=12, 1usize..=4).prop_flat_map(|(per_class, d)| {
         let n = per_class * 2;
         (
-            proptest::collection::vec(
-                proptest::collection::vec(-1e6f64..1e6, d),
-                n,
-            ),
+            proptest::collection::vec(proptest::collection::vec(-1e6f64..1e6, d), n),
             Just(per_class),
         )
             .prop_map(move |(features, per_class)| {
@@ -25,7 +22,9 @@ fn arb_binary_dataset() -> impl Strategy<Value = Dataset> {
 
 fn assert_sane_probs(p: &[f64]) {
     assert_eq!(p.len(), 2);
-    assert!(p.iter().all(|v| v.is_finite() && (-1e-9..=1.0 + 1e-9).contains(v)));
+    assert!(p
+        .iter()
+        .all(|v| v.is_finite() && (-1e-9..=1.0 + 1e-9).contains(v)));
     assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6, "{p:?}");
 }
 

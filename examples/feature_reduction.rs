@@ -33,7 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ntop 16 events by class correlation:");
     for (rank, (idx, merit)) in CorrelationRanker::rank(&train).iter().take(16).enumerate() {
         let event = Event::from_index(*idx).expect("index < 44");
-        println!("  {:>2}. {:<26} merit {:.4}", rank + 1, event.short_name(), merit);
+        println!(
+            "  {:>2}. {:<26} merit {:.4}",
+            rank + 1,
+            event.short_name(),
+            merit
+        );
     }
 
     // Step 2: PCA on the survivors; how concentrated is the variance?

@@ -64,6 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             shown
         );
     }
-    println!("{correct}/{} verdicts agree with ground truth", sample.len());
+    println!(
+        "{correct}/{} verdicts agree with ground truth",
+        sample.len()
+    );
     Ok(())
 }

@@ -54,11 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nmonitoring (window {window} × 10 ms, {votes}-vote smoothing):");
     let mut hits = 0;
     let mut total = 0;
-    for spec in library
-        .iter()
-        .cycle()
-        .take(2 * library.len())
-    {
+    for spec in library.iter().cycle().take(2 * library.len()) {
         let mut online = OnlineDetector::new(detector.clone(), window, votes)?;
         let mut app = spec.spawn(&mut rng);
         // Stream enough samples for the window plus two smoothing votes.
@@ -89,7 +85,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let too_many: Vec<_> = twosmart_suite::hpc_sim::event::Event::ALL[..5].to_vec();
     match PerfSession::open(&too_many) {
         Err(e) => println!("opening 5 events fails as expected: {e}"),
-        Ok(_) => unreachable!("hardware exposes only {} registers", PerfSession::MAX_COUNTERS),
+        Ok(_) => unreachable!(
+            "hardware exposes only {} registers",
+            PerfSession::MAX_COUNTERS
+        ),
     }
     let _ = AppClass::ALL; // (silence unused import on some feature sets)
     Ok(())

@@ -44,7 +44,10 @@ fn full_pipeline_detects_malware_better_than_chance() {
         .expect("detector trains");
 
     let f = detector.binary_f_measure(&test);
-    assert!(f > 0.7, "end-to-end malware F = {f}, expected useful signal");
+    assert!(
+        f > 0.7,
+        "end-to-end malware F = {f}, expected useful signal"
+    );
 }
 
 #[test]

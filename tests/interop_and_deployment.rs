@@ -49,10 +49,9 @@ fn snapshot_file_round_trip_via_json() {
     let corpus = corpus();
     let detector = AppClass::MALWARE
         .iter()
-        .fold(
-            TwoSmartDetector::builder().seed(1),
-            |b, &c| b.classifier_for(c, ClassifierKind::JRip),
-        )
+        .fold(TwoSmartDetector::builder().seed(1), |b, &c| {
+            b.classifier_for(c, ClassifierKind::JRip)
+        })
         .train(&corpus)
         .expect("detector trains");
     let snapshot = DetectorSnapshot::capture(&detector).expect("snapshots");
@@ -83,8 +82,7 @@ fn online_monitor_flags_a_malware_stream() {
         let mut total = 0;
         for spec in library.iter().filter(|w| class_filter(w.class)) {
             for _ in 0..4 {
-                let mut online =
-                    OnlineDetector::new(detector.clone(), 15, 1).expect("deployable");
+                let mut online = OnlineDetector::new(detector.clone(), 15, 1).expect("deployable");
                 let mut app = spec.spawn(rng);
                 let mut verdict = None;
                 for r in session.profile(&mut app, 15, rng) {

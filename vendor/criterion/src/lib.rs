@@ -1,0 +1,309 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Provides the bench-target API this workspace uses — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], [`black_box`],
+//! `criterion_group!` and `criterion_main!` — backed by a simple wall-clock
+//! sampler instead of Criterion's statistical machinery.
+//!
+//! Behaviour by invocation:
+//!
+//! - `cargo bench`: each benchmark is warmed up, then sampled for a fixed
+//!   wall-clock budget (`TWOSMART_BENCH_MS` per benchmark, default 300), and
+//!   the mean iteration time is printed.
+//! - `cargo test` (cargo passes `--test` to `harness = false` bench
+//!   targets): every benchmark body runs exactly once, as a smoke test.
+//!
+//! A trailing filter argument (as in `cargo bench -- <substr>`) restricts
+//! which benchmark ids run.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn mode() -> Mode {
+    let mut filter = None;
+    let mut test_mode = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--test" => test_mode = true,
+            "--bench" | "--nocapture" | "--quiet" | "--verbose" => {}
+            a if a.starts_with("--") => {}
+            a => filter = Some(a.to_string()),
+        }
+    }
+    Mode { test_mode, filter }
+}
+
+#[derive(Clone)]
+struct Mode {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Mode {
+    fn runs(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// Identifies a benchmark within a group: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name with a parameter label.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// A benchmark distinguished only by its parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    budget: Duration,
+    report: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `body`, called repeatedly; the routine's return value is
+    /// passed through [`black_box`] so it cannot be optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if self.test_mode {
+            black_box(body());
+            return;
+        }
+        // Warm-up and batch sizing: grow the batch until one batch takes at
+        // least ~1/20 of the budget, so timer overhead stays negligible.
+        let mut batch: u64 = 1;
+        let mut batch_time;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            batch_time = start.elapsed();
+            if batch_time * 20 >= self.budget || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut iters = batch;
+        let mut elapsed = batch_time;
+        while elapsed < self.budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            elapsed += start.elapsed();
+            iters += batch;
+        }
+        self.report = Some(elapsed / u32::try_from(iters.min(u64::from(u32::MAX))).unwrap_or(1));
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("TWOSMART_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+fn run_one(mode: &Mode, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    if !mode.runs(id) {
+        return;
+    }
+    let mut b = Bencher {
+        test_mode: mode.test_mode,
+        budget: budget(),
+        report: None,
+    };
+    f(&mut b);
+    if mode.test_mode {
+        println!("test {id} ... ok");
+    } else if let Some(mean) = b.report {
+        println!("bench {id:<40} {:>12}/iter", human(mean));
+    } else {
+        println!("bench {id:<40} (no measurement: Bencher::iter never called)");
+    }
+}
+
+/// Entry point held by each bench target; dispatches benchmark runs.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { mode: mode() }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&self.mode, id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Accepted for API compatibility; CLI args are read in `default()`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&self.criterion.mode, &full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs an unparameterized benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&self.criterion.mode, &full, &mut f);
+        self
+    }
+
+    /// Ends the group. (No-op: results are printed as benchmarks run.)
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` of a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_in_bench_mode() {
+        let mut b = Bencher {
+            test_mode: false,
+            budget: Duration::from_millis(5),
+            report: None,
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            black_box(count)
+        });
+        assert!(b.report.is_some());
+        assert!(count > 1);
+    }
+
+    #[test]
+    fn bencher_runs_once_in_test_mode() {
+        let mut b = Bencher {
+            test_mode: true,
+            budget: Duration::from_millis(5),
+            report: None,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert!(b.report.is_none());
+    }
+
+    #[test]
+    fn benchmark_ids_compose() {
+        assert_eq!(BenchmarkId::new("J48", "hpc4").id, "J48/hpc4");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+
+    #[test]
+    fn filter_matches_substrings() {
+        let mode = Mode {
+            test_mode: false,
+            filter: Some("train".into()),
+        };
+        assert!(mode.runs("train/J48/hpc4"));
+        assert!(!mode.runs("infer/J48/hpc4"));
+        let all = Mode {
+            test_mode: false,
+            filter: None,
+        };
+        assert!(all.runs("anything"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Offline stand-in for the [`rand_distr`](https://crates.io/crates/rand_distr)
+//! crate: the `Distribution` trait plus `Normal` and `LogNormal`, which is
+//! everything the HPC substrate's noise models use.
+//!
+//! `Normal` draws via Box–Muller, consuming exactly two uniforms per
+//! sample (the second pair member is discarded, keeping the distribution
+//! stateless and `Sync`), so sampling is deterministic given the
+//! underlying RNG stream.
+
+use rand::Rng;
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The standard deviation was negative or non-finite.
+    BadVariance,
+    /// A location parameter was non-finite.
+    BadLocation,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::BadVariance => write!(f, "standard deviation must be finite and >= 0"),
+            Error::BadLocation => write!(f, "location parameter must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can draw values of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// A new normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if `std_dev` is negative or either parameter is
+    /// non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, Error> {
+        if !mean.is_finite() {
+            return Err(Error::BadLocation);
+        }
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // Box–Muller: u1 in (0, 1] so ln is finite.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        r * theta.cos()
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * Self::standard(rng)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// A new log-normal distribution with the given log-space parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if `sigma` is negative or either parameter is
+    /// non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, Error> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::INFINITY).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_given_the_stream() {
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let va = d.sample(&mut a);
+            let vb = d.sample(&mut b);
+            assert!(va > 0.0);
+            assert_eq!(va, vb);
+        }
+    }
+
+    #[test]
+    fn zero_sigma_is_degenerate() {
+        let d = Normal::new(5.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 5.0);
+        }
+    }
+}

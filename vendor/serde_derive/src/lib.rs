@@ -1,0 +1,423 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for the shapes this workspace actually uses —
+//! non-generic structs with named fields, and non-generic enums with unit,
+//! tuple and struct variants (explicit discriminants allowed).
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the offline registry
+//! has no `syn`/`quote`); generated code targets the `Value`-based
+//! `Serialize`/`Deserialize` traits of the vendored `serde` shim and uses
+//! serde's external enum tagging, so the emitted JSON matches what the
+//! real serde would produce.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: just its name (types are inferred at the use site).
+struct Field {
+    name: String,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// The parsed derive input.
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (Value-based shim flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => gen_serialize(&parsed)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` (Value-based shim flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => gen_deserialize(&parsed)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens parse")
+}
+
+/// Splits a token sequence on top-level commas, treating `<...>` spans as
+/// nested (delimiter groups are already atomic tokens).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Strips leading attributes (`#[...]`) and visibility (`pub`, `pub(...)`)
+/// from a token chunk, returning the remainder.
+fn strip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return &tokens[i..],
+        }
+    }
+}
+
+/// Parses the field names of a `{ name: Type, ... }` group body.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_top_level(tokens) {
+        let rest = strip_attrs_and_vis(&chunk);
+        match rest.first() {
+            Some(TokenTree::Ident(id)) => fields.push(Field {
+                name: id.to_string(),
+            }),
+            Some(other) => {
+                return Err(format!("unsupported field starting with `{other}`"));
+            }
+            None => {}
+        }
+    }
+    Ok(fields)
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let rest = strip_attrs_and_vis(&tokens);
+    let mut iter = rest.iter();
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected a type name, found {other:?}")),
+    };
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "the vendored serde derive does not support generics (type `{name}`)"
+            ));
+        }
+        other => {
+            return Err(format!(
+                "expected a braced body for `{name}` (tuple/unit structs unsupported), \
+                 found {other:?}"
+            ));
+        }
+    };
+    let body_tokens: Vec<TokenTree> = body.into_iter().collect();
+
+    match kind.as_str() {
+        "struct" => Ok(Input::Struct {
+            name,
+            fields: parse_named_fields(&body_tokens)?,
+        }),
+        "enum" => {
+            let mut variants = Vec::new();
+            for chunk in split_top_level(&body_tokens) {
+                let rest = strip_attrs_and_vis(&chunk);
+                let Some(TokenTree::Ident(id)) = rest.first() else {
+                    if rest.is_empty() {
+                        continue;
+                    }
+                    return Err(format!("unsupported variant shape in `{name}`"));
+                };
+                let vname = id.to_string();
+                let shape = match rest.get(1) {
+                    None => VariantShape::Unit,
+                    // Explicit discriminant (`Variant = expr`) is still unit.
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantShape::Unit,
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        VariantShape::Tuple(split_top_level(&inner).len())
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        VariantShape::Struct(parse_named_fields(&inner)?)
+                    }
+                    Some(other) => {
+                        return Err(format!(
+                            "unsupported token `{other}` after variant `{vname}`"
+                        ));
+                    }
+                };
+                variants.push(Variant { name: vname, shape });
+            }
+            Ok(Input::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+const IMPL_ATTRS: &str =
+    "#[automatically_derived]\n#[allow(unused_variables, unreachable_patterns, clippy::all)]\n";
+
+/// `("name".to_string(), ser(expr))` pair for an object entry.
+fn ser_pair(field: &str, expr: &str) -> String {
+    format!(
+        "(::std::string::String::from(\"{field}\"), ::serde::Serialize::serialize_value({expr}))"
+    )
+}
+
+/// Object-construction expression from `(key, value)` pair snippets.
+fn object_expr(pairs: &[String]) -> String {
+    if pairs.is_empty() {
+        "::serde::Value::Object(::std::vec::Vec::new())".to_string()
+    } else {
+        format!(
+            "::serde::Value::Object(::std::vec::Vec::from([{}]))",
+            pairs.join(", ")
+        )
+    }
+}
+
+/// Field-extraction expression for deserializing a named field from `src`.
+fn de_field(ty_name: &str, field: &str, src: &str) -> String {
+    format!(
+        "{field}: match {src}.get(\"{field}\") {{ \
+             ::std::option::Option::Some(__v) => \
+                 ::serde::Deserialize::deserialize_value(__v)?, \
+             ::std::option::Option::None => return ::std::result::Result::Err(\
+                 ::serde::Error::missing_field(\"{ty_name}\", \"{field}\")), \
+         }}"
+    )
+}
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| ser_pair(&f.name, &format!("&self.{}", f.name)))
+                .collect();
+            format!(
+                "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         {}\n\
+                     }}\n\
+                 }}",
+                object_expr(&pairs)
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\
+                                 ::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => {},",
+                            object_expr(&[ser_pair(vn, "__f0")])
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            let inner = format!(
+                                "(::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Array(::std::vec::Vec::from([{}])))",
+                                items.join(", ")
+                            );
+                            format!(
+                                "{name}::{vn}({}) => \
+                                 ::serde::Value::Object(::std::vec::Vec::from([{inner}])),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let pairs: Vec<String> =
+                                fields.iter().map(|f| ser_pair(&f.name, &f.name)).collect();
+                            let inner = format!(
+                                "(::std::string::String::from(\"{vn}\"), {})",
+                                object_expr(&pairs)
+                            );
+                            format!(
+                                "{name}::{vn} {{ {} }} => \
+                                 ::serde::Value::Object(::std::vec::Vec::from([{inner}])),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let field_inits: Vec<String> = fields
+                .iter()
+                .map(|f| de_field(name, &f.name, "v"))
+                .collect();
+            format!(
+                "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if v.as_object().is_none() {{\n\
+                             return ::std::result::Result::Err(\
+                                 ::serde::Error::invalid_type(\"object\", v));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                field_inits.join(", ")
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::deserialize_value(__inner)?)),"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize_value(&__arr[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let __arr = __inner.as_array().ok_or_else(|| \
+                                         ::serde::Error::invalid_type(\"array\", __inner))?;\n\
+                                     if __arr.len() != {n} {{\n\
+                                         return ::std::result::Result::Err(\
+                                             ::serde::Error::custom(\
+                                             \"wrong arity for variant {vn} of {name}\"));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}",
+                                elems.join(", ")
+                            ))
+                        }
+                        VariantShape::Struct(fields) => {
+                            let field_inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| de_field(name, &f.name, "__inner"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok(\
+                                     {name}::{vn} {{ {} }}),",
+                                field_inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {}\n\
+                                 __other => ::std::result::Result::Err(\
+                                     ::serde::Error::unknown_variant(\"{name}\", __other)),\n\
+                             }},\n\
+                             ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                                 let (__key, __inner) = &__pairs[0];\n\
+                                 match __key.as_str() {{\n\
+                                     {}\n\
+                                     __other => ::std::result::Result::Err(\
+                                         ::serde::Error::unknown_variant(\"{name}\", __other)),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::Error::invalid_type(\"enum value\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json):
+//! `to_string`, `to_string_pretty` and `from_str` over the vendored serde
+//! shim's [`Value`] model.
+//!
+//! Emitted JSON matches serde's conventions for the shapes this workspace
+//! uses (external enum tagging, objects in field order). Non-finite floats
+//! serialize as `null` (like JavaScript's `JSON.stringify`) and `null`
+//! deserializes into `f64::NAN`, so snapshots never panic on degenerate
+//! models.
+
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the shim's value model; the `Result` mirrors the real
+/// serde_json signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to human-readable, 2-space-indented JSON.
+///
+/// # Errors
+///
+/// Never fails for the shim's value model; the `Result` mirrors the real
+/// serde_json signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any `Deserialize` type.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value(text)?;
+    Ok(T::deserialize_value(&value)?)
+}
+
+/// Parses JSON text into a raw [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON.
+pub fn parse_value(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Ryu-style shortest printing is what `{}` gives for f64;
+                // integral floats keep a ".0" so they re-parse as floats.
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    out.push_str(&format!("{f:.1}"));
+                } else {
+                    out.push_str(&f.to_string());
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_json_string(out, s),
+        Value::Array(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+            write_value(out, &items[i], indent, depth + 1);
+        }),
+        Value::Object(pairs) => write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i| {
+            let (k, v) = &pairs[i];
+            write_json_string(out, k);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+            write_value(out, v, indent, depth + 1);
+        }),
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error::new(format!("bad array at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let value = self.value()?;
+                    pairs.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(pairs));
+                        }
+                        _ => return Err(Error::new(format!("bad object at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::new("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            // Surrogate pairs are not needed for this
+                            // workspace's identifiers; map lone surrogates
+                            // to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => {
+                            return Err(Error::new(format!("bad escape `\\{}`", other as char)));
+                        }
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at pos-1.
+                    let start = self.pos - 1;
+                    while self.bytes.get(self.pos).is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_round_trip() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("J48".into())),
+            ("depth".into(), Value::Int(3)),
+            (
+                "weights".into(),
+                Value::Array(vec![Value::Float(0.5), Value::Float(-1.25)]),
+            ),
+            ("fitted".into(), Value::Bool(true)),
+            ("spare".into(), Value::Null),
+        ]);
+        let text = to_string(&v).unwrap();
+        assert_eq!(parse_value(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparses() {
+        let v = Value::Object(vec![(
+            "xs".into(),
+            Value::Array(vec![Value::Int(1), Value::Int(2)]),
+        )]);
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\n  \"xs\": [\n    1,\n    2\n  ]"));
+        assert_eq!(parse_value(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&0.125f64).unwrap(), "0.125");
+        // Re-parsing yields a float, not an int.
+        assert_eq!(parse_value("2.0").unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        let back: f64 = from_str("null").unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line1\nline2\t\"quoted\" \\ unicode: é";
+        let text = to_string(s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("[1, 2").is_err());
+        assert!(parse_value("1 2").is_err());
+        assert!(parse_value("\"unterminated").is_err());
+        assert!(from_str::<u64>("\"nope\"").is_err());
+    }
+
+    #[test]
+    fn typed_round_trip_via_traits() {
+        let xs = vec![(1usize, 2usize), (3, 4)];
+        let text = to_string(&xs).unwrap();
+        let back: Vec<(usize, usize)> = from_str(&text).unwrap();
+        assert_eq!(back, xs);
+    }
+}
