@@ -1,0 +1,69 @@
+//! Criterion benchmarks of the serving hot path: wire-protocol encode /
+//! decode and the session engine's submit, the per-frame costs that bound
+//! fleet-scale throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmd_hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
+use hmd_hpc_sim::workload::AppClass;
+use hmd_ml::classifier::ClassifierKind;
+use hmd_serve::metrics::Metrics;
+use hmd_serve::protocol::{encode, Frame, FrameBuffer};
+use hmd_serve::session::{SessionConfig, SessionEngine};
+use std::hint::black_box;
+use std::sync::Arc;
+use twosmart::detector::TwoSmartDetector;
+
+fn submit_frame() -> Frame {
+    Frame::Submit {
+        host_id: 0xdead_beef,
+        seq: 123_456,
+        counters: vec![1.25e6, 3.1e5, 4.7e4, 9.9e3],
+    }
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let frame = submit_frame();
+    c.bench_function("protocol/encode_submit", |b| {
+        b.iter(|| encode(black_box(&frame)))
+    });
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let bytes = encode(&submit_frame());
+    c.bench_function("protocol/decode_submit", |b| {
+        b.iter(|| {
+            let mut fb = FrameBuffer::new();
+            fb.extend(black_box(&bytes));
+            fb.next_frame().expect("valid frame")
+        })
+    });
+}
+
+fn bench_session_submit(c: &mut Criterion) {
+    let corpus = CorpusBuilder::new(CorpusSpec::tiny()).build();
+    let detector = AppClass::MALWARE
+        .iter()
+        .fold(
+            TwoSmartDetector::builder().seed(0).hpc_budget(4),
+            |b, &class| b.classifier_for(class, ClassifierKind::J48),
+        )
+        .train(&corpus)
+        .expect("detector trains");
+    let engine = SessionEngine::new(
+        detector,
+        &SessionConfig::default(),
+        Arc::new(Metrics::new()),
+    )
+    .expect("engine builds");
+    let counters = [1.25e6, 3.1e5, 4.7e4, 9.9e3];
+    let mut seq = 0u64;
+    c.bench_function("session/submit_single_host", |b| {
+        b.iter(|| {
+            seq += 1;
+            engine.submit(black_box(1), seq, black_box(&counters))
+        })
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_session_submit);
+criterion_main!(benches);

@@ -37,13 +37,20 @@ use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
-/// Errors raised when constructing an [`OnlineDetector`].
+/// Errors raised when constructing or feeding an [`OnlineDetector`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OnlineError {
     /// The wrapped detector reads events beyond the 4 run-time HPCs.
     NotDeployable,
     /// `window` or `votes` was zero.
     ZeroLength(&'static str),
+    /// A counter reading did not have one entry per programmed event.
+    BadLength {
+        /// Number of programmed events (readings must match it).
+        expected: usize,
+        /// Length of the rejected reading.
+        got: usize,
+    },
 }
 
 impl fmt::Display for OnlineError {
@@ -54,6 +61,10 @@ impl fmt::Display for OnlineError {
                 "detector reads beyond the 4 run-time HPCs; train with hpc_budget(4)"
             ),
             OnlineError::ZeroLength(what) => write!(f, "{what} must be at least 1"),
+            OnlineError::BadLength { expected, got } => write!(
+                f,
+                "one reading per programmed event: expected {expected} counters, got {got}"
+            ),
         }
     }
 }
@@ -133,23 +144,39 @@ impl OnlineDetector {
     ///
     /// # Panics
     ///
-    /// Panics if `counters` has the wrong length.
+    /// Panics if `counters` has the wrong length. Service paths handling
+    /// untrusted input should call [`try_push`](Self::try_push) instead.
     pub fn push(&mut self, counters: &[f64]) -> Option<Verdict> {
+        self.try_push(counters)
+            .expect("one reading per programmed event")
+    }
+
+    /// Non-panicking [`push`](Self::push): rejects a wrong-length reading
+    /// with [`OnlineError::BadLength`] and leaves the window and vote state
+    /// untouched, so a malformed submission cannot corrupt or kill a
+    /// serving session.
+    ///
+    /// # Errors
+    ///
+    /// [`OnlineError::BadLength`] if `counters` does not have one entry per
+    /// programmed event.
+    pub fn try_push(&mut self, counters: &[f64]) -> Result<Option<Verdict>, OnlineError> {
         let events = self
             .detector
             .runtime_events()
             .expect("constructor verified deployability");
-        assert_eq!(
-            counters.len(),
-            events.len(),
-            "one reading per programmed event"
-        );
+        if counters.len() != events.len() {
+            return Err(OnlineError::BadLength {
+                expected: events.len(),
+                got: counters.len(),
+            });
+        }
         if self.samples.len() == self.window {
             self.samples.pop_front();
         }
         self.samples.push_back(counters.to_vec());
         if self.samples.len() < self.window {
-            return None;
+            return Ok(None);
         }
 
         // Window mean → raw verdict.
@@ -169,7 +196,7 @@ impl OnlineDetector {
             self.verdicts.pop_front();
         }
         self.verdicts.push_back(raw);
-        Some(self.smoothed())
+        Ok(Some(self.smoothed()))
     }
 
     /// Majority decision over the retained raw verdicts: malware iff more
@@ -290,6 +317,36 @@ mod tests {
         // The verdict stream is deterministic for constant input: either
         // always alarming or never; smoothing must not oscillate.
         assert!(alarms == 0 || alarms == 10, "oscillating alarms: {alarms}");
+    }
+
+    #[test]
+    fn try_push_rejects_wrong_arity_without_corrupting_state() {
+        let mut online = OnlineDetector::new(deployable_detector(), 2, 1).unwrap();
+        assert_eq!(online.try_push(&[1.0, 1.0, 1.0, 1.0]), Ok(None));
+        // Too short and too long are both rejected, and neither consumes a
+        // window slot: the next valid push still completes the 2-window.
+        assert_eq!(
+            online.try_push(&[1.0, 1.0]),
+            Err(OnlineError::BadLength {
+                expected: 4,
+                got: 2
+            })
+        );
+        assert_eq!(
+            online.try_push(&[1.0; 7]),
+            Err(OnlineError::BadLength {
+                expected: 4,
+                got: 7
+            })
+        );
+        assert!(online.try_push(&[1.0, 1.0, 1.0, 1.0]).unwrap().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "one reading per programmed event")]
+    fn push_panics_on_wrong_arity() {
+        let mut online = OnlineDetector::new(deployable_detector(), 2, 1).unwrap();
+        online.push(&[1.0, 2.0]);
     }
 
     #[test]

@@ -37,6 +37,7 @@ use hmd_ml::model::AnyModel;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+use std::path::Path;
 
 /// Error raised when a detector cannot be snapshotted.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +52,33 @@ impl fmt::Display for SnapshotError {
 }
 
 impl Error for SnapshotError {}
+
+/// Error raised when a snapshot cannot be written to, read from, or
+/// reconstructed from external storage. Unlike [`SnapshotError`] (capture
+/// of a live detector), this covers the untrusted side: disk I/O, JSON
+/// parsing, and structural validation of foreign snapshot files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The snapshot file could not be read or written.
+    Io(String),
+    /// The file was not valid snapshot JSON.
+    Json(String),
+    /// The JSON parsed but describes an unusable detector (missing
+    /// specialists, empty event lists, non-finite thresholds, …).
+    Invalid(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(what) => write!(f, "snapshot I/O failed: {what}"),
+            PersistError::Json(what) => write!(f, "snapshot JSON invalid: {what}"),
+            PersistError::Invalid(what) => write!(f, "snapshot structurally invalid: {what}"),
+        }
+    }
+}
+
+impl Error for PersistError {}
 
 /// Serializable image of one specialized stage-2 detector.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -110,7 +138,26 @@ impl DetectorSnapshot {
     }
 
     /// Rebuilds a working detector from the snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot is structurally invalid (e.g. hand-edited
+    /// JSON with a missing specialist). Deployments loading foreign files
+    /// should use [`try_restore`](Self::try_restore).
     pub fn restore(&self) -> TwoSmartDetector {
+        self.try_restore().expect("structurally valid snapshot")
+    }
+
+    /// Non-panicking [`restore`](Self::restore): validates the snapshot's
+    /// structure before reassembly, so a truncated or hand-edited snapshot
+    /// file surfaces as an error instead of a panic inside a service.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Invalid`] if validation fails (see
+    /// [`validate`](Self::validate)).
+    pub fn try_restore(&self) -> Result<TwoSmartDetector, PersistError> {
+        self.validate()?;
         let stage1 = Stage1Model::from_parts(self.stage1_model.clone(), self.stage1_events.clone());
         let stage2: Vec<SpecializedDetector> = self
             .stage2
@@ -126,7 +173,82 @@ impl DetectorSnapshot {
                 d
             })
             .collect();
-        TwoSmartDetector::from_parts(stage1, stage2)
+        Ok(TwoSmartDetector::from_parts(stage1, stage2))
+    }
+
+    /// Checks the structural invariants [`TwoSmartDetector::from_parts`]
+    /// asserts, plus value sanity the assertions do not cover.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Invalid`] naming the first violated invariant:
+    /// stage-1 events empty, a missing/duplicate/benign specialist, a
+    /// specialist with no events, or a non-finite decision threshold.
+    pub fn validate(&self) -> Result<(), PersistError> {
+        if self.stage1_events.is_empty() {
+            return Err(PersistError::Invalid("stage-1 event list is empty".into()));
+        }
+        for class in AppClass::MALWARE {
+            let n = self.stage2.iter().filter(|s| s.class == class).count();
+            if n != 1 {
+                return Err(PersistError::Invalid(format!(
+                    "expected exactly one {class} specialist, found {n}"
+                )));
+            }
+        }
+        for s in &self.stage2 {
+            if !s.class.is_malware() {
+                return Err(PersistError::Invalid(format!(
+                    "specialist for non-malware class {}",
+                    s.class
+                )));
+            }
+            if s.events.is_empty() {
+                return Err(PersistError::Invalid(format!(
+                    "{} specialist has an empty event list",
+                    s.class
+                )));
+            }
+            if !s.threshold.is_finite() {
+                return Err(PersistError::Invalid(format!(
+                    "{} specialist threshold is not finite",
+                    s.class
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes the snapshot as pretty-printed JSON, the on-disk format the
+    /// `serve` binary loads — training and serving stay separate processes.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] if the file cannot be written.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let path = path.as_ref();
+        let json =
+            serde_json::to_string_pretty(self).map_err(|e| PersistError::Json(e.to_string()))?;
+        std::fs::write(path, json).map_err(|e| PersistError::Io(format!("{}: {e}", path.display())))
+    }
+
+    /// Reads and validates a snapshot written by
+    /// [`save_json`](Self::save_json) (or any serde backend emitting the
+    /// same shape). The result is safe to [`restore`](Self::restore).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on read failure, [`PersistError::Json`] on
+    /// parse failure, [`PersistError::Invalid`] if the parsed snapshot
+    /// fails [`validate`](Self::validate).
+    pub fn load_json(path: impl AsRef<Path>) -> Result<DetectorSnapshot, PersistError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| PersistError::Io(format!("{}: {e}", path.display())))?;
+        let snapshot: DetectorSnapshot =
+            serde_json::from_str(&text).map_err(|e| PersistError::Json(e.to_string()))?;
+        snapshot.validate()?;
+        Ok(snapshot)
     }
 }
 
@@ -169,6 +291,66 @@ mod tests {
         for r in corpus.records().iter().take(10) {
             assert_eq!(restored.detect(&r.features), det.detect(&r.features));
         }
+    }
+
+    #[test]
+    fn save_load_round_trips_through_disk() {
+        let (det, corpus) = trained(false);
+        let snapshot = DetectorSnapshot::capture(&det).unwrap();
+        let dir = std::env::temp_dir().join(format!("twosmart-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.json");
+        snapshot.save_json(&path).unwrap();
+        let reloaded = DetectorSnapshot::load_json(&path).unwrap();
+        let restored = reloaded.try_restore().unwrap();
+        for r in corpus.records().iter().take(10) {
+            assert_eq!(restored.detect(&r.features), det.detect(&r.features));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_missing_file_and_garbage_json() {
+        assert!(matches!(
+            DetectorSnapshot::load_json("/nonexistent/twosmart.json"),
+            Err(PersistError::Io(_))
+        ));
+        let dir = std::env::temp_dir().join(format!("twosmart-garbage-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(matches!(
+            DetectorSnapshot::load_json(&path),
+            Err(PersistError::Json(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validate_catches_structural_damage() {
+        let (det, _) = trained(false);
+        let good = DetectorSnapshot::capture(&det).unwrap();
+        assert!(good.validate().is_ok());
+
+        let mut missing = good.clone();
+        missing.stage2.pop();
+        assert!(matches!(
+            missing.try_restore(),
+            Err(PersistError::Invalid(_))
+        ));
+
+        let mut duplicated = good.clone();
+        let dup = duplicated.stage2[0].clone();
+        duplicated.stage2.push(dup);
+        assert!(duplicated.validate().is_err());
+
+        let mut bad_threshold = good.clone();
+        bad_threshold.stage2[0].threshold = f64::NAN;
+        assert!(bad_threshold.validate().is_err());
+
+        let mut no_events = good;
+        no_events.stage1_events.clear();
+        assert!(no_events.validate().is_err());
     }
 
     #[test]

@@ -60,8 +60,10 @@ impl Error for TrainError {}
 /// A trainable multiclass classifier over numeric features.
 ///
 /// Implementations are deterministic given their construction seed, so
-/// experiments are reproducible.
-pub trait Classifier: fmt::Debug + Send {
+/// experiments are reproducible. `Send + Sync` because trained models are
+/// plain data: serving shares one trained detector template across worker
+/// threads.
+pub trait Classifier: fmt::Debug + Send + Sync {
     /// Trains the model on `data`, replacing any previous fit.
     ///
     /// # Errors

@@ -1,0 +1,76 @@
+//! `loadgen` — replay a simulated fleet against a running `serve`.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7171 --hosts 32 --seconds 2
+//! ```
+//!
+//! Options: `--addr HOST:PORT`, `--hosts K`, `--seconds S` (fractional
+//! allowed), `--pipeline N` (in-flight submissions per host), `--seed N`,
+//! `--wait S` (retry the first connection for up to S seconds so the
+//! server may still be starting).
+
+use hmd_serve::client::DetectorClient;
+use hmd_serve::loadgen::{run, LoadConfig};
+use std::time::{Duration, Instant};
+
+fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("loadgen: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = LoadConfig::default();
+    let mut wait = Duration::from_secs(10);
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--hosts" => config.hosts = value("--hosts")?.parse()?,
+            "--seconds" => {
+                config.duration = Duration::from_secs_f64(value("--seconds")?.parse()?);
+            }
+            "--pipeline" => config.pipeline = value("--pipeline")?.parse()?,
+            "--seed" => config.seed = value("--seed")?.parse()?,
+            "--wait" => wait = Duration::from_secs_f64(value("--wait")?.parse()?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: loadgen [--addr HOST:PORT] [--hosts K] [--seconds S] \
+                            [--pipeline N] [--seed N] [--wait S]"
+                        .into(),
+                );
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)").into()),
+        }
+    }
+
+    // The server may still be binding (CI starts it in the background):
+    // retry the probe connection until `wait` expires.
+    let probe_deadline = Instant::now() + wait;
+    loop {
+        match DetectorClient::connect(&config.addr, Duration::from_secs(2)) {
+            Ok(_) => break,
+            Err(e) if Instant::now() < probe_deadline => {
+                eprintln!("waiting for {}: {e}", config.addr);
+                std::thread::sleep(Duration::from_millis(250));
+            }
+            Err(e) => return Err(format!("server never became ready: {e}").into()),
+        }
+    }
+
+    eprintln!(
+        "loadgen: {} hosts, {:.1}s, pipeline {} → {}",
+        config.hosts,
+        config.duration.as_secs_f64(),
+        config.pipeline,
+        config.addr
+    );
+    let report = run(&config)?;
+    println!("{}", report.render());
+    Ok(())
+}

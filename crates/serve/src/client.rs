@@ -1,0 +1,195 @@
+//! Blocking client for the detection service.
+//!
+//! [`DetectorClient`] wraps one TCP connection: handshake on connect, then
+//! either the simple request/response [`submit`](DetectorClient::submit)
+//! or the raw [`send`](DetectorClient::send)/[`recv`](DetectorClient::recv)
+//! pair that `loadgen` uses to keep a pipeline of in-flight submissions.
+
+use crate::metrics::MetricsSnapshot;
+use crate::protocol::{read_frame, write_frame, ErrorCode, Frame, WireError, PROTOCOL_VERSION};
+use std::io::BufWriter;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+use twosmart::detector::Verdict;
+
+/// Client-side failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Connect/read/write failure.
+    Io(String),
+    /// Frame-level decode failure.
+    Wire(WireError),
+    /// The handshake did not complete (no/old/foreign server).
+    Handshake(String),
+    /// The server answered with an `Error` frame.
+    Server {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Server-provided context.
+        detail: String,
+    },
+    /// The server sent a frame that does not answer the request.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "I/O error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Handshake(e) => write!(f, "handshake failed: {e}"),
+            ClientError::Server { code, detail } => write!(f, "server error [{code}]: {detail}"),
+            ClientError::Unexpected(e) => write!(f, "unexpected server frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e.to_string())
+    }
+}
+
+/// One authenticated-by-handshake connection to a detection server.
+#[derive(Debug)]
+pub struct DetectorClient {
+    stream: TcpStream,
+}
+
+impl DetectorClient {
+    /// Connects, applies `timeout` to the socket in both directions, and
+    /// performs the `Hello` handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on connect failure, [`ClientError::Handshake`]
+    /// if the server rejects the version or answers with anything but
+    /// `Hello` (e.g. `Error{overloaded}` when shed).
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<DetectorClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let mut client = DetectorClient { stream };
+        client.send(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        match client.recv()? {
+            Frame::Hello { version } if version == PROTOCOL_VERSION => Ok(client),
+            Frame::Hello { version } => Err(ClientError::Handshake(format!(
+                "server speaks v{version}, client v{PROTOCOL_VERSION}"
+            ))),
+            Frame::Error { code, detail } => {
+                Err(ClientError::Handshake(format!("[{code}] {detail}")))
+            }
+            other => Err(ClientError::Handshake(format!("got {other:?}"))),
+        }
+    }
+
+    /// Sends one frame without waiting for a reply (pipelining primitive).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on write failure.
+    pub fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, frame)?;
+        Ok(())
+    }
+
+    /// Sends many frames in one buffered write (amortizes syscalls when
+    /// pipelining).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on write failure.
+    pub fn send_all(&mut self, frames: &[Frame]) -> Result<(), ClientError> {
+        let mut w = BufWriter::new(&mut self.stream);
+        for frame in frames {
+            write_frame(&mut w, frame)?;
+        }
+        use std::io::Write;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Receives the next frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`] on decode failure or close.
+    pub fn recv(&mut self) -> Result<Frame, ClientError> {
+        Ok(read_frame(&mut self.stream)?)
+    }
+
+    /// Writes raw bytes, bypassing framing — robustness tests use this to
+    /// inject malformed and hostile input.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on write failure.
+    pub fn send_raw_for_test(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        use std::io::Write;
+        self.stream.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Submits one reading and waits for the matching reply.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] if the server rejects the submission (the
+    /// connection remains usable), [`ClientError::Unexpected`] on a
+    /// mismatched echo.
+    pub fn submit(
+        &mut self,
+        host_id: u64,
+        seq: u64,
+        counters: &[f64],
+    ) -> Result<Option<Verdict>, ClientError> {
+        self.send(&Frame::Submit {
+            host_id,
+            seq,
+            counters: counters.to_vec(),
+        })?;
+        match self.recv()? {
+            Frame::Verdict {
+                host_id: h,
+                seq: s,
+                verdict,
+            } if h == host_id && s == seq => Ok(verdict),
+            Frame::Verdict {
+                host_id: h, seq: s, ..
+            } => Err(ClientError::Unexpected(format!(
+                "verdict for host {h} seq {s}, expected host {host_id} seq {seq}"
+            ))),
+            Frame::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Requests a service metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] / [`ClientError::Unexpected`] on a
+    /// non-`Drain` answer.
+    pub fn drain(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        self.send(&Frame::Drain { stats: None })?;
+        match self.recv()? {
+            Frame::Drain { stats: Some(s) } => Ok(s),
+            Frame::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! `hmd-serve` — the fleet-scale serving layer of the 2SMaRT reproduction.
+//!
+//! The paper positions 2SMaRT as a *run-time* detector; this crate is the
+//! path from one trained [`twosmart::detector::TwoSmartDetector`] to a
+//! service that classifies HPC telemetry streamed by a fleet of monitored
+//! hosts. It is std-only (consistent with the workspace's offline-build
+//! constraint) and splits into:
+//!
+//! - [`protocol`] — a versioned, length-prefixed wire protocol
+//!   (`Hello` / `Submit` / `Verdict` / `Drain` / `Error` frames as JSON
+//!   payloads). Malformed input becomes an `Error` frame, never a panic.
+//! - [`session`] — one [`twosmart::online::OnlineDetector`] per monitored
+//!   host behind a sharded mutex map, with idle-session eviction.
+//! - [`metrics`] — lock-free atomic service counters, snapshotted over the
+//!   wire by the `Drain` frame.
+//! - [`server`] — a multi-threaded `std::net::TcpListener` server: accept
+//!   loop, fixed worker pool (thread count follows the `hmd_ml::par`
+//!   conventions, i.e. `TWOSMART_THREADS`), bounded connection budget with
+//!   explicit load shedding, and graceful draining shutdown.
+//! - [`client`] — a small blocking client used by tests, examples and the
+//!   load generator.
+//! - [`loadgen`] — replays corpus-derived counter streams from K simulated
+//!   hosts and reports throughput and latency percentiles.
+//!
+//! Two binaries wrap the library: `serve` (loads a
+//! [`twosmart::persist::DetectorSnapshot`], so training and serving are
+//! separate processes) and `loadgen`.
+//!
+//! # Determinism
+//!
+//! Verdicts depend only on the per-host counter stream: every host owns a
+//! private `OnlineDetector`, submissions carry a strictly increasing `seq`,
+//! and out-of-order or malformed frames are rejected without touching
+//! detector state. The verdict sequence for a host is therefore
+//! bit-identical across runs, worker counts, and connection interleavings.
+
+pub mod client;
+pub mod loadgen;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod session;

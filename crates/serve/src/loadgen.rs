@@ -1,0 +1,306 @@
+//! Load generator: the repo's first end-to-end serving benchmark.
+//!
+//! Simulates a fleet of `hosts` monitored machines, each holding one
+//! connection and replaying a corpus-derived counter stream (generated
+//! through the same [`hmd_hpc_sim::perf::PerfSession`] path the training
+//! corpus uses, so the traffic is distributionally honest). Each host
+//! keeps up to `pipeline` submissions in flight — a real telemetry agent
+//! does not stop sampling while a verdict is on the wire — and records a
+//! send→verdict latency per frame.
+//!
+//! The run reports aggregate throughput and latency percentiles
+//! ([`LoadReport`]), plus the server's own [`MetricsSnapshot`] drained at
+//! the end.
+
+use crate::client::{ClientError, DetectorClient};
+use crate::metrics::MetricsSnapshot;
+use crate::protocol::Frame;
+use hmd_hpc_sim::workload::WorkloadSpec;
+use hmd_ml::par::derive_seed;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::net::ToSocketAddrs;
+use std::time::{Duration, Instant};
+use twosmart::features::COMMON_EVENTS;
+
+/// Load run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:7171`.
+    pub addr: String,
+    /// Number of simulated hosts (one connection each).
+    pub hosts: usize,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    /// Submissions each host keeps in flight (≥ 1).
+    pub pipeline: usize,
+    /// Base seed for the per-host workload streams.
+    pub seed: u64,
+    /// Per-host pre-generated readings, replayed cyclically.
+    pub stream_len: usize,
+    /// Socket timeout for each host connection.
+    pub timeout: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            addr: "127.0.0.1:7171".into(),
+            hosts: 8,
+            duration: Duration::from_secs(2),
+            pipeline: 8,
+            seed: 1,
+            stream_len: 256,
+            timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Aggregate results of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Hosts that completed the run.
+    pub hosts: usize,
+    /// Verdict frames received.
+    pub frames: u64,
+    /// `Error` frames received in response to submissions.
+    pub errors: u64,
+    /// Wall-clock duration of the measurement.
+    pub elapsed: Duration,
+    /// Verdicts per second over the measurement window.
+    pub throughput: f64,
+    /// Send→verdict latency percentiles, in microseconds.
+    pub latency_us: LatencyPercentiles,
+    /// The server's own metrics, drained after the run.
+    pub server: Option<MetricsSnapshot>,
+}
+
+/// Latency summary in microseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyPercentiles {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Worst observed.
+    pub max: f64,
+}
+
+impl LoadReport {
+    /// Renders the human-readable summary the `loadgen` binary prints.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "hosts {:>4}  frames {:>8}  errors {:>4}  elapsed {:>6.2}s  throughput {:>9.0} f/s\n\
+             latency p50 {:>8.1}us  p90 {:>8.1}us  p99 {:>8.1}us  max {:>8.1}us",
+            self.hosts,
+            self.frames,
+            self.errors,
+            self.elapsed.as_secs_f64(),
+            self.throughput,
+            self.latency_us.p50,
+            self.latency_us.p90,
+            self.latency_us.p99,
+            self.latency_us.max,
+        );
+        if let Some(s) = &self.server {
+            out.push_str(&format!(
+                "\nserver: frames_in {} submits {} malformed {} shed {} evictions {} \
+                 verdicts[warmup {} benign {} malware {}]",
+                s.frames_in,
+                s.submits,
+                s.malformed,
+                s.shed,
+                s.evictions,
+                s.verdicts.warmup,
+                s.verdicts.benign,
+                s.verdicts.malware(),
+            ));
+        }
+        out
+    }
+}
+
+/// Pre-generates one host's counter stream: a library workload profiled
+/// through a 4-counter [`hmd_hpc_sim::perf::PerfSession`] on the Common
+/// events, exactly the shape a deployed agent would submit.
+pub fn host_stream(seed: u64, host: u64, len: usize) -> Vec<Vec<f64>> {
+    let library = WorkloadSpec::library();
+    let spec = &library[(host as usize) % library.len()];
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, host));
+    let mut app = spec.spawn(&mut rng);
+    let session =
+        hmd_hpc_sim::perf::PerfSession::open(&COMMON_EVENTS).expect("4 events fit the hardware");
+    session
+        .profile(&mut app, len, &mut rng)
+        .into_iter()
+        .map(|r| r.counts)
+        .collect()
+}
+
+struct HostResult {
+    frames: u64,
+    errors: u64,
+    latencies_us: Vec<f64>,
+}
+
+/// Runs the load: connects `hosts` clients, streams for `duration`, then
+/// drains server metrics over a fresh connection.
+///
+/// # Errors
+///
+/// [`ClientError`] if a host cannot connect/handshake or a connection dies
+/// mid-run.
+pub fn run(config: &LoadConfig) -> Result<LoadReport, ClientError> {
+    let addr: Vec<_> = config
+        .addr
+        .to_socket_addrs()
+        .map_err(|e| ClientError::Io(format!("{}: {e}", config.addr)))?
+        .collect();
+    let addr = *addr
+        .first()
+        .ok_or_else(|| ClientError::Io(format!("{} resolves to nothing", config.addr)))?;
+
+    let started = Instant::now();
+    let deadline = started + config.duration;
+    let results = hmd_ml::par::with_threads(config.hosts.max(1), || {
+        hmd_ml::par::par_map((0..config.hosts as u64).collect(), |_, host| {
+            let stream = host_stream(config.seed, host, config.stream_len.max(1));
+            let client = DetectorClient::connect(addr, config.timeout)?;
+            drive_host(client, host, &stream, config.pipeline.max(1), deadline)
+        })
+    });
+
+    let mut frames = 0u64;
+    let mut errors = 0u64;
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut hosts_ok = 0usize;
+    for r in results {
+        let r = r?;
+        hosts_ok += 1;
+        frames += r.frames;
+        errors += r.errors;
+        latencies.extend(r.latencies_us);
+    }
+    let elapsed = started.elapsed();
+    latencies.sort_by(f64::total_cmp);
+    let server = DetectorClient::connect(addr, config.timeout)
+        .and_then(|mut c| c.drain())
+        .ok();
+    Ok(LoadReport {
+        hosts: hosts_ok,
+        frames,
+        errors,
+        elapsed,
+        throughput: frames as f64 / elapsed.as_secs_f64().max(1e-9),
+        latency_us: LatencyPercentiles {
+            p50: percentile(&latencies, 50.0),
+            p90: percentile(&latencies, 90.0),
+            p99: percentile(&latencies, 99.0),
+            max: latencies.last().copied().unwrap_or(0.0),
+        },
+        server,
+    })
+}
+
+/// One host's send/receive loop: keep `pipeline` submissions in flight,
+/// matching replies (which arrive in order per connection) to their send
+/// timestamps.
+fn drive_host(
+    mut client: DetectorClient,
+    host: u64,
+    stream: &[Vec<f64>],
+    pipeline: usize,
+    deadline: Instant,
+) -> Result<HostResult, ClientError> {
+    let mut result = HostResult {
+        frames: 0,
+        errors: 0,
+        latencies_us: Vec::new(),
+    };
+    let mut inflight: VecDeque<Instant> = VecDeque::with_capacity(pipeline);
+    let mut seq = 0u64;
+    let send_one = |client: &mut DetectorClient,
+                    seq: &mut u64,
+                    inflight: &mut VecDeque<Instant>|
+     -> Result<(), ClientError> {
+        let counters = &stream[(*seq as usize) % stream.len()];
+        client.send(&Frame::Submit {
+            host_id: host,
+            seq: *seq,
+            counters: counters.clone(),
+        })?;
+        inflight.push_back(Instant::now());
+        *seq += 1;
+        Ok(())
+    };
+
+    while Instant::now() < deadline {
+        while inflight.len() < pipeline {
+            send_one(&mut client, &mut seq, &mut inflight)?;
+        }
+        receive_one(&mut client, &mut inflight, &mut result)?;
+    }
+    // Drain the tail so every sent frame is accounted for.
+    while !inflight.is_empty() {
+        receive_one(&mut client, &mut inflight, &mut result)?;
+    }
+    Ok(result)
+}
+
+fn receive_one(
+    client: &mut DetectorClient,
+    inflight: &mut VecDeque<Instant>,
+    result: &mut HostResult,
+) -> Result<(), ClientError> {
+    let frame = client.recv()?;
+    let sent = inflight
+        .pop_front()
+        .ok_or_else(|| ClientError::Unexpected("reply without an in-flight submit".into()))?;
+    match frame {
+        Frame::Verdict { .. } => {
+            result.frames += 1;
+            result.latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
+        }
+        Frame::Error { .. } => result.errors += 1,
+        other => {
+            return Err(ClientError::Unexpected(format!("{other:?}")));
+        }
+    }
+    Ok(())
+}
+
+/// Nearest-rank percentile over a sorted slice (0 for empty input).
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_known_data() {
+        let data: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&data, 50.0), 51.0);
+        assert_eq!(percentile(&data, 99.0), 99.0);
+        assert_eq!(percentile(&data, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn host_streams_are_deterministic_and_distinct() {
+        let a = host_stream(7, 0, 16);
+        let b = host_stream(7, 0, 16);
+        let c = host_stream(7, 1, 16);
+        assert_eq!(a, b, "same (seed, host) replays identically");
+        assert_ne!(a, c, "different hosts get different streams");
+        assert!(a.iter().all(|r| r.len() == 4), "4 counters per reading");
+    }
+}

@@ -1,0 +1,336 @@
+//! Versioned, length-prefixed wire protocol.
+//!
+//! Every frame on the wire is a 4-byte big-endian payload length followed
+//! by that many bytes of JSON encoding one [`Frame`] (via the vendored
+//! serde_json). The length prefix makes framing self-describing; JSON makes
+//! payloads debuggable with `nc` and stable across compiler versions.
+//!
+//! ```text
+//! +----------------+-------------------------------+
+//! | len: u32 (BE)  | payload: `len` bytes of JSON  |
+//! +----------------+-------------------------------+
+//! ```
+//!
+//! # Robustness contract
+//!
+//! A detection service ingests telemetry from potentially compromised
+//! hosts, so the decoder must survive hostile bytes:
+//!
+//! - a syntactically invalid or shape-mismatched payload is a *recoverable*
+//!   [`WireError::Malformed`] — the bad bytes are consumed, the connection
+//!   stays usable, and the server answers with an `Error` frame;
+//! - a length prefix beyond [`MAX_FRAME_BYTES`] is *fatal*
+//!   ([`WireError::Oversized`]): framing can no longer be trusted (it is
+//!   usually another protocol, e.g. an HTTP request line), so the server
+//!   sends one `Error` frame and closes.
+
+use crate::metrics::MetricsSnapshot;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{self, Read, Write};
+use twosmart::detector::Verdict;
+
+/// Protocol version carried by `Hello`. Bumped on any wire-visible change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard ceiling on a frame payload. A `Submit` is ~120 bytes; 64 KiB
+/// leaves room for metrics snapshots while rejecting garbage prefixes
+/// (e.g. ASCII `"GET "` decodes as a ~1.2 GB length) immediately.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// Number of counters a run-time `Submit` carries: the paper's 4-HPC
+/// deployment budget.
+pub const RUNTIME_COUNTERS: usize = 4;
+
+/// Machine-readable error category carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The service is at its connection/in-flight budget; retry later.
+    Overloaded,
+    /// The payload was not a decodable frame; the offending bytes were
+    /// discarded and the connection remains usable.
+    Malformed,
+    /// The frame length prefix exceeded [`MAX_FRAME_BYTES`]; the server
+    /// closes the connection after this frame.
+    Oversized,
+    /// A `Submit` did not carry [`RUNTIME_COUNTERS`] counters.
+    BadLength,
+    /// A `Submit` seq was not strictly greater than the host's last seq.
+    OutOfOrder,
+    /// The client `Hello` requested an unsupported protocol version.
+    UnsupportedVersion,
+    /// A frame type the server does not accept (e.g. a client sending
+    /// `Verdict`).
+    Unexpected,
+    /// The service is draining for shutdown and no longer accepts work.
+    ShuttingDown,
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::BadLength => "bad_length",
+            ErrorCode::OutOfOrder => "out_of_order",
+            ErrorCode::UnsupportedVersion => "unsupported_version",
+            ErrorCode::Unexpected => "unexpected",
+            ErrorCode::ShuttingDown => "shutting_down",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One protocol message, client→server or server→client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Frame {
+    /// Handshake. The client sends its version; the server echoes its own.
+    Hello {
+        /// [`PROTOCOL_VERSION`] of the sender.
+        version: u32,
+    },
+    /// One 10 ms counter reading from one monitored host.
+    Submit {
+        /// Fleet-unique identifier of the monitored host.
+        host_id: u64,
+        /// Strictly increasing per-host sequence number.
+        seq: u64,
+        /// Counter values in the detector's `runtime_events` order; must
+        /// have [`RUNTIME_COUNTERS`] entries.
+        counters: Vec<f64>,
+    },
+    /// The smoothed detection decision for one `Submit`.
+    Verdict {
+        /// Echoed from the `Submit`.
+        host_id: u64,
+        /// Echoed from the `Submit`.
+        seq: u64,
+        /// `None` while the host's window is still warming up.
+        verdict: Option<Verdict>,
+    },
+    /// Metrics request (client sends `stats: None`) and response (server
+    /// replies with a rendered snapshot).
+    Drain {
+        /// Point-in-time service metrics; `None` in the request direction.
+        stats: Option<MetricsSnapshot>,
+    },
+    /// Anything the peer rejected, with a machine-readable code.
+    Error {
+        /// Error category.
+        code: ErrorCode,
+        /// Human-readable context (host/seq, expected arity, …).
+        detail: String,
+    },
+}
+
+/// Decoder-side failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer closed the stream (EOF at a frame boundary is a clean
+    /// close; mid-frame it is reported as `Io`).
+    Closed,
+    /// Underlying socket error.
+    Io(String),
+    /// Length prefix exceeded [`MAX_FRAME_BYTES`]; framing is lost and the
+    /// connection must be closed.
+    Oversized(usize),
+    /// Payload was not a valid frame; the bytes were consumed and the
+    /// stream remains framed.
+    Malformed(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "peer closed the connection"),
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::Oversized(n) => {
+                write!(f, "frame length {n} exceeds the {MAX_FRAME_BYTES} B cap")
+            }
+            WireError::Malformed(e) => write!(f, "malformed frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> WireError {
+        WireError::Io(e.to_string())
+    }
+}
+
+/// Encodes one frame as length prefix + JSON payload.
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let payload = serde_json::to_string(frame).expect("frame JSON never fails");
+    let bytes = payload.as_bytes();
+    debug_assert!(bytes.len() <= MAX_FRAME_BYTES, "outbound frame too large");
+    let mut out = Vec::with_capacity(4 + bytes.len());
+    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    out.extend_from_slice(bytes);
+    out
+}
+
+/// Writes one frame to a blocking stream.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode(frame))
+}
+
+/// Reads one frame from a blocking stream.
+///
+/// # Errors
+///
+/// [`WireError::Closed`] on EOF at a frame boundary, [`WireError::Io`] on
+/// socket errors or mid-frame EOF, [`WireError::Oversized`] /
+/// [`WireError::Malformed`] per the module robustness contract.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+    let mut prefix = [0u8; 4];
+    match r.read_exact(&mut prefix) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Err(WireError::Closed),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    decode_payload(&payload)
+}
+
+fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| WireError::Malformed(format!("not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+/// Incremental frame decoder for non-blocking sockets.
+///
+/// Workers append whatever bytes `read` produced and pull out as many
+/// complete frames as have accumulated; partial frames simply wait for the
+/// next read.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Consumed prefix length; compacted lazily to amortize the memmove.
+    pos: usize,
+}
+
+impl FrameBuffer {
+    /// An empty decoder.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Appends raw bytes from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Extracts the next complete frame.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] consumes the offending payload (the stream
+    /// stays framed; keep decoding). [`WireError::Oversized`] leaves the
+    /// buffer unusable — the connection must be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(WireError::Oversized(len));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = &avail[4..4 + len];
+        let result = decode_payload(payload);
+        self.pos += 4 + len;
+        result.map(Some)
+    }
+
+    fn compact(&mut self) {
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 4096) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_render_stably() {
+        assert_eq!(ErrorCode::Overloaded.to_string(), "overloaded");
+        assert_eq!(ErrorCode::OutOfOrder.to_string(), "out_of_order");
+    }
+
+    #[test]
+    fn encode_is_length_prefixed_json() {
+        let bytes = encode(&Frame::Hello { version: 1 });
+        let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        assert_eq!(len, bytes.len() - 4);
+        assert!(std::str::from_utf8(&bytes[4..]).unwrap().contains("Hello"));
+    }
+
+    #[test]
+    fn frame_buffer_handles_byte_dribble() {
+        let bytes = encode(&Frame::Submit {
+            host_id: 7,
+            seq: 0,
+            counters: vec![1.0, 2.0, 3.0, 4.0],
+        });
+        let mut fb = FrameBuffer::new();
+        for b in &bytes[..bytes.len() - 1] {
+            fb.extend(std::slice::from_ref(b));
+            assert_eq!(fb.next_frame(), Ok(None), "incomplete frame must wait");
+        }
+        fb.extend(&bytes[bytes.len() - 1..]);
+        match fb.next_frame() {
+            Ok(Some(Frame::Submit { host_id, seq, .. })) => {
+                assert_eq!((host_id, seq), (7, 0));
+            }
+            other => panic!("expected Submit, got {other:?}"),
+        }
+        assert_eq!(fb.next_frame(), Ok(None));
+    }
+
+    #[test]
+    fn malformed_payload_is_recoverable() {
+        let mut fb = FrameBuffer::new();
+        let junk = b"{\"definitely\":\"not a frame\"}";
+        let mut framed = (junk.len() as u32).to_be_bytes().to_vec();
+        framed.extend_from_slice(junk);
+        fb.extend(&framed);
+        fb.extend(&encode(&Frame::Hello { version: 1 }));
+        assert!(matches!(fb.next_frame(), Err(WireError::Malformed(_))));
+        // The stream stays framed: the next frame decodes normally.
+        assert_eq!(fb.next_frame(), Ok(Some(Frame::Hello { version: 1 })));
+    }
+
+    #[test]
+    fn oversized_prefix_is_fatal() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(b"GET / HTTP/1.1\r\n");
+        assert!(matches!(fb.next_frame(), Err(WireError::Oversized(_))));
+    }
+}

@@ -1,0 +1,523 @@
+//! Multi-threaded TCP detection server.
+//!
+//! Architecture (std-only — no async runtime, no epoll crate):
+//!
+//! ```text
+//!  accept thread ──▶ shed? ──Error{overloaded}+close
+//!        │ round-robin
+//!        ▼
+//!  worker 0..N-1  (N = ServeConfig::workers, default hmd_ml::par
+//!        │         conventions: TWOSMART_THREADS / available cores)
+//!        ▼
+//!  each worker owns a set of non-blocking connections and busy-polls
+//!  them: read → FrameBuffer → handle frame → queue reply → flush.
+//!  Sleeps briefly when a full pass makes no progress.
+//! ```
+//!
+//! Connections are long-lived, so a *fixed* pool must multiplex: each
+//! worker pumps every connection it owns per pass instead of parking on
+//! one socket. The in-flight budget is explicit — when
+//! [`ServeConfig::max_connections`] is reached, new connections get one
+//! `Error{overloaded}` frame and are closed (load shedding), never queued
+//! unboundedly.
+//!
+//! Graceful shutdown: [`ServerHandle::shutdown`] stops the accept loop,
+//! lets every worker finish the frames already buffered on its
+//! connections (draining open sessions), flushes replies, then closes.
+
+use crate::metrics::Metrics;
+use crate::protocol::{encode, ErrorCode, Frame, FrameBuffer, WireError, PROTOCOL_VERSION};
+use crate::session::{SessionConfig, SessionEngine, SubmitError};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use twosmart::detector::TwoSmartDetector;
+use twosmart::online::OnlineError;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; `"127.0.0.1:0"` picks an ephemeral port (the bound
+    /// address is on [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker pool size. `0` means "follow the `hmd_ml::par` conventions"
+    /// (`TWOSMART_THREADS`, else available parallelism).
+    pub workers: usize,
+    /// In-flight connection budget; accepts beyond it are shed with
+    /// `Error{overloaded}`.
+    pub max_connections: usize,
+    /// Socket timeout for the blocking writes the accept thread performs
+    /// when shedding.
+    pub write_timeout: Duration,
+    /// Cap on bytes queued for one connection before the server stops
+    /// reading from it until the backlog flushes (per-connection
+    /// backpressure).
+    pub max_outbuf: usize,
+    /// Run the idle-session sweep every this many accepted submits.
+    /// `0` disables periodic sweeps.
+    pub evict_every: u64,
+    /// Per-host session behaviour.
+    pub session: SessionConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            max_connections: 1024,
+            write_timeout: Duration::from_secs(2),
+            max_outbuf: 1 << 20,
+            evict_every: 1 << 16,
+            session: SessionConfig::default(),
+        }
+    }
+}
+
+/// Why the server failed to start.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Could not bind the listen address.
+    Bind(String),
+    /// The detector cannot serve (not 4-HPC deployable, zero window/votes).
+    Online(OnlineError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind(e) => write!(f, "cannot bind: {e}"),
+            ServeError::Online(e) => write!(f, "detector not servable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<OnlineError> for ServeError {
+    fn from(e: OnlineError) -> ServeError {
+        ServeError::Online(e)
+    }
+}
+
+/// One live connection owned by a worker.
+struct Conn {
+    stream: TcpStream,
+    inbuf: FrameBuffer,
+    outbuf: Vec<u8>,
+    written: usize,
+    /// Close after the outbuf flushes (oversized frame / fatal error).
+    close_after_flush: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            inbuf: FrameBuffer::new(),
+            outbuf: Vec::new(),
+            written: 0,
+            close_after_flush: false,
+            dead: false,
+        }
+    }
+
+    fn queue(&mut self, frame: &Frame, metrics: &Metrics) {
+        self.outbuf.extend_from_slice(&encode(frame));
+        metrics.bump(&metrics.frames_out);
+    }
+
+    fn backlog(&self) -> usize {
+        self.outbuf.len() - self.written
+    }
+}
+
+struct Shared {
+    engine: SessionEngine,
+    metrics: Arc<Metrics>,
+    stop: AtomicBool,
+    conns: AtomicUsize,
+    config: ServeConfig,
+}
+
+/// Handle to a running server; dropping it does *not* stop the service —
+/// call [`shutdown`](Self::shutdown).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live service metrics.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Live host-session count.
+    pub fn sessions(&self) -> usize {
+        self.shared.engine.sessions()
+    }
+
+    /// Signals shutdown, drains buffered frames on open connections,
+    /// flushes replies, and joins all threads.
+    pub fn shutdown(self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Nudge the accept loop in case it is between polls.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the server stops (it only stops via a concurrent
+    /// `shutdown`, so this is for binaries that serve until killed).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Starts serving `detector` per `config`. Returns once the listener is
+/// bound and all threads are running.
+///
+/// # Errors
+///
+/// [`ServeError::Bind`] if the address cannot be bound,
+/// [`ServeError::Online`] if the detector is not deployable.
+pub fn serve(detector: TwoSmartDetector, config: ServeConfig) -> Result<ServerHandle, ServeError> {
+    let metrics = Arc::new(Metrics::new());
+    let engine = SessionEngine::new(detector, &config.session, Arc::clone(&metrics))?;
+    let listener = TcpListener::bind(&config.addr).map_err(|e| ServeError::Bind(e.to_string()))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| ServeError::Bind(e.to_string()))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| ServeError::Bind(e.to_string()))?;
+
+    let workers = if config.workers == 0 {
+        hmd_ml::par::thread_count()
+    } else {
+        config.workers
+    };
+    let shared = Arc::new(Shared {
+        engine,
+        metrics,
+        stop: AtomicBool::new(false),
+        conns: AtomicUsize::new(0),
+        config,
+    });
+
+    let inboxes: Vec<Arc<Mutex<Vec<TcpStream>>>> = (0..workers)
+        .map(|_| Arc::new(Mutex::new(Vec::new())))
+        .collect();
+    let mut threads = Vec::with_capacity(workers + 1);
+    for inbox in &inboxes {
+        let worker_shared = Arc::clone(&shared);
+        let worker_inbox = Arc::clone(inbox);
+        threads.push(std::thread::spawn(move || {
+            worker_loop(&worker_shared, &worker_inbox);
+        }));
+    }
+    {
+        let accept_shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || {
+            accept_loop(&listener, &accept_shared, &inboxes);
+        }));
+    }
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared, inboxes: &[Arc<Mutex<Vec<TcpStream>>>]) {
+    let mut next = 0usize;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.metrics.bump(&shared.metrics.connections);
+                if shared.conns.load(Ordering::SeqCst) >= shared.config.max_connections {
+                    shed(stream, shared);
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                    continue;
+                }
+                shared.conns.fetch_add(1, Ordering::SeqCst);
+                inboxes[next % inboxes.len()]
+                    .lock()
+                    .expect("inbox lock poisoned")
+                    .push(stream);
+                next = next.wrapping_add(1);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// Refuses a connection over budget: one explicit `Error{overloaded}`
+/// frame, then close — the client learns why instead of hanging in an
+/// unbounded queue.
+fn shed(stream: TcpStream, shared: &Shared) {
+    shared.metrics.bump(&shared.metrics.shed);
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let _ = stream.write_all(&encode(&Frame::Error {
+        code: ErrorCode::Overloaded,
+        detail: format!(
+            "connection budget {} exhausted",
+            shared.config.max_connections
+        ),
+    }));
+}
+
+fn worker_loop(shared: &Shared, inbox: &Arc<Mutex<Vec<TcpStream>>>) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut read_chunk = [0u8; 16 * 1024];
+    let mut stop_passes = 0u32;
+    loop {
+        let stopping = shared.stop.load(Ordering::SeqCst);
+        {
+            let mut incoming = inbox.lock().expect("inbox lock poisoned");
+            conns.extend(incoming.drain(..).map(Conn::new));
+        }
+        let mut progress = false;
+        for conn in &mut conns {
+            progress |= pump(conn, shared, &mut read_chunk, stopping);
+        }
+        let before = conns.len();
+        conns.retain(|c| !c.dead);
+        if conns.len() != before {
+            shared
+                .conns
+                .fetch_sub(before - conns.len(), Ordering::SeqCst);
+        }
+        if stopping {
+            // Drain complete: every surviving connection has flushed its
+            // backlog and seen its buffered frames handled. A peer that
+            // stops reading cannot hold the drain hostage: give up after
+            // a bounded number of passes.
+            stop_passes += 1;
+            let drained = conns.iter().all(|c| c.backlog() == 0);
+            if drained || stop_passes > 5_000 {
+                shared.conns.fetch_sub(conns.len(), Ordering::SeqCst);
+                return;
+            }
+        }
+        if !progress {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// One service pass over a connection: read what the socket has, decode
+/// and handle complete frames, flush queued replies. Returns whether any
+/// byte moved (the worker's idle heuristic).
+fn pump(conn: &mut Conn, shared: &Shared, chunk: &mut [u8], stopping: bool) -> bool {
+    let mut progress = false;
+
+    // Read — unless per-connection backpressure is in force.
+    if conn.backlog() < shared.config.max_outbuf && !conn.close_after_flush {
+        loop {
+            match conn.stream.read(chunk) {
+                Ok(0) => {
+                    conn.dead = true;
+                    return true;
+                }
+                Ok(n) => {
+                    progress = true;
+                    conn.inbuf.extend(&chunk[..n]);
+                    if conn.inbuf.pending() >= shared.config.max_outbuf {
+                        break; // decode before buffering more
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    return true;
+                }
+            }
+        }
+    }
+
+    // Decode and handle.
+    loop {
+        match conn.inbuf.next_frame() {
+            Ok(Some(frame)) => {
+                progress = true;
+                shared.metrics.bump(&shared.metrics.frames_in);
+                handle_frame(conn, shared, frame, stopping);
+            }
+            Ok(None) => break,
+            Err(WireError::Malformed(detail)) => {
+                progress = true;
+                shared.metrics.bump(&shared.metrics.malformed);
+                conn.queue(
+                    &Frame::Error {
+                        code: ErrorCode::Malformed,
+                        detail,
+                    },
+                    &shared.metrics,
+                );
+            }
+            Err(err) => {
+                // Oversized (or any framing-fatal) error: apologize, flush,
+                // close. The stream can no longer be re-synchronized.
+                progress = true;
+                shared.metrics.bump(&shared.metrics.malformed);
+                conn.queue(
+                    &Frame::Error {
+                        code: ErrorCode::Oversized,
+                        detail: err.to_string(),
+                    },
+                    &shared.metrics,
+                );
+                conn.close_after_flush = true;
+                break;
+            }
+        }
+    }
+
+    // Flush.
+    while conn.backlog() > 0 {
+        match conn.stream.write(&conn.outbuf[conn.written..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return true;
+            }
+            Ok(n) => {
+                progress = true;
+                conn.written += n;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return true;
+            }
+        }
+    }
+    if conn.backlog() == 0 {
+        conn.outbuf.clear();
+        conn.written = 0;
+        if conn.close_after_flush {
+            conn.dead = true;
+        }
+    }
+    progress
+}
+
+fn handle_frame(conn: &mut Conn, shared: &Shared, frame: Frame, stopping: bool) {
+    let metrics = &shared.metrics;
+    match frame {
+        Frame::Hello { version } => {
+            if version == PROTOCOL_VERSION {
+                conn.queue(
+                    &Frame::Hello {
+                        version: PROTOCOL_VERSION,
+                    },
+                    metrics,
+                );
+            } else {
+                conn.queue(
+                    &Frame::Error {
+                        code: ErrorCode::UnsupportedVersion,
+                        detail: format!(
+                            "server speaks v{PROTOCOL_VERSION}, client sent v{version}"
+                        ),
+                    },
+                    metrics,
+                );
+            }
+        }
+        Frame::Submit {
+            host_id,
+            seq,
+            counters,
+        } => {
+            if stopping {
+                conn.queue(
+                    &Frame::Error {
+                        code: ErrorCode::ShuttingDown,
+                        detail: format!("host {host_id} seq {seq}: service is draining"),
+                    },
+                    metrics,
+                );
+                return;
+            }
+            match shared.engine.submit(host_id, seq, &counters) {
+                Ok(verdict) => {
+                    metrics.bump(&metrics.submits);
+                    metrics.record_verdict(&verdict);
+                    conn.queue(
+                        &Frame::Verdict {
+                            host_id,
+                            seq,
+                            verdict,
+                        },
+                        metrics,
+                    );
+                    let every = shared.config.evict_every;
+                    if every > 0 && shared.engine.ticks().is_multiple_of(every) {
+                        shared.engine.evict_idle();
+                    }
+                }
+                Err(e @ SubmitError::BadLength { .. }) => {
+                    conn.queue(
+                        &Frame::Error {
+                            code: ErrorCode::BadLength,
+                            detail: format!("host {host_id} seq {seq}: {e}"),
+                        },
+                        metrics,
+                    );
+                }
+                Err(e @ SubmitError::OutOfOrder { .. }) => {
+                    conn.queue(
+                        &Frame::Error {
+                            code: ErrorCode::OutOfOrder,
+                            detail: format!("host {host_id} seq {seq}: {e}"),
+                        },
+                        metrics,
+                    );
+                }
+            }
+        }
+        Frame::Drain { .. } => {
+            conn.queue(
+                &Frame::Drain {
+                    stats: Some(metrics.snapshot()),
+                },
+                metrics,
+            );
+        }
+        Frame::Verdict { .. } | Frame::Error { .. } => {
+            conn.queue(
+                &Frame::Error {
+                    code: ErrorCode::Unexpected,
+                    detail: "server does not accept Verdict/Error frames".into(),
+                },
+                metrics,
+            );
+        }
+    }
+}

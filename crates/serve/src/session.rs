@@ -1,0 +1,359 @@
+//! Per-host detection sessions behind a sharded lock.
+//!
+//! A fleet submits interleaved telemetry from many hosts; each host needs
+//! its own [`OnlineDetector`] (sliding window + vote smoothing are
+//! per-host state). [`SessionEngine`] keeps those detectors in N
+//! independently locked shards keyed by a hash of the host id, so worker
+//! threads serving different hosts almost never contend, and evicts
+//! sessions that have gone idle so a churning fleet cannot grow memory
+//! without bound.
+//!
+//! # Determinism
+//!
+//! The verdict sequence of a host depends only on the counter readings fed
+//! to *its* detector, in `seq` order. The engine enforces strictly
+//! increasing per-host `seq` (rejecting replays/reorders with
+//! [`SubmitError::OutOfOrder`]) and rejects wrong-arity readings before
+//! they touch the window, so shard layout, worker count, and cross-host
+//! interleaving cannot change any host's verdicts.
+
+use crate::metrics::Metrics;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use twosmart::detector::{TwoSmartDetector, Verdict};
+use twosmart::online::{OnlineDetector, OnlineError};
+
+/// Tuning for the session engine.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Number of independently locked shards (clamped to ≥ 1).
+    pub shards: usize,
+    /// Sliding-window length handed to each host's [`OnlineDetector`].
+    pub window: usize,
+    /// Vote-smoothing depth handed to each host's [`OnlineDetector`].
+    pub votes: usize,
+    /// A session is evictable once this many submits (engine-wide logical
+    /// ticks) have passed since it last saw one. `0` disables eviction.
+    pub idle_after: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            shards: 16,
+            window: 8,
+            votes: 3,
+            idle_after: 1 << 20,
+        }
+    }
+}
+
+/// Why a `Submit` was rejected. The submission is dropped without touching
+/// the host's detector state, so a bad frame never perturbs verdicts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The reading did not carry one counter per programmed event.
+    BadLength {
+        /// Expected arity (the deployment's programmed event count).
+        expected: usize,
+        /// Rejected arity.
+        got: usize,
+    },
+    /// `seq` was not strictly greater than the host's last accepted seq.
+    OutOfOrder {
+        /// Last accepted sequence number for the host.
+        last: u64,
+        /// Rejected sequence number.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::BadLength { expected, got } => {
+                write!(f, "expected {expected} counters, got {got}")
+            }
+            SubmitError::OutOfOrder { last, got } => {
+                write!(f, "seq {got} not after last accepted seq {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct HostSession {
+    online: OnlineDetector,
+    last_seq: Option<u64>,
+    last_seen: u64,
+}
+
+/// Sharded host-id → [`OnlineDetector`] map.
+pub struct SessionEngine {
+    shards: Vec<Mutex<HashMap<u64, HostSession>>>,
+    /// Never-pushed prototype cloned for each new host.
+    template: OnlineDetector,
+    idle_after: u64,
+    /// Logical clock: one tick per submit.
+    clock: AtomicU64,
+    metrics: Arc<Metrics>,
+}
+
+impl SessionEngine {
+    /// Builds an engine serving clones of `detector` wrapped per the
+    /// config's window/votes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OnlineError`] if the detector is not 4-HPC deployable
+    /// or the window/votes are zero.
+    pub fn new(
+        detector: TwoSmartDetector,
+        config: &SessionConfig,
+        metrics: Arc<Metrics>,
+    ) -> Result<SessionEngine, OnlineError> {
+        let template = OnlineDetector::new(detector, config.window, config.votes)?;
+        let shards = (0..config.shards.max(1))
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect();
+        Ok(SessionEngine {
+            shards,
+            template,
+            idle_after: config.idle_after,
+            clock: AtomicU64::new(0),
+            metrics,
+        })
+    }
+
+    /// Counters each `Submit` must carry, in programmed-event order.
+    pub fn expected_arity(&self) -> usize {
+        self.template
+            .detector()
+            .runtime_events()
+            .expect("engine detector is deployable")
+            .len()
+    }
+
+    /// Feeds one reading to `host_id`'s detector, creating the session on
+    /// first contact. Returns the smoothed verdict (`None` during
+    /// warm-up).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] if the reading is wrong-arity or out of order; the
+    /// session state is untouched in both cases.
+    pub fn submit(
+        &self,
+        host_id: u64,
+        seq: u64,
+        counters: &[f64],
+    ) -> Result<Option<Verdict>, SubmitError> {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shards[self.shard_of(host_id)]
+            .lock()
+            .expect("shard lock poisoned");
+        let session = shard.entry(host_id).or_insert_with(|| HostSession {
+            online: self.template.clone(),
+            last_seq: None,
+            last_seen: now,
+        });
+        if let Some(last) = session.last_seq {
+            if seq <= last {
+                return Err(SubmitError::OutOfOrder { last, got: seq });
+            }
+        }
+        let verdict = session.online.try_push(counters).map_err(|e| match e {
+            OnlineError::BadLength { expected, got } => SubmitError::BadLength { expected, got },
+            other => unreachable!("try_push only fails with BadLength: {other}"),
+        })?;
+        session.last_seq = Some(seq);
+        session.last_seen = now;
+        Ok(verdict)
+    }
+
+    /// Removes sessions idle for more than `idle_after` ticks. Returns the
+    /// number evicted (also added to the `evictions` metric).
+    pub fn evict_idle(&self) -> usize {
+        if self.idle_after == 0 {
+            return 0;
+        }
+        let now = self.clock.load(Ordering::Relaxed);
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut map = shard.lock().expect("shard lock poisoned");
+            let before = map.len();
+            map.retain(|_, s| now.saturating_sub(s.last_seen) <= self.idle_after);
+            evicted += before - map.len();
+        }
+        for _ in 0..evicted {
+            self.metrics.bump(&self.metrics.evictions);
+        }
+        evicted
+    }
+
+    /// Live session count across all shards.
+    pub fn sessions(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").len())
+            .sum()
+    }
+
+    /// Submits processed so far (the engine's logical clock).
+    pub fn ticks(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    fn shard_of(&self, host_id: u64) -> usize {
+        // SplitMix-style finalizer (same family as `hmd_ml::par::derive_seed`)
+        // so sequential host ids spread across shards.
+        (hmd_ml::par::derive_seed(host_id, 0) % self.shards.len() as u64) as usize
+    }
+}
+
+impl std::fmt::Debug for SessionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionEngine")
+            .field("shards", &self.shards.len())
+            .field("sessions", &self.sessions())
+            .field("ticks", &self.ticks())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmd_hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
+    use hmd_hpc_sim::workload::AppClass;
+    use hmd_ml::classifier::ClassifierKind;
+
+    fn detector() -> TwoSmartDetector {
+        let corpus = CorpusBuilder::new(CorpusSpec::tiny()).build();
+        AppClass::MALWARE
+            .iter()
+            .fold(
+                TwoSmartDetector::builder().seed(4).hpc_budget(4),
+                |b, &c| b.classifier_for(c, ClassifierKind::OneR),
+            )
+            .train(&corpus)
+            .expect("detector trains")
+    }
+
+    fn engine(config: &SessionConfig) -> SessionEngine {
+        SessionEngine::new(detector(), config, Arc::new(Metrics::new())).unwrap()
+    }
+
+    #[test]
+    fn per_host_sessions_are_independent() {
+        let e = engine(&SessionConfig {
+            window: 2,
+            ..SessionConfig::default()
+        });
+        let r = [1e5, 1e4, 1e3, 1e2];
+        // Host 1 fills its 2-window; host 2's window is untouched by it.
+        assert_eq!(e.submit(1, 0, &r), Ok(None));
+        assert!(e.submit(1, 1, &r).unwrap().is_some());
+        assert_eq!(e.submit(2, 0, &r), Ok(None), "fresh host starts warm-up");
+        assert_eq!(e.sessions(), 2);
+    }
+
+    #[test]
+    fn out_of_order_and_replayed_seqs_are_rejected() {
+        let e = engine(&SessionConfig::default());
+        let r = [1.0, 1.0, 1.0, 1.0];
+        e.submit(9, 5, &r).unwrap();
+        assert_eq!(
+            e.submit(9, 5, &r),
+            Err(SubmitError::OutOfOrder { last: 5, got: 5 })
+        );
+        assert_eq!(
+            e.submit(9, 2, &r),
+            Err(SubmitError::OutOfOrder { last: 5, got: 2 })
+        );
+        // Gaps are fine (lost datagrams happen); order is what matters.
+        assert!(e.submit(9, 100, &r).is_ok());
+    }
+
+    #[test]
+    fn wrong_arity_is_rejected_without_consuming_seq() {
+        let e = engine(&SessionConfig::default());
+        assert_eq!(
+            e.submit(3, 0, &[1.0, 2.0]),
+            Err(SubmitError::BadLength {
+                expected: 4,
+                got: 2
+            })
+        );
+        // The rejected frame did not advance last_seq: seq 0 still works.
+        assert!(e.submit(3, 0, &[1.0, 2.0, 3.0, 4.0]).is_ok());
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_and_active_ones_kept() {
+        let metrics = Arc::new(Metrics::new());
+        let e = SessionEngine::new(
+            detector(),
+            &SessionConfig {
+                idle_after: 4,
+                ..SessionConfig::default()
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let r = [1.0, 1.0, 1.0, 1.0];
+        e.submit(1, 0, &r).unwrap();
+        // Keep host 2 active while host 1 idles past the threshold.
+        for seq in 0..8 {
+            e.submit(2, seq, &r).unwrap();
+        }
+        assert_eq!(e.evict_idle(), 1);
+        assert_eq!(e.sessions(), 1);
+        assert_eq!(metrics.snapshot().evictions, 1);
+        // Returning host 1 restarts warm-up (fresh detector clone).
+        assert_eq!(e.submit(1, 99, &r), Ok(None));
+    }
+
+    #[test]
+    fn eviction_disabled_with_zero_idle_after() {
+        let e = engine(&SessionConfig {
+            idle_after: 0,
+            ..SessionConfig::default()
+        });
+        e.submit(1, 0, &[1.0; 4]).unwrap();
+        for seq in 0..64 {
+            e.submit(2, seq, &[1.0; 4]).unwrap();
+        }
+        assert_eq!(e.evict_idle(), 0);
+        assert_eq!(e.sessions(), 2);
+    }
+
+    #[test]
+    fn verdict_sequence_is_identical_across_shard_counts() {
+        let stream: Vec<[f64; 4]> = (0..12)
+            .map(|i| {
+                let x = 1e5 + (i as f64) * 13.0;
+                [x, x / 3.0, x / 7.0, x / 11.0]
+            })
+            .collect();
+        let mut sequences = Vec::new();
+        for shards in [1, 4, 32] {
+            let e = engine(&SessionConfig {
+                shards,
+                window: 3,
+                votes: 2,
+                ..SessionConfig::default()
+            });
+            let verdicts: Vec<_> = stream
+                .iter()
+                .enumerate()
+                .map(|(i, r)| e.submit(77, i as u64, r).unwrap())
+                .collect();
+            sequences.push(verdicts);
+        }
+        assert_eq!(sequences[0], sequences[1]);
+        assert_eq!(sequences[0], sequences[2]);
+    }
+}

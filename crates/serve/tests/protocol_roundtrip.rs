@@ -1,0 +1,204 @@
+//! Wire-protocol conformance: every frame type round-trips byte-exactly,
+//! and the decoder survives truncated, oversized and garbage input.
+
+use hmd_hpc_sim::workload::AppClass;
+use hmd_serve::metrics::{MetricsSnapshot, VerdictHistogram};
+use hmd_serve::protocol::{
+    encode, read_frame, write_frame, ErrorCode, Frame, FrameBuffer, WireError, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+};
+use twosmart::detector::Verdict;
+
+fn every_frame() -> Vec<Frame> {
+    vec![
+        Frame::Hello {
+            version: PROTOCOL_VERSION,
+        },
+        Frame::Submit {
+            host_id: u64::MAX,
+            seq: 12_345,
+            counters: vec![1.25e6, 0.0, 3.5, 1e-9],
+        },
+        Frame::Verdict {
+            host_id: 0,
+            seq: 0,
+            verdict: None,
+        },
+        Frame::Verdict {
+            host_id: 9,
+            seq: 7,
+            verdict: Some(Verdict::Benign),
+        },
+        Frame::Verdict {
+            host_id: 9,
+            seq: 8,
+            verdict: Some(Verdict::Malware {
+                class: AppClass::Trojan,
+                confidence: 0.875,
+            }),
+        },
+        Frame::Drain { stats: None },
+        Frame::Drain {
+            stats: Some(MetricsSnapshot {
+                frames_in: 10,
+                frames_out: 11,
+                malformed: 1,
+                shed: 2,
+                evictions: 3,
+                submits: 8,
+                connections: 4,
+                verdicts: VerdictHistogram {
+                    warmup: 1,
+                    benign: 5,
+                    backdoor: 1,
+                    rootkit: 0,
+                    virus: 1,
+                    trojan: 0,
+                },
+            }),
+        },
+        Frame::Error {
+            code: ErrorCode::Overloaded,
+            detail: "budget exhausted".into(),
+        },
+        Frame::Error {
+            code: ErrorCode::BadLength,
+            detail: "weird \"quotes\" and\nnewlines\t🦀".into(),
+        },
+    ]
+}
+
+#[test]
+fn every_frame_type_round_trips() {
+    for frame in every_frame() {
+        let bytes = encode(&frame);
+        let mut cursor = &bytes[..];
+        let decoded = read_frame(&mut cursor).expect("decodes");
+        assert_eq!(decoded, frame);
+        assert!(cursor.is_empty(), "no trailing bytes consumed or left");
+    }
+}
+
+#[test]
+fn frames_round_trip_through_a_stream_back_to_back() {
+    let frames = every_frame();
+    let mut wire = Vec::new();
+    for frame in &frames {
+        write_frame(&mut wire, frame).unwrap();
+    }
+    let mut cursor = &wire[..];
+    for frame in &frames {
+        assert_eq!(&read_frame(&mut cursor).unwrap(), frame);
+    }
+    assert!(matches!(read_frame(&mut cursor), Err(WireError::Closed)));
+}
+
+#[test]
+fn frame_buffer_decodes_the_same_stream_incrementally() {
+    let frames = every_frame();
+    let mut wire = Vec::new();
+    for frame in &frames {
+        wire.extend_from_slice(&encode(frame));
+    }
+    // Feed in awkward 7-byte chunks.
+    let mut fb = FrameBuffer::new();
+    let mut decoded = Vec::new();
+    for chunk in wire.chunks(7) {
+        fb.extend(chunk);
+        while let Some(frame) = fb.next_frame().expect("stream is well-formed") {
+            decoded.push(frame);
+        }
+    }
+    assert_eq!(decoded, frames);
+}
+
+#[test]
+fn truncated_length_prefix_waits_for_more() {
+    let bytes = encode(&Frame::Hello { version: 1 });
+    for cut in 0..4.min(bytes.len()) {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&bytes[..cut]);
+        assert_eq!(fb.next_frame(), Ok(None), "cut at {cut}");
+    }
+    let mut cursor = &bytes[..2];
+    assert!(
+        matches!(
+            read_frame(&mut cursor),
+            Err(WireError::Closed | WireError::Io(_))
+        ),
+        "blocking read reports mid-prefix EOF as closed/error, never a frame"
+    );
+}
+
+#[test]
+fn truncated_payload_waits_or_errors() {
+    let bytes = encode(&Frame::Submit {
+        host_id: 1,
+        seq: 2,
+        counters: vec![1.0, 2.0, 3.0, 4.0],
+    });
+    let mut fb = FrameBuffer::new();
+    fb.extend(&bytes[..bytes.len() - 3]);
+    assert_eq!(fb.next_frame(), Ok(None));
+    let mut cursor = &bytes[..bytes.len() - 3];
+    assert!(matches!(read_frame(&mut cursor), Err(WireError::Io(_))));
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_without_allocating() {
+    // 4 GB-ish claimed length; decoder must refuse, not try to buffer it.
+    let mut wire = (u32::MAX).to_be_bytes().to_vec();
+    wire.extend_from_slice(b"whatever");
+    let mut cursor = &wire[..];
+    match read_frame(&mut cursor) {
+        Err(WireError::Oversized(n)) => assert!(n > MAX_FRAME_BYTES),
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+    let mut fb = FrameBuffer::new();
+    fb.extend(&wire);
+    assert!(matches!(fb.next_frame(), Err(WireError::Oversized(_))));
+}
+
+#[test]
+fn garbage_inside_valid_framing_is_malformed_and_recoverable() {
+    let cases: &[&[u8]] = &[
+        b"",                  // empty payload
+        b"null",              // wrong JSON shape
+        b"[1,2,3]",           // array, not an object
+        b"{\"Submit\":{}}",   // known variant, missing fields
+        b"{\"Nonsense\":{}}", // unknown variant
+        b"{\"Submit\":{\"host_id\":\"not a number\",\"seq\":0,\"counters\":[]}}",
+        b"\xff\xfe\x00junk", // not UTF-8
+    ];
+    for junk in cases {
+        let mut fb = FrameBuffer::new();
+        let mut framed = (junk.len() as u32).to_be_bytes().to_vec();
+        framed.extend_from_slice(junk);
+        fb.extend(&framed);
+        fb.extend(&encode(&Frame::Drain { stats: None }));
+        assert!(
+            matches!(fb.next_frame(), Err(WireError::Malformed(_))),
+            "payload {junk:?} must be malformed"
+        );
+        assert_eq!(
+            fb.next_frame(),
+            Ok(Some(Frame::Drain { stats: None })),
+            "decoder must resynchronize after {junk:?}"
+        );
+    }
+}
+
+#[test]
+fn submit_counters_preserve_float_precision() {
+    let counters = vec![1.0 / 3.0, f64::MIN_POSITIVE, 1.23456789012345e15, 0.1 + 0.2];
+    let frame = Frame::Submit {
+        host_id: 1,
+        seq: 1,
+        counters: counters.clone(),
+    };
+    let mut cursor = &encode(&frame)[..];
+    match read_frame(&mut cursor).unwrap() {
+        Frame::Submit { counters: got, .. } => assert_eq!(got, counters, "bit-exact floats"),
+        other => panic!("{other:?}"),
+    }
+}

@@ -13,4 +13,5 @@
 pub use hmd_hpc_sim as hpc_sim;
 pub use hmd_hwmodel as hwmodel;
 pub use hmd_ml as ml;
+pub use hmd_serve as serve;
 pub use twosmart;
