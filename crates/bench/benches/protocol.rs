@@ -7,7 +7,7 @@ use hmd_hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
 use hmd_hpc_sim::workload::AppClass;
 use hmd_ml::classifier::ClassifierKind;
 use hmd_serve::metrics::Metrics;
-use hmd_serve::protocol::{encode, Frame, FrameBuffer};
+use hmd_serve::protocol::{encode, encode_into, Frame, FrameBuffer};
 use hmd_serve::session::{SessionConfig, SessionEngine};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -25,6 +25,22 @@ fn bench_encode(c: &mut Criterion) {
     let frame = submit_frame();
     c.bench_function("protocol/encode_submit", |b| {
         b.iter(|| encode(black_box(&frame)))
+    });
+}
+
+/// The buffer-reusing variant a worker uses to queue replies: same bytes
+/// as `encode`, appended to a persistent outbuf through reused JSON
+/// scratch.
+fn bench_encode_into(c: &mut Criterion) {
+    let frame = submit_frame();
+    let mut json = String::new();
+    let mut out = Vec::new();
+    c.bench_function("protocol/encode_submit_into", |b| {
+        b.iter(|| {
+            out.clear();
+            encode_into(black_box(&frame), &mut json, &mut out);
+            out.len()
+        })
     });
 }
 
@@ -65,5 +81,11 @@ fn bench_session_submit(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_encode, bench_decode, bench_session_submit);
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_encode_into,
+    bench_decode,
+    bench_session_submit
+);
 criterion_main!(benches);

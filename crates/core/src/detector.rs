@@ -64,6 +64,30 @@ impl Verdict {
     }
 }
 
+/// Reusable scratch buffers for the allocation-free detection hot path.
+///
+/// One `DetectScratch` owns every temporary both stages need: the stage-1
+/// log-transformed projection and class probabilities, and the stage-2
+/// event projection and binary probabilities. After the buffers grow to
+/// steady-state size on the first call, repeated
+/// [`TwoSmartDetector::detect_with`] /
+/// [`TwoSmartDetector::detect_from_counters_with`] calls perform no heap
+/// allocation.
+#[derive(Debug, Clone, Default)]
+pub struct DetectScratch {
+    stage1_logged: Vec<f64>,
+    stage1_proba: Vec<f64>,
+    stage2_x: Vec<f64>,
+    stage2_proba: Vec<f64>,
+}
+
+impl DetectScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> DetectScratch {
+        DetectScratch::default()
+    }
+}
+
 /// Builder for [`TwoSmartDetector`].
 #[derive(Debug, Clone)]
 pub struct TwoSmartBuilder {
@@ -279,20 +303,38 @@ impl TwoSmartDetector {
     ///
     /// Panics if `features44` does not have 44 entries.
     pub fn detect(&self, features44: &[f64]) -> Verdict {
+        self.detect_with(features44, &mut DetectScratch::new())
+    }
+
+    /// [`detect`](Self::detect) through caller-owned scratch buffers — the
+    /// allocation-free hot path. The verdict is bit-identical to the
+    /// allocating path (the specialist score is a pure function, computed
+    /// once here instead of once per `is_malware`/`score` call).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features44` does not have 44 entries.
+    pub fn detect_with(&self, features44: &[f64], scratch: &mut DetectScratch) -> Verdict {
         assert_eq!(
             features44.len(),
             Event::COUNT,
             "expected the 44-event layout"
         );
-        let routed = self.stage1.predict_class(features44);
+        let routed = self.stage1.predict_class_with(
+            features44,
+            &mut scratch.stage1_logged,
+            &mut scratch.stage1_proba,
+        );
         if routed == AppClass::Benign {
             return Verdict::Benign;
         }
         let specialist = self.stage2(routed);
-        if specialist.is_malware(features44) {
+        let confidence =
+            specialist.score_with(features44, &mut scratch.stage2_x, &mut scratch.stage2_proba);
+        if confidence >= specialist.threshold() {
             Verdict::Malware {
                 class: routed,
-                confidence: specialist.score(features44),
+                confidence,
             }
         } else {
             Verdict::Benign
@@ -324,6 +366,23 @@ impl TwoSmartDetector {
     /// [`runtime_events`](Self::runtime_events)) or `counters` has the
     /// wrong length.
     pub fn detect_from_counters(&self, counters: &[f64]) -> Verdict {
+        self.detect_from_counters_with(counters, &mut DetectScratch::new())
+    }
+
+    /// [`detect_from_counters`](Self::detect_from_counters) through
+    /// caller-owned scratch buffers — the allocation-free hot path (the
+    /// 44-event expansion itself lives on the stack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the detector is not run-time deployable (see
+    /// [`runtime_events`](Self::runtime_events)) or `counters` has the
+    /// wrong length.
+    pub fn detect_from_counters_with(
+        &self,
+        counters: &[f64],
+        scratch: &mut DetectScratch,
+    ) -> Verdict {
         let events = self
             .runtime_events()
             .expect("detector reads beyond the 4 run-time HPCs; train with hpc_budget(4)");
@@ -336,7 +395,7 @@ impl TwoSmartDetector {
         for (e, &c) in events.iter().zip(counters) {
             features44[e.index()] = c;
         }
-        self.detect(&features44)
+        self.detect_with(&features44, scratch)
     }
 
     /// Pooled malware-vs-benign F-measure of the full pipeline on a

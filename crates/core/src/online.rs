@@ -11,6 +11,12 @@
 //! - **majority smoothing** over the last `votes` window verdicts, so a
 //!   single noisy window cannot flip the alarm.
 //!
+//! Internally the window is a flat ring buffer with an incremental rolling
+//! sum — each [`push`](OnlineDetector::push) is O(k) in the number of
+//! programmed events instead of O(window·k) — and smoothing maintains
+//! per-class vote tallies, so the steady-state path performs no heap
+//! allocation at all.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -31,7 +37,8 @@
 //! # }
 //! ```
 
-use crate::detector::{TwoSmartDetector, Verdict};
+use crate::detector::{DetectScratch, TwoSmartDetector, Verdict};
+use hmd_hpc_sim::event::Event;
 use hmd_hpc_sim::workload::AppClass;
 use std::collections::VecDeque;
 use std::error::Error;
@@ -73,13 +80,41 @@ impl Error for OnlineError {}
 
 /// A deployable online detector: sliding-window aggregation plus
 /// majority-vote smoothing.
+///
+/// Samples live in a flat `window × k` ring buffer with a per-event rolling
+/// sum maintained incrementally (evicted reading subtracted, new reading
+/// added). HPC readings are integer counts below 2⁵³, for which the
+/// incremental sum is exact; as a belt-and-braces measure against drift on
+/// fractional inputs the sum is also rebuilt by a plain left fold each time
+/// the ring wraps, which amortizes to O(k) per push.
 #[derive(Debug, Clone)]
 pub struct OnlineDetector {
     detector: TwoSmartDetector,
     window: usize,
     votes: usize,
-    samples: VecDeque<Vec<f64>>,
+    /// Number of programmed events (reading arity), fixed at construction.
+    k: usize,
+    /// 44-event feature index of each programmed event, cached so a push
+    /// skips the detector's per-call deployability re-verification.
+    event_indices: Vec<usize>,
+    /// Flat `window × k` sample ring; slot `i` is `ring[i*k..(i+1)*k]`.
+    ring: Vec<f64>,
+    /// Number of valid samples in the ring (`<= window`).
+    filled: usize,
+    /// Next slot to write (`0..window`).
+    pos: usize,
+    /// Rolling per-event sums over the retained samples.
+    sums: Vec<f64>,
+    /// Window-mean scratch handed to the detector.
+    mean: Vec<f64>,
+    /// Retained raw verdicts, oldest first (capacity-bounded, never grows).
     verdicts: VecDeque<Verdict>,
+    /// How many retained verdicts flag malware (of any class).
+    malware_votes: usize,
+    /// Per-class vote tallies, indexed in [`AppClass::MALWARE`] order.
+    class_votes: [usize; AppClass::MALWARE.len()],
+    /// Detection scratch reused across pushes.
+    scratch: DetectScratch,
 }
 
 impl OnlineDetector {
@@ -105,15 +140,26 @@ impl OnlineDetector {
         if votes == 0 {
             return Err(OnlineError::ZeroLength("votes"));
         }
-        if detector.runtime_events().is_none() {
+        let Some(events) = detector.runtime_events() else {
             return Err(OnlineError::NotDeployable);
-        }
+        };
+        let k = events.len();
+        let event_indices = events.iter().map(|e| e.index()).collect();
         Ok(OnlineDetector {
             detector,
             window,
             votes,
-            samples: VecDeque::with_capacity(window),
+            k,
+            event_indices,
+            ring: vec![0.0; window * k],
+            filled: 0,
+            pos: 0,
+            sums: vec![0.0; k],
+            mean: vec![0.0; k],
             verdicts: VecDeque::with_capacity(votes),
+            malware_votes: 0,
+            class_votes: [0; AppClass::MALWARE.len()],
+            scratch: DetectScratch::new(),
         })
     }
 
@@ -135,7 +181,7 @@ impl OnlineDetector {
     /// Number of further [`push`](Self::push) calls needed before a verdict
     /// is produced (0 once the window is full).
     pub fn warmup_remaining(&self) -> usize {
-        self.window.saturating_sub(self.samples.len())
+        self.window - self.filled
     }
 
     /// Feeds one counter reading (in [`TwoSmartDetector::runtime_events`]
@@ -161,84 +207,131 @@ impl OnlineDetector {
     /// [`OnlineError::BadLength`] if `counters` does not have one entry per
     /// programmed event.
     pub fn try_push(&mut self, counters: &[f64]) -> Result<Option<Verdict>, OnlineError> {
-        let events = self
-            .detector
-            .runtime_events()
-            .expect("constructor verified deployability");
-        if counters.len() != events.len() {
+        let k = self.k;
+        if counters.len() != k {
             return Err(OnlineError::BadLength {
-                expected: events.len(),
+                expected: k,
                 got: counters.len(),
             });
         }
-        if self.samples.len() == self.window {
-            self.samples.pop_front();
+
+        // Ring update: subtract the evicted reading (if any), overwrite its
+        // slot, add the new one. O(k), no allocation.
+        let slot = self.pos * k;
+        let old = &mut self.ring[slot..slot + k];
+        if self.filled == self.window {
+            for (s, o) in self.sums.iter_mut().zip(old.iter()) {
+                *s -= o;
+            }
+        } else {
+            self.filled += 1;
         }
-        self.samples.push_back(counters.to_vec());
-        if self.samples.len() < self.window {
+        old.copy_from_slice(counters);
+        for (s, &v) in self.sums.iter_mut().zip(counters) {
+            *s += v;
+        }
+        self.pos += 1;
+        if self.pos == self.window {
+            self.pos = 0;
+            // The ring just wrapped: physical order equals logical
+            // (oldest-first) order, so a contiguous left fold rebuilds the
+            // sums exactly as a from-scratch pass would, squashing any
+            // incremental floating-point drift.
+            self.sums.fill(0.0);
+            for sample in self.ring.chunks_exact(k) {
+                for (s, &v) in self.sums.iter_mut().zip(sample) {
+                    *s += v;
+                }
+            }
+        }
+        if self.filled < self.window {
             return Ok(None);
         }
 
-        // Window mean → raw verdict.
-        let k = counters.len();
-        let mut mean = vec![0.0; k];
-        for s in &self.samples {
-            for (m, v) in mean.iter_mut().zip(s) {
-                *m += v;
+        // Window mean → raw verdict, through the reused scratch. The
+        // 44-event expansion uses the cached indices — the same mapping
+        // `detect_from_counters` performs, minus its per-call
+        // deployability re-verification.
+        let mut features44 = [0.0; Event::COUNT];
+        for (&idx, (m, &s)) in self
+            .event_indices
+            .iter()
+            .zip(self.mean.iter_mut().zip(self.sums.iter()))
+        {
+            *m = s / self.window as f64;
+            features44[idx] = *m;
+        }
+        let raw = self.detector.detect_with(&features44, &mut self.scratch);
+
+        // Vote ring + tallies.
+        if self.verdicts.len() == self.votes {
+            let evicted = self.verdicts.pop_front().expect("ring is non-empty");
+            if let Verdict::Malware { class, .. } = evicted {
+                self.malware_votes -= 1;
+                self.class_votes[Self::malware_index(class)] -= 1;
             }
         }
-        for m in &mut mean {
-            *m /= self.window as f64;
-        }
-        let raw = self.detector.detect_from_counters(&mean);
-
-        if self.verdicts.len() == self.votes {
-            self.verdicts.pop_front();
-        }
         self.verdicts.push_back(raw);
+        if let Verdict::Malware { class, .. } = raw {
+            self.malware_votes += 1;
+            self.class_votes[Self::malware_index(class)] += 1;
+        }
         Ok(Some(self.smoothed()))
+    }
+
+    /// Index of a malware class in [`AppClass::MALWARE`] order.
+    fn malware_index(class: AppClass) -> usize {
+        AppClass::MALWARE
+            .iter()
+            .position(|c| *c == class)
+            .expect("verdict classes are malware classes")
     }
 
     /// Majority decision over the retained raw verdicts: malware iff more
     /// than half flag malware; the reported class is the most frequent
-    /// flagged class, with its mean confidence.
+    /// flagged class — ties break to the lowest [`AppClass`] — with its
+    /// mean confidence. Pure tally reads plus one in-order scan for the
+    /// confidence mean; no allocation.
     fn smoothed(&self) -> Verdict {
-        let malware: Vec<(AppClass, f64)> = self
-            .verdicts
-            .iter()
-            .filter_map(|v| match v {
-                Verdict::Malware { class, confidence } => Some((*class, *confidence)),
-                Verdict::Benign => None,
-            })
-            .collect();
-        if malware.len() * 2 <= self.verdicts.len() {
+        if self.malware_votes * 2 <= self.verdicts.len() {
             return Verdict::Benign;
         }
-        // Most frequent class among the malware votes.
-        let mut best: Option<(AppClass, usize)> = None;
-        for class in AppClass::MALWARE {
-            let count = malware.iter().filter(|(c, _)| *c == class).count();
-            if count > 0 && best.is_none_or(|(_, bc)| count > bc) {
-                best = Some((class, count));
+        // Most frequent class among the malware votes; the strict `>` keeps
+        // the earliest (lowest) class on equal tallies.
+        let mut best = 0;
+        for (i, &count) in self.class_votes.iter().enumerate().skip(1) {
+            if count > self.class_votes[best] {
+                best = i;
             }
         }
-        let (class, _) = best.expect("at least one malware vote");
-        let confs: Vec<f64> = malware
-            .iter()
-            .filter(|(c, _)| *c == class)
-            .map(|(_, conf)| *conf)
-            .collect();
+        let class = AppClass::MALWARE[best];
+        let mut total = 0.0;
+        for v in &self.verdicts {
+            if let Verdict::Malware {
+                class: c,
+                confidence,
+            } = v
+            {
+                if *c == class {
+                    total += *confidence;
+                }
+            }
+        }
         Verdict::Malware {
             class,
-            confidence: confs.iter().sum::<f64>() / confs.len() as f64,
+            confidence: total / self.class_votes[best] as f64,
         }
     }
 
     /// Clears window and vote state (e.g. when the monitored process
     /// changes).
     pub fn reset(&mut self) {
-        self.samples.clear();
+        self.filled = 0;
+        self.pos = 0;
+        self.sums.fill(0.0);
         self.verdicts.clear();
+        self.malware_votes = 0;
+        self.class_votes = [0; AppClass::MALWARE.len()];
     }
 }
 
@@ -317,6 +410,68 @@ mod tests {
         // The verdict stream is deterministic for constant input: either
         // always alarming or never; smoothing must not oscillate.
         assert!(alarms == 0 || alarms == 10, "oscillating alarms: {alarms}");
+    }
+
+    #[test]
+    fn rolling_sums_match_naive_recomputation() {
+        // The incremental ring sums must agree with a from-scratch fold
+        // over the retained samples at every step — including across ring
+        // wraps and evictions. Counter readings are integer-valued, so
+        // both computations are exact and the comparison is bit-for-bit.
+        let mut online = OnlineDetector::new(deployable_detector(), 4, 2).unwrap();
+        let mut naive: VecDeque<Vec<f64>> = VecDeque::new();
+        for i in 0..40u64 {
+            let reading = vec![
+                1_000_000.0 + (i % 17) as f64 * 10_000.0,
+                300_000.0 + (i % 13) as f64 * 3_000.0,
+                47_000.0 + (i % 11) as f64 * 500.0,
+                9_900.0 + (i % 7) as f64 * 100.0,
+            ];
+            let _ = online.push(&reading);
+            if naive.len() == 4 {
+                naive.pop_front();
+            }
+            naive.push_back(reading);
+
+            let mut expected = vec![0.0; 4];
+            for s in &naive {
+                for (e, v) in expected.iter_mut().zip(s) {
+                    *e += v;
+                }
+            }
+            let got: Vec<u64> = online.sums.iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u64> = expected.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "step {i}: {:?} vs {expected:?}", online.sums);
+        }
+    }
+
+    #[test]
+    fn smoothing_tie_breaks_to_lowest_malware_class() {
+        // Equal tallies for two malware classes: the reported class must be
+        // the lowest AppClass, deterministically.
+        let mut online = OnlineDetector::new(deployable_detector(), 1, 4).unwrap();
+        for (class, confidence) in [
+            (AppClass::Virus, 0.9),
+            (AppClass::Backdoor, 0.6),
+            (AppClass::Virus, 0.7),
+            (AppClass::Backdoor, 0.8),
+        ] {
+            online
+                .verdicts
+                .push_back(Verdict::Malware { class, confidence });
+            online.malware_votes += 1;
+            online.class_votes[OnlineDetector::malware_index(class)] += 1;
+        }
+        // Backdoor precedes Virus in AppClass::MALWARE (ascending label
+        // order), so the 2–2 tie resolves to Backdoor with the mean of the
+        // Backdoor confidences.
+        assert_eq!(
+            online.smoothed(),
+            Verdict::Malware {
+                class: AppClass::Backdoor,
+                confidence: (0.6 + 0.8) / 2.0,
+            }
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@
 use crate::pipeline::select_events;
 use hmd_hpc_sim::event::Event;
 use hmd_hpc_sim::workload::AppClass;
-use hmd_ml::classifier::{Classifier, TrainError};
+use hmd_ml::classifier::{argmax, Classifier, TrainError};
 use hmd_ml::data::Dataset;
 use hmd_ml::logistic::Mlr;
 use hmd_ml::metrics::ConfusionMatrix;
@@ -100,13 +100,41 @@ impl Stage1Model {
     ///
     /// Panics if `features44` does not have 44 entries.
     pub fn predict_class(&self, features44: &[f64]) -> AppClass {
+        self.predict_class_with(features44, &mut Vec::new(), &mut Vec::new())
+    }
+
+    /// [`predict_class`](Self::predict_class) through caller-owned scratch
+    /// buffers — the allocation-free hot path. `logged` receives the
+    /// projected log-transformed counters and `proba` the class
+    /// probabilities; both are resized as needed and produce bit-identical
+    /// routing to the allocating path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features44` does not have 44 entries.
+    pub fn predict_class_with(
+        &self,
+        features44: &[f64],
+        logged: &mut Vec<f64>,
+        proba: &mut Vec<f64>,
+    ) -> AppClass {
         assert_eq!(
             features44.len(),
             Event::COUNT,
             "expected the 44-event layout"
         );
-        let projected: Vec<f64> = self.events.iter().map(|e| features44[e.index()]).collect();
-        self.predict_from_counters(&projected)
+        // Projection and log transform fused into one pass; each element is
+        // the same `(1 + max(v, 0)).ln()` expression the allocating path
+        // computes, so the result is bit-identical.
+        logged.clear();
+        logged.extend(
+            self.events
+                .iter()
+                .map(|e| (1.0 + features44[e.index()].max(0.0)).ln()),
+        );
+        proba.resize(self.model.n_classes(), 0.0);
+        self.model.predict_proba_into(logged, proba);
+        AppClass::from_label(argmax(proba)).expect("5-class model")
     }
 
     /// Predicted class from counter readings in the model's event order —

@@ -301,13 +301,29 @@ impl SpecializedDetector {
     ///
     /// Panics if `features44` does not have 44 entries.
     pub fn score(&self, features44: &[f64]) -> f64 {
+        self.score_with(features44, &mut Vec::new(), &mut Vec::new())
+    }
+
+    /// [`score`](Self::score) through caller-owned scratch buffers — the
+    /// allocation-free hot path. `x` receives the projected event readings
+    /// and `proba` the binary class probabilities; both are resized as
+    /// needed and the returned score is bit-identical to the allocating
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features44` does not have 44 entries.
+    pub fn score_with(&self, features44: &[f64], x: &mut Vec<f64>, proba: &mut Vec<f64>) -> f64 {
         assert_eq!(
             features44.len(),
             Event::COUNT,
             "expected the 44-event layout"
         );
-        let x: Vec<f64> = self.events.iter().map(|e| features44[e.index()]).collect();
-        self.model.predict_proba(&x)[1]
+        x.clear();
+        x.extend(self.events.iter().map(|e| features44[e.index()]));
+        proba.resize(self.model.n_classes(), 0.0);
+        self.model.predict_proba_into(x, proba);
+        proba[1]
     }
 
     /// Binary verdict on a 44-event feature row.

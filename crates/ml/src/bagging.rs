@@ -33,6 +33,13 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::fmt;
 
+thread_local! {
+    /// Reused (projected features, member probability) scratch for the
+    /// allocation-free `predict_proba_into` path.
+    static BAGGING_SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
 struct BaggedModel {
     model: Box<dyn Classifier>,
     /// Feature columns this base model was trained on.
@@ -157,17 +164,36 @@ impl Classifier for Bagging {
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
         assert!(!self.models.is_empty(), "Bagging not fitted");
-        let mut acc = vec![0.0; self.n_classes];
-        for m in &self.models {
-            let projected: Vec<f64> = m.features.iter().map(|&i| x[i]).collect();
-            for (a, p) in acc.iter_mut().zip(m.model.predict_proba(&projected)) {
-                *a += p;
+        let mut out = vec![0.0; self.n_classes];
+        self.predict_proba_into(x, &mut out);
+        out
+    }
+
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        assert!(!self.models.is_empty(), "Bagging not fitted");
+        assert_eq!(
+            out.len(),
+            self.n_classes,
+            "predict_proba_into: out has {} slots for {} classes",
+            out.len(),
+            self.n_classes
+        );
+        out.fill(0.0);
+        BAGGING_SCRATCH.with(|s| {
+            let (projected, proba) = &mut *s.borrow_mut();
+            for m in &self.models {
+                projected.clear();
+                projected.extend(m.features.iter().map(|&i| x[i]));
+                proba.resize(m.model.n_classes(), 0.0);
+                m.model.predict_proba_into(projected, proba);
+                for (a, p) in out.iter_mut().zip(proba.iter()) {
+                    *a += p;
+                }
             }
-        }
-        for a in &mut acc {
+        });
+        for a in out.iter_mut() {
             *a /= self.models.len() as f64;
         }
-        acc
     }
 
     fn n_classes(&self) -> usize {

@@ -26,11 +26,18 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use crate::classifier::{Classifier, ClassifierKind, TrainError};
+use crate::classifier::{argmax, Classifier, ClassifierKind, TrainError};
 use crate::data::Dataset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
+
+thread_local! {
+    /// Reused base-model probability scratch for the allocation-free
+    /// `predict_proba_into` path.
+    static BOOST_MEMBER: std::cell::RefCell<Vec<f64>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
 
 /// One boosted round: a fitted base model and its vote weight.
 struct Round {
@@ -187,15 +194,37 @@ impl Classifier for AdaBoost {
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
         assert!(!self.rounds.is_empty(), "AdaBoost not fitted");
-        let mut votes = vec![0.0; self.n_classes];
-        for round in &self.rounds {
-            votes[round.model.predict(x)] += round.weight;
-        }
-        let total: f64 = votes.iter().sum();
+        let mut out = vec![0.0; self.n_classes];
+        self.predict_proba_into(x, &mut out);
+        out
+    }
+
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        assert!(!self.rounds.is_empty(), "AdaBoost not fitted");
+        assert_eq!(
+            out.len(),
+            self.n_classes,
+            "predict_proba_into: out has {} slots for {} classes",
+            out.len(),
+            self.n_classes
+        );
+        out.fill(0.0);
+        BOOST_MEMBER.with(|buf| {
+            let mut buf = buf.borrow_mut();
+            for round in &self.rounds {
+                buf.resize(round.model.n_classes(), 0.0);
+                round.model.predict_proba_into(x, &mut buf);
+                // Same argmax tie-break as the default `predict`.
+                out[argmax(&buf)] += round.weight;
+            }
+        });
+        let total: f64 = out.iter().sum();
         if total <= 0.0 {
-            vec![1.0 / self.n_classes as f64; self.n_classes]
+            out.fill(1.0 / self.n_classes as f64);
         } else {
-            votes.into_iter().map(|v| v / total).collect()
+            for v in out.iter_mut() {
+                *v /= total;
+            }
         }
     }
 

@@ -80,6 +80,31 @@ pub trait Classifier: fmt::Debug + Send + Sync {
     /// of features.
     fn predict_proba(&self, x: &[f64]) -> Vec<f64>;
 
+    /// Writes class-membership probabilities for one instance into `out`,
+    /// the allocation-free form of [`predict_proba`](Self::predict_proba).
+    ///
+    /// The contract is strict: the written values are **bit-identical** to
+    /// what `predict_proba` returns. Hot paths (serving, online detection)
+    /// call this with a reused scratch buffer; the `Vec`-returning method
+    /// stays as the convenient form. The default implementation allocates
+    /// via `predict_proba`; performance-relevant classifiers override it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has not been fitted, `x` has the wrong number of
+    /// features, or `out.len() != n_classes`.
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        let p = self.predict_proba(x);
+        assert_eq!(
+            out.len(),
+            p.len(),
+            "predict_proba_into: out has {} slots for {} classes",
+            out.len(),
+            p.len()
+        );
+        out.copy_from_slice(&p);
+    }
+
     /// The most probable class for one instance.
     ///
     /// # Panics

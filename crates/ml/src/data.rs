@@ -410,11 +410,25 @@ impl Standardizer {
     ///
     /// Panics if `row` has the wrong length.
     pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.transform_row_into(row, &mut out);
+        out
+    }
+
+    /// [`transform_row`](Self::transform_row) into a reused buffer
+    /// (cleared, then filled) — the allocation-free form for hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong number of features.
+    pub fn transform_row_into(&self, row: &[f64], out: &mut Vec<f64>) {
         assert_eq!(row.len(), self.means.len(), "feature length mismatch");
-        row.iter()
-            .zip(self.means.iter().zip(&self.stds))
-            .map(|(v, (m, s))| (v - m) / s)
-            .collect()
+        out.clear();
+        out.extend(
+            row.iter()
+                .zip(self.means.iter().zip(&self.stds))
+                .map(|(v, (m, s))| (v - m) / s),
+        );
     }
 
     /// Standardizes a whole dataset (labels unchanged).
@@ -480,11 +494,25 @@ impl MinMaxScaler {
     ///
     /// Panics if `row` has the wrong length.
     pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.transform_row_into(row, &mut out);
+        out
+    }
+
+    /// [`transform_row`](Self::transform_row) into a reused buffer
+    /// (cleared, then filled) — the allocation-free form for hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong number of features.
+    pub fn transform_row_into(&self, row: &[f64], out: &mut Vec<f64>) {
         assert_eq!(row.len(), self.mins.len(), "feature length mismatch");
-        row.iter()
-            .zip(self.mins.iter().zip(&self.ranges))
-            .map(|(v, (mn, r))| 2.0 * (v - mn) / r - 1.0)
-            .collect()
+        out.clear();
+        out.extend(
+            row.iter()
+                .zip(self.mins.iter().zip(&self.ranges))
+                .map(|(v, (mn, r))| 2.0 * (v - mn) / r - 1.0),
+        );
     }
 
     /// Scales a whole dataset (labels unchanged).

@@ -106,10 +106,30 @@ impl Default for Mlr {
 }
 
 fn softmax_row(logits: &[f64]) -> Vec<f64> {
+    let mut out = logits.to_vec();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// Softmax over `logits` in place: same max-shift, exponentiation order and
+/// left-to-right sum as the historical `softmax_row`, so results are
+/// bit-identical.
+fn softmax_in_place(logits: &mut [f64]) {
     let m = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let exps: Vec<f64> = logits.iter().map(|l| (l - m).exp()).collect();
-    let sum: f64 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    let mut sum = 0.0;
+    for l in logits.iter_mut() {
+        *l = (*l - m).exp();
+        sum += *l;
+    }
+    for l in logits.iter_mut() {
+        *l /= sum;
+    }
+}
+
+thread_local! {
+    /// Reused standardized-input scratch for the allocation-free
+    /// `predict_proba_into` path.
+    static MLR_Z: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
 }
 
 impl Classifier for Mlr {
@@ -197,21 +217,33 @@ impl Classifier for Mlr {
     }
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.fitted.as_ref().expect("MLR not fitted").n_classes];
+        self.predict_proba_into(x, &mut out);
+        out
+    }
+
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         let f = self.fitted.as_ref().expect("MLR not fitted");
-        let z = f.standardizer.transform_row(x);
-        let d = z.len();
-        let logits: Vec<f64> = f
-            .weights
-            .iter()
-            .map(|w| {
+        assert_eq!(
+            out.len(),
+            f.n_classes,
+            "predict_proba_into: out has {} slots for {} classes",
+            out.len(),
+            f.n_classes
+        );
+        MLR_Z.with(|z| {
+            let mut z = z.borrow_mut();
+            f.standardizer.transform_row_into(x, &mut z);
+            let d = z.len();
+            for (o, w) in out.iter_mut().zip(&f.weights) {
                 let mut a = w[d];
-                for (wi, xi) in w[..d].iter().zip(&z) {
+                for (wi, xi) in w[..d].iter().zip(z.iter()) {
                     a += wi * xi;
                 }
-                a
-            })
-            .collect();
-        softmax_row(&logits)
+                *o = a;
+            }
+        });
+        softmax_in_place(out);
     }
 
     fn n_classes(&self) -> usize {

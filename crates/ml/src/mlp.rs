@@ -123,33 +123,6 @@ impl Mlp {
             .as_ref()
             .map(|f| (f.w_hidden[0].len() - 1, f.w_hidden.len(), f.w_output.len()))
     }
-
-    fn forward(f: &Fitted, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
-        let z = f.scaler.transform_row(x);
-        let hidden: Vec<f64> = f
-            .w_hidden
-            .iter()
-            .map(|w| {
-                let mut a = w[w.len() - 1]; // bias
-                for (wi, xi) in w[..w.len() - 1].iter().zip(&z) {
-                    a += wi * xi;
-                }
-                sigmoid(a)
-            })
-            .collect();
-        let logits: Vec<f64> = f
-            .w_output
-            .iter()
-            .map(|w| {
-                let mut a = w[w.len() - 1];
-                for (wi, hi) in w[..w.len() - 1].iter().zip(&hidden) {
-                    a += wi * hi;
-                }
-                a
-            })
-            .collect();
-        (hidden, softmax(&logits))
-    }
 }
 
 fn sigmoid(a: f64) -> f64 {
@@ -157,10 +130,30 @@ fn sigmoid(a: f64) -> f64 {
 }
 
 fn softmax(logits: &[f64]) -> Vec<f64> {
+    let mut out = logits.to_vec();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// Softmax in place: same max-shift, exponentiation order and left-to-right
+/// sum as the historical `softmax`, so results are bit-identical.
+fn softmax_in_place(logits: &mut [f64]) {
     let m = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let exps: Vec<f64> = logits.iter().map(|l| (l - m).exp()).collect();
-    let sum: f64 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    let mut sum = 0.0;
+    for l in logits.iter_mut() {
+        *l = (*l - m).exp();
+        sum += *l;
+    }
+    for l in logits.iter_mut() {
+        *l /= sum;
+    }
+}
+
+thread_local! {
+    /// Reused (scaled input, hidden activation) scratch for the
+    /// allocation-free `predict_proba_into` path.
+    static MLP_SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
 }
 
 impl Classifier for Mlp {
@@ -278,8 +271,40 @@ impl Classifier for Mlp {
     }
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.fitted.as_ref().expect("MLP not fitted").n_classes];
+        self.predict_proba_into(x, &mut out);
+        out
+    }
+
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         let f = self.fitted.as_ref().expect("MLP not fitted");
-        Mlp::forward(f, x).1
+        assert_eq!(
+            out.len(),
+            f.n_classes,
+            "predict_proba_into: out has {} slots for {} classes",
+            out.len(),
+            f.n_classes
+        );
+        MLP_SCRATCH.with(|s| {
+            let (z, hidden) = &mut *s.borrow_mut();
+            f.scaler.transform_row_into(x, z);
+            hidden.clear();
+            hidden.extend(f.w_hidden.iter().map(|w| {
+                let mut a = w[w.len() - 1]; // bias
+                for (wi, xi) in w[..w.len() - 1].iter().zip(z.iter()) {
+                    a += wi * xi;
+                }
+                sigmoid(a)
+            }));
+            for (o, w) in out.iter_mut().zip(&f.w_output) {
+                let mut a = w[w.len() - 1];
+                for (wi, hi) in w[..w.len() - 1].iter().zip(hidden.iter()) {
+                    a += wi * hi;
+                }
+                *o = a;
+            }
+        });
+        softmax_in_place(out);
     }
 
     fn n_classes(&self) -> usize {

@@ -37,6 +37,13 @@ use crate::rules::JRip;
 use crate::tree::J48;
 use serde::{Deserialize, Serialize};
 
+thread_local! {
+    /// Reused base-model probability scratch for the allocation-free
+    /// `predict_proba_into` path of [`AnyModel::Boosted`].
+    static SNAPSHOT_MEMBER: std::cell::RefCell<Vec<f64>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// A serializable snapshot of any fitted (or unfitted) model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum AnyModel {
@@ -115,27 +122,50 @@ impl Classifier for AnyModel {
     }
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_classes()];
+        self.predict_proba_into(x, &mut out);
+        out
+    }
+
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         match self {
-            AnyModel::J48(m) => m.predict_proba(x),
-            AnyModel::JRip(m) => m.predict_proba(x),
-            AnyModel::OneR(m) => m.predict_proba(x),
-            AnyModel::Mlp(m) => m.predict_proba(x),
-            AnyModel::Mlr(m) => m.predict_proba(x),
+            AnyModel::J48(m) => m.predict_proba_into(x, out),
+            AnyModel::JRip(m) => m.predict_proba_into(x, out),
+            AnyModel::OneR(m) => m.predict_proba_into(x, out),
+            AnyModel::Mlp(m) => m.predict_proba_into(x, out),
+            AnyModel::Mlr(m) => m.predict_proba_into(x, out),
             AnyModel::Boosted {
                 bases,
                 weights,
                 n_classes,
             } => {
                 assert!(!bases.is_empty(), "ensemble snapshot has no bases");
-                let mut votes = vec![0.0; *n_classes];
+                assert_eq!(
+                    out.len(),
+                    *n_classes,
+                    "predict_proba_into: out has {} slots for {} classes",
+                    out.len(),
+                    n_classes
+                );
+                out.fill(0.0);
+                // Take the scratch out of the cell instead of borrowing so a
+                // (hand-built) nested Boosted base recurses safely; the
+                // steady-state path still reuses one buffer.
+                let mut buf = SNAPSHOT_MEMBER.take();
                 for (base, w) in bases.iter().zip(weights) {
-                    votes[base.predict(x)] += w;
+                    buf.resize(base.n_classes(), 0.0);
+                    base.predict_proba_into(x, &mut buf);
+                    // Same argmax tie-break as the default `predict`.
+                    out[crate::classifier::argmax(&buf)] += w;
                 }
-                let total: f64 = votes.iter().sum();
+                SNAPSHOT_MEMBER.set(buf);
+                let total: f64 = out.iter().sum();
                 if total <= 0.0 {
-                    vec![1.0 / *n_classes as f64; *n_classes]
+                    out.fill(1.0 / *n_classes as f64);
                 } else {
-                    votes.into_iter().map(|v| v / total).collect()
+                    for v in out.iter_mut() {
+                        *v /= total;
+                    }
                 }
             }
         }

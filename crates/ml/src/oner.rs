@@ -206,7 +206,20 @@ impl Classifier for OneR {
     }
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.fitted.as_ref().expect("OneR not fitted").n_classes];
+        self.predict_proba_into(x, &mut out);
+        out
+    }
+
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         let f = self.fitted.as_ref().expect("OneR not fitted");
+        assert_eq!(
+            out.len(),
+            f.n_classes,
+            "predict_proba_into: out has {} slots for {} classes",
+            out.len(),
+            f.n_classes
+        );
         let v = x[f.attribute];
         let bucket = f
             .buckets
@@ -215,11 +228,9 @@ impl Classifier for OneR {
             .unwrap_or_else(|| f.buckets.last().expect("fitted rule has buckets"));
         // Laplace-smoothed bucket distribution.
         let total: usize = bucket.class_counts.iter().sum();
-        bucket
-            .class_counts
-            .iter()
-            .map(|&c| (c as f64 + 1.0) / (total as f64 + f.n_classes as f64))
-            .collect()
+        for (o, &c) in out.iter_mut().zip(&bucket.class_counts) {
+            *o = (c as f64 + 1.0) / (total as f64 + f.n_classes as f64);
+        }
     }
 
     fn n_classes(&self) -> usize {

@@ -473,7 +473,20 @@ impl Classifier for JRip {
     }
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.fitted.as_ref().expect("JRip not fitted").n_classes];
+        self.predict_proba_into(x, &mut out);
+        out
+    }
+
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         let f = self.fitted.as_ref().expect("JRip not fitted");
+        assert_eq!(
+            out.len(),
+            f.n_classes,
+            "predict_proba_into: out has {} slots for {} classes",
+            out.len(),
+            f.n_classes
+        );
         let (class, confidence) = f
             .rules
             .iter()
@@ -481,9 +494,8 @@ impl Classifier for JRip {
             .map_or((f.default_class, f.default_confidence), |r| {
                 (r.class, r.confidence)
             });
-        let mut p = vec![(1.0 - confidence) / (f.n_classes as f64 - 1.0).max(1.0); f.n_classes];
-        p[class] = if f.n_classes == 1 { 1.0 } else { confidence };
-        p
+        out.fill((1.0 - confidence) / (f.n_classes as f64 - 1.0).max(1.0));
+        out[class] = if f.n_classes == 1 { 1.0 } else { confidence };
     }
 
     fn n_classes(&self) -> usize {

@@ -33,6 +33,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
 
+thread_local! {
+    /// Reused (member probability, meta-feature row) scratch for the
+    /// allocation-free `predict_proba_into` paths of [`Voting`] and
+    /// [`Stacking`].
+    static STACKING_SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
 /// Probability-averaging vote over heterogeneous base classifiers.
 pub struct Voting {
     kinds: Vec<ClassifierKind>,
@@ -98,16 +106,34 @@ impl Classifier for Voting {
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
         assert!(!self.models.is_empty(), "Voting not fitted");
-        let mut acc = vec![0.0; self.n_classes];
-        for m in &self.models {
-            for (a, p) in acc.iter_mut().zip(m.predict_proba(x)) {
-                *a += p;
+        let mut out = vec![0.0; self.n_classes];
+        self.predict_proba_into(x, &mut out);
+        out
+    }
+
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        assert!(!self.models.is_empty(), "Voting not fitted");
+        assert_eq!(
+            out.len(),
+            self.n_classes,
+            "predict_proba_into: out has {} slots for {} classes",
+            out.len(),
+            self.n_classes
+        );
+        out.fill(0.0);
+        STACKING_SCRATCH.with(|s| {
+            let (member, _) = &mut *s.borrow_mut();
+            for m in &self.models {
+                member.resize(m.n_classes(), 0.0);
+                m.predict_proba_into(x, member);
+                for (a, p) in out.iter_mut().zip(member.iter()) {
+                    *a += p;
+                }
             }
-        }
-        for a in &mut acc {
+        });
+        for a in out.iter_mut() {
             *a /= self.models.len() as f64;
         }
-        acc
     }
 
     fn n_classes(&self) -> usize {
@@ -194,10 +220,6 @@ impl Stacking {
         self.folds = folds;
         self
     }
-
-    fn meta_row(&self, x: &[f64]) -> Vec<f64> {
-        self.bases.iter().flat_map(|b| b.predict_proba(x)).collect()
-    }
 }
 
 impl Classifier for Stacking {
@@ -247,8 +269,25 @@ impl Classifier for Stacking {
     }
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.meta.as_ref().expect("Stacking not fitted").n_classes()];
+        self.predict_proba_into(x, &mut out);
+        out
+    }
+
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         let meta = self.meta.as_ref().expect("Stacking not fitted");
-        meta.predict_proba(&self.meta_row(x))
+        STACKING_SCRATCH.with(|s| {
+            let (member, meta_row) = &mut *s.borrow_mut();
+            // Meta-features: base probabilities concatenated in base
+            // order, exactly as at fit time.
+            meta_row.clear();
+            for b in &self.bases {
+                member.resize(b.n_classes(), 0.0);
+                b.predict_proba_into(x, member);
+                meta_row.extend_from_slice(member);
+            }
+            meta.predict_proba_into(meta_row, out);
+        });
     }
 
     fn n_classes(&self) -> usize {

@@ -29,6 +29,7 @@
 use crate::classifier::{Classifier, TrainError};
 use crate::data::Dataset;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A node of the fitted tree.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -60,45 +61,216 @@ impl Node {
     }
 
     fn leaf_counts(&self) -> Vec<f64> {
+        let mut totals = Vec::new();
+        self.accumulate_leaf_counts(&mut totals);
+        totals
+    }
+
+    /// Folds every leaf's counts into one accumulator. Counts are integers
+    /// stored in `f64`, so the left-to-right accumulation is exact and the
+    /// result does not depend on summation order.
+    fn accumulate_leaf_counts(&self, totals: &mut Vec<f64>) {
         match self {
-            Node::Leaf { class_counts } => class_counts.clone(),
-            Node::Split { left, right, .. } => {
-                let mut c = left.leaf_counts();
-                for (a, b) in c.iter_mut().zip(right.leaf_counts()) {
-                    *a += b;
+            Node::Leaf { class_counts } => {
+                if totals.is_empty() {
+                    totals.extend_from_slice(class_counts);
+                } else {
+                    for (t, c) in totals.iter_mut().zip(class_counts) {
+                        *t += c;
+                    }
                 }
-                c
+            }
+            Node::Split { left, right, .. } => {
+                left.accumulate_leaf_counts(totals);
+                right.accumulate_leaf_counts(totals);
             }
         }
     }
+}
 
-    fn classify<'a>(&'a self, x: &[f64]) -> &'a [f64] {
-        match self {
-            Node::Leaf { class_counts } => class_counts,
+/// Sentinel attribute index marking a [`CompiledNode`] as a leaf.
+const COMPILED_LEAF: u32 = u32::MAX;
+
+/// One flattened tree node. For splits, `left`/`right` index sibling
+/// entries in the node array; for leaves (`attribute == COMPILED_LEAF`),
+/// `left` is the row offset into the probability table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CompiledNode {
+    attribute: u32,
+    threshold: f64,
+    left: u32,
+    right: u32,
+}
+
+/// A fitted J48 tree flattened for the inference hot path: index-linked
+/// nodes in one contiguous array plus a contiguous table of precomputed
+/// Laplace-smoothed leaf probabilities. Classification is an iterative
+/// array walk ending in a row copy — no `Box` chasing, no recursion, no
+/// allocation.
+///
+/// The compiled form is a cache derived from the boxed [`J48`] tree: it is
+/// never serialized or compared, and its probabilities are bit-identical
+/// to what the boxed walk computes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledTree {
+    nodes: Vec<CompiledNode>,
+    probs: Vec<f64>,
+    n_classes: usize,
+    depth: usize,
+}
+
+impl CompiledTree {
+    fn compile(root: &Node, n_classes: usize) -> CompiledTree {
+        let mut tree = CompiledTree {
+            nodes: Vec::new(),
+            probs: Vec::new(),
+            n_classes,
+            depth: root.depth(),
+        };
+        tree.push_node(root);
+        tree
+    }
+
+    fn push_node(&mut self, node: &Node) -> u32 {
+        let id = u32::try_from(self.nodes.len()).expect("tree exceeds u32 nodes");
+        match node {
+            Node::Leaf { class_counts } => {
+                let offset = u32::try_from(self.probs.len()).expect("probs exceed u32");
+                // Same Laplace expression, in the same order, as the boxed
+                // `predict_proba` historically computed per call — the
+                // precomputed rows are bit-identical.
+                let total: f64 = class_counts.iter().sum();
+                self.probs.extend(
+                    class_counts
+                        .iter()
+                        .map(|&c| (c + 1.0) / (total + self.n_classes as f64)),
+                );
+                self.nodes.push(CompiledNode {
+                    attribute: COMPILED_LEAF,
+                    threshold: 0.0,
+                    left: offset,
+                    right: 0,
+                });
+            }
             Node::Split {
                 attribute,
                 threshold,
                 left,
                 right,
             } => {
-                if x[*attribute] <= *threshold {
-                    left.classify(x)
-                } else {
-                    right.classify(x)
-                }
+                self.nodes.push(CompiledNode {
+                    attribute: u32::try_from(*attribute).expect("attribute exceeds u32"),
+                    threshold: *threshold,
+                    left: 0,
+                    right: 0,
+                });
+                let l = self.push_node(left);
+                let r = self.push_node(right);
+                self.nodes[id as usize].left = l;
+                self.nodes[id as usize].right = r;
             }
+        }
+        id
+    }
+
+    /// Total node count — matches the boxed tree's
+    /// [`J48::node_count`], so `hwmodel` cost estimates are unaffected by
+    /// compilation.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree depth — matches the boxed tree's [`J48::depth`].
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of classes per probability row.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Writes the Laplace-smoothed class probabilities for `x` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != n_classes` or `x` lacks a split attribute.
+    pub fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        let mut i = 0usize;
+        loop {
+            let node = &self.nodes[i];
+            if node.attribute == COMPILED_LEAF {
+                let offset = node.left as usize;
+                out.copy_from_slice(&self.probs[offset..offset + self.n_classes]);
+                return;
+            }
+            i = if x[node.attribute as usize] <= node.threshold {
+                node.left as usize
+            } else {
+                node.right as usize
+            };
         }
     }
 }
 
 /// The J48 / C4.5 decision tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The boxed `root` is the canonical (serialized, compared) form; a
+/// [`CompiledTree`] cache derived from it serves `predict_proba_into`.
+/// `Serialize`/`Deserialize`/`PartialEq` are implemented manually so the
+/// cache stays invisible: the JSON shape is exactly what the field derive
+/// produced before the cache existed.
+#[derive(Debug, Clone)]
 pub struct J48 {
     min_leaf: usize,
     confidence: f64,
     prune: bool,
     root: Option<Node>,
     n_classes: usize,
+    compiled: OnceLock<CompiledTree>,
+}
+
+impl PartialEq for J48 {
+    fn eq(&self, other: &J48) -> bool {
+        // The compiled cache is derived state: excluded on purpose.
+        self.min_leaf == other.min_leaf
+            && self.confidence == other.confidence
+            && self.prune == other.prune
+            && self.root == other.root
+            && self.n_classes == other.n_classes
+    }
+}
+
+impl Serialize for J48 {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("min_leaf".to_string(), self.min_leaf.serialize_value()),
+            ("confidence".to_string(), self.confidence.serialize_value()),
+            ("prune".to_string(), self.prune.serialize_value()),
+            ("root".to_string(), self.root.serialize_value()),
+            ("n_classes".to_string(), self.n_classes.serialize_value()),
+        ])
+    }
+}
+
+impl Deserialize for J48 {
+    fn deserialize_value(v: &serde::Value) -> Result<J48, serde::Error> {
+        fn field<'a>(v: &'a serde::Value, name: &str) -> Result<&'a serde::Value, serde::Error> {
+            v.get(name)
+                .ok_or_else(|| serde::Error::missing_field("J48", name))
+        }
+        if v.as_object().is_none() {
+            return Err(serde::Error::invalid_type("object", v));
+        }
+        Ok(J48 {
+            min_leaf: Deserialize::deserialize_value(field(v, "min_leaf")?)?,
+            confidence: Deserialize::deserialize_value(field(v, "confidence")?)?,
+            prune: Deserialize::deserialize_value(field(v, "prune")?)?,
+            root: Deserialize::deserialize_value(field(v, "root")?)?,
+            n_classes: Deserialize::deserialize_value(field(v, "n_classes")?)?,
+            compiled: OnceLock::new(),
+        })
+    }
 }
 
 impl J48 {
@@ -115,7 +287,20 @@ impl J48 {
             prune: true,
             root: None,
             n_classes: 0,
+            compiled: OnceLock::new(),
         }
+    }
+
+    /// The flattened inference form of the fitted tree, compiled on first
+    /// use (e.g. after deserialization) and cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is unfitted.
+    pub fn compiled_tree(&self) -> &CompiledTree {
+        self.compiled.get_or_init(|| {
+            CompiledTree::compile(self.root.as_ref().expect("J48 not fitted"), self.n_classes)
+        })
     }
 
     /// Sets the minimum number of instances per leaf.
@@ -486,18 +671,29 @@ impl Classifier for J48 {
         }
         self.root = Some(root);
         self.n_classes = data.n_classes();
+        // Refitting invalidates any previous compiled form; compile eagerly
+        // so the first prediction is already on the fast path.
+        self.compiled = OnceLock::new();
+        self.compiled_tree();
         Ok(())
     }
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
-        let root = self.root.as_ref().expect("J48 not fitted");
-        let counts = root.classify(x);
-        // Laplace smoothing at the leaf.
-        let total: f64 = counts.iter().sum();
-        counts
-            .iter()
-            .map(|&c| (c + 1.0) / (total + self.n_classes as f64))
-            .collect()
+        let mut out = vec![0.0; self.n_classes];
+        self.predict_proba_into(x, &mut out);
+        out
+    }
+
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        let tree = self.compiled_tree();
+        assert_eq!(
+            out.len(),
+            tree.n_classes(),
+            "predict_proba_into: out has {} slots for {} classes",
+            out.len(),
+            tree.n_classes()
+        );
+        tree.predict_proba_into(x, out);
     }
 
     fn n_classes(&self) -> usize {
@@ -689,5 +885,91 @@ mod tests {
         t.fit(&band()).unwrap();
         // Binary tree: leaves = (nodes + 1) / 2.
         assert_eq!(t.leaf_count(), t.node_count().div_ceil(2));
+    }
+
+    /// The pre-compilation boxed walk plus per-call Laplace smoothing, kept
+    /// verbatim as the reference the compiled fast path must match.
+    fn boxed_reference_proba(t: &J48, x: &[f64]) -> Vec<f64> {
+        fn walk<'a>(node: &'a Node, x: &[f64]) -> &'a [f64] {
+            match node {
+                Node::Leaf { class_counts } => class_counts,
+                Node::Split {
+                    attribute,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    if x[*attribute] <= *threshold {
+                        walk(left, x)
+                    } else {
+                        walk(right, x)
+                    }
+                }
+            }
+        }
+        let counts = walk(t.root.as_ref().expect("fitted"), x);
+        let total: f64 = counts.iter().sum();
+        counts
+            .iter()
+            .map(|&c| (c + 1.0) / (total + t.n_classes as f64))
+            .collect()
+    }
+
+    #[test]
+    fn compiled_tree_matches_boxed_structure() {
+        // hwmodel's Table V cost estimates read node_count()/depth() from
+        // the boxed tree; compilation must not change either.
+        for prune in [false, true] {
+            let mut t = J48::new().with_pruning(prune);
+            t.fit(&band()).unwrap();
+            let c = t.compiled_tree();
+            assert_eq!(c.node_count(), t.node_count());
+            assert_eq!(c.depth(), t.depth());
+            assert_eq!(c.n_classes(), 2);
+        }
+    }
+
+    #[test]
+    fn compiled_probabilities_bit_identical_to_boxed_walk() {
+        let mut t = J48::new();
+        t.fit(&band()).unwrap();
+        let mut out = vec![0.0; 2];
+        for i in 0..50 {
+            let x = [i as f64 / 50.0, (i % 5) as f64];
+            let reference = boxed_reference_proba(&t, &x);
+            let via_vec = t.predict_proba(&x);
+            t.predict_proba_into(&x, &mut out);
+            for c in 0..2 {
+                assert_eq!(reference[c].to_bits(), via_vec[c].to_bits());
+                assert_eq!(reference[c].to_bits(), out[c].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_ignores_compiled_cache() {
+        let mut t = J48::new();
+        t.fit(&band()).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: J48 = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t, "equality ignores the compiled cache");
+        // The deserialized tree compiles lazily and predicts identically.
+        let x = [0.5, 1.0];
+        assert_eq!(
+            back.predict_proba(&x)[0].to_bits(),
+            t.predict_proba(&x)[0].to_bits()
+        );
+        // The JSON keeps the pre-cache field shape.
+        for key in ["min_leaf", "confidence", "prune", "root", "n_classes"] {
+            assert!(json.contains(key), "field `{key}` serialized: {json}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "predict_proba_into: out has")]
+    fn predict_proba_into_checks_out_length() {
+        let mut t = J48::new();
+        t.fit(&band()).unwrap();
+        t.predict_proba_into(&[0.5, 1.0], &mut [0.0; 5]);
     }
 }

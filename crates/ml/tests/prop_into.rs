@@ -1,0 +1,94 @@
+//! Property-based bit-identity check for the zero-allocation inference
+//! path: for every classifier, `predict_proba_into` must produce results
+//! that are bit-for-bit identical to the allocating `predict_proba` on any
+//! fitted model and any input — not merely approximately equal. The
+//! determinism gates of this repo compare serialized probabilities, so a
+//! single differing ULP anywhere in the hot path would be a regression.
+
+use hmd_ml::prelude::*;
+use proptest::prelude::*;
+
+/// Arbitrary small binary dataset with at least 4 instances per class.
+fn arb_binary_dataset() -> impl Strategy<Value = Dataset> {
+    (4usize..=12, 1usize..=4).prop_flat_map(|(per_class, d)| {
+        let n = per_class * 2;
+        (
+            proptest::collection::vec(proptest::collection::vec(-1e6f64..1e6, d), n),
+            Just(per_class),
+        )
+            .prop_map(move |(features, per_class)| {
+                let labels: Vec<usize> = (0..per_class * 2).map(|i| i % 2).collect();
+                Dataset::new(features, labels, 2).expect("constructed valid")
+            })
+    })
+}
+
+/// Asserts `predict_proba_into` ≡ `predict_proba` bit-for-bit on every
+/// training row, with the `out` buffer pre-poisoned so stale contents
+/// cannot leak through.
+fn assert_into_bit_identical(model: &dyn Classifier, data: &Dataset, label: &str) {
+    let mut out = vec![f64::NAN; model.n_classes()];
+    for i in 0..data.len() {
+        let x = data.features_of(i);
+        let reference = model.predict_proba(x);
+        out.fill(f64::NAN);
+        model.predict_proba_into(x, &mut out);
+        let a: Vec<u64> = reference.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = out.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b, "{label}: row {i}: {reference:?} vs {out:?}");
+        // Repeat once through the same scratch buffers: the reused
+        // thread-local state must not drift between calls.
+        model.predict_proba_into(x, &mut out);
+        let c: Vec<u64> = out.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, c, "{label}: row {i} second call diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn predict_proba_into_is_bit_identical_for_every_kind(
+        data in arb_binary_dataset(),
+        seed in any::<u64>(),
+    ) {
+        for kind in ClassifierKind::ALL {
+            // MLP epochs trimmed: the property is bit-identity of the two
+            // prediction paths, not accuracy.
+            let mut model: Box<dyn Classifier> = match kind {
+                ClassifierKind::Mlp => Box::new(Mlp::new(seed).with_epochs(5)),
+                other => other.build(seed),
+            };
+            model.fit(&data).expect("fit succeeds on valid data");
+            assert_into_bit_identical(model.as_ref(), &data, kind.name());
+        }
+    }
+
+    #[test]
+    fn predict_proba_into_is_bit_identical_for_ensembles(
+        data in arb_binary_dataset(),
+        seed in any::<u64>(),
+    ) {
+        let mut boosted = AdaBoost::new(ClassifierKind::OneR, 5, seed);
+        boosted.fit(&data).expect("fit succeeds");
+        assert_into_bit_identical(&boosted, &data, "AdaBoost");
+
+        let snapshot = AnyModel::from_classifier(&boosted).expect("snapshots");
+        assert_into_bit_identical(&snapshot, &data, "AnyModel::Boosted");
+
+        let mut bagged = Bagging::new(ClassifierKind::J48, 5, seed);
+        bagged.fit(&data).expect("fit succeeds");
+        assert_into_bit_identical(&bagged, &data, "Bagging");
+
+        let mut voting = Voting::new(&[ClassifierKind::OneR, ClassifierKind::J48], seed);
+        voting.fit(&data).expect("fit succeeds");
+        assert_into_bit_identical(&voting, &data, "Voting");
+
+        // 2 folds: the arbitrary dataset guarantees only 4 instances per
+        // class, fewer than the default 5 CV folds.
+        let mut stacked =
+            Stacking::new(&[ClassifierKind::OneR, ClassifierKind::J48], seed).with_folds(2);
+        stacked.fit(&data).expect("fit succeeds");
+        assert_into_bit_identical(&stacked, &data, "Stacking");
+    }
+}

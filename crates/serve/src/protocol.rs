@@ -172,6 +172,19 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
     out
 }
 
+/// [`encode`] through caller-owned buffers — the per-connection hot path.
+/// `json` is reused serialization scratch (cleared each call); the wire
+/// bytes are *appended* to `out`, so a worker can encode straight into a
+/// connection's output buffer. Bytes produced are identical to
+/// [`encode`]'s.
+pub fn encode_into(frame: &Frame, json: &mut String, out: &mut Vec<u8>) {
+    serde_json::to_string_into(frame, json).expect("frame JSON never fails");
+    let bytes = json.as_bytes();
+    debug_assert!(bytes.len() <= MAX_FRAME_BYTES, "outbound frame too large");
+    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
 /// Writes one frame to a blocking stream.
 ///
 /// # Errors

@@ -26,7 +26,9 @@
 //! connections (draining open sessions), flushes replies, then closes.
 
 use crate::metrics::Metrics;
-use crate::protocol::{encode, ErrorCode, Frame, FrameBuffer, WireError, PROTOCOL_VERSION};
+use crate::protocol::{
+    encode, encode_into, ErrorCode, Frame, FrameBuffer, WireError, PROTOCOL_VERSION,
+};
 use crate::session::{SessionConfig, SessionEngine, SubmitError};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -108,6 +110,10 @@ struct Conn {
     stream: TcpStream,
     inbuf: FrameBuffer,
     outbuf: Vec<u8>,
+    /// Reused JSON serialization scratch: replies encode through this and
+    /// append straight to `outbuf`, so queueing a frame performs no heap
+    /// allocation once both buffers reach steady-state size.
+    json_scratch: String,
     written: usize,
     /// Close after the outbuf flushes (oversized frame / fatal error).
     close_after_flush: bool,
@@ -120,6 +126,7 @@ impl Conn {
             stream,
             inbuf: FrameBuffer::new(),
             outbuf: Vec::new(),
+            json_scratch: String::new(),
             written: 0,
             close_after_flush: false,
             dead: false,
@@ -127,7 +134,7 @@ impl Conn {
     }
 
     fn queue(&mut self, frame: &Frame, metrics: &Metrics) {
-        self.outbuf.extend_from_slice(&encode(frame));
+        encode_into(frame, &mut self.json_scratch, &mut self.outbuf);
         metrics.bump(&metrics.frames_out);
     }
 

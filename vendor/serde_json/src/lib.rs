@@ -45,8 +45,23 @@ impl From<serde::Error> for Error {
 /// serde_json signature.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(&mut out, &value.serialize_value(), None, 0);
+    to_string_into(value, &mut out)?;
     Ok(out)
+}
+
+/// Serializes a value to compact JSON into a caller-owned buffer, clearing
+/// it first — lets hot paths reuse one `String` across calls instead of
+/// allocating per serialization. Output is byte-identical to
+/// [`to_string`].
+///
+/// # Errors
+///
+/// Never fails for the shim's value model; the `Result` mirrors the real
+/// serde_json signature.
+pub fn to_string_into<T: Serialize + ?Sized>(value: &T, out: &mut String) -> Result<(), Error> {
+    out.clear();
+    write_value(out, &value.serialize_value(), None, 0);
+    Ok(())
 }
 
 /// Serializes a value to human-readable, 2-space-indented JSON.
