@@ -1,0 +1,246 @@
+//! Parsing of `// hmd-analyze: …` directive comments.
+//!
+//! Three directives exist:
+//!
+//! - `// hmd-analyze: allow(<rule>, "<reason>")` — suppress diagnostics of
+//!   `<rule>` on the same line or the next line. The reason is mandatory;
+//!   an allow without one is itself a deny-level diagnostic.
+//! - `// hmd-analyze: hot-path` — marks the next `fn` item as an
+//!   allocation-free hot path; `hot-path-alloc` checks its body.
+//! - `// hmd-analyze: fold-order-ok` (optional `("<reason>")`) — attests
+//!   that a float reduction on the same or next line is order-insensitive
+//!   or intentionally sequential.
+//!
+//! Every parsed allow is tracked; one that never suppresses anything is
+//! reported as `unused-allow` so stale suppressions can't accumulate.
+
+use crate::lexer::{Token, TokenKind};
+
+/// The marker every directive comment carries.
+pub const MARKER: &str = "hmd-analyze:";
+
+/// A parsed directive, with the line it sits on.
+#[derive(Debug, Clone)]
+pub enum Directive {
+    /// `allow(rule, "reason")`.
+    Allow {
+        /// Line of the comment.
+        line: u32,
+        /// Rule name being suppressed.
+        rule: String,
+        /// Mandatory human reason.
+        reason: String,
+    },
+    /// `hot-path`: the next `fn` body is an allocation-free region.
+    HotPath {
+        /// Line of the comment.
+        line: u32,
+    },
+    /// `fold-order-ok`: float-reduction order attestation.
+    FoldOrderOk {
+        /// Line of the comment.
+        line: u32,
+    },
+}
+
+impl Directive {
+    /// Line the directive comment starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Directive::Allow { line, .. }
+            | Directive::HotPath { line }
+            | Directive::FoldOrderOk { line } => *line,
+        }
+    }
+}
+
+/// A directive comment that could not be parsed, with an explanation.
+#[derive(Debug, Clone)]
+pub struct BadDirective {
+    /// Line of the malformed comment.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// Extracts all directives from a file's comment tokens. `known_rules`
+/// guards against typos in `allow(...)` rule names.
+///
+/// Recognition is anchored: the marker must be the first thing in the
+/// comment body (after the `//`/`/*` sigils and whitespace). Prose that
+/// merely *mentions* `hmd-analyze:` mid-sentence — like this crate's own
+/// documentation — is not a directive.
+pub fn parse_directives(
+    src: &str,
+    tokens: &[Token],
+    known_rules: &[&str],
+) -> (Vec<Directive>, Vec<BadDirective>) {
+    let mut directives = Vec::new();
+    let mut bad = Vec::new();
+    for tok in tokens {
+        if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let Some(rest) = strip_comment_sigils(tok.text(src)).strip_prefix(MARKER) else {
+            continue;
+        };
+        let body = rest.trim_start().trim_end_matches("*/").trim_end();
+        match parse_body(body, known_rules) {
+            Ok(mut d) => {
+                set_line(&mut d, tok.line);
+                directives.push(d);
+            }
+            Err(message) => bad.push(BadDirective {
+                line: tok.line,
+                message,
+            }),
+        }
+    }
+    (directives, bad)
+}
+
+/// Drops the `//`, `///`, `//!`, `/*`, `/**` … prefixes and leading
+/// whitespace so the marker check can anchor to the real comment body.
+fn strip_comment_sigils(text: &str) -> &str {
+    let mut s = text;
+    while let Some(rest) = s.strip_prefix('/') {
+        s = rest;
+    }
+    while let Some(rest) = s.strip_prefix('*').or_else(|| s.strip_prefix('!')) {
+        s = rest;
+    }
+    s.trim_start()
+}
+
+fn set_line(d: &mut Directive, l: u32) {
+    match d {
+        Directive::Allow { line, .. }
+        | Directive::HotPath { line }
+        | Directive::FoldOrderOk { line } => *line = l,
+    }
+}
+
+fn parse_body(body: &str, known_rules: &[&str]) -> Result<Directive, String> {
+    if body == "hot-path" {
+        return Ok(Directive::HotPath { line: 0 });
+    }
+    if body == "fold-order-ok" {
+        return Ok(Directive::FoldOrderOk { line: 0 });
+    }
+    if let Some(rest) = body.strip_prefix("fold-order-ok") {
+        // Optional reason: fold-order-ok("why"). Accepted and discarded.
+        let rest = rest.trim();
+        if rest.starts_with('(') && rest.ends_with(')') {
+            return Ok(Directive::FoldOrderOk { line: 0 });
+        }
+        return Err(format!("malformed fold-order-ok directive: `{body}`"));
+    }
+    if let Some(rest) = body.strip_prefix("allow") {
+        let rest = rest.trim();
+        let inner = rest
+            .strip_prefix('(')
+            .and_then(|r| r.strip_suffix(')'))
+            .ok_or_else(|| format!("allow directive needs parentheses: `{body}`"))?;
+        let (rule, reason_part) = inner
+            .split_once(',')
+            .ok_or_else(|| format!("allow needs a reason: allow(rule, \"why\"), got `{body}`"))?;
+        let rule = rule.trim();
+        if !known_rules.contains(&rule) {
+            return Err(format!(
+                "allow names unknown rule `{rule}` (known: {})",
+                known_rules.join(", ")
+            ));
+        }
+        let reason = reason_part.trim();
+        let reason = reason
+            .strip_prefix('"')
+            .and_then(|r| r.strip_suffix('"'))
+            .ok_or_else(|| format!("allow reason must be a quoted string, got `{reason}`"))?;
+        if reason.trim().is_empty() {
+            return Err("allow reason must not be empty".to_string());
+        }
+        return Ok(Directive::Allow {
+            line: 0,
+            rule: rule.to_string(),
+            reason: reason.to_string(),
+        });
+    }
+    Err(format!("unknown hmd-analyze directive: `{body}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const RULES: &[&str] = &["panic-in-serve", "float-order"];
+
+    fn parse(src: &str) -> (Vec<Directive>, Vec<BadDirective>) {
+        parse_directives(src, &lex(src), RULES)
+    }
+
+    #[test]
+    fn allow_with_reason_parses() {
+        let (d, bad) = parse("// hmd-analyze: allow(panic-in-serve, \"startup only\")\n");
+        assert!(bad.is_empty());
+        match &d[0] {
+            Directive::Allow { rule, reason, line } => {
+                assert_eq!(rule, "panic-in-serve");
+                assert_eq!(reason, "startup only");
+                assert_eq!(*line, 1);
+            }
+            other => panic!("unexpected directive {other:?}"),
+        }
+    }
+
+    #[test]
+    fn allow_without_reason_is_bad() {
+        let (d, bad) = parse("// hmd-analyze: allow(panic-in-serve)\n");
+        assert!(d.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn allow_unknown_rule_is_bad() {
+        let (_, bad) = parse("// hmd-analyze: allow(no-such-rule, \"x\")\n");
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn hot_path_and_fold_order_parse() {
+        let (d, bad) = parse("// hmd-analyze: hot-path\n// hmd-analyze: fold-order-ok\n");
+        assert!(bad.is_empty());
+        assert!(matches!(d[0], Directive::HotPath { line: 1 }));
+        assert!(matches!(d[1], Directive::FoldOrderOk { line: 2 }));
+    }
+
+    #[test]
+    fn fold_order_with_reason_parses() {
+        let (d, bad) = parse("// hmd-analyze: fold-order-ok(\"sequential by design\")\n");
+        assert!(bad.is_empty());
+        assert!(matches!(d[0], Directive::FoldOrderOk { .. }));
+    }
+
+    #[test]
+    fn gibberish_directive_is_bad() {
+        let (_, bad) = parse("// hmd-analyze: frobnicate\n");
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        let (d, bad) = parse("// just a comment about hmd-analyze the tool\nlet x = 1;\n");
+        // Contains the word but not the marker `hmd-analyze:`.
+        assert!(d.is_empty());
+        assert!(bad.is_empty());
+    }
+
+    #[test]
+    fn block_comment_directive_parses() {
+        let (d, bad) = parse("/* hmd-analyze: hot-path */\nfn f() {}\n");
+        assert!(bad.is_empty());
+        assert!(matches!(d[0], Directive::HotPath { line: 1 }));
+    }
+}

@@ -1,0 +1,406 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The rules in this crate need to tell *code* apart from comments and
+//! string literals — `"HashMap"` inside a diagnostic message must never
+//! trip the `nondet-collection` rule — but they do not need types, macros
+//! or a parse tree. So this lexer produces exactly four things the rules
+//! consume: identifiers, punctuation, literals and comments, each tagged
+//! with the 1-based line it starts on.
+//!
+//! Handled faithfully because real workspace sources use them: nested
+//! block comments, raw strings (`r#"…"#` with any number of hashes), byte
+//! and C strings, char literals vs. lifetimes, and numeric literals whose
+//! `.` must not be confused with a method-call dot (`0..n` stays two
+//! punct tokens).
+
+/// What a token is. Comments are kept (the suppression directives live in
+/// them) but are never part of a code pattern match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (integer or float, any base/suffix).
+    Number,
+    /// String literal of any flavor (plain, raw, byte, C).
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// `// …` comment (including doc comments).
+    LineComment,
+    /// `/* … */` comment, nesting included.
+    BlockComment,
+    /// Any single non-token character (`::` is two `Punct(':')`).
+    Punct(char),
+}
+
+/// One lexed token: kind plus its byte span and starting line.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first character in the source.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexes a whole source file. Never fails: unterminated literals simply
+/// extend to end-of-file, which is good enough for linting.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let c = self.bytes[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.take_line_comment();
+                    self.push(TokenKind::LineComment, start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.take_block_comment();
+                    self.push(TokenKind::BlockComment, start, line);
+                }
+                b'"' => {
+                    self.take_string();
+                    self.push(TokenKind::Str, start, line);
+                }
+                b'\'' => {
+                    let kind = self.take_char_or_lifetime();
+                    self.push(kind, start, line);
+                }
+                _ if self.raw_string_prefix().is_some() => {
+                    let hashes = self.raw_string_prefix().unwrap_or(0);
+                    self.take_raw_string(hashes);
+                    self.push(TokenKind::Str, start, line);
+                }
+                _ if (c == b'b' || c == b'c') && self.peek(1) == Some(b'"') => {
+                    self.pos += 1; // prefix
+                    self.take_string();
+                    self.push(TokenKind::Str, start, line);
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.pos += 1; // prefix
+                    self.take_char_or_lifetime();
+                    self.push(TokenKind::Char, start, line);
+                }
+                _ if c.is_ascii_alphabetic() || c == b'_' || c >= 0x80 => {
+                    self.take_ident();
+                    self.push(TokenKind::Ident, start, line);
+                }
+                _ if c.is_ascii_digit() => {
+                    self.take_number();
+                    self.push(TokenKind::Number, start, line);
+                }
+                _ => {
+                    self.pos += 1;
+                    self.push(TokenKind::Punct(c as char), start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+        });
+    }
+
+    /// `r"…"`, `r#"…"#`, `br#"…"#`: returns the hash count when the cursor
+    /// sits on a raw-string prefix.
+    fn raw_string_prefix(&self) -> Option<usize> {
+        let mut i = self.pos;
+        if self.bytes.get(i) == Some(&b'b') {
+            i += 1;
+        }
+        if self.bytes.get(i) != Some(&b'r') {
+            return None;
+        }
+        i += 1;
+        let mut hashes = 0;
+        while self.bytes.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        (self.bytes.get(i) == Some(&b'"')).then_some(hashes)
+    }
+
+    fn take_line_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    fn take_block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match self.bytes[self.pos] {
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn take_string(&mut self) {
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn take_raw_string(&mut self, hashes: usize) {
+        // Skip prefix: optional `b`, `r`, hashes, opening quote.
+        if self.bytes[self.pos] == b'b' {
+            self.pos += 1;
+        }
+        self.pos += 1 + hashes + 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'"' if self.closes_raw(hashes) => {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn closes_raw(&self, hashes: usize) -> bool {
+        (1..=hashes).all(|i| self.bytes.get(self.pos + i) == Some(&b'#'))
+    }
+
+    /// Disambiguates `'x'` / `'\n'` (char literal) from `'static`
+    /// (lifetime): a quote, then either an escape, or a single char
+    /// followed by a closing quote, is a literal; a quote followed by an
+    /// identifier with no closing quote right after is a lifetime.
+    fn take_char_or_lifetime(&mut self) -> TokenKind {
+        self.pos += 1; // opening quote
+        match self.bytes.get(self.pos) {
+            Some(b'\\') => {
+                // Escaped char literal: scan to the closing quote.
+                self.pos += 2;
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 1).min(self.bytes.len());
+                TokenKind::Char
+            }
+            Some(&c) if c.is_ascii_alphanumeric() || c == b'_' => {
+                // Could be 'a' (literal) or 'a-lifetime; the closing quote
+                // decides. Multi-byte chars ('é') also land in the literal
+                // branch below.
+                let mut i = self.pos;
+                while self
+                    .bytes
+                    .get(i)
+                    .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+                {
+                    i += 1;
+                }
+                if self.bytes.get(i) == Some(&b'\'') {
+                    self.pos = i + 1;
+                    TokenKind::Char
+                } else {
+                    self.pos = i;
+                    TokenKind::Lifetime
+                }
+            }
+            _ => {
+                // Punctuation char literal like '(' — or a stray quote.
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    if self.bytes[self.pos] == b'\n' {
+                        self.line += 1;
+                    }
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 1).min(self.bytes.len());
+                TokenKind::Char
+            }
+        }
+    }
+
+    fn take_ident(&mut self) {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80 {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let _ = self.src; // spans index into it; kept for Token::text
+    }
+
+    /// Numbers swallow digits, `_`, letters (hex/suffixes) and a `.` only
+    /// when a digit follows — so `0..n` lexes as number, punct, punct,
+    /// ident.
+    fn take_number(&mut self) {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            let continues = b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.' && self.peek(1).is_some_and(|n| n.is_ascii_digit()));
+            if !continues {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let toks = lex("let x = 42;");
+        assert_eq!(
+            toks.iter()
+                .map(|t| t.text("let x = 42;"))
+                .collect::<Vec<_>>(),
+            vec!["let", "x", "=", "42", ";"]
+        );
+    }
+
+    #[test]
+    fn comments_are_tokens_but_not_code() {
+        let src = "// HashMap here\nlet a = 1; /* vec! */";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks.last().map(|t| t.kind), Some(TokenKind::BlockComment));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let src = "/* a /* b */ c */ x";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert_eq!(toks[1].text(src), "x");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let s = "HashMap::new()";"#;
+        let toks = lex(src);
+        assert!(toks.iter().all(|t| t.text(src) != "HashMap"));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let s = r#"quote " inside"#; done"##;
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+        assert_eq!(toks.last().map(|t| t.text(src)), Some("done"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert!(kinds("&'a str").contains(&TokenKind::Lifetime));
+        assert!(kinds("let c = 'x';").contains(&TokenKind::Char));
+        assert!(kinds(r"let c = '\n';").contains(&TokenKind::Char));
+        assert!(kinds("let c = '(';").contains(&TokenKind::Char));
+        assert!(kinds("'static").contains(&TokenKind::Lifetime));
+    }
+
+    #[test]
+    fn ranges_do_not_merge_into_floats() {
+        let src = "for i in 0..10 {}";
+        let texts: Vec<_> = lex(src).iter().map(|t| t.text(src)).collect();
+        assert!(texts.contains(&"0"));
+        assert!(texts.contains(&"10"));
+        assert_eq!(texts.iter().filter(|t| **t == ".").count(), 2);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let src = "/* a\nb\nc */\nfn x() {}";
+        let toks = lex(src);
+        let fn_tok = toks.iter().find(|t| t.text(src) == "fn").unwrap();
+        assert_eq!(fn_tok.line, 4);
+    }
+
+    #[test]
+    fn byte_strings_and_char_prefixes() {
+        let src = r#"let b = b"bytes"; let c = b'x';"#;
+        let k = kinds(src);
+        assert!(k.contains(&TokenKind::Str));
+        assert!(k.contains(&TokenKind::Char));
+    }
+}

@@ -1,0 +1,44 @@
+#![forbid(unsafe_code)]
+//! `hmd-analyze`: an offline invariant linter for the 2SMaRT workspace.
+//!
+//! The repo carries three hard-won invariants that generic tooling cannot
+//! express: bit-identical results at any thread count (the `hmd_ml::par`
+//! engine), zero-allocation inference hot paths, and panic-free serve
+//! workers. This crate machine-checks them with a hand-rolled lexer and a
+//! small rule registry — no external dependencies, because the linter is
+//! the last line of defense for the offline build and must keep working
+//! when everything else breaks.
+//!
+//! See `RULES` in [`rules`] for the registry, and the README's
+//! "Static analysis" section for the suppression syntax.
+
+pub mod directives;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+use rules::Diagnostic;
+use std::io;
+use std::path::Path;
+
+/// Analyzes a set of in-memory sources. This is the seam the fixture
+/// tests use: paths are synthetic but must look workspace-relative
+/// (`crates/serve/src/x.rs`) so the path-scoped rules engage.
+pub fn analyze_texts(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (path, text) in files {
+        diags.extend(rules::check_file(path, text));
+    }
+    diags
+}
+
+/// Walks the workspace at `root` and analyzes every `.rs` file.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let files = workspace::collect_rust_files(root)?;
+    let mut diags = Vec::new();
+    for (path, text) in &files {
+        diags.extend(rules::check_file(path, text));
+    }
+    Ok(diags)
+}

@@ -1,0 +1,157 @@
+//! Human-readable and JSON rendering of diagnostics.
+//!
+//! JSON is emitted by hand (this crate is dependency-free by design); the
+//! escaping covers everything a diagnostic message can contain.
+
+use crate::rules::{Diagnostic, Severity};
+
+/// Render the human report: one `path:line: severity [rule] message` per
+/// diagnostic, followed by a summary line.
+pub fn render_human(diags: &[Diagnostic], show_suppressed: bool) -> String {
+    let mut out = String::new();
+    for d in diags {
+        match (&d.suppressed, show_suppressed) {
+            (Some(reason), true) => {
+                out.push_str(&format!(
+                    "{}:{}: allowed [{}] {} (reason: {})\n",
+                    d.path, d.line, d.rule, d.message, reason
+                ));
+            }
+            (Some(_), false) => {}
+            (None, _) => {
+                out.push_str(&format!(
+                    "{}:{}: {} [{}] {}\n",
+                    d.path,
+                    d.line,
+                    d.severity.name(),
+                    d.rule,
+                    d.message
+                ));
+            }
+        }
+    }
+    let denied = count_denied(diags);
+    let warned = diags
+        .iter()
+        .filter(|d| d.suppressed.is_none() && d.severity == Severity::Warn)
+        .count();
+    let allowed = diags.iter().filter(|d| d.suppressed.is_some()).count();
+    out.push_str(&format!(
+        "hmd-analyze: {denied} error{}, {warned} warning{}, {allowed} suppressed\n",
+        plural(denied),
+        plural(warned)
+    ));
+    out
+}
+
+/// Render the full diagnostic list (suppressed included, so CI artifacts
+/// show what the allows are hiding) as a JSON object.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"path\": {}, ", json_str(&d.path)));
+        out.push_str(&format!("\"line\": {}, ", d.line));
+        out.push_str(&format!("\"rule\": {}, ", json_str(d.rule)));
+        out.push_str(&format!("\"severity\": {}, ", json_str(d.severity.name())));
+        out.push_str(&format!("\"message\": {}, ", json_str(&d.message)));
+        match &d.suppressed {
+            Some(reason) => out.push_str(&format!("\"suppressed\": {}", json_str(reason))),
+            None => out.push_str("\"suppressed\": null"),
+        }
+        out.push('}');
+    }
+    let denied = count_denied(diags);
+    out.push_str(&format!(
+        "\n  ],\n  \"errors\": {},\n  \"clean\": {}\n}}\n",
+        denied,
+        denied == 0
+    ));
+    out
+}
+
+/// Unsuppressed deny-level count — drives the process exit code.
+pub fn count_denied(diags: &[Diagnostic]) -> usize {
+    diags
+        .iter()
+        .filter(|d| d.suppressed.is_none() && d.severity == Severity::Deny)
+        .count()
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::check_file;
+
+    fn sample() -> Vec<Diagnostic> {
+        check_file(
+            "crates/serve/src/x.rs",
+            "fn f() { x.unwrap(); }\n// hmd-analyze: allow(panic-in-serve, \"why not\")\nfn g() { y.unwrap(); }\n",
+        )
+    }
+
+    #[test]
+    fn human_report_lists_unsuppressed_and_counts() {
+        let text = render_human(&sample(), false);
+        assert!(text.contains("crates/serve/src/x.rs:1: deny [panic-in-serve]"));
+        assert!(!text.contains("why not"));
+        assert!(text.contains("1 error, 0 warnings, 1 suppressed"));
+    }
+
+    #[test]
+    fn show_suppressed_includes_reason() {
+        let text = render_human(&sample(), true);
+        assert!(text.contains("allowed [panic-in-serve]"));
+        assert!(text.contains("why not"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut diags = sample();
+        diags[0].message = "quote \" backslash \\ newline \n done".to_string();
+        let json = render_json(&diags);
+        assert!(json.contains("\\\" backslash \\\\ newline \\n done"));
+        assert!(json.contains("\"errors\": 1"));
+        assert!(json.contains("\"clean\": false"));
+        // Suppressed entries carry their reason; unsuppressed carry null.
+        assert!(json.contains("\"suppressed\": \"why not\""));
+        assert!(json.contains("\"suppressed\": null"));
+    }
+
+    #[test]
+    fn clean_run_reports_zero() {
+        let json = render_json(&[]);
+        assert!(json.contains("\"errors\": 0"));
+        assert!(json.contains("\"clean\": true"));
+        assert_eq!(count_denied(&[]), 0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Fixture tests: one true-positive and one suppressed-negative snippet
+//! per rule. Each pair pins a rule's implementation — deleting any single
+//! rule makes at least one of these fail.
+//!
+//! Snippets are plain string literals analyzed through synthetic
+//! workspace-relative paths, so the path-scoped rules engage exactly as
+//! they would on real sources (and, being strings inside a `tests/` file,
+//! they are invisible to the linter's own self-scan).
+
+use hmd_analyze::analyze_texts;
+use hmd_analyze::rules::Diagnostic;
+
+fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+    analyze_texts(&[(path, src)])
+}
+
+fn unsuppressed<'a>(diags: &'a [Diagnostic], rule: &str) -> Vec<&'a Diagnostic> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule && d.suppressed.is_none())
+        .collect()
+}
+
+fn suppressed<'a>(diags: &'a [Diagnostic], rule: &str) -> Vec<&'a Diagnostic> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule && d.suppressed.is_some())
+        .collect()
+}
+
+// ---------------------------------------------------------------- nondet-collection
+
+#[test]
+fn nondet_collection_true_positive() {
+    let diags = run(
+        "crates/core/src/fixture.rs",
+        "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n",
+    );
+    let hits = unsuppressed(&diags, "nondet-collection");
+    assert_eq!(hits.len(), 3, "one per HashMap mention: {diags:?}");
+    assert_eq!(hits[0].line, 1);
+}
+
+#[test]
+fn nondet_collection_suppressed_negative() {
+    let diags = run(
+        "crates/ml/src/fixture.rs",
+        "// hmd-analyze: allow(nondet-collection, \"membership check only, never iterated\")\n\
+         use std::collections::HashSet;\n",
+    );
+    assert!(unsuppressed(&diags, "nondet-collection").is_empty());
+    let s = suppressed(&diags, "nondet-collection");
+    assert_eq!(s.len(), 1);
+    assert_eq!(
+        s[0].suppressed.as_deref(),
+        Some("membership check only, never iterated")
+    );
+    assert!(unsuppressed(&diags, "unused-allow").is_empty());
+}
+
+// ---------------------------------------------------------------- raw-spawn
+
+#[test]
+fn raw_spawn_true_positive() {
+    let diags = run(
+        "crates/bench/src/fixture.rs",
+        "fn f() { std::thread::spawn(|| {}); }\n",
+    );
+    assert_eq!(unsuppressed(&diags, "raw-spawn").len(), 1);
+}
+
+#[test]
+fn raw_spawn_suppressed_negative() {
+    let diags = run(
+        "crates/bench/src/fixture.rs",
+        "// hmd-analyze: allow(raw-spawn, \"fire-and-forget logger, results never merged\")\n\
+         fn f() { std::thread::spawn(|| {}); }\n",
+    );
+    assert!(unsuppressed(&diags, "raw-spawn").is_empty());
+    assert_eq!(suppressed(&diags, "raw-spawn").len(), 1);
+}
+
+#[test]
+fn raw_spawn_allowlist_files_are_exempt() {
+    let src = "fn f() { std::thread::spawn(|| {}); }\n";
+    assert!(unsuppressed(&run("crates/ml/src/par.rs", src), "raw-spawn").is_empty());
+    assert!(unsuppressed(&run("crates/serve/src/server.rs", src), "raw-spawn").is_empty());
+}
+
+// ---------------------------------------------------------------- hot-path-alloc
+
+#[test]
+fn hot_path_alloc_true_positive() {
+    let diags = run(
+        "crates/core/src/fixture.rs",
+        "// hmd-analyze: hot-path\n\
+         fn hot(out: &mut [f64]) {\n\
+             let v = vec![1.0];\n\
+             let s = v.to_vec();\n\
+             let t = format!(\"x\");\n\
+         }\n",
+    );
+    assert_eq!(unsuppressed(&diags, "hot-path-alloc").len(), 3);
+}
+
+#[test]
+fn hot_path_alloc_suppressed_negative() {
+    let diags = run(
+        "crates/core/src/fixture.rs",
+        "// hmd-analyze: hot-path\n\
+         fn hot(out: &mut [f64]) {\n\
+             // hmd-analyze: allow(hot-path-alloc, \"one-time lazy init, amortized to zero\")\n\
+             let v = Vec::new();\n\
+         }\n",
+    );
+    assert!(unsuppressed(&diags, "hot-path-alloc").is_empty());
+    assert_eq!(suppressed(&diags, "hot-path-alloc").len(), 1);
+}
+
+#[test]
+fn unannotated_fn_may_allocate() {
+    let diags = run(
+        "crates/core/src/fixture.rs",
+        "fn cold() { let v = vec![1.0]; let s = v.to_vec(); }\n",
+    );
+    assert!(unsuppressed(&diags, "hot-path-alloc").is_empty());
+}
+
+// ---------------------------------------------------------------- panic-in-serve
+
+#[test]
+fn panic_in_serve_true_positive() {
+    let diags = run(
+        "crates/serve/src/fixture.rs",
+        "fn f(x: Option<u32>) { x.unwrap(); x.expect(\"no\"); panic!(\"dead worker\"); }\n",
+    );
+    assert_eq!(unsuppressed(&diags, "panic-in-serve").len(), 3);
+}
+
+#[test]
+fn panic_in_serve_suppressed_negative() {
+    let diags = run(
+        "crates/serve/src/fixture.rs",
+        "// hmd-analyze: allow(panic-in-serve, \"startup-time config validation, before any client connects\")\n\
+         fn startup(x: Option<u32>) { x.expect(\"config is validated\"); }\n",
+    );
+    assert!(unsuppressed(&diags, "panic-in-serve").is_empty());
+    assert_eq!(suppressed(&diags, "panic-in-serve").len(), 1);
+}
+
+#[test]
+fn panic_in_serve_ignores_test_modules_and_other_crates() {
+    let src = "fn f(x: Option<u32>) { x.unwrap(); }\n";
+    assert!(unsuppressed(&run("crates/core/src/fixture.rs", src), "panic-in-serve").is_empty());
+    let in_tests = "#[cfg(test)]\nmod tests {\n    fn f(x: Option<u32>) { x.unwrap(); }\n}\n";
+    assert!(unsuppressed(
+        &run("crates/serve/src/fixture.rs", in_tests),
+        "panic-in-serve"
+    )
+    .is_empty());
+}
+
+// ---------------------------------------------------------------- wallclock-in-core
+
+#[test]
+fn wallclock_in_core_true_positive() {
+    let diags = run(
+        "crates/ml/src/fixture.rs",
+        "fn f() { let t = std::time::Instant::now(); let s = std::time::SystemTime::now(); }\n",
+    );
+    assert_eq!(unsuppressed(&diags, "wallclock-in-core").len(), 2);
+}
+
+#[test]
+fn wallclock_in_core_suppressed_negative() {
+    let diags = run(
+        "crates/core/src/fixture.rs",
+        "// hmd-analyze: allow(wallclock-in-core, \"diagnostic log timestamp, never reaches a verdict\")\n\
+         fn f() { let t = std::time::Instant::now(); }\n",
+    );
+    assert!(unsuppressed(&diags, "wallclock-in-core").is_empty());
+    assert_eq!(suppressed(&diags, "wallclock-in-core").len(), 1);
+}
+
+#[test]
+fn wallclock_outside_core_is_fine() {
+    let src = "fn f() { let t = std::time::Instant::now(); }\n";
+    assert!(unsuppressed(
+        &run("crates/serve/src/fixture.rs", src),
+        "wallclock-in-core"
+    )
+    .is_empty());
+}
+
+// ---------------------------------------------------------------- float-order
+
+#[test]
+fn float_order_true_positive() {
+    let diags = run(
+        "crates/ml/src/fixture.rs",
+        "fn par() { par_map(1, &[1], |_, x: &i32| *x); }\n\
+         fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }\n\
+         fn g(v: &[f64]) -> f64 { v.iter().fold(0.0, |a, b| a + b) }\n",
+    );
+    assert_eq!(unsuppressed(&diags, "float-order").len(), 2);
+}
+
+#[test]
+fn float_order_attested_negative() {
+    let diags = run(
+        "crates/ml/src/fixture.rs",
+        "fn par() { par_map(1, &[1], |_, x: &i32| *x); }\n\
+         // hmd-analyze: fold-order-ok\n\
+         fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }\n",
+    );
+    assert!(unsuppressed(&diags, "float-order").is_empty());
+}
+
+#[test]
+fn float_order_needs_par_adjacency() {
+    let diags = run(
+        "crates/ml/src/fixture.rs",
+        "fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }\n",
+    );
+    assert!(unsuppressed(&diags, "float-order").is_empty());
+}
+
+// ---------------------------------------------------------------- forbid-unsafe
+
+#[test]
+fn forbid_unsafe_true_positive() {
+    let diags = run("crates/core/src/lib.rs", "pub fn f() {}\n");
+    assert_eq!(unsuppressed(&diags, "forbid-unsafe").len(), 1);
+}
+
+#[test]
+fn forbid_unsafe_satisfied_negative() {
+    let diags = run(
+        "crates/core/src/lib.rs",
+        "//! Docs first.\n#![forbid(unsafe_code)]\npub fn f() {}\n",
+    );
+    assert!(unsuppressed(&diags, "forbid-unsafe").is_empty());
+}
+
+// ---------------------------------------------------------------- directive hygiene
+
+#[test]
+fn bad_directive_is_a_deny() {
+    let diags = run(
+        "crates/core/src/fixture.rs",
+        "// hmd-analyze: allow(nondet-collection)\nfn f() {}\n",
+    );
+    assert_eq!(unsuppressed(&diags, "bad-directive").len(), 1);
+}
+
+#[test]
+fn unused_allow_is_a_warn() {
+    let diags = run(
+        "crates/core/src/fixture.rs",
+        "// hmd-analyze: allow(raw-spawn, \"stale\")\nfn f() {}\n",
+    );
+    let hits = unsuppressed(&diags, "unused-allow");
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].severity, hmd_analyze::rules::Severity::Warn);
+}
+
+// ---------------------------------------------------------------- cross-cutting
+
+#[test]
+fn strings_and_comments_never_trip_any_rule() {
+    let diags = run(
+        "crates/serve/src/fixture.rs",
+        "fn f() -> &'static str { \"HashMap .unwrap() Instant::now thread::spawn\" } // vec! panic!\n",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn every_registered_rule_has_a_fixture_above() {
+    // Guards this file against rot: a new rule must add fixtures here.
+    let covered = [
+        "nondet-collection",
+        "raw-spawn",
+        "hot-path-alloc",
+        "panic-in-serve",
+        "wallclock-in-core",
+        "float-order",
+        "forbid-unsafe",
+        "bad-directive",
+        "unused-allow",
+    ];
+    for (name, _, _) in hmd_analyze::rules::RULES {
+        assert!(
+            covered.contains(name),
+            "rule `{name}` has no fixture test in tests/fixtures.rs"
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! The linter's acceptance gate, run as a test: the live workspace must
+//! produce zero unsuppressed diagnostics, every suppression must carry a
+//! reason, and every crate root must forbid `unsafe`.
+
+use hmd_analyze::analyze_workspace;
+use hmd_analyze::rules::Severity;
+use hmd_analyze::workspace::default_root;
+
+#[test]
+fn live_workspace_is_clean() {
+    let diags = analyze_workspace(&default_root()).expect("workspace is readable");
+    let offending: Vec<String> = diags
+        .iter()
+        .filter(|d| d.suppressed.is_none() && d.severity == Severity::Deny)
+        .map(|d| format!("{}:{}: [{}] {}", d.path, d.line, d.rule, d.message))
+        .collect();
+    assert!(
+        offending.is_empty(),
+        "workspace has unsuppressed diagnostics:\n{}",
+        offending.join("\n")
+    );
+}
+
+#[test]
+fn every_suppression_carries_a_reason() {
+    // Structural: an `allow` without a reason never suppresses (it is a
+    // bad-directive instead), so any suppressed diagnostic in the live
+    // workspace must carry a non-empty reason string.
+    let diags = analyze_workspace(&default_root()).expect("workspace is readable");
+    let mut saw_suppressed = false;
+    for d in &diags {
+        if let Some(reason) = &d.suppressed {
+            saw_suppressed = true;
+            assert!(
+                !reason.trim().is_empty(),
+                "{}:{} suppression has empty reason",
+                d.path,
+                d.line
+            );
+        }
+    }
+    assert!(
+        saw_suppressed,
+        "expected at least one reasoned suppression in the workspace \
+         (serve's infallible frame encoding carries one)"
+    );
+}
+
+#[test]
+fn analyzer_sees_every_crate_root() {
+    // The forbid-unsafe rule is only as good as the walk: make sure the
+    // traversal actually visits all workspace and vendor crate roots.
+    let files =
+        hmd_analyze::workspace::collect_rust_files(&default_root()).expect("workspace is readable");
+    let roots: Vec<&str> = files
+        .iter()
+        .map(|(p, _)| p.as_str())
+        .filter(|p| p.ends_with("src/lib.rs"))
+        .collect();
+    for expected in [
+        "crates/analyze/src/lib.rs",
+        "crates/bench/src/lib.rs",
+        "crates/core/src/lib.rs",
+        "crates/hpc-sim/src/lib.rs",
+        "crates/hwmodel/src/lib.rs",
+        "crates/ml/src/lib.rs",
+        "crates/serve/src/lib.rs",
+        "src/lib.rs",
+        "vendor/rand/src/lib.rs",
+        "vendor/serde/src/lib.rs",
+        "vendor/serde_json/src/lib.rs",
+    ] {
+        assert!(
+            roots.contains(&expected),
+            "walk missed crate root {expected}; saw {roots:?}"
+        );
+    }
+}

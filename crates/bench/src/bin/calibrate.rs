@@ -79,7 +79,9 @@ fn main() {
     {
         // table IV aggregates
         use hmd_ml::metrics::DetectionScore;
-        let mut perf = std::collections::HashMap::<(&str, &str), Vec<f64>>::new();
+        // BTreeMap so any future iteration over the aggregates prints in a
+        // stable (classifier, column) order.
+        let mut perf = std::collections::BTreeMap::<(&str, &str), Vec<f64>>::new();
         for class in AppClass::MALWARE {
             let bin_train = class_dataset_from(&train, class);
             let bin_test = class_dataset_from(&test, class);

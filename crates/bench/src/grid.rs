@@ -149,6 +149,7 @@ impl Grid {
     }
 
     fn mean(perfs: impl Iterator<Item = f64>) -> f64 {
+        // hmd-analyze: fold-order-ok("sequential fold over cells in grid order; never runs across threads")
         let (sum, n) = perfs.fold((0.0, 0usize), |(s, n), p| (s + p, n + 1));
         if n == 0 {
             0.0

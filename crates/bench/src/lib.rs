@@ -15,6 +15,7 @@
 //! `exp_table4`, `exp_fig5a`, `exp_fig5b`, `exp_table5`, and `run_all`
 //! (regenerates `EXPERIMENTS.md`). Scale with `TWOSMART_SCALE=tiny|small|paper`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

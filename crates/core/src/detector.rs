@@ -314,6 +314,7 @@ impl TwoSmartDetector {
     /// # Panics
     ///
     /// Panics if `features44` does not have 44 entries.
+    // hmd-analyze: hot-path
     pub fn detect_with(&self, features44: &[f64], scratch: &mut DetectScratch) -> Verdict {
         assert_eq!(
             features44.len(),
@@ -378,6 +379,7 @@ impl TwoSmartDetector {
     /// Panics if the detector is not run-time deployable (see
     /// [`runtime_events`](Self::runtime_events)) or `counters` has the
     /// wrong length.
+    // hmd-analyze: hot-path
     pub fn detect_from_counters_with(
         &self,
         counters: &[f64],

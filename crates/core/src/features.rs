@@ -52,7 +52,7 @@ impl FeatureSet {
     pub fn new(class: AppClass, common: Vec<Event>, custom: Vec<Event>) -> FeatureSet {
         assert!(class.is_malware(), "feature sets are per malware class");
         assert!(!common.is_empty(), "common feature set must not be empty");
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for e in common.iter().chain(&custom) {
             assert!(
                 seen.insert(*e),

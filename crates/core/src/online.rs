@@ -168,6 +168,13 @@ impl OnlineDetector {
         &self.detector
     }
 
+    /// Counters each reading must carry: one per programmed event. This is
+    /// fixed at construction, so callers can validate input arity without
+    /// re-deriving the deployment's event set.
+    pub fn arity(&self) -> usize {
+        self.k
+    }
+
     /// The aggregation window length in samples.
     pub fn window(&self) -> usize {
         self.window
@@ -192,6 +199,7 @@ impl OnlineDetector {
     ///
     /// Panics if `counters` has the wrong length. Service paths handling
     /// untrusted input should call [`try_push`](Self::try_push) instead.
+    // hmd-analyze: hot-path
     pub fn push(&mut self, counters: &[f64]) -> Option<Verdict> {
         self.try_push(counters)
             .expect("one reading per programmed event")
@@ -206,6 +214,7 @@ impl OnlineDetector {
     ///
     /// [`OnlineError::BadLength`] if `counters` does not have one entry per
     /// programmed event.
+    // hmd-analyze: hot-path
     pub fn try_push(&mut self, counters: &[f64]) -> Result<Option<Verdict>, OnlineError> {
         let k = self.k;
         if counters.len() != k {

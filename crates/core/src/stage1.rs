@@ -112,6 +112,7 @@ impl Stage1Model {
     /// # Panics
     ///
     /// Panics if `features44` does not have 44 entries.
+    // hmd-analyze: hot-path
     pub fn predict_class_with(
         &self,
         features44: &[f64],

@@ -313,6 +313,7 @@ impl SpecializedDetector {
     /// # Panics
     ///
     /// Panics if `features44` does not have 44 entries.
+    // hmd-analyze: hot-path
     pub fn score_with(&self, features44: &[f64], x: &mut Vec<f64>, proba: &mut Vec<f64>) -> f64 {
         assert_eq!(
             features44.len(),

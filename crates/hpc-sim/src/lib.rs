@@ -40,6 +40,7 @@
 //! assert_eq!(corpus.class_count(AppClass::Benign), 8);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

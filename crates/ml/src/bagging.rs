@@ -169,6 +169,7 @@ impl Classifier for Bagging {
         out
     }
 
+    // hmd-analyze: hot-path
     fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         assert!(!self.models.is_empty(), "Bagging not fitted");
         assert_eq!(

@@ -199,6 +199,7 @@ impl Classifier for AdaBoost {
         out
     }
 
+    // hmd-analyze: hot-path
     fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         assert!(!self.rounds.is_empty(), "AdaBoost not fitted");
         assert_eq!(

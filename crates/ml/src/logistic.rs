@@ -222,6 +222,7 @@ impl Classifier for Mlr {
         out
     }
 
+    // hmd-analyze: hot-path
     fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         let f = self.fitted.as_ref().expect("MLR not fitted");
         assert_eq!(

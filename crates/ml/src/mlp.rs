@@ -276,6 +276,7 @@ impl Classifier for Mlp {
         out
     }
 
+    // hmd-analyze: hot-path
     fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         let f = self.fitted.as_ref().expect("MLP not fitted");
         assert_eq!(

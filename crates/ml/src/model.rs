@@ -127,6 +127,7 @@ impl Classifier for AnyModel {
         out
     }
 
+    // hmd-analyze: hot-path
     fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         match self {
             AnyModel::J48(m) => m.predict_proba_into(x, out),

@@ -211,6 +211,7 @@ impl Classifier for OneR {
         out
     }
 
+    // hmd-analyze: hot-path
     fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         let f = self.fitted.as_ref().expect("OneR not fitted");
         assert_eq!(

@@ -478,6 +478,7 @@ impl Classifier for JRip {
         out
     }
 
+    // hmd-analyze: hot-path
     fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         let f = self.fitted.as_ref().expect("JRip not fitted");
         assert_eq!(

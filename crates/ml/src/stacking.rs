@@ -111,6 +111,7 @@ impl Classifier for Voting {
         out
     }
 
+    // hmd-analyze: hot-path
     fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         assert!(!self.models.is_empty(), "Voting not fitted");
         assert_eq!(
@@ -274,6 +275,7 @@ impl Classifier for Stacking {
         out
     }
 
+    // hmd-analyze: hot-path
     fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         let meta = self.meta.as_ref().expect("Stacking not fitted");
         STACKING_SCRATCH.with(|s| {

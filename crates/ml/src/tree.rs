@@ -195,6 +195,7 @@ impl CompiledTree {
     /// # Panics
     ///
     /// Panics if `out.len() != n_classes` or `x` lacks a split attribute.
+    // hmd-analyze: hot-path
     pub fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         let mut i = 0usize;
         loop {
@@ -684,6 +685,7 @@ impl Classifier for J48 {
         out
     }
 
+    // hmd-analyze: hot-path
     fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         let tree = self.compiled_tree();
         assert_eq!(

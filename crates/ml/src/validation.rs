@@ -78,12 +78,16 @@ pub struct CvSummary {
 impl CvSummary {
     fn from_scores(fold_scores: Vec<DetectionScore>) -> CvSummary {
         let n = fold_scores.len() as f64;
+        // Sequential sums over the fold Vec, which par_map already ordered
+        // by fold index — addition order is fixed run to run.
+        // hmd-analyze: fold-order-ok
         let mean_f = fold_scores.iter().map(|s| s.f_measure).sum::<f64>() / n;
+        // hmd-analyze: fold-order-ok
         let mean_auc = fold_scores.iter().map(|s| s.auc).sum::<f64>() / n;
         let var = fold_scores
             .iter()
             .map(|s| (s.f_measure - mean_f).powi(2))
-            .sum::<f64>()
+            .sum::<f64>() // hmd-analyze: fold-order-ok("sequential sum over the fold Vec in index order")
             / (n - 1.0).max(1.0);
         CvSummary {
             fold_scores,
@@ -98,7 +102,7 @@ impl CvSummary {
         self.fold_scores
             .iter()
             .map(DetectionScore::performance)
-            .sum::<f64>()
+            .sum::<f64>() // hmd-analyze: fold-order-ok("sequential sum over the fold Vec in index order")
             / self.fold_scores.len() as f64
     }
 }

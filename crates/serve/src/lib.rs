@@ -34,6 +34,8 @@
 //! detector state. The verdict sequence for a host is therefore
 //! bit-identical across runs, worker counts, and connection interleavings.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod loadgen;
 pub mod metrics;

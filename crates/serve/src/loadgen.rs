@@ -131,8 +131,9 @@ pub fn host_stream(seed: u64, host: u64, len: usize) -> Vec<Vec<f64>> {
     let spec = &library[(host as usize) % library.len()];
     let mut rng = StdRng::seed_from_u64(derive_seed(seed, host));
     let mut app = spec.spawn(&mut rng);
-    let session =
-        hmd_hpc_sim::perf::PerfSession::open(&COMMON_EVENTS).expect("4 events fit the hardware");
+    let session = hmd_hpc_sim::perf::PerfSession::open(&COMMON_EVENTS)
+        // hmd-analyze: allow(panic-in-serve, "load-generator setup, not a serve worker; COMMON_EVENTS is exactly the 4-HPC budget")
+        .expect("4 events fit the hardware");
     session
         .profile(&mut app, len, &mut rng)
         .into_iter()

@@ -59,11 +59,12 @@ impl Metrics {
             None => self.bump(&self.warmup),
             Some(Verdict::Benign) => self.bump(&self.benign),
             Some(Verdict::Malware { class, .. }) => {
-                let idx = AppClass::MALWARE
-                    .iter()
-                    .position(|c| c == class)
-                    .expect("verdict class is malware");
-                self.bump(&self.malware[idx]);
+                // A verdict class outside MALWARE cannot come out of a
+                // trained detector; if one ever does, drop the sample
+                // rather than panicking the worker that recorded it.
+                if let Some(idx) = AppClass::MALWARE.iter().position(|c| c == class) {
+                    self.bump(&self.malware[idx]);
+                }
             }
         }
     }

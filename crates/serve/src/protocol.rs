@@ -163,6 +163,7 @@ impl From<io::Error> for WireError {
 
 /// Encodes one frame as length prefix + JSON payload.
 pub fn encode(frame: &Frame) -> Vec<u8> {
+    // hmd-analyze: allow(panic-in-serve, "serializing Frame is infallible: no maps, non-finite floats encode as null")
     let payload = serde_json::to_string(frame).expect("frame JSON never fails");
     let bytes = payload.as_bytes();
     debug_assert!(bytes.len() <= MAX_FRAME_BYTES, "outbound frame too large");
@@ -177,7 +178,9 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
 /// bytes are *appended* to `out`, so a worker can encode straight into a
 /// connection's output buffer. Bytes produced are identical to
 /// [`encode`]'s.
+// hmd-analyze: hot-path
 pub fn encode_into(frame: &Frame, json: &mut String, out: &mut Vec<u8>) {
+    // hmd-analyze: allow(panic-in-serve, "serializing Frame is infallible: no maps, non-finite floats encode as null")
     serde_json::to_string_into(frame, json).expect("frame JSON never fails");
     let bytes = json.as_bytes();
     debug_assert!(bytes.len() <= MAX_FRAME_BYTES, "outbound frame too large");

@@ -267,9 +267,12 @@ fn accept_loop(listener: &TcpListener, shared: &Shared, inboxes: &[Arc<Mutex<Vec
                     continue;
                 }
                 shared.conns.fetch_add(1, Ordering::SeqCst);
+                // Recover a poisoned inbox: the handoff Vec is valid after
+                // any panic (push/drain keep it consistent), and dropping
+                // the connection instead would strand the client.
                 inboxes[next % inboxes.len()]
                     .lock()
-                    .expect("inbox lock poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .push(stream);
                 next = next.wrapping_add(1);
             }
@@ -304,7 +307,9 @@ fn worker_loop(shared: &Shared, inbox: &Arc<Mutex<Vec<TcpStream>>>) {
     loop {
         let stopping = shared.stop.load(Ordering::SeqCst);
         {
-            let mut incoming = inbox.lock().expect("inbox lock poisoned");
+            let mut incoming = inbox
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             conns.extend(incoming.drain(..).map(Conn::new));
         }
         let mut progress = false;

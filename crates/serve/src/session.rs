@@ -18,11 +18,15 @@
 //! interleaving cannot change any host's verdicts.
 
 use crate::metrics::Metrics;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use twosmart::detector::{TwoSmartDetector, Verdict};
 use twosmart::online::{OnlineDetector, OnlineError};
+
+/// One shard's sessions, ordered by host id so every iteration (eviction,
+/// counting, debugging) visits hosts in the same order on every run.
+type Shard = BTreeMap<u64, HostSession>;
 
 /// Tuning for the session engine.
 #[derive(Debug, Clone)]
@@ -92,7 +96,7 @@ struct HostSession {
 
 /// Sharded host-id → [`OnlineDetector`] map.
 pub struct SessionEngine {
-    shards: Vec<Mutex<HashMap<u64, HostSession>>>,
+    shards: Vec<Mutex<Shard>>,
     /// Never-pushed prototype cloned for each new host.
     template: OnlineDetector,
     idle_after: u64,
@@ -116,7 +120,7 @@ impl SessionEngine {
     ) -> Result<SessionEngine, OnlineError> {
         let template = OnlineDetector::new(detector, config.window, config.votes)?;
         let shards = (0..config.shards.max(1))
-            .map(|_| Mutex::new(HashMap::new()))
+            .map(|_| Mutex::new(Shard::new()))
             .collect();
         Ok(SessionEngine {
             shards,
@@ -129,11 +133,15 @@ impl SessionEngine {
 
     /// Counters each `Submit` must carry, in programmed-event order.
     pub fn expected_arity(&self) -> usize {
-        self.template
-            .detector()
-            .runtime_events()
-            .expect("engine detector is deployable")
-            .len()
+        self.template.arity()
+    }
+
+    /// Locks a shard, recovering from poisoning: a worker that panicked
+    /// while holding the lock must not wedge every other worker mapped to
+    /// this shard. Session state stays consistent under recovery because
+    /// each submit rewrites the fields it touches.
+    fn lock(shard: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
+        shard.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Feeds one reading to `host_id`'s detector, creating the session on
@@ -144,6 +152,7 @@ impl SessionEngine {
     ///
     /// [`SubmitError`] if the reading is wrong-arity or out of order; the
     /// session state is untouched in both cases.
+    // hmd-analyze: hot-path
     pub fn submit(
         &self,
         host_id: u64,
@@ -151,10 +160,9 @@ impl SessionEngine {
         counters: &[f64],
     ) -> Result<Option<Verdict>, SubmitError> {
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shards[self.shard_of(host_id)]
-            .lock()
-            .expect("shard lock poisoned");
+        let mut shard = Self::lock(&self.shards[self.shard_of(host_id)]);
         let session = shard.entry(host_id).or_insert_with(|| HostSession {
+            // hmd-analyze: allow(hot-path-alloc, "one-time per-host session construction, not per-reading")
             online: self.template.clone(),
             last_seq: None,
             last_seen: now,
@@ -164,30 +172,49 @@ impl SessionEngine {
                 return Err(SubmitError::OutOfOrder { last, got: seq });
             }
         }
-        let verdict = session.online.try_push(counters).map_err(|e| match e {
-            OnlineError::BadLength { expected, got } => SubmitError::BadLength { expected, got },
-            other => unreachable!("try_push only fails with BadLength: {other}"),
-        })?;
+        let verdict = match session.online.try_push(counters) {
+            Ok(v) => v,
+            Err(OnlineError::BadLength { expected, got }) => {
+                return Err(SubmitError::BadLength { expected, got });
+            }
+            // NotDeployable/ZeroLength are construction-time failures that
+            // `try_push` cannot return. If that ever changes, reject the
+            // frame rather than panicking the worker.
+            Err(_) => {
+                return Err(SubmitError::BadLength {
+                    expected: self.template.arity(),
+                    got: counters.len(),
+                });
+            }
+        };
         session.last_seq = Some(seq);
         session.last_seen = now;
         Ok(verdict)
     }
 
     /// Removes sessions idle for more than `idle_after` ticks. Returns the
-    /// number evicted (also added to the `evictions` metric).
-    pub fn evict_idle(&self) -> usize {
+    /// evicted host ids (also counted into the `evictions` metric) in a
+    /// deterministic order: ascending shard index, then ascending host id
+    /// within the shard — so eviction logs diff cleanly run to run.
+    pub fn evict_idle(&self) -> Vec<u64> {
         if self.idle_after == 0 {
-            return 0;
+            return Vec::new();
         }
         let now = self.clock.load(Ordering::Relaxed);
-        let mut evicted = 0;
+        let mut evicted = Vec::new();
         for shard in &self.shards {
-            let mut map = shard.lock().expect("shard lock poisoned");
-            let before = map.len();
-            map.retain(|_, s| now.saturating_sub(s.last_seen) <= self.idle_after);
-            evicted += before - map.len();
+            let mut map = Self::lock(shard);
+            // BTreeMap::retain visits keys in ascending order, so the
+            // per-shard segment of `evicted` is sorted by host id.
+            map.retain(|&host, s| {
+                let keep = now.saturating_sub(s.last_seen) <= self.idle_after;
+                if !keep {
+                    evicted.push(host);
+                }
+                keep
+            });
         }
-        for _ in 0..evicted {
+        for _ in 0..evicted.len() {
             self.metrics.bump(&self.metrics.evictions);
         }
         evicted
@@ -195,10 +222,7 @@ impl SessionEngine {
 
     /// Live session count across all shards.
     pub fn sessions(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("shard lock poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| Self::lock(s).len()).sum()
     }
 
     /// Submits processed so far (the engine's logical clock).
@@ -309,7 +333,7 @@ mod tests {
         for seq in 0..8 {
             e.submit(2, seq, &r).unwrap();
         }
-        assert_eq!(e.evict_idle(), 1);
+        assert_eq!(e.evict_idle(), vec![1]);
         assert_eq!(e.sessions(), 1);
         assert_eq!(metrics.snapshot().evictions, 1);
         // Returning host 1 restarts warm-up (fresh detector clone).
@@ -326,8 +350,51 @@ mod tests {
         for seq in 0..64 {
             e.submit(2, seq, &[1.0; 4]).unwrap();
         }
-        assert_eq!(e.evict_idle(), 0);
+        assert_eq!(e.evict_idle(), Vec::<u64>::new());
         assert_eq!(e.sessions(), 2);
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic_across_runs_and_shard_counts() {
+        let r = [1.0, 1.0, 1.0, 1.0];
+        // Hosts chosen to scatter across shards; all go idle together.
+        let hosts: Vec<u64> = (0..24).map(|i| i * 977 + 13).collect();
+        let run = |shards: usize| {
+            let e = engine(&SessionConfig {
+                shards,
+                idle_after: 4,
+                ..SessionConfig::default()
+            });
+            for &h in &hosts {
+                e.submit(h, 0, &r).unwrap();
+            }
+            // One host stays hot while the rest idle past the threshold.
+            for seq in 1..40 {
+                e.submit(hosts[0], seq, &r).unwrap();
+            }
+            e.evict_idle()
+        };
+        let a = run(8);
+        let b = run(8);
+        assert_eq!(a, b, "same config must evict in the same order");
+        assert_eq!(a.len(), hosts.len() - 1);
+        // The evicted *set* is shard-layout independent even though the
+        // order legitimately depends on the shard count.
+        let mut set_a = a.clone();
+        set_a.sort_unstable();
+        let mut set_c = run(3);
+        set_c.sort_unstable();
+        let mut expected: Vec<u64> = hosts[1..].to_vec();
+        expected.sort_unstable();
+        assert_eq!(set_a, expected);
+        assert_eq!(set_c, expected);
+        // Within each run the per-shard segments are host-id sorted, so a
+        // single-shard engine must return a fully sorted list.
+        assert_eq!(
+            run(1),
+            expected,
+            "single shard evicts in ascending host-id order"
+        );
     }
 
     #[test]

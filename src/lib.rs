@@ -10,6 +10,8 @@
 //! assert_eq!(AppClass::ALL.len(), 5);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use hmd_hpc_sim as hpc_sim;
 pub use hmd_hwmodel as hwmodel;
 pub use hmd_ml as ml;

@@ -16,6 +16,8 @@
 //! A trailing filter argument (as in `cargo bench -- <substr>`) restricts
 //! which benchmark ids run.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

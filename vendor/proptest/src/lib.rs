@@ -12,6 +12,8 @@
 //! the same cases. Set `TWOSMART_PROPTEST_SEED` to explore a different
 //! deterministic universe.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy {
     use rand::rngs::StdRng;
     use rand::Rng;

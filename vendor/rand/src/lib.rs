@@ -13,6 +13,8 @@
 //! (ChaCha12); nothing in the workspace depends on the exact values, only
 //! on reproducibility.
 
+#![forbid(unsafe_code)]
+
 /// Low-level source of random bits.
 pub trait RngCore {
     /// Next 32 random bits.

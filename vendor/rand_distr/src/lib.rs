@@ -7,6 +7,8 @@
 //! stateless and `Sync`), so sampling is deterministic given the
 //! underlying RNG stream.
 
+#![forbid(unsafe_code)]
+
 use rand::Rng;
 
 /// Error constructing a distribution from invalid parameters.

@@ -12,6 +12,8 @@
 //! variants as strings, newtype/tuple/struct variants as single-key
 //! objects.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// The self-describing value tree every `Serialize` maps into.

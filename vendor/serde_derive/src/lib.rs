@@ -9,6 +9,8 @@
 //! serde's external enum tagging, so the emitted JSON matches what the
 //! real serde would produce.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// One parsed field: just its name (types are inferred at the use site).

@@ -8,6 +8,8 @@
 //! deserializes into `f64::NAN`, so snapshots never panic on degenerate
 //! models.
 
+#![forbid(unsafe_code)]
+
 pub use serde::Value;
 use serde::{Deserialize, Serialize};
 
