@@ -7,7 +7,7 @@
 
 use hmd_hpc_sim::workload::AppClass;
 use hmd_ml::classifier::ClassifierKind;
-use hmd_ml::data::Dataset;
+use hmd_ml::data::{Dataset, SortedColumns};
 use hmd_ml::metrics::DetectionScore;
 use serde::{Deserialize, Serialize};
 use twosmart::pipeline::class_dataset_from;
@@ -173,13 +173,14 @@ impl Grid {
 /// Panics if any detector fails to train — the experiment datasets are
 /// always large enough.
 pub fn run_grid(train: &Dataset, test: &Dataset, seed: u64) -> Grid {
-    // Project the per-class binary splits once (4 tasks), then fan out the
-    // full class × kind × config grid.
+    // Project the per-class binary splits once (4 tasks), each with a
+    // presorted-column cache shared by that class's 16 cells — a sweep
+    // sorts each fold once, not once per model. The cache is read-only,
+    // so sharing it across parallel cells cannot couple their results.
     let splits = hmd_ml::par::par_map(AppClass::MALWARE.to_vec(), |_, class| {
-        (
-            class_dataset_from(train, class),
-            class_dataset_from(test, class),
-        )
+        let bin_train = class_dataset_from(train, class);
+        let cols = SortedColumns::new(&bin_train);
+        (bin_train, cols, class_dataset_from(test, class))
     });
     let mut combos = Vec::with_capacity(
         AppClass::MALWARE.len() * ClassifierKind::ALL.len() * HpcConfig::ALL.len(),
@@ -193,9 +194,15 @@ pub fn run_grid(train: &Dataset, test: &Dataset, seed: u64) -> Grid {
     }
     let cells = hmd_ml::par::par_map(combos, |_, (class_idx, kind, config)| {
         let class = AppClass::MALWARE[class_idx];
-        let (bin_train, bin_test) = &splits[class_idx];
-        let det = SpecializedDetector::train(bin_train, class, &config.stage2_config(kind), seed)
-            .unwrap_or_else(|e| panic!("training {class}/{kind}: {e}"));
+        let (bin_train, cols, bin_test) = &splits[class_idx];
+        let det = SpecializedDetector::train_cached(
+            bin_train,
+            cols,
+            class,
+            &config.stage2_config(kind),
+            seed,
+        )
+        .unwrap_or_else(|e| panic!("training {class}/{kind}: {e}"));
         GridCell {
             class,
             kind,

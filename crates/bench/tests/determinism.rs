@@ -51,6 +51,55 @@ fn parallel_grid_is_bit_identical_to_serial() {
 }
 
 #[test]
+fn grid_report_bytes_identical_across_thread_counts_with_shared_cache() {
+    // run_grid shares one read-only presorted-column cache per class
+    // across that class's 16 cells. Sharing must not couple parallel
+    // cells: the *serialized* grid report is compared, so a drift in any
+    // float of any cell — not just the ones a spot check samples — fails.
+    let exp = Experiment::prepare(Scale::Tiny);
+    let serial = with_threads(1, || {
+        serde_json::to_string(&run_grid(&exp.train, &exp.test, exp.seed)).expect("grid serializes")
+    });
+    for threads in [2, 8] {
+        let parallel = with_threads(threads, || {
+            serde_json::to_string(&run_grid(&exp.train, &exp.test, exp.seed))
+                .expect("grid serializes")
+        });
+        assert_eq!(
+            serial, parallel,
+            "serialized grid report diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn cross_validation_with_shared_cache_is_thread_invariant() {
+    // cross_validate trains every J48 fold off one shared cache through a
+    // per-fold 0/1 multiplicity mask; fold parallelism must leave the
+    // serialized summary byte-identical.
+    use hmd_ml::classifier::ClassifierKind;
+    use hmd_ml::validation::cross_validate;
+    use twosmart::pipeline::class_dataset_from;
+
+    let exp = Experiment::prepare(Scale::Tiny);
+    let bin = class_dataset_from(&exp.train, AppClass::Virus);
+    let serial = with_threads(1, || {
+        serde_json::to_string(&cross_validate(&bin, ClassifierKind::J48, 2, exp.seed).unwrap())
+            .expect("summary serializes")
+    });
+    for threads in [2, 4] {
+        let parallel = with_threads(threads, || {
+            serde_json::to_string(&cross_validate(&bin, ClassifierKind::J48, 2, exp.seed).unwrap())
+                .expect("summary serializes")
+        });
+        assert_eq!(
+            serial, parallel,
+            "serialized CV summary diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn detector_training_is_invariant_across_thread_counts() {
     let exp = Experiment::prepare(Scale::Tiny);
     // Unpinned classes exercise the per-class derived selection RNG.

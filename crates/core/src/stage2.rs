@@ -30,9 +30,11 @@ use hmd_hpc_sim::event::Event;
 use hmd_hpc_sim::workload::AppClass;
 use hmd_ml::boost::AdaBoost;
 use hmd_ml::classifier::{Classifier, ClassifierKind, TrainError};
-use hmd_ml::data::Dataset;
+use hmd_ml::data::{Dataset, SortedColumns};
 use hmd_ml::feature::CorrelationRanker;
 use hmd_ml::metrics::DetectionScore;
+use hmd_ml::rules::JRip;
+use hmd_ml::tree::J48;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one specialized detector.
@@ -177,6 +179,88 @@ impl SpecializedDetector {
             config.kind.build(seed)
         };
         model.fit(&reduced)?;
+        Ok(SpecializedDetector {
+            class,
+            config: *config,
+            events,
+            model,
+            threshold: 0.5,
+        })
+    }
+
+    /// [`train`](Self::train) against a shared [`SortedColumns`] cache over
+    /// the full 44-event dataset, so a sweep training many detectors on the
+    /// same split sorts each column once, not once per configuration.
+    ///
+    /// Bit-identical to `train`: a presorted J48 trains directly on the
+    /// cache with its attributes projected to the event subset (in event
+    /// order, exactly like a fit on the materialized view); JRip and
+    /// boosted configurations project the cache alongside the reduced view;
+    /// the remaining learners keep the materializing path untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] if the underlying learner cannot fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not a binary 44-event dataset, `class` is
+    /// benign, or `cols` does not cover `data`'s shape.
+    pub fn train_cached(
+        data: &Dataset,
+        cols: &SortedColumns,
+        class: AppClass,
+        config: &Stage2Config,
+        seed: u64,
+    ) -> Result<SpecializedDetector, TrainError> {
+        assert!(
+            class.is_malware(),
+            "specialized detectors are per malware class"
+        );
+        assert_eq!(data.n_classes(), 2, "stage 2 solves binary problems");
+        assert_eq!(
+            cols.n_rows(),
+            data.len(),
+            "SortedColumns row count must match dataset"
+        );
+        assert_eq!(
+            cols.n_columns(),
+            data.n_features(),
+            "SortedColumns column count must match dataset"
+        );
+        let events = events_for_budget(data, class, config.n_hpcs);
+        let evt_idx: Vec<usize> = events.iter().map(|e| e.index()).collect();
+        let model: Box<dyn Classifier> = match (config.boosted, config.kind) {
+            (false, ClassifierKind::J48) => {
+                // No materialized view at all: local attribute `a` of the
+                // tree reads column `evt_idx[a]`, the same layout
+                // `select_events` + fit would produce. (`J48::build`
+                // ignores its seed.)
+                let mut tree = J48::new();
+                tree.fit_presorted(data, cols, None, Some(&evt_idx))?;
+                Box::new(tree)
+            }
+            (false, ClassifierKind::JRip) => {
+                let reduced = select_events(data, &events);
+                let rcols = cols.select(&evt_idx);
+                let mut model = JRip::new(seed);
+                model.fit_cached(&reduced, &rcols)?;
+                Box::new(model)
+            }
+            (true, _) => {
+                let reduced = select_events(data, &events);
+                let rcols = cols.select(&evt_idx);
+                let mut ens = AdaBoost::new(config.kind, config.boost_iterations, seed);
+                ens.fit_cached(&reduced, &rcols)?;
+                Box::new(ens)
+            }
+            (false, _) => {
+                let reduced = select_events(data, &events);
+                let mut model = config.kind.build(seed);
+                model.fit(&reduced)?;
+                model
+            }
+        };
         Ok(SpecializedDetector {
             class,
             config: *config,

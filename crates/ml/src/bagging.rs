@@ -27,7 +27,7 @@
 //! ```
 
 use crate::classifier::{Classifier, ClassifierKind, TrainError};
-use crate::data::Dataset;
+use crate::data::{Dataset, SortedColumns};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -121,10 +121,49 @@ impl Bagging {
     pub fn ensemble_size(&self) -> usize {
         self.models.len()
     }
-}
 
-impl Classifier for Bagging {
-    fn fit(&mut self, data: &Dataset) -> Result<(), TrainError> {
+    /// Fits against a shared [`SortedColumns`] cache.
+    ///
+    /// Bit-identical to [`fit`](Classifier::fit): every member draws the
+    /// same bootstrap and feature subset from the same per-member RNG; a
+    /// J48 base then consumes the cache through a per-row multiplicity
+    /// array instead of a materialized resample. The cache is read-only
+    /// shared state, so members still train in parallel.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::TooFewInstances`] if the dataset has fewer than 2 rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` does not cover `data`'s shape.
+    pub fn fit_cached(&mut self, data: &Dataset, cols: &SortedColumns) -> Result<(), TrainError> {
+        assert_eq!(
+            cols.n_rows(),
+            data.len(),
+            "SortedColumns row count must match dataset"
+        );
+        assert_eq!(
+            cols.n_columns(),
+            data.n_features(),
+            "SortedColumns column count must match dataset"
+        );
+        self.fit_impl(data, Some(cols))
+    }
+
+    /// Fits via the materializing reference path: every member trains on an
+    /// explicitly constructed bootstrap resample, bypassing the
+    /// [`SortedColumns`] fast path entirely. This is the oracle the
+    /// property-test suite compares the cached path against bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::TooFewInstances`] if the dataset has fewer than 2 rows.
+    pub fn fit_naive(&mut self, data: &Dataset) -> Result<(), TrainError> {
+        self.fit_impl(data, None)
+    }
+
+    fn fit_impl(&mut self, data: &Dataset, cols: Option<&SortedColumns>) -> Result<(), TrainError> {
         if data.len() < 2 {
             return Err(TrainError::TooFewInstances {
                 needed: 2,
@@ -141,25 +180,77 @@ impl Classifier for Bagging {
         // the ensemble is identical at any thread count.
         let models = crate::par::par_map((0..self.size).collect(), |_, t| {
             let mut rng = StdRng::seed_from_u64(crate::par::derive_seed(seed, t as u64));
-            let sample = data.weighted_resample(&uniform, n, &mut rng);
-            let mut features: Vec<usize> = (0..d).collect();
-            let view = if keep < d {
-                features.shuffle(&mut rng);
-                features.truncate(keep);
-                features.sort_unstable();
-                sample.select_features(&features)
-            } else {
-                sample
-            };
-            let mut model = base.build(seed.wrapping_add(t as u64 + 1));
-            model.fit(&view)?;
-            Ok(BaggedModel { model, features })
+            match (base, cols) {
+                (ClassifierKind::J48, Some(cols)) => {
+                    // Presorted path: same RNG draws as the materializing
+                    // path below, expressed as row multiplicities over the
+                    // shared cache. (`J48::build` ignores its seed, so
+                    // constructing the tree directly changes nothing.)
+                    let draws = data.weighted_resample_indices(&uniform, n, &mut rng);
+                    let mut features: Vec<usize> = (0..d).collect();
+                    if keep < d {
+                        features.shuffle(&mut rng);
+                        features.truncate(keep);
+                        features.sort_unstable();
+                    }
+                    let mut mult = vec![0u32; n];
+                    for &i in &draws {
+                        mult[i] += 1;
+                    }
+                    let mut tree = crate::tree::J48::new();
+                    tree.fit_presorted(data, cols, Some(&mult), Some(&features))?;
+                    Ok(BaggedModel {
+                        model: Box::new(tree),
+                        features,
+                    })
+                }
+                _ => {
+                    let sample = data.weighted_resample(&uniform, n, &mut rng);
+                    let mut features: Vec<usize> = (0..d).collect();
+                    let view = if keep < d {
+                        features.shuffle(&mut rng);
+                        features.truncate(keep);
+                        features.sort_unstable();
+                        sample.select_features(&features)
+                    } else {
+                        sample
+                    };
+                    let model: Box<dyn Classifier> = if base == ClassifierKind::J48 {
+                        // Reached only from `fit_naive`: the oracle grows
+                        // members with the historical per-node-sort path
+                        // (`fit` would silently re-enter the presorted
+                        // engine through J48's default fit).
+                        let mut tree = crate::tree::J48::new();
+                        tree.fit_naive(&view)?;
+                        Box::new(tree)
+                    } else {
+                        let mut model = base.build(seed.wrapping_add(t as u64 + 1));
+                        model.fit(&view)?;
+                        model
+                    };
+                    Ok(BaggedModel { model, features })
+                }
+            }
         })
         .into_iter()
         .collect::<Result<Vec<_>, TrainError>>()?;
         self.models = models;
         self.n_classes = data.n_classes();
         Ok(())
+    }
+}
+
+impl Classifier for Bagging {
+    fn fit(&mut self, data: &Dataset) -> Result<(), TrainError> {
+        // A J48 base profits from a presorted cache even for a single
+        // ensemble (it amortizes over all members); other bases keep the
+        // materializing path, whose cost their own training dominates.
+        if self.base == ClassifierKind::J48 && data.len() >= 2 {
+            let cols = SortedColumns::new(data);
+            self.fit_impl(data, Some(&cols))
+        } else {
+            self.fit_impl(data, None)
+        }
     }
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {

@@ -27,7 +27,7 @@
 //! ```
 
 use crate::classifier::{argmax, Classifier, ClassifierKind, TrainError};
-use crate::data::Dataset;
+use crate::data::{Dataset, SortedColumns};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -115,10 +115,49 @@ impl AdaBoost {
     pub fn vote_weights(&self) -> Vec<f64> {
         self.rounds.iter().map(|r| r.weight).collect()
     }
-}
 
-impl Classifier for AdaBoost {
-    fn fit(&mut self, data: &Dataset) -> Result<(), TrainError> {
+    /// Fits against a shared [`SortedColumns`] cache.
+    ///
+    /// Bit-identical to [`fit`](Classifier::fit): the sequential boosting
+    /// RNG makes the same weighted-resample draws; a J48 base then trains
+    /// on a per-row multiplicity array over the shared cache instead of a
+    /// materialized resample.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::TooFewInstances`] if the dataset has fewer than 2
+    /// rows; [`TrainError::Unfittable`] if no base round could be fitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` does not cover `data`'s shape.
+    pub fn fit_cached(&mut self, data: &Dataset, cols: &SortedColumns) -> Result<(), TrainError> {
+        assert_eq!(
+            cols.n_rows(),
+            data.len(),
+            "SortedColumns row count must match dataset"
+        );
+        assert_eq!(
+            cols.n_columns(),
+            data.n_features(),
+            "SortedColumns column count must match dataset"
+        );
+        self.fit_impl(data, Some(cols))
+    }
+
+    /// Fits via the materializing reference path: every round trains on an
+    /// explicitly constructed weighted resample, bypassing the
+    /// [`SortedColumns`] fast path entirely. This is the oracle the
+    /// property-test suite compares the cached path against bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`fit_cached`](AdaBoost::fit_cached).
+    pub fn fit_naive(&mut self, data: &Dataset) -> Result<(), TrainError> {
+        self.fit_impl(data, None)
+    }
+
+    fn fit_impl(&mut self, data: &Dataset, cols: Option<&SortedColumns>) -> Result<(), TrainError> {
         if data.len() < 2 {
             return Err(TrainError::TooFewInstances {
                 needed: 2,
@@ -131,11 +170,43 @@ impl Classifier for AdaBoost {
         let mut rounds: Vec<Round> = Vec::new();
 
         for t in 0..self.iterations {
-            let sample = data.weighted_resample(&weights, n, &mut rng);
-            let mut model = self.base.build(self.seed.wrapping_add(t as u64 + 1));
-            if model.fit(&sample).is_err() {
-                break;
-            }
+            let model = match (self.base, cols) {
+                (ClassifierKind::J48, Some(cols)) => {
+                    // Presorted path: identical RNG draws to the
+                    // materializing arm below, expressed as multiplicities.
+                    // (`J48::build` ignores its seed.)
+                    let draws = data.weighted_resample_indices(&weights, n, &mut rng);
+                    let mut mult = vec![0u32; n];
+                    for &i in &draws {
+                        mult[i] += 1;
+                    }
+                    let mut tree = crate::tree::J48::new();
+                    if tree.fit_presorted(data, cols, Some(&mult), None).is_err() {
+                        break;
+                    }
+                    Box::new(tree) as Box<dyn Classifier>
+                }
+                _ => {
+                    let sample = data.weighted_resample(&weights, n, &mut rng);
+                    if self.base == ClassifierKind::J48 {
+                        // Reached only from `fit_naive`: the oracle grows
+                        // rounds with the historical per-node-sort path
+                        // (`fit` would silently re-enter the presorted
+                        // engine through J48's default fit).
+                        let mut tree = crate::tree::J48::new();
+                        if tree.fit_naive(&sample).is_err() {
+                            break;
+                        }
+                        Box::new(tree) as Box<dyn Classifier>
+                    } else {
+                        let mut model = self.base.build(self.seed.wrapping_add(t as u64 + 1));
+                        if model.fit(&sample).is_err() {
+                            break;
+                        }
+                        model
+                    }
+                }
+            };
 
             // Weighted error on the *original* training set.
             let mut err = 0.0;
@@ -190,6 +261,19 @@ impl Classifier for AdaBoost {
         self.n_classes = data.n_classes();
         self.rounds = rounds;
         Ok(())
+    }
+}
+
+impl Classifier for AdaBoost {
+    fn fit(&mut self, data: &Dataset) -> Result<(), TrainError> {
+        // A J48 base gets a one-off presorted cache shared by all rounds;
+        // other bases keep the materializing path.
+        if self.base == ClassifierKind::J48 && data.len() >= 2 {
+            let cols = SortedColumns::new(data);
+            self.fit_impl(data, Some(&cols))
+        } else {
+            self.fit_impl(data, None)
+        }
     }
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {

@@ -333,6 +333,29 @@ impl Dataset {
         n: usize,
         rng: &mut R,
     ) -> Dataset {
+        let idx = self.weighted_resample_indices(weights, n, rng);
+        self.subset(&idx)
+    }
+
+    /// The row indices [`weighted_resample`](Self::weighted_resample) would
+    /// draw, without materializing the resampled dataset.
+    ///
+    /// Makes the exact same RNG draws as `weighted_resample`, so callers can
+    /// switch between the two without perturbing any downstream seed stream.
+    /// Ensembles use this to express a bootstrap as a per-row multiplicity
+    /// array over the *original* dataset, which lets them train against a
+    /// shared [`SortedColumns`] cache instead of a per-member copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != len()`, all weights are zero, or any
+    /// weight is negative/non-finite.
+    pub fn weighted_resample_indices<R: Rng + ?Sized>(
+        &self,
+        weights: &[f64],
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<usize> {
         assert_eq!(weights.len(), self.len(), "one weight per instance");
         assert!(
             weights.iter().all(|w| w.is_finite() && *w >= 0.0),
@@ -347,15 +370,117 @@ impl Dataset {
             acc += w;
             cdf.push(acc);
         }
-        let idx: Vec<usize> = (0..n)
+        (0..n)
             .map(|_| {
                 let u = rng.gen::<f64>() * total;
                 match cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
                     Ok(i) | Err(i) => i.min(self.len() - 1),
                 }
             })
+            .collect()
+    }
+}
+
+/// Presorted per-column row orders for a [`Dataset`] — the backbone of the
+/// presorted training engine.
+///
+/// Decision-tree induction spends nearly all its time sorting: the naive
+/// `J48` grower re-sorts every attribute at every node, so one tree costs
+/// O(nodes × attrs × n log n). `SortedColumns` sorts each feature column
+/// **once** (stable, index-carrying) and lets the grower maintain sortedness
+/// down the recursion by stable in-place partitioning, turning every split
+/// scan into a single left-to-right pass.
+///
+/// The cache is plain read-only data (`Sync`), so one instance is safely
+/// shared across all members of an ensemble and across parallel grid tasks:
+/// bootstraps and weighted resamples are expressed as per-row multiplicity
+/// arrays over the original rows rather than materialized copies.
+///
+/// Row indices are stored as `u32` (a dataset of ≥ 4 billion rows would
+/// exhaust memory long before overflowing).
+#[derive(Debug, Clone)]
+pub struct SortedColumns {
+    /// `orders[c]` = row indices of the source dataset, stably sorted by
+    /// ascending value of feature column `c`.
+    orders: Vec<Vec<u32>>,
+    /// `columns[c][r]` = value of feature `c` at row `r` — a column-major
+    /// copy of the feature matrix, so training loops resolve a (row,
+    /// attribute) lookup with one index into a contiguous column instead
+    /// of chasing per-row vectors.
+    columns: Vec<Vec<f64>>,
+    n_rows: usize,
+}
+
+impl SortedColumns {
+    /// Sorts every feature column of `data` once.
+    ///
+    /// Uses the same stable `partial_cmp` sort as the naive per-node path,
+    /// so ties keep their original row order — the property that makes
+    /// presorted growing bit-identical to the naive grower.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset has ≥ `u32::MAX` rows.
+    pub fn new(data: &Dataset) -> SortedColumns {
+        let n = data.len();
+        assert!(
+            u32::try_from(n).is_ok(),
+            "SortedColumns indexes rows as u32"
+        );
+        let columns: Vec<Vec<f64>> = (0..data.n_features())
+            .map(|c| (0..n).map(|r| data.features_of(r)[c]).collect())
             .collect();
-        self.subset(&idx)
+        let orders = columns
+            .iter()
+            .map(|col| {
+                let mut order: Vec<u32> = (0..n as u32).collect();
+                order.sort_by(|&a, &b| {
+                    col[a as usize]
+                        .partial_cmp(&col[b as usize])
+                        .expect("dataset features are finite")
+                });
+                order
+            })
+            .collect();
+        SortedColumns {
+            orders,
+            columns,
+            n_rows: n,
+        }
+    }
+
+    /// Number of rows of the source dataset.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of feature columns covered by the cache.
+    pub fn n_columns(&self) -> usize {
+        self.orders.len()
+    }
+
+    /// The stable ascending-value row order of column `col`.
+    pub fn order(&self, col: usize) -> &[u32] {
+        &self.orders[col]
+    }
+
+    /// Column `col` of the feature matrix, contiguous and indexed by row.
+    pub fn column(&self, col: usize) -> &[f64] {
+        &self.columns[col]
+    }
+
+    /// Projects the cache onto a column subset, in `cols` order.
+    ///
+    /// A projected dataset column holds the same values in the same rows as
+    /// its source column, so its sorted order *is* the source column's
+    /// order — projection is a copy of the selected order and column
+    /// arrays, never a re-sort. Mirrors [`Dataset::select_features`].
+    pub fn select(&self, cols: &[usize]) -> SortedColumns {
+        SortedColumns {
+            orders: cols.iter().map(|&c| self.orders[c].clone()).collect(),
+            columns: cols.iter().map(|&c| self.columns[c].clone()).collect(),
+            n_rows: self.n_rows,
+        }
     }
 }
 

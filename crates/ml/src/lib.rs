@@ -76,7 +76,7 @@ pub mod prelude {
     pub use crate::bayes::NaiveBayes;
     pub use crate::boost::AdaBoost;
     pub use crate::classifier::{Classifier, ClassifierKind, TrainError};
-    pub use crate::data::{DataError, Dataset, MinMaxScaler, Standardizer};
+    pub use crate::data::{DataError, Dataset, MinMaxScaler, SortedColumns, Standardizer};
     pub use crate::feature::{CorrelationRanker, Pca, PcaFeatureRanker};
     pub use crate::knn::Knn;
     pub use crate::logistic::Mlr;

@@ -105,15 +105,9 @@ impl Default for Mlr {
     }
 }
 
-fn softmax_row(logits: &[f64]) -> Vec<f64> {
-    let mut out = logits.to_vec();
-    softmax_in_place(&mut out);
-    out
-}
-
-/// Softmax over `logits` in place: same max-shift, exponentiation order and
-/// left-to-right sum as the historical `softmax_row`, so results are
-/// bit-identical.
+/// Softmax over `logits` in place: max-shift for stability, then one
+/// left-to-right exponentiate-and-sum pass, then normalize. Both the
+/// gradient-descent loop and the predict path call this on reused buffers.
 fn softmax_in_place(logits: &mut [f64]) {
     let m = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let mut sum = 0.0;
@@ -147,30 +141,35 @@ impl Classifier for Mlr {
         let z = standardizer.transform(data);
 
         let mut weights = vec![vec![0.0; d + 1]; k];
+        // Iteration scratch, allocated once: gradients are zeroed in place
+        // each iteration and the per-sample probability buffer is rewritten
+        // per sample, instead of reallocating both ~iters × n times. Write
+        // order matches the historical `collect`s, so fits are bit-identical.
+        let mut grad = vec![vec![0.0; d + 1]; k];
+        let mut probs = vec![0.0; k];
         let mut prev_loss = f64::INFINITY;
         let mut lr = self.learning_rate;
 
         for _ in 0..self.max_iters {
             // Forward pass + gradient accumulation.
-            let mut grad = vec![vec![0.0; d + 1]; k];
+            for g in &mut grad {
+                g.fill(0.0);
+            }
             let mut loss = 0.0;
             for i in 0..z.len() {
                 let x = z.features_of(i);
                 let y = z.label_of(i);
-                let logits: Vec<f64> = weights
-                    .iter()
-                    .map(|w| {
-                        let mut a = w[d];
-                        for (wi, xi) in w[..d].iter().zip(x) {
-                            a += wi * xi;
-                        }
-                        a
-                    })
-                    .collect();
-                let p = softmax_row(&logits);
-                loss -= p[y].max(1e-300).ln();
+                for (pc, w) in probs.iter_mut().zip(&weights) {
+                    let mut a = w[d];
+                    for (wi, xi) in w[..d].iter().zip(x) {
+                        a += wi * xi;
+                    }
+                    *pc = a;
+                }
+                softmax_in_place(&mut probs);
+                loss -= probs[y].max(1e-300).ln();
                 for c in 0..k {
-                    let delta = p[c] - f64::from(c == y);
+                    let delta = probs[c] - f64::from(c == y);
                     for (g, xi) in grad[c][..d].iter_mut().zip(x) {
                         *g += delta * xi;
                     }

@@ -123,12 +123,31 @@ impl Matrix {
     ///
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix product `self × other` written into `out`, reusing its
+    /// buffer (`out` is reshaped as needed; previous contents discarded).
+    ///
+    /// The accumulation order is identical to [`Matrix::matmul`], so the
+    /// result is bit-identical — this is the allocation-free form for call
+    /// sites that multiply inside a loop with a long-lived scratch matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "inner dimensions must agree ({}×{} · {}×{})",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.rows = self.rows;
+        out.cols = other.cols;
+        out.data.clear();
+        out.data.resize(self.rows * other.cols, 0.0);
         for r in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.get(r, k);
@@ -140,7 +159,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Column means.
@@ -316,6 +334,21 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_and_reshapes_out() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]);
+        // Deliberately mis-shaped, stale scratch: matmul_into must reshape
+        // and fully overwrite it.
+        let mut out = Matrix::from_rows(&[vec![99.0]]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        // Second product into the same scratch.
+        let i = Matrix::identity(3);
+        a.matmul_into(&i, &mut out);
+        assert_eq!(out, a);
     }
 
     #[test]

@@ -129,14 +129,9 @@ fn sigmoid(a: f64) -> f64 {
     1.0 / (1.0 + (-a).exp())
 }
 
-fn softmax(logits: &[f64]) -> Vec<f64> {
-    let mut out = logits.to_vec();
-    softmax_in_place(&mut out);
-    out
-}
-
-/// Softmax in place: same max-shift, exponentiation order and left-to-right
-/// sum as the historical `softmax`, so results are bit-identical.
+/// Softmax in place: max-shift for stability, then one left-to-right
+/// exponentiate-and-sum pass, then normalize. Both the training epoch loop
+/// and the predict path call this on reused buffers.
 fn softmax_in_place(logits: &mut [f64]) {
     let m = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let mut sum = 0.0;
@@ -182,6 +177,14 @@ impl Classifier for Mlp {
         let mut v_output = vec![vec![0.0; h + 1]; k];
 
         let mut order: Vec<usize> = (0..z.len()).collect();
+        // Per-sample scratch, allocated once: the epoch loop writes into
+        // these buffers instead of collecting ~epochs × n fresh Vecs. Each
+        // write sequence matches the historical per-sample `collect`s
+        // element for element, so training is bit-identical.
+        let mut hidden = vec![0.0; h];
+        let mut probs = vec![0.0; k];
+        let mut delta_out = vec![0.0; k];
+        let mut delta_hidden = vec![0.0; h];
         for _ in 0..self.epochs {
             order.shuffle(&mut rng);
             for &i in &order {
@@ -189,41 +192,31 @@ impl Classifier for Mlp {
                 let y = z.label_of(i);
 
                 // Forward.
-                let hidden: Vec<f64> = w_hidden
-                    .iter()
-                    .map(|w| {
-                        let mut a = w[d];
-                        for (wi, xi) in w[..d].iter().zip(x) {
-                            a += wi * xi;
-                        }
-                        sigmoid(a)
-                    })
-                    .collect();
-                let logits: Vec<f64> = w_output
-                    .iter()
-                    .map(|w| {
-                        let mut a = w[h];
-                        for (wi, hi) in w[..h].iter().zip(&hidden) {
-                            a += wi * hi;
-                        }
-                        a
-                    })
-                    .collect();
-                let probs = softmax(&logits);
+                for (hj, w) in hidden.iter_mut().zip(&w_hidden) {
+                    let mut a = w[d];
+                    for (wi, xi) in w[..d].iter().zip(x) {
+                        a += wi * xi;
+                    }
+                    *hj = sigmoid(a);
+                }
+                for (pc, w) in probs.iter_mut().zip(&w_output) {
+                    let mut a = w[h];
+                    for (wi, hi) in w[..h].iter().zip(&hidden) {
+                        a += wi * hi;
+                    }
+                    *pc = a;
+                }
+                softmax_in_place(&mut probs);
 
                 // Backward: output deltas are (p - 1{y}).
-                let delta_out: Vec<f64> = probs
-                    .iter()
-                    .enumerate()
-                    .map(|(c, p)| p - f64::from(c == y))
-                    .collect();
+                for (c, (dc, p)) in delta_out.iter_mut().zip(&probs).enumerate() {
+                    *dc = p - f64::from(c == y);
+                }
                 // Hidden deltas.
-                let delta_hidden: Vec<f64> = (0..h)
-                    .map(|j| {
-                        let upstream: f64 = (0..k).map(|c| delta_out[c] * w_output[c][j]).sum();
-                        upstream * hidden[j] * (1.0 - hidden[j])
-                    })
-                    .collect();
+                for (j, dh) in delta_hidden.iter_mut().enumerate() {
+                    let upstream: f64 = (0..k).map(|c| delta_out[c] * w_output[c][j]).sum();
+                    *dh = upstream * hidden[j] * (1.0 - hidden[j]);
+                }
 
                 // Update output layer with momentum.
                 for c in 0..k {
@@ -436,7 +429,8 @@ mod tests {
 
     #[test]
     fn softmax_is_stable_for_large_logits() {
-        let p = softmax(&[1000.0, 1000.0, 0.0]);
+        let mut p = vec![1000.0, 1000.0, 0.0];
+        softmax_in_place(&mut p);
         assert!((p[0] - 0.5).abs() < 1e-9);
         assert!(p[2] < 1e-9);
         assert!(p.iter().all(|v| v.is_finite()));

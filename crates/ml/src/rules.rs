@@ -31,7 +31,7 @@
 //! ```
 
 use crate::classifier::{Classifier, TrainError};
-use crate::data::Dataset;
+use crate::data::{Dataset, SortedColumns};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -178,9 +178,26 @@ impl JRip {
     }
 
     /// Grows one rule for `class` on the grow set by FOIL gain.
-    fn grow_rule(&self, data: &Dataset, grow: &[usize], class: usize) -> Vec<Condition> {
+    ///
+    /// With a [`SortedColumns`] cache, the per-attribute candidate list
+    /// (ascending distinct values of the covered rows) comes from one
+    /// filtered walk of the presorted order instead of a sort per candidate
+    /// condition. The walk produces the exact list `sort` + `dedup` would
+    /// (the only ambiguity, which of `-0.0`/`0.0` survives dedup, cannot
+    /// change any midpoint bitwise), so grown rules are identical either
+    /// way. For small covered sets a sort is cheaper than an O(n) walk, so
+    /// the cache is consulted only while the covered set stays large.
+    fn grow_rule(
+        &self,
+        data: &Dataset,
+        grow: &[usize],
+        class: usize,
+        cols: Option<&SortedColumns>,
+    ) -> Vec<Condition> {
         let mut conditions: Vec<Condition> = Vec::new();
         let mut covered: Vec<usize> = grow.to_vec();
+        let mut in_covered = vec![false; if cols.is_some() { data.len() } else { 0 }];
+        let mut values: Vec<f64> = Vec::new();
         while conditions.len() < self.max_conditions {
             let p0 = covered
                 .iter()
@@ -191,12 +208,38 @@ impl JRip {
                 break; // already pure (or hopeless)
             }
             let base = (p0 / (p0 + n0)).log2();
+            // Walking the full-length presorted order costs O(len); sorting
+            // the covered values costs O(c log c). Prefer the cache only
+            // while c log c dominates — both paths yield the same list.
+            let cache = cols.filter(|_| covered.len() * 6 >= data.len());
+            if cache.is_some() {
+                in_covered.fill(false);
+                for &i in &covered {
+                    in_covered[i] = true;
+                }
+            }
             let mut best: Option<(f64, Condition)> = None;
             for attr in 0..data.n_features() {
-                let mut values: Vec<f64> =
-                    covered.iter().map(|&i| data.features_of(i)[attr]).collect();
-                values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
-                values.dedup();
+                values.clear();
+                match cache {
+                    Some(cols) => {
+                        for &r in cols.order(attr) {
+                            let i = r as usize;
+                            if !in_covered[i] {
+                                continue;
+                            }
+                            let v = data.features_of(i)[attr];
+                            if values.last() != Some(&v) {
+                                values.push(v);
+                            }
+                        }
+                    }
+                    None => {
+                        values.extend(covered.iter().map(|&i| data.features_of(i)[attr]));
+                        values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+                        values.dedup();
+                    }
+                }
                 if values.len() < 2 {
                     continue;
                 }
@@ -326,6 +369,7 @@ impl JRip {
         remaining: &mut Vec<usize>,
         class: usize,
         rng: &mut StdRng,
+        cols: Option<&SortedColumns>,
     ) -> Vec<Rule> {
         let mut rules = Vec::new();
         loop {
@@ -342,7 +386,7 @@ impl JRip {
             let cut = (shuffled.len() * 2) / 3;
             let (grow, prune) = shuffled.split_at(cut.max(1));
 
-            let grown = self.grow_rule(data, grow, class);
+            let grown = self.grow_rule(data, grow, class, cols);
             if grown.is_empty() {
                 break;
             }
@@ -377,6 +421,7 @@ impl JRip {
         rules: Vec<Rule>,
         default_class: usize,
         rng: &mut StdRng,
+        cols: Option<&SortedColumns>,
     ) -> Vec<Rule> {
         let all: Vec<usize> = (0..data.len()).collect();
         let error_of = |rs: &[Rule]| -> usize {
@@ -407,7 +452,7 @@ impl JRip {
             shuffled.shuffle(rng);
             let cut = (shuffled.len() * 2) / 3;
             let (grow, prune) = shuffled.split_at(cut.max(1));
-            let regrown = self.grow_rule(data, grow, class);
+            let regrown = self.grow_rule(data, grow, class, cols);
             if regrown.is_empty() {
                 continue;
             }
@@ -431,10 +476,49 @@ impl JRip {
         }
         best
     }
-}
 
-impl Classifier for JRip {
-    fn fit(&mut self, data: &Dataset) -> Result<(), TrainError> {
+    /// Fits against a shared [`SortedColumns`] cache.
+    ///
+    /// Produces the exact rule set [`fit`](Classifier::fit) (and
+    /// [`fit_naive`](Self::fit_naive)) would: the cache only changes how
+    /// each grow step enumerates its candidate cut points, not which
+    /// candidates exist. Unlike `J48::fit_presorted` there is no
+    /// multiplicity parameter — RIPPER's seeded grow/prune shuffles operate
+    /// on concrete row indices, so bootstrapped JRip members still
+    /// materialize their sample.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::TooFewInstances`] if the dataset has fewer than 4 rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` does not cover `data`'s shape.
+    pub fn fit_cached(&mut self, data: &Dataset, cols: &SortedColumns) -> Result<(), TrainError> {
+        assert_eq!(
+            cols.n_rows(),
+            data.len(),
+            "SortedColumns row count must match dataset"
+        );
+        assert_eq!(
+            cols.n_columns(),
+            data.n_features(),
+            "SortedColumns column count must match dataset"
+        );
+        self.fit_impl(data, Some(cols))
+    }
+
+    /// The original training path (per-condition value sorts), kept as the
+    /// oracle for the cut-point-cache bit-identity tests.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::TooFewInstances`] if the dataset has fewer than 4 rows.
+    pub fn fit_naive(&mut self, data: &Dataset) -> Result<(), TrainError> {
+        self.fit_impl(data, None)
+    }
+
+    fn fit_impl(&mut self, data: &Dataset, cols: Option<&SortedColumns>) -> Result<(), TrainError> {
         if data.len() < 4 {
             return Err(TrainError::TooFewInstances {
                 needed: 4,
@@ -451,10 +535,10 @@ impl Classifier for JRip {
         let mut remaining: Vec<usize> = (0..data.len()).collect();
         let mut rules = Vec::new();
         for &class in &order[..order.len() - 1] {
-            rules.extend(self.learn_class(data, &mut remaining, class, &mut rng));
+            rules.extend(self.learn_class(data, &mut remaining, class, &mut rng, cols));
         }
         if self.optimize && !rules.is_empty() {
-            rules = self.optimize_rules(data, rules, default_class, &mut rng);
+            rules = self.optimize_rules(data, rules, default_class, &mut rng, cols);
         }
         // Default-class confidence from the uncovered remainder.
         let default_hits = remaining
@@ -470,6 +554,15 @@ impl Classifier for JRip {
             n_classes: data.n_classes(),
         });
         Ok(())
+    }
+}
+
+impl Classifier for JRip {
+    fn fit(&mut self, data: &Dataset) -> Result<(), TrainError> {
+        // Build a one-off cut-point cache; large covered sets then skip the
+        // per-condition value sorts. Bit-identical to `fit_naive`.
+        let cols = SortedColumns::new(data);
+        self.fit_impl(data, Some(&cols))
     }
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {

@@ -27,7 +27,7 @@
 //! ```
 
 use crate::classifier::{Classifier, TrainError};
-use crate::data::Dataset;
+use crate::data::{Dataset, SortedColumns};
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 
@@ -402,6 +402,147 @@ impl J48 {
         out
     }
 
+    /// Trains against a shared [`SortedColumns`] cache instead of sorting
+    /// per node — the presorted training engine's entry point.
+    ///
+    /// Produces a model **bit-identical** to [`fit_naive`](Self::fit_naive)
+    /// on the equivalent materialized dataset (see `DESIGN.md` §5b for the
+    /// argument): candidate thresholds exist only between distinct adjacent
+    /// values, class counts are small integers (exact in `f64` regardless
+    /// of accumulation order), and every entropy/gain/tie-break evaluation
+    /// uses the same formulas in the same order as the naive scan.
+    ///
+    /// * `mult` — optional per-row multiplicity over `data`'s rows; row `i`
+    ///   participates as if repeated `mult[i]` times. `None` means every
+    ///   row once. This is how Bagging/AdaBoost express bootstraps without
+    ///   materializing resampled copies.
+    /// * `attrs` — optional column subset, in view order: local attribute
+    ///   `a` of the fitted model reads `data` column `attrs[a]`, exactly as
+    ///   a model fitted on `data.select_features(attrs)` would. `None`
+    ///   means all columns in natural order.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::TooFewInstances`] if total multiplicity is below 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` does not cover `data` (row count mismatch, or an
+    /// attribute out of range), if `mult` has the wrong length, or if
+    /// `attrs` is empty.
+    pub fn fit_presorted(
+        &mut self,
+        data: &Dataset,
+        cols: &SortedColumns,
+        mult: Option<&[u32]>,
+        attrs: Option<&[usize]>,
+    ) -> Result<(), TrainError> {
+        assert_eq!(
+            cols.n_rows(),
+            data.len(),
+            "SortedColumns row count must match dataset"
+        );
+        let all_attrs: Vec<usize>;
+        let attrs: &[usize] = match attrs {
+            Some(a) => a,
+            None => {
+                assert_eq!(
+                    cols.n_columns(),
+                    data.n_features(),
+                    "full-width fit needs a full-width cache"
+                );
+                all_attrs = (0..data.n_features()).collect();
+                &all_attrs
+            }
+        };
+        assert!(!attrs.is_empty(), "need at least one attribute");
+        assert!(
+            attrs.iter().all(|&c| c < cols.n_columns()),
+            "attribute out of cache range"
+        );
+        let ones: Vec<u32>;
+        let mult: &[u32] = match mult {
+            Some(m) => {
+                assert_eq!(m.len(), data.len(), "one multiplicity per row");
+                m
+            }
+            None => {
+                ones = vec![1; data.len()];
+                &ones
+            }
+        };
+        let total: usize = mult.iter().map(|&m| m as usize).sum();
+        if total < 2 {
+            return Err(TrainError::TooFewInstances {
+                needed: 2,
+                got: total,
+            });
+        }
+        // Per-attribute working orders: the cache's presorted row order
+        // filtered to rows with multiplicity > 0. Still ascending-value and
+        // source-stable; partitioning keeps both invariants down the
+        // recursion. Values are read through the cache's contiguous
+        // column-major copies (one L1-friendly index per lookup).
+        let orders: Vec<Vec<u32>> = attrs
+            .iter()
+            .map(|&c| {
+                cols.order(c)
+                    .iter()
+                    .filter(|&&r| mult[r as usize] > 0)
+                    .copied()
+                    .collect()
+            })
+            .collect();
+        let columns: Vec<&[f64]> = attrs.iter().map(|&c| cols.column(c)).collect();
+        let n_classes = data.n_classes();
+        let active = orders[0].len();
+        let mut grower = PresortGrower {
+            data,
+            mult,
+            min_leaf: self.min_leaf,
+            orders,
+            columns,
+            side_left: vec![false; data.len()],
+            tmp: Vec::with_capacity(active),
+            left_counts: vec![0.0; n_classes],
+            right_counts: vec![0.0; n_classes],
+        };
+        let mut root = grower.build_range(0, active, n_classes);
+        if self.prune {
+            root = self.prune_node(root).0;
+        }
+        self.root = Some(root);
+        self.n_classes = n_classes;
+        self.compiled = OnceLock::new();
+        self.compiled_tree();
+        Ok(())
+    }
+
+    /// The original per-node-sort training path, kept verbatim as the
+    /// oracle for the presorted engine's bit-identity property tests.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::TooFewInstances`] if the dataset has fewer than 2 rows.
+    pub fn fit_naive(&mut self, data: &Dataset) -> Result<(), TrainError> {
+        if data.len() < 2 {
+            return Err(TrainError::TooFewInstances {
+                needed: 2,
+                got: data.len(),
+            });
+        }
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let mut root = self.build(&idx, data);
+        if self.prune {
+            root = self.prune_node(root).0;
+        }
+        self.root = Some(root);
+        self.n_classes = data.n_classes();
+        self.compiled = OnceLock::new();
+        self.compiled_tree();
+        Ok(())
+    }
+
     fn build(&self, idx: &[usize], data: &Dataset) -> Node {
         let counts = class_counts(idx, data);
         let n = idx.len();
@@ -559,6 +700,203 @@ impl J48 {
     }
 }
 
+/// Recursive state of one presorted fit: per-attribute row orders plus the
+/// scratch buffers the whole recursion reuses (mark array, partition spill,
+/// class-count accumulators) — no per-node sorting or scan allocation.
+///
+/// Invariant: at every node `[lo, hi)`, each `orders[a][lo..hi]` holds
+/// exactly the node's active rows, ascending by the value of attribute `a`,
+/// source-stable on ties. Stable partitioning preserves both properties for
+/// the children, which occupy `[lo, lo+n_left)` and `[lo+n_left, hi)` of
+/// every order array.
+struct PresortGrower<'a> {
+    data: &'a Dataset,
+    /// Per-source-row multiplicity (how many times a row participates).
+    mult: &'a [u32],
+    min_leaf: usize,
+    /// One working order array per local attribute, active rows only.
+    orders: Vec<Vec<u32>>,
+    /// `columns[a][r]` = attribute `a`'s value at source row `r`
+    /// (contiguous slices borrowed from the shared cache).
+    columns: Vec<&'a [f64]>,
+    /// Per-source-row split side, rewritten at each partition.
+    side_left: Vec<bool>,
+    /// Spill buffer for the right half of a stable partition.
+    tmp: Vec<u32>,
+    left_counts: Vec<f64>,
+    right_counts: Vec<f64>,
+}
+
+impl PresortGrower<'_> {
+    /// Grows the subtree over rows `[lo, hi)` of every order array.
+    /// Mirrors `J48::build` decision-for-decision.
+    fn build_range(&mut self, lo: usize, hi: usize, n_classes: usize) -> Node {
+        let mut counts = vec![0.0; n_classes];
+        let mut n: usize = 0;
+        for &r in &self.orders[0][lo..hi] {
+            let m = self.mult[r as usize];
+            counts[self.data.label_of(r as usize)] += m as f64;
+            n += m as usize;
+        }
+        if is_pure(&counts) || n < 2 * self.min_leaf {
+            return Node::Leaf {
+                class_counts: counts,
+            };
+        }
+        let parent_entropy = entropy(&counts);
+        let mut best: Option<(f64, usize, f64)> = None; // (gain_ratio, attr, threshold)
+        for a in 0..self.orders.len() {
+            if let Some((gain, ratio, threshold)) = self.scan_split(a, lo, hi, parent_entropy, n) {
+                // C4.5 requires positive information gain.
+                if gain <= 1e-12 {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((best_ratio, _, _)) => ratio > best_ratio,
+                };
+                if better {
+                    best = Some((ratio, a, threshold));
+                }
+            }
+        }
+        let Some((_, attribute, threshold)) = best else {
+            return Node::Leaf {
+                class_counts: counts,
+            };
+        };
+        let n_left = self.partition(lo, hi, attribute, threshold);
+        if n_left == 0 || n_left == hi - lo {
+            return Node::Leaf {
+                class_counts: counts,
+            };
+        }
+        Node::Split {
+            attribute,
+            threshold,
+            left: Box::new(self.build_range(lo, lo + n_left, n_classes)),
+            right: Box::new(self.build_range(lo + n_left, hi, n_classes)),
+        }
+    }
+
+    /// Best `(gain, gain_ratio, threshold)` for one attribute over rows
+    /// `[lo, hi)` — a single left-to-right pass over the presorted order
+    /// with incremental class counts. Mirrors `J48::best_split`: candidates
+    /// exist only between distinct adjacent values, where the integer class
+    /// counts (and hence every entropy, gain and ratio) are exactly those
+    /// the naive sorted scan computes.
+    // hmd-analyze: hot-path
+    fn scan_split(
+        &mut self,
+        a: usize,
+        lo: usize,
+        hi: usize,
+        parent_entropy: f64,
+        total: usize,
+    ) -> Option<(f64, f64, f64)> {
+        let order = &self.orders[a][lo..hi];
+        let col = self.columns[a];
+        // Constant attribute on this node: no candidate boundary exists
+        // (the order is value-sorted, so first and last bound the range;
+        // the naive scan skips every equal-value pair the same way).
+        if col[order[0] as usize] == col[order[order.len() - 1] as usize] {
+            return None;
+        }
+        let data = self.data;
+        let mult = self.mult;
+        let left_counts = &mut self.left_counts;
+        let right_counts = &mut self.right_counts;
+        left_counts.fill(0.0);
+        right_counts.fill(0.0);
+        for &r in order {
+            right_counts[data.label_of(r as usize)] += mult[r as usize] as f64;
+        }
+        let n = total as f64;
+        let mut cum_left: usize = 0;
+        let mut best: Option<(f64, f64, f64)> = None;
+        for p in 0..order.len() - 1 {
+            let r = order[p] as usize;
+            let v = col[r];
+            let l = data.label_of(r);
+            let m = mult[r];
+            left_counts[l] += m as f64;
+            right_counts[l] -= m as f64;
+            cum_left += m as usize;
+            let next_v = col[order[p + 1] as usize];
+            if next_v == v {
+                continue; // cannot split between equal values
+            }
+            let n_left = cum_left as f64;
+            let n_right = n - n_left;
+            if (n_left as usize) < self.min_leaf || (n_right as usize) < self.min_leaf {
+                continue;
+            }
+            let child_entropy =
+                (n_left / n) * entropy(left_counts) + (n_right / n) * entropy(right_counts);
+            let gain = parent_entropy - child_entropy;
+            let split_info = {
+                let pl = n_left / n;
+                let pr = n_right / n;
+                -(pl * pl.log2() + pr * pr.log2())
+            };
+            if split_info <= 1e-12 {
+                continue;
+            }
+            let ratio = gain / split_info;
+            let threshold = (v + next_v) / 2.0;
+            let better = match best {
+                None => true,
+                Some((_, best_ratio, _)) => ratio > best_ratio,
+            };
+            if better {
+                best = Some((gain, ratio, threshold));
+            }
+        }
+        best
+    }
+
+    /// Stable in-place mark-and-sweep partition of `[lo, hi)` in **every**
+    /// order array by `value(row, attribute) <= threshold`. Returns the
+    /// left-side row count. Left rows are compacted in place; right rows
+    /// spill through `tmp` and are copied back — both sides keep their
+    /// relative order, so every child range stays value-sorted and
+    /// source-stable.
+    fn partition(&mut self, lo: usize, hi: usize, attribute: usize, threshold: f64) -> usize {
+        let PresortGrower {
+            orders,
+            columns,
+            side_left,
+            tmp,
+            ..
+        } = self;
+        // Mark each row's side off the splitting attribute's column — the
+        // same `value <= threshold` predicate the naive partition
+        // evaluates per row.
+        let col = columns[attribute];
+        for &r in &orders[attribute][lo..hi] {
+            let r = r as usize;
+            side_left[r] = col[r] <= threshold;
+        }
+        let mut n_left = 0;
+        for order in orders.iter_mut() {
+            tmp.clear();
+            let mut w = lo;
+            for p in lo..hi {
+                let r = order[p];
+                if side_left[r as usize] {
+                    order[w] = r;
+                    w += 1;
+                } else {
+                    tmp.push(r);
+                }
+            }
+            order[w..hi].copy_from_slice(tmp);
+            n_left = w - lo;
+        }
+        n_left
+    }
+}
+
 /// C4.5's upper confidence limit on the error rate of a leaf that makes
 /// `e` errors out of `n` instances, at confidence factor `cf` (normal
 /// approximation to the binomial upper limit).
@@ -665,18 +1003,10 @@ impl Classifier for J48 {
                 got: data.len(),
             });
         }
-        let idx: Vec<usize> = (0..data.len()).collect();
-        let mut root = self.build(&idx, data);
-        if self.prune {
-            root = self.prune_node(root).0;
-        }
-        self.root = Some(root);
-        self.n_classes = data.n_classes();
-        // Refitting invalidates any previous compiled form; compile eagerly
-        // so the first prediction is already on the fast path.
-        self.compiled = OnceLock::new();
-        self.compiled_tree();
-        Ok(())
+        // Sort each column once and grow by partitioning — bit-identical to
+        // the per-node-sort path (`fit_naive`), minus the redundant sorts.
+        let cols = SortedColumns::new(data);
+        self.fit_presorted(data, &cols, None, None)
     }
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {

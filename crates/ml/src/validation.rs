@@ -23,7 +23,7 @@
 //! ```
 
 use crate::classifier::{ClassifierKind, TrainError};
-use crate::data::Dataset;
+use crate::data::{Dataset, SortedColumns};
 use crate::metrics::DetectionScore;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -136,6 +136,12 @@ pub fn cross_validate(
     );
     let mut rng = StdRng::seed_from_u64(seed);
     let assignment = stratified_folds(data, folds, &mut rng);
+    // One presorted cache serves every J48 fold: a fold's training set is a
+    // row subset, which the presorted fit expresses as a 0/1 multiplicity
+    // mask over the shared (read-only) cache. Split statistics only ever
+    // aggregate over equal-value runs, so the fold-grouped row order of the
+    // materialized path cannot change any model bit.
+    let cached_cols = (kind == ClassifierKind::J48).then(|| SortedColumns::new(data));
     let fold_scores = crate::par::par_map((0..assignment.len()).collect(), |_, fold| {
         let held_out = &assignment[fold];
         // O(n) membership mask; `held_out.contains(..)` per train index
@@ -144,17 +150,26 @@ pub fn cross_validate(
         for &i in held_out {
             is_held_out[i] = true;
         }
-        let train_idx: Vec<usize> = assignment
-            .iter()
-            .flatten()
-            .copied()
-            .filter(|&i| !is_held_out[i])
-            .collect();
-        let train = data.subset(&train_idx);
         let test = data.subset(held_out);
-        let mut model = kind.build(seed);
-        model.fit(&train)?;
-        Ok(DetectionScore::evaluate(model.as_ref(), &test))
+        if let Some(cols) = &cached_cols {
+            let mult: Vec<u32> = (0..data.len())
+                .map(|i| u32::from(!is_held_out[i]))
+                .collect();
+            let mut tree = crate::tree::J48::new();
+            tree.fit_presorted(data, cols, Some(&mult), None)?;
+            Ok(DetectionScore::evaluate(&tree, &test))
+        } else {
+            let train_idx: Vec<usize> = assignment
+                .iter()
+                .flatten()
+                .copied()
+                .filter(|&i| !is_held_out[i])
+                .collect();
+            let train = data.subset(&train_idx);
+            let mut model = kind.build(seed);
+            model.fit(&train)?;
+            Ok(DetectionScore::evaluate(model.as_ref(), &test))
+        }
     })
     .into_iter()
     .collect::<Result<Vec<_>, TrainError>>()?;

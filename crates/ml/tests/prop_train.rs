@@ -1,0 +1,246 @@
+//! Property tests of the presorted-column training engine: for any input,
+//! the fast path must produce models **bit-identical** to the naive
+//! per-node-sort oracle (`fit_naive`), which is kept verbatim for exactly
+//! this purpose. Equality is checked on serialized model bytes — not on
+//! predictions — so a structurally different tree cannot hide behind
+//! coincidentally equal outputs.
+
+use hmd_ml::bagging::Bagging;
+use hmd_ml::boost::AdaBoost;
+use hmd_ml::classifier::{Classifier, ClassifierKind};
+use hmd_ml::data::{Dataset, SortedColumns};
+use hmd_ml::rules::JRip;
+use hmd_ml::tree::J48;
+use proptest::prelude::*;
+
+/// Serialized bytes of a J48 model (pruned tree only; the compiled cache is
+/// derived state and excluded by the serializer).
+fn tree_bytes(t: &J48) -> String {
+    serde_json::to_string(t).expect("J48 serializes")
+}
+
+fn rules_bytes(r: &JRip) -> String {
+    serde_json::to_string(r).expect("JRip serializes")
+}
+
+/// Binary dataset engineered so duplicate values, whole duplicate rows and
+/// constant columns all arise naturally: each column draws from its own
+/// small value alphabet (alphabet size 1 = constant column).
+fn arb_dupey_dataset() -> impl Strategy<Value = Dataset> {
+    (3usize..=10, 1usize..=4).prop_flat_map(|(per_class, d)| {
+        let n = per_class * 2;
+        let levels = proptest::collection::vec(1usize..=5, d);
+        let raw = proptest::collection::vec(proptest::collection::vec(0usize..1000, d), n);
+        (levels, raw).prop_map(move |(levels, raw)| {
+            let features: Vec<Vec<f64>> = raw
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .zip(&levels)
+                        .map(|(&v, &q)| (v % q) as f64 * 0.75 - 1.0)
+                        .collect()
+                })
+                .collect();
+            let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+            Dataset::new(features, labels, 2).expect("constructed valid")
+        })
+    })
+}
+
+/// Continuous-valued variant: duplicates are unlikely, magnitudes vary.
+fn arb_continuous_dataset() -> impl Strategy<Value = Dataset> {
+    (3usize..=10, 1usize..=4).prop_flat_map(|(per_class, d)| {
+        let n = per_class * 2;
+        proptest::collection::vec(proptest::collection::vec(-1e4f64..1e4, d), n).prop_map(
+            move |features| {
+                let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+                Dataset::new(features, labels, 2).expect("constructed valid")
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn j48_presorted_equals_naive_on_duplicate_heavy_data(data in arb_dupey_dataset()) {
+        let mut naive = J48::new();
+        naive.fit_naive(&data).expect("naive fit");
+        let cols = SortedColumns::new(&data);
+        let mut fast = J48::new();
+        fast.fit_presorted(&data, &cols, None, None).expect("presorted fit");
+        prop_assert_eq!(tree_bytes(&naive), tree_bytes(&fast));
+    }
+
+    #[test]
+    fn j48_presorted_equals_naive_on_continuous_data(data in arb_continuous_dataset()) {
+        let mut naive = J48::new();
+        naive.fit_naive(&data).expect("naive fit");
+        let cols = SortedColumns::new(&data);
+        let mut fast = J48::new();
+        fast.fit_presorted(&data, &cols, None, None).expect("presorted fit");
+        prop_assert_eq!(tree_bytes(&naive), tree_bytes(&fast));
+    }
+
+    #[test]
+    fn j48_multiplicities_equal_naive_on_materialized_rows(
+        data in arb_dupey_dataset(),
+        mult_raw in proptest::collection::vec(0u32..=3, 20),
+    ) {
+        // Row i participates mult[i] times; the oracle trains on the
+        // explicitly repeated rows (in source index order).
+        let mut mult: Vec<u32> = (0..data.len()).map(|i| mult_raw[i % mult_raw.len()]).collect();
+        if mult.iter().sum::<u32>() < 2 {
+            mult[0] += 2; // keep the all-zero corner trainable
+        }
+        let expanded: Vec<usize> = (0..data.len())
+            .flat_map(|i| std::iter::repeat_n(i, mult[i] as usize))
+            .collect();
+        let mut naive = J48::new();
+        naive.fit_naive(&data.subset(&expanded)).expect("naive fit");
+        let cols = SortedColumns::new(&data);
+        let mut fast = J48::new();
+        fast.fit_presorted(&data, &cols, Some(&mult), None).expect("presorted fit");
+        prop_assert_eq!(tree_bytes(&naive), tree_bytes(&fast));
+    }
+
+    #[test]
+    fn j48_bootstrap_draws_equal_naive_in_any_draw_order(
+        data in arb_dupey_dataset(),
+        draw_raw in proptest::collection::vec(0usize..1000, 8..40),
+    ) {
+        // A bootstrap materializes rows in *draw* order, not index order —
+        // the presorted path must be insensitive to that ordering.
+        let draws: Vec<usize> = draw_raw.iter().map(|&r| r % data.len()).collect();
+        let mut naive = J48::new();
+        naive.fit_naive(&data.subset(&draws)).expect("naive fit");
+        let mut mult = vec![0u32; data.len()];
+        for &i in &draws {
+            mult[i] += 1;
+        }
+        let cols = SortedColumns::new(&data);
+        let mut fast = J48::new();
+        fast.fit_presorted(&data, &cols, Some(&mult), None).expect("presorted fit");
+        prop_assert_eq!(tree_bytes(&naive), tree_bytes(&fast));
+    }
+
+    #[test]
+    fn j48_attribute_subset_equals_naive_on_projection(
+        data in arb_dupey_dataset(),
+        pick in proptest::collection::vec(any::<bool>(), 4),
+    ) {
+        let mut attrs: Vec<usize> = (0..data.n_features())
+            .filter(|&c| pick[c % pick.len()])
+            .collect();
+        if attrs.is_empty() {
+            attrs.push(0);
+        }
+        let mut naive = J48::new();
+        naive.fit_naive(&data.select_features(&attrs)).expect("naive fit");
+        let cols = SortedColumns::new(&data);
+        let mut fast = J48::new();
+        fast.fit_presorted(&data, &cols, None, Some(&attrs)).expect("presorted fit");
+        prop_assert_eq!(tree_bytes(&naive), tree_bytes(&fast));
+    }
+
+    #[test]
+    fn jrip_cached_equals_naive(data in arb_dupey_dataset(), seed in any::<u64>()) {
+        let mut naive = JRip::new(seed);
+        naive.fit_naive(&data).expect("naive fit");
+        let cols = SortedColumns::new(&data);
+        let mut fast = JRip::new(seed);
+        fast.fit_cached(&data, &cols).expect("cached fit");
+        prop_assert_eq!(rules_bytes(&naive), rules_bytes(&fast));
+    }
+
+    #[test]
+    fn bagging_cached_equals_naive(data in arb_dupey_dataset(), seed in any::<u64>()) {
+        let mut naive = Bagging::new(ClassifierKind::J48, 5, seed).with_feature_fraction(0.75);
+        naive.fit_naive(&data).expect("naive fit");
+        let cols = SortedColumns::new(&data);
+        let mut fast = Bagging::new(ClassifierKind::J48, 5, seed).with_feature_fraction(0.75);
+        fast.fit_cached(&data, &cols).expect("cached fit");
+        for i in 0..data.len() {
+            // Members are trees with exact-f64 vote averaging: identical
+            // models give bitwise-equal probabilities.
+            prop_assert_eq!(
+                naive.predict_proba(data.features_of(i)),
+                fast.predict_proba(data.features_of(i))
+            );
+        }
+    }
+
+    #[test]
+    fn adaboost_cached_equals_naive(data in arb_dupey_dataset(), seed in any::<u64>()) {
+        let mut naive = AdaBoost::new(ClassifierKind::J48, 5, seed);
+        naive.fit_naive(&data).expect("naive fit");
+        let cols = SortedColumns::new(&data);
+        let mut fast = AdaBoost::new(ClassifierKind::J48, 5, seed);
+        fast.fit_cached(&data, &cols).expect("cached fit");
+        prop_assert_eq!(naive.ensemble_size(), fast.ensemble_size());
+        prop_assert_eq!(naive.vote_weights(), fast.vote_weights());
+        for (a, b) in naive.base_models().iter().zip(fast.base_models()) {
+            let a = a.as_any().downcast_ref::<J48>().expect("J48 member");
+            let b = b.as_any().downcast_ref::<J48>().expect("J48 member");
+            prop_assert_eq!(tree_bytes(a), tree_bytes(b));
+        }
+    }
+}
+
+/// Deterministic JRip regression guard: the presorted cut-point walk must
+/// reproduce the exact rule set the re-sorting implementation grew on a
+/// structured dataset (two informative features, one noise feature, heavy
+/// value duplication).
+#[test]
+fn jrip_rule_sets_unchanged_by_cached_cut_points() {
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..80usize {
+        let a = (i % 8) as f64;
+        let b = ((i / 8) % 5) as f64;
+        let noise = ((i.wrapping_mul(2654435761)) % 7) as f64;
+        features.push(vec![a, b, noise]);
+        labels.push(usize::from(a >= 4.0 && b <= 2.0));
+    }
+    let data = Dataset::new(features, labels, 2).unwrap();
+    let mut naive = JRip::new(7);
+    naive.fit_naive(&data).unwrap();
+    assert!(
+        !naive.rules().expect("fitted").is_empty(),
+        "learned a non-trivial rule set"
+    );
+    let cols = SortedColumns::new(&data);
+    let mut fast = JRip::new(7);
+    fast.fit_cached(&data, &cols).unwrap();
+    assert_eq!(rules_bytes(&naive), rules_bytes(&fast));
+}
+
+/// An all-constant dataset must degrade identically on both paths (no split
+/// has positive gain, so both produce a single leaf).
+#[test]
+fn j48_constant_dataset_degrades_identically() {
+    let data = Dataset::new(vec![vec![3.0, -1.0]; 10], [0, 1].repeat(5), 2).unwrap();
+    let mut naive = J48::new();
+    naive.fit_naive(&data).unwrap();
+    let cols = SortedColumns::new(&data);
+    let mut fast = J48::new();
+    fast.fit_presorted(&data, &cols, None, None).unwrap();
+    assert_eq!(tree_bytes(&naive), tree_bytes(&fast));
+    assert_eq!(fast.node_count(), 1, "constant data yields a single leaf");
+}
+
+/// Below-minimum total multiplicity errors exactly like the naive path.
+#[test]
+fn j48_too_few_weighted_instances_errors() {
+    let data = Dataset::new(vec![vec![0.0], vec![1.0], vec![2.0]], vec![0, 1, 0], 2).unwrap();
+    let cols = SortedColumns::new(&data);
+    let mut tree = J48::new();
+    let err = tree
+        .fit_presorted(&data, &cols, Some(&[0, 1, 0]), None)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        hmd_ml::classifier::TrainError::TooFewInstances { needed: 2, got: 1 }
+    ));
+}
