@@ -7,17 +7,29 @@ use hmd_hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
 use hmd_hpc_sim::workload::AppClass;
 use hmd_ml::classifier::ClassifierKind;
 use hmd_serve::metrics::Metrics;
-use hmd_serve::protocol::{encode, encode_into, Frame, FrameBuffer};
+use hmd_serve::protocol::{encode, encode_frame_into, encode_into, Frame, FrameBuffer, WireFormat};
 use hmd_serve::session::{SessionConfig, SessionEngine};
+use hmd_serve::wire2;
 use std::hint::black_box;
 use std::sync::Arc;
-use twosmart::detector::TwoSmartDetector;
+use twosmart::detector::{TwoSmartDetector, Verdict};
 
 fn submit_frame() -> Frame {
     Frame::Submit {
         host_id: 0xdead_beef,
         seq: 123_456,
         counters: vec![1.25e6, 3.1e5, 4.7e4, 9.9e3],
+    }
+}
+
+fn verdict_frame() -> Frame {
+    Frame::Verdict {
+        host_id: 0xdead_beef,
+        seq: 123_456,
+        verdict: Some(Verdict::Malware {
+            class: AppClass::Trojan,
+            confidence: 0.875,
+        }),
     }
 }
 
@@ -55,6 +67,61 @@ fn bench_decode(c: &mut Criterion) {
     });
 }
 
+/// v2 binary encode of the same Submit, into a reused buffer — the shape
+/// of the server's reply path and the client's batched sends.
+fn bench_encode_v2(c: &mut Criterion) {
+    let frame = submit_frame();
+    let mut out = Vec::new();
+    c.bench_function("protocol/encode_submit_v2", |b| {
+        b.iter(|| {
+            out.clear();
+            wire2::encode_into(black_box(&frame), &mut out);
+            out.len()
+        })
+    });
+}
+
+/// v2 Submit decode through the server's scratch-reusing fast path.
+fn bench_decode_v2(c: &mut Criterion) {
+    let mut wire = Vec::new();
+    wire2::encode_into(&submit_frame(), &mut wire);
+    let payload = &wire[4..];
+    let mut scratch: Vec<f64> = Vec::new();
+    c.bench_function("protocol/decode_submit_v2", |b| {
+        b.iter(|| wire2::decode_submit_into(black_box(payload), &mut scratch))
+    });
+}
+
+/// One full serving exchange on the wire layer — encode a Submit, decode
+/// it, encode the Verdict, decode that — per protocol version. The v2/v1
+/// ratio here is the acceptance gate for the binary protocol.
+fn bench_roundtrip_pair(c: &mut Criterion) {
+    for format in [WireFormat::V1Json, WireFormat::V2Binary] {
+        let name = match format {
+            WireFormat::V1Json => "protocol/roundtrip_pair_v1",
+            WireFormat::V2Binary => "protocol/roundtrip_pair_v2",
+        };
+        let submit = submit_frame();
+        let verdict = verdict_frame();
+        let mut json = String::new();
+        let mut wire = Vec::new();
+        let mut inbuf = FrameBuffer::with_format(format);
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                wire.clear();
+                encode_frame_into(format, black_box(&submit), &mut json, &mut wire);
+                inbuf.extend(&wire);
+                let decoded_submit = inbuf.next_frame().expect("valid").expect("complete");
+                wire.clear();
+                encode_frame_into(format, black_box(&verdict), &mut json, &mut wire);
+                inbuf.extend(&wire);
+                let decoded_verdict = inbuf.next_frame().expect("valid").expect("complete");
+                (decoded_submit, decoded_verdict)
+            })
+        });
+    }
+}
+
 fn bench_session_submit(c: &mut Criterion) {
     let corpus = CorpusBuilder::new(CorpusSpec::tiny()).build();
     let detector = AppClass::MALWARE
@@ -86,6 +153,9 @@ criterion_group!(
     bench_encode,
     bench_encode_into,
     bench_decode,
+    bench_encode_v2,
+    bench_decode_v2,
+    bench_roundtrip_pair,
     bench_session_submit
 );
 criterion_main!(benches);

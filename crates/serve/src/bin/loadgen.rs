@@ -6,11 +6,13 @@
 //!
 //! Options: `--addr HOST:PORT`, `--hosts K`, `--seconds S` (fractional
 //! allowed), `--pipeline N` (in-flight submissions per host), `--seed N`,
+//! `--protocol 1|2` (JSON or packed binary wire format, default 1),
 //! `--wait S` (retry the first connection for up to S seconds so the
 //! server may still be starting).
 
 use hmd_serve::client::DetectorClient;
 use hmd_serve::loadgen::{run, LoadConfig};
+use hmd_serve::protocol::WireFormat;
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -37,11 +39,16 @@ fn real_main() -> Result<(), Box<dyn std::error::Error>> {
             }
             "--pipeline" => config.pipeline = value("--pipeline")?.parse()?,
             "--seed" => config.seed = value("--seed")?.parse()?,
+            "--protocol" => {
+                let v: u32 = value("--protocol")?.parse()?;
+                config.protocol = WireFormat::from_version(v)
+                    .ok_or_else(|| format!("--protocol must be 1 or 2, got {v}"))?;
+            }
             "--wait" => wait = Duration::from_secs_f64(value("--wait")?.parse()?),
             "--help" | "-h" => {
                 return Err(
                     "usage: loadgen [--addr HOST:PORT] [--hosts K] [--seconds S] \
-                            [--pipeline N] [--seed N] [--wait S]"
+                            [--pipeline N] [--seed N] [--protocol 1|2] [--wait S]"
                         .into(),
                 );
             }
@@ -64,10 +71,11 @@ fn real_main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     eprintln!(
-        "loadgen: {} hosts, {:.1}s, pipeline {} → {}",
+        "loadgen: {} hosts, {:.1}s, pipeline {}, protocol v{} → {}",
         config.hosts,
         config.duration.as_secs_f64(),
         config.pipeline,
+        config.protocol.version(),
         config.addr
     );
     let report = run(&config)?;

@@ -4,10 +4,15 @@
 //! either the simple request/response [`submit`](DetectorClient::submit)
 //! or the raw [`send`](DetectorClient::send)/[`recv`](DetectorClient::recv)
 //! pair that `loadgen` uses to keep a pipeline of in-flight submissions.
+//!
+//! The handshake is always JSON (protocol v1) — that is what an
+//! un-negotiated connection speaks. [`DetectorClient::connect_with`] asks
+//! for a different [`WireFormat`]; once the server acknowledges, both
+//! directions switch to that format for the rest of the connection.
 
 use crate::metrics::MetricsSnapshot;
-use crate::protocol::{read_frame, write_frame, ErrorCode, Frame, WireError, PROTOCOL_VERSION};
-use std::io::BufWriter;
+use crate::protocol::{encode_frame_into, ErrorCode, Frame, FrameBuffer, WireError, WireFormat};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 use twosmart::detector::Verdict;
@@ -19,6 +24,8 @@ pub enum ClientError {
     Io(String),
     /// Frame-level decode failure.
     Wire(WireError),
+    /// The server closed the connection at a frame boundary.
+    Closed,
     /// The handshake did not complete (no/old/foreign server).
     Handshake(String),
     /// The server answered with an `Error` frame.
@@ -37,6 +44,7 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "I/O error: {e}"),
             ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
             ClientError::Handshake(e) => write!(f, "handshake failed: {e}"),
             ClientError::Server { code, detail } => write!(f, "server error [{code}]: {detail}"),
             ClientError::Unexpected(e) => write!(f, "unexpected server frame: {e}"),
@@ -62,33 +70,64 @@ impl From<std::io::Error> for ClientError {
 #[derive(Debug)]
 pub struct DetectorClient {
     stream: TcpStream,
+    /// Incremental decoder for inbound frames; also carries the negotiated
+    /// wire format.
+    inbuf: FrameBuffer,
+    /// Reused JSON scratch for v1 encoding.
+    json_scratch: String,
+    /// Reused encode buffer: frames are packed here and written in one
+    /// syscall.
+    sendbuf: Vec<u8>,
 }
 
 impl DetectorClient {
+    /// Connects with the default JSON protocol (v1). See
+    /// [`connect_with`](Self::connect_with).
+    ///
+    /// # Errors
+    ///
+    /// As [`connect_with`](Self::connect_with).
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<DetectorClient, ClientError> {
+        DetectorClient::connect_with(addr, timeout, WireFormat::V1Json)
+    }
+
     /// Connects, applies `timeout` to the socket in both directions, and
-    /// performs the `Hello` handshake.
+    /// performs the `Hello` handshake requesting `format`. The handshake
+    /// itself is always JSON; the connection switches to `format` once the
+    /// server echoes the requested version.
     ///
     /// # Errors
     ///
     /// [`ClientError::Io`] on connect failure, [`ClientError::Handshake`]
     /// if the server rejects the version or answers with anything but
     /// `Hello` (e.g. `Error{overloaded}` when shed).
-    pub fn connect(
+    pub fn connect_with(
         addr: impl ToSocketAddrs,
         timeout: Duration,
+        format: WireFormat,
     ) -> Result<DetectorClient, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
-        let mut client = DetectorClient { stream };
-        client.send(&Frame::Hello {
-            version: PROTOCOL_VERSION,
-        })?;
+        let mut client = DetectorClient {
+            stream,
+            inbuf: FrameBuffer::new(),
+            json_scratch: String::new(),
+            sendbuf: Vec::new(),
+        };
+        let version = format.version();
+        client.send(&Frame::Hello { version })?;
         match client.recv()? {
-            Frame::Hello { version } if version == PROTOCOL_VERSION => Ok(client),
-            Frame::Hello { version } => Err(ClientError::Handshake(format!(
-                "server speaks v{version}, client v{PROTOCOL_VERSION}"
+            Frame::Hello { version: v } if v == version => {
+                client.inbuf.set_format(format);
+                Ok(client)
+            }
+            Frame::Hello { version: v } => Err(ClientError::Handshake(format!(
+                "server speaks v{v}, client asked for v{version}"
             ))),
             Frame::Error { code, detail } => {
                 Err(ClientError::Handshake(format!("[{code}] {detail}")))
@@ -97,13 +136,25 @@ impl DetectorClient {
         }
     }
 
+    /// The wire format this connection negotiated.
+    pub fn protocol(&self) -> WireFormat {
+        self.inbuf.format()
+    }
+
     /// Sends one frame without waiting for a reply (pipelining primitive).
     ///
     /// # Errors
     ///
     /// [`ClientError::Io`] on write failure.
     pub fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
-        write_frame(&mut self.stream, frame)?;
+        self.sendbuf.clear();
+        encode_frame_into(
+            self.inbuf.format(),
+            frame,
+            &mut self.json_scratch,
+            &mut self.sendbuf,
+        );
+        self.stream.write_all(&self.sendbuf)?;
         Ok(())
     }
 
@@ -114,22 +165,45 @@ impl DetectorClient {
     ///
     /// [`ClientError::Io`] on write failure.
     pub fn send_all(&mut self, frames: &[Frame]) -> Result<(), ClientError> {
-        let mut w = BufWriter::new(&mut self.stream);
+        self.sendbuf.clear();
         for frame in frames {
-            write_frame(&mut w, frame)?;
+            encode_frame_into(
+                self.inbuf.format(),
+                frame,
+                &mut self.json_scratch,
+                &mut self.sendbuf,
+            );
         }
-        use std::io::Write;
-        w.flush()?;
+        self.stream.write_all(&self.sendbuf)?;
         Ok(())
     }
 
-    /// Receives the next frame.
+    /// Receives the next frame, reading from the socket as needed.
     ///
     /// # Errors
     ///
-    /// [`ClientError::Wire`] on decode failure or close.
+    /// [`ClientError::Wire`] on decode failure, [`ClientError::Closed`] if
+    /// the server hung up at a frame boundary, [`ClientError::Io`] on a
+    /// mid-frame close or socket error.
     pub fn recv(&mut self) -> Result<Frame, ClientError> {
-        Ok(read_frame(&mut self.stream)?)
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(frame) = self.inbuf.next_frame()? {
+                return Ok(frame);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.inbuf.pending() == 0 {
+                        Err(ClientError::Closed)
+                    } else {
+                        Err(ClientError::Io("connection closed mid-frame".into()))
+                    };
+                }
+                Ok(n) => self.inbuf.extend(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     /// Writes raw bytes, bypassing framing — robustness tests use this to
@@ -139,7 +213,6 @@ impl DetectorClient {
     ///
     /// [`ClientError::Io`] on write failure.
     pub fn send_raw_for_test(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
-        use std::io::Write;
         self.stream.write_all(bytes)?;
         Ok(())
     }

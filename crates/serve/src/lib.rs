@@ -7,8 +7,16 @@
 //! constraint) and splits into:
 //!
 //! - [`protocol`] — a versioned, length-prefixed wire protocol
-//!   (`Hello` / `Submit` / `Verdict` / `Drain` / `Error` frames as JSON
-//!   payloads). Malformed input becomes an `Error` frame, never a panic.
+//!   (`Hello` / `Submit` / `Verdict` / `Drain` / `Error` frames). Payloads
+//!   are JSON in protocol v1 and packed little-endian binary in v2
+//!   ([`wire2`]); the version is negotiated per connection via `Hello`.
+//!   Malformed input becomes an `Error` frame, never a panic.
+//! - [`wire2`] — the protocol-v2 binary codec: fixed-layout frames encoded
+//!   and decoded without JSON or UTF-8 passes, with an allocation-free
+//!   fast path for `Submit`.
+//! - [`ready`] — readiness pacing for the worker event loop: exponential
+//!   probe backoff per connection, so idle sockets cost O(1) probes per
+//!   100 ms instead of a busy poll.
 //! - [`session`] — one [`twosmart::online::OnlineDetector`] per monitored
 //!   host behind a sharded mutex map, with idle-session eviction.
 //! - [`metrics`] — lock-free atomic service counters, snapshotted over the
@@ -40,5 +48,7 @@ pub mod client;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
+pub mod ready;
 pub mod server;
 pub mod session;
+pub mod wire2;

@@ -14,7 +14,7 @@
 
 use crate::client::{ClientError, DetectorClient};
 use crate::metrics::MetricsSnapshot;
-use crate::protocol::Frame;
+use crate::protocol::{Frame, WireFormat};
 use hmd_hpc_sim::workload::WorkloadSpec;
 use hmd_ml::par::derive_seed;
 use rand::rngs::StdRng;
@@ -41,6 +41,8 @@ pub struct LoadConfig {
     pub stream_len: usize,
     /// Socket timeout for each host connection.
     pub timeout: Duration,
+    /// Wire format every host negotiates (v1 JSON or v2 binary).
+    pub protocol: WireFormat,
 }
 
 impl Default for LoadConfig {
@@ -53,6 +55,7 @@ impl Default for LoadConfig {
             seed: 1,
             stream_len: 256,
             timeout: Duration::from_secs(5),
+            protocol: WireFormat::V1Json,
         }
     }
 }
@@ -169,7 +172,7 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, ClientError> {
     let results = hmd_ml::par::with_threads(config.hosts.max(1), || {
         hmd_ml::par::par_map((0..config.hosts as u64).collect(), |_, host| {
             let stream = host_stream(config.seed, host, config.stream_len.max(1));
-            let client = DetectorClient::connect(addr, config.timeout)?;
+            let client = DetectorClient::connect_with(addr, config.timeout, config.protocol)?;
             drive_host(client, host, &stream, config.pipeline.max(1), deadline)
         })
     });
@@ -223,24 +226,28 @@ fn drive_host(
     };
     let mut inflight: VecDeque<Instant> = VecDeque::with_capacity(pipeline);
     let mut seq = 0u64;
-    let send_one = |client: &mut DetectorClient,
-                    seq: &mut u64,
-                    inflight: &mut VecDeque<Instant>|
-     -> Result<(), ClientError> {
-        let counters = &stream[(*seq as usize) % stream.len()];
-        client.send(&Frame::Submit {
-            host_id: host,
-            seq: *seq,
-            counters: counters.clone(),
-        })?;
-        inflight.push_back(Instant::now());
-        *seq += 1;
-        Ok(())
-    };
+    let mut batch: Vec<Frame> = Vec::with_capacity(pipeline);
 
     while Instant::now() < deadline {
-        while inflight.len() < pipeline {
-            send_one(&mut client, &mut seq, &mut inflight)?;
+        if inflight.len() < pipeline {
+            // Refill the pipeline in one batched write: the whole burst is
+            // encoded into the client's send buffer and hits the socket in
+            // a single syscall.
+            batch.clear();
+            while inflight.len() + batch.len() < pipeline {
+                let counters = &stream[(seq as usize) % stream.len()];
+                batch.push(Frame::Submit {
+                    host_id: host,
+                    seq,
+                    counters: counters.clone(),
+                });
+                seq += 1;
+            }
+            let sent_at = Instant::now();
+            client.send_all(&batch)?;
+            for _ in 0..batch.len() {
+                inflight.push_back(sent_at);
+            }
         }
         receive_one(&mut client, &mut inflight, &mut result)?;
     }

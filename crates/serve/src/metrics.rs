@@ -32,6 +32,10 @@ pub struct Metrics {
     pub submits: AtomicU64,
     /// Connections accepted (lifetime total).
     pub connections: AtomicU64,
+    /// Accepted connections dropped before reaching a worker because
+    /// socket setup (`set_nonblocking`/`set_nodelay`) failed — without
+    /// this counter those accepts would vanish silently.
+    pub accept_errors: AtomicU64,
     /// Verdicts still in warm-up (window not yet full).
     pub warmup: AtomicU64,
     /// Smoothed benign verdicts.
@@ -80,6 +84,7 @@ impl Metrics {
             evictions: get(&self.evictions),
             submits: get(&self.submits),
             connections: get(&self.connections),
+            accept_errors: get(&self.accept_errors),
             verdicts: VerdictHistogram {
                 warmup: get(&self.warmup),
                 benign: get(&self.benign),
@@ -139,6 +144,8 @@ pub struct MetricsSnapshot {
     pub submits: u64,
     /// Lifetime accepted connections.
     pub connections: u64,
+    /// Accepted connections dropped during socket setup.
+    pub accept_errors: u64,
     /// Verdict outcome histogram.
     pub verdicts: VerdictHistogram,
 }

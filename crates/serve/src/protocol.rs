@@ -30,8 +30,46 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use twosmart::detector::Verdict;
 
-/// Protocol version carried by `Hello`. Bumped on any wire-visible change.
+/// Version of the original JSON payload format, carried by `Hello`.
 pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Version of the packed binary payload format (see [`crate::wire2`]).
+/// Negotiated by sending `Hello{version: 2}` as a v1 JSON frame; the
+/// server acknowledges in JSON and both sides switch.
+pub const PROTOCOL_VERSION_V2: u32 = 2;
+
+/// How frame payloads on a connection are encoded. The outer framing (the
+/// 4-byte big-endian length prefix and the [`MAX_FRAME_BYTES`] cap) is
+/// identical in both formats; only the payload bytes differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// v1: JSON payloads — debuggable with `nc`, the compatibility
+    /// default.
+    #[default]
+    V1Json,
+    /// v2: packed little-endian binary payloads ([`crate::wire2`]) — the
+    /// fleet-scale hot path.
+    V2Binary,
+}
+
+impl WireFormat {
+    /// The `Hello` version number requesting this format.
+    pub fn version(self) -> u32 {
+        match self {
+            WireFormat::V1Json => PROTOCOL_VERSION,
+            WireFormat::V2Binary => PROTOCOL_VERSION_V2,
+        }
+    }
+
+    /// The format a `Hello` version number selects, if supported.
+    pub fn from_version(version: u32) -> Option<WireFormat> {
+        match version {
+            PROTOCOL_VERSION => Some(WireFormat::V1Json),
+            PROTOCOL_VERSION_V2 => Some(WireFormat::V2Binary),
+            _ => None,
+        }
+    }
+}
 
 /// Hard ceiling on a frame payload. A `Submit` is ~120 bytes; 64 KiB
 /// leaves room for metrics snapshots while rejecting garbage prefixes
@@ -188,6 +226,19 @@ pub fn encode_into(frame: &Frame, json: &mut String, out: &mut Vec<u8>) {
     out.extend_from_slice(bytes);
 }
 
+/// Format-dispatching [`encode_into`]: encodes `frame` per `format`,
+/// appending the framed bytes to `out`. `json` is v1 serialization
+/// scratch (untouched in v2). This is the single queueing entry point the
+/// server and client share, so a connection's negotiated format is
+/// applied in exactly one place.
+// hmd-analyze: hot-path
+pub fn encode_frame_into(format: WireFormat, frame: &Frame, json: &mut String, out: &mut Vec<u8>) {
+    match format {
+        WireFormat::V1Json => encode_into(frame, json, out),
+        WireFormat::V2Binary => crate::wire2::encode_into(frame, out),
+    }
+}
+
 /// Writes one frame to a blocking stream.
 ///
 /// # Errors
@@ -220,7 +271,13 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
     decode_payload(&payload)
 }
 
-fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
+/// Decodes one v1 (JSON) payload into a [`Frame`]. The v2 counterpart is
+/// [`crate::wire2::decode_payload`].
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] on non-UTF-8 or structurally invalid JSON.
+pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
     let text = std::str::from_utf8(payload)
         .map_err(|e| WireError::Malformed(format!("not UTF-8: {e}")))?;
     serde_json::from_str(text).map_err(|e| WireError::Malformed(e.to_string()))
@@ -230,18 +287,40 @@ fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
 ///
 /// Workers append whatever bytes `read` produced and pull out as many
 /// complete frames as have accumulated; partial frames simply wait for the
-/// next read.
+/// next read. The decoder carries the connection's negotiated
+/// [`WireFormat`]; the outer framing is format-agnostic, so switching
+/// formats mid-stream (after the `Hello` upgrade) is safe even with
+/// pipelined bytes already buffered.
 #[derive(Debug, Default)]
 pub struct FrameBuffer {
     buf: Vec<u8>,
     /// Consumed prefix length; compacted lazily to amortize the memmove.
     pos: usize,
+    format: WireFormat,
 }
 
 impl FrameBuffer {
-    /// An empty decoder.
+    /// An empty v1 decoder.
     pub fn new() -> FrameBuffer {
         FrameBuffer::default()
+    }
+
+    /// An empty decoder in the given format.
+    pub fn with_format(format: WireFormat) -> FrameBuffer {
+        FrameBuffer {
+            format,
+            ..FrameBuffer::default()
+        }
+    }
+
+    /// The payload format this decoder expects.
+    pub fn format(&self) -> WireFormat {
+        self.format
+    }
+
+    /// Switches the payload format (the `Hello{version: 2}` upgrade).
+    pub fn set_format(&mut self, format: WireFormat) {
+        self.format = format;
     }
 
     /// Appends raw bytes from the socket.
@@ -265,6 +344,25 @@ impl FrameBuffer {
     /// stays framed; keep decoding). [`WireError::Oversized`] leaves the
     /// buffer unusable — the connection must be dropped.
     pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let format = self.format;
+        match self.next_payload()? {
+            None => Ok(None),
+            Some(payload) => match format {
+                WireFormat::V1Json => decode_payload(payload).map(Some),
+                WireFormat::V2Binary => crate::wire2::decode_payload(payload).map(Some),
+            },
+        }
+    }
+
+    /// Extracts the next complete frame's raw payload bytes, consuming
+    /// them. The server's v2 fast path peeks the tag here and decodes
+    /// `Submit` without constructing a [`Frame`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversized`] when the length prefix exceeds the cap
+    /// (framing is lost; drop the connection).
+    pub fn next_payload(&mut self) -> Result<Option<&[u8]>, WireError> {
         let avail = &self.buf[self.pos..];
         if avail.len() < 4 {
             return Ok(None);
@@ -276,10 +374,9 @@ impl FrameBuffer {
         if avail.len() < 4 + len {
             return Ok(None);
         }
-        let payload = &avail[4..4 + len];
-        let result = decode_payload(payload);
-        self.pos += 4 + len;
-        result.map(Some)
+        let start = self.pos + 4;
+        self.pos = start + len;
+        Ok(Some(&self.buf[start..start + len]))
     }
 
     fn compact(&mut self) {

@@ -3,41 +3,82 @@
 //! Architecture (std-only — no async runtime, no epoll crate):
 //!
 //! ```text
-//!  accept thread ──▶ shed? ──Error{overloaded}+close
-//!        │ round-robin
+//!  accept thread ──▶ shed? ──Error{overloaded} (best-effort, nonblocking)
+//!        │ round-robin, rings the worker's inbox bell
 //!        ▼
 //!  worker 0..N-1  (N = ServeConfig::workers, default hmd_ml::par
 //!        │         conventions: TWOSMART_THREADS / available cores)
 //!        ▼
-//!  each worker owns a set of non-blocking connections and busy-polls
-//!  them: read → FrameBuffer → handle frame → queue reply → flush.
-//!  Sleeps briefly when a full pass makes no progress.
+//!  each worker owns a set of non-blocking connections and services the
+//!  ones that are *due* per the readiness pacer (crate::ready): active
+//!  connections every pass, idle ones at exponentially decaying probe
+//!  intervals. Between passes the worker parks on a condvar until the
+//!  next deadline or a new connection arrives.
 //! ```
 //!
 //! Connections are long-lived, so a *fixed* pool must multiplex: each
-//! worker pumps every connection it owns per pass instead of parking on
-//! one socket. The in-flight budget is explicit — when
+//! worker pumps the connections it owns instead of parking on one socket.
+//! [`EventLoop::Readiness`] (the default) is the paced loop above;
+//! [`EventLoop::BusyPoll`] keeps the original pump-everything-every-pass
+//! loop as a behavioural oracle — verdict streams are bit-identical
+//! between the two, only CPU usage differs.
+//!
+//! The in-flight budget is explicit — when
 //! [`ServeConfig::max_connections`] is reached, new connections get one
-//! `Error{overloaded}` frame and are closed (load shedding), never queued
-//! unboundedly.
+//! best-effort `Error{overloaded}` frame and are closed (load shedding),
+//! never queued unboundedly. Per-connection backpressure is two-sided:
+//! [`ServeConfig::max_outbuf`] stops *reads* while a peer is slow to
+//! drain replies, and [`ServeConfig::max_inbuf`] bounds the undecoded
+//! inbound buffer.
+//!
+//! Protocol negotiation: connections start in v1 JSON; a client that
+//! sends `Hello{version: 2}` is switched to the packed binary format
+//! ([`crate::wire2`]) after the (still-JSON) acknowledgement. Submits on
+//! v2 connections decode straight into per-connection scratch without
+//! constructing a [`Frame`].
 //!
 //! Graceful shutdown: [`ServerHandle::shutdown`] stops the accept loop,
-//! lets every worker finish the frames already buffered on its
-//! connections (draining open sessions), flushes replies, then closes.
+//! rings every inbox bell, lets every worker finish the frames already
+//! buffered on its connections (draining open sessions), flushes replies,
+//! then closes.
 
 use crate::metrics::Metrics;
 use crate::protocol::{
-    encode, encode_into, ErrorCode, Frame, FrameBuffer, WireError, PROTOCOL_VERSION,
+    encode, encode_frame_into, ErrorCode, Frame, FrameBuffer, WireError, WireFormat,
+    PROTOCOL_VERSION, PROTOCOL_VERSION_V2,
 };
+use crate::ready::{ConnSched, Pacer};
 use crate::session::{SessionConfig, SessionEngine, SubmitError};
+use crate::wire2;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use twosmart::detector::TwoSmartDetector;
 use twosmart::online::OnlineError;
+
+/// Probe interval for an active connection (readiness mode).
+const IDLE_BASE: Duration = Duration::from_micros(200);
+/// Probe ceiling for a long-idle connection: its worst-case added first-
+/// byte latency, and the bound on per-idle-connection CPU (one
+/// nonblocking read per this interval).
+const IDLE_CAP: Duration = Duration::from_millis(100);
+/// Longest a worker parks without rechecking the stop flag.
+const PARK_MAX: Duration = Duration::from_millis(100);
+
+/// Which worker event loop runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventLoop {
+    /// Readiness-paced loop: due connections only, condvar parking. Idle
+    /// connections cost one probe per [`IDLE_CAP`] instead of a busy loop.
+    #[default]
+    Readiness,
+    /// The original pump-every-connection-every-pass loop, kept as the
+    /// behavioural oracle for tests and A/B comparisons.
+    BusyPoll,
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -51,13 +92,19 @@ pub struct ServeConfig {
     /// In-flight connection budget; accepts beyond it are shed with
     /// `Error{overloaded}`.
     pub max_connections: usize,
-    /// Socket timeout for the blocking writes the accept thread performs
-    /// when shedding.
-    pub write_timeout: Duration,
     /// Cap on bytes queued for one connection before the server stops
-    /// reading from it until the backlog flushes (per-connection
+    /// reading from it until the backlog flushes (write-side
     /// backpressure).
     pub max_outbuf: usize,
+    /// Cap on undecoded inbound bytes buffered for one connection before
+    /// the server stops reading until the decoder catches up (read-side
+    /// backpressure). Distinct from `max_outbuf`: a pipelining client can
+    /// legitimately burst frames while replies drain slowly, and the two
+    /// directions deserve independent budgets.
+    pub max_inbuf: usize,
+    /// Which worker event loop runs ([`EventLoop::Readiness`] default;
+    /// [`EventLoop::BusyPoll`] is the oracle).
+    pub event_loop: EventLoop,
     /// Run the idle-session sweep every this many accepted submits.
     /// `0` disables periodic sweeps.
     pub evict_every: u64,
@@ -71,8 +118,9 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".into(),
             workers: 0,
             max_connections: 1024,
-            write_timeout: Duration::from_secs(2),
             max_outbuf: 1 << 20,
+            max_inbuf: 256 << 10,
+            event_loop: EventLoop::Readiness,
             evict_every: 1 << 16,
             session: SessionConfig::default(),
         }
@@ -110,31 +158,42 @@ struct Conn {
     stream: TcpStream,
     inbuf: FrameBuffer,
     outbuf: Vec<u8>,
-    /// Reused JSON serialization scratch: replies encode through this and
-    /// append straight to `outbuf`, so queueing a frame performs no heap
-    /// allocation once both buffers reach steady-state size.
+    /// Reused JSON serialization scratch for v1 replies; v2 replies pack
+    /// straight into `outbuf`.
     json_scratch: String,
+    /// Reused counter scratch for the v2 Submit fast path.
+    counters: Vec<f64>,
     written: usize,
+    /// Readiness schedule (when this connection is next probed).
+    sched: ConnSched,
     /// Close after the outbuf flushes (oversized frame / fatal error).
     close_after_flush: bool,
     dead: bool,
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Conn {
+    fn new(stream: TcpStream, sched: ConnSched) -> Conn {
         Conn {
             stream,
             inbuf: FrameBuffer::new(),
             outbuf: Vec::new(),
             json_scratch: String::new(),
+            counters: Vec::new(),
             written: 0,
+            sched,
             close_after_flush: false,
             dead: false,
         }
     }
 
+    // hmd-analyze: hot-path
     fn queue(&mut self, frame: &Frame, metrics: &Metrics) {
-        encode_into(frame, &mut self.json_scratch, &mut self.outbuf);
+        encode_frame_into(
+            self.inbuf.format(),
+            frame,
+            &mut self.json_scratch,
+            &mut self.outbuf,
+        );
         metrics.bump(&metrics.frames_out);
     }
 
@@ -143,11 +202,42 @@ impl Conn {
     }
 }
 
+/// Connection handoff from the accept thread to one worker: a queue plus
+/// the bell the worker parks on.
+struct Inbox {
+    queue: Mutex<Vec<TcpStream>>,
+    bell: Condvar,
+}
+
+impl Inbox {
+    fn new() -> Inbox {
+        Inbox {
+            queue: Mutex::new(Vec::new()),
+            bell: Condvar::new(),
+        }
+    }
+
+    /// Locks the queue, recovering from poisoning: the handoff Vec is
+    /// valid after any panic (push/drain keep it consistent), and
+    /// dropping connections instead would strand clients.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<TcpStream>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Rings the bell while briefly holding the queue lock, so a worker
+    /// between its stop-check and its park cannot miss the wakeup.
+    fn ring(&self) {
+        let _guard = self.lock();
+        self.bell.notify_all();
+    }
+}
+
 struct Shared {
     engine: SessionEngine,
     metrics: Arc<Metrics>,
     stop: AtomicBool,
     conns: AtomicUsize,
+    inboxes: Vec<Arc<Inbox>>,
     config: ServeConfig,
 }
 
@@ -179,8 +269,12 @@ impl ServerHandle {
     /// flushes replies, and joins all threads.
     pub fn shutdown(self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Nudge the accept loop in case it is between polls.
+        // Nudge the accept loop in case it is between polls, and wake
+        // every parked worker.
         let _ = TcpStream::connect(self.addr);
+        for inbox in &self.shared.inboxes {
+            inbox.ring();
+        }
         for t in self.threads {
             let _ = t.join();
         }
@@ -218,29 +312,28 @@ pub fn serve(detector: TwoSmartDetector, config: ServeConfig) -> Result<ServerHa
     } else {
         config.workers
     };
+    let inboxes: Vec<Arc<Inbox>> = (0..workers).map(|_| Arc::new(Inbox::new())).collect();
     let shared = Arc::new(Shared {
         engine,
         metrics,
         stop: AtomicBool::new(false),
         conns: AtomicUsize::new(0),
+        inboxes,
         config,
     });
 
-    let inboxes: Vec<Arc<Mutex<Vec<TcpStream>>>> = (0..workers)
-        .map(|_| Arc::new(Mutex::new(Vec::new())))
-        .collect();
     let mut threads = Vec::with_capacity(workers + 1);
-    for inbox in &inboxes {
+    for i in 0..workers {
         let worker_shared = Arc::clone(&shared);
-        let worker_inbox = Arc::clone(inbox);
         threads.push(std::thread::spawn(move || {
-            worker_loop(&worker_shared, &worker_inbox);
+            let inbox = Arc::clone(&worker_shared.inboxes[i]);
+            worker_loop(&worker_shared, &inbox);
         }));
     }
     {
         let accept_shared = Arc::clone(&shared);
         threads.push(std::thread::spawn(move || {
-            accept_loop(&listener, &accept_shared, &inboxes);
+            accept_loop(&listener, &accept_shared);
         }));
     }
     Ok(ServerHandle {
@@ -250,7 +343,7 @@ pub fn serve(detector: TwoSmartDetector, config: ServeConfig) -> Result<ServerHa
     })
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Shared, inboxes: &[Arc<Mutex<Vec<TcpStream>>>]) {
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
     let mut next = 0usize;
     loop {
         if shared.stop.load(Ordering::SeqCst) {
@@ -264,16 +357,15 @@ fn accept_loop(listener: &TcpListener, shared: &Shared, inboxes: &[Arc<Mutex<Vec
                     continue;
                 }
                 if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                    // The peer is gone (or the fd is broken); count the
+                    // drop instead of vanishing it.
+                    shared.metrics.bump(&shared.metrics.accept_errors);
                     continue;
                 }
                 shared.conns.fetch_add(1, Ordering::SeqCst);
-                // Recover a poisoned inbox: the handoff Vec is valid after
-                // any panic (push/drain keep it consistent), and dropping
-                // the connection instead would strand the client.
-                inboxes[next % inboxes.len()]
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .push(stream);
+                let inbox = &shared.inboxes[next % shared.inboxes.len()];
+                inbox.lock().push(stream);
+                inbox.bell.notify_one();
                 next = next.wrapping_add(1);
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -287,11 +379,20 @@ fn accept_loop(listener: &TcpListener, shared: &Shared, inboxes: &[Arc<Mutex<Vec
 /// Refuses a connection over budget: one explicit `Error{overloaded}`
 /// frame, then close — the client learns why instead of hanging in an
 /// unbounded queue.
+///
+/// The write is best-effort and *nonblocking*: this runs on the sole
+/// accept thread, and a shed peer that never reads must not stall every
+/// subsequent accept — during an overload burst, exactly when shedding
+/// matters most. A fresh connection's socket buffer always has room for
+/// the ~100-byte frame, so the reply is only lost if the peer is already
+/// gone.
 fn shed(stream: TcpStream, shared: &Shared) {
     shared.metrics.bump(&shared.metrics.shed);
     let mut stream = stream;
-    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-    let _ = stream.write_all(&encode(&Frame::Error {
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    let _ = stream.write(&encode(&Frame::Error {
         code: ErrorCode::Overloaded,
         detail: format!(
             "connection budget {} exhausted",
@@ -300,21 +401,56 @@ fn shed(stream: TcpStream, shared: &Shared) {
     }));
 }
 
-fn worker_loop(shared: &Shared, inbox: &Arc<Mutex<Vec<TcpStream>>>) {
+fn worker_loop(shared: &Shared, inbox: &Inbox) {
+    let readiness = shared.config.event_loop == EventLoop::Readiness;
+    let pacer = Pacer::new(IDLE_BASE, IDLE_CAP);
     let mut conns: Vec<Conn> = Vec::new();
     let mut read_chunk = [0u8; 16 * 1024];
     let mut stop_passes = 0u32;
     loop {
-        let stopping = shared.stop.load(Ordering::SeqCst);
+        let mut stopping = shared.stop.load(Ordering::SeqCst);
         {
-            let mut incoming = inbox
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            conns.extend(incoming.drain(..).map(Conn::new));
+            let mut incoming = inbox.lock();
+            if readiness && !stopping && incoming.is_empty() {
+                // Park until a connection is due, a new one arrives, or
+                // the stop-recheck interval elapses. The bell is rung
+                // under this lock, so the wakeup cannot slip between the
+                // stop-check above and the wait below.
+                let now = Instant::now();
+                let none_due = !conns.iter().any(|c| pacer.is_due(&c.sched, now));
+                if none_due {
+                    let timeout = pacer
+                        .next_deadline(conns.iter().map(|c| &c.sched))
+                        .map(|due| due.saturating_duration_since(now))
+                        .unwrap_or(PARK_MAX)
+                        .min(PARK_MAX);
+                    incoming = match inbox.bell.wait_timeout(incoming, timeout) {
+                        Ok((guard, _)) => guard,
+                        Err(poisoned) => poisoned.into_inner().0,
+                    };
+                    stopping = shared.stop.load(Ordering::SeqCst);
+                }
+            }
+            let now = Instant::now();
+            conns.extend(
+                incoming
+                    .drain(..)
+                    .map(|stream| Conn::new(stream, pacer.register(now))),
+            );
         }
+        let now = Instant::now();
         let mut progress = false;
         for conn in &mut conns {
-            progress |= pump(conn, shared, &mut read_chunk, stopping);
+            if readiness && !stopping && !pacer.is_due(&conn.sched, now) {
+                continue;
+            }
+            let moved = pump(conn, shared, &mut read_chunk, stopping);
+            progress |= moved;
+            if moved {
+                pacer.mark_progress(&mut conn.sched, now);
+            } else {
+                pacer.mark_idle(&mut conn.sched, now);
+            }
         }
         let before = conns.len();
         conns.retain(|c| !c.dead);
@@ -335,20 +471,82 @@ fn worker_loop(shared: &Shared, inbox: &Arc<Mutex<Vec<TcpStream>>>) {
                 return;
             }
         }
-        if !progress {
+        if !progress && (stopping || !readiness) {
+            // BusyPoll pacing (and the drain loop): brief sleep instead of
+            // condvar parking, preserving the original oracle behaviour.
             std::thread::sleep(Duration::from_micros(200));
         }
     }
 }
 
+/// One decoded step off a connection's input buffer. For v2 Submits the
+/// counters land in `Conn::counters` (no `Frame` is built); everything
+/// else arrives as a full frame.
+enum Step {
+    /// Need more bytes.
+    Idle,
+    /// A complete non-fast-path frame.
+    Frame(Frame),
+    /// A v2 Submit decoded into the connection's counter scratch.
+    Submit { host_id: u64, seq: u64 },
+    /// Recoverable decode failure (stream stays framed).
+    Malformed(String),
+    /// Framing-fatal failure (connection must close after one error).
+    Fatal(String),
+}
+
+/// Pulls the next decode step. Split-borrows `inbuf` and `counters` so
+/// the v2 fast path can decode a payload slice straight into scratch.
+// hmd-analyze: hot-path
+fn next_step(conn: &mut Conn) -> Step {
+    let format = conn.inbuf.format();
+    let Conn {
+        inbuf, counters, ..
+    } = conn;
+    match format {
+        WireFormat::V1Json => match inbuf.next_frame() {
+            Ok(Some(frame)) => Step::Frame(frame),
+            Ok(None) => Step::Idle,
+            Err(WireError::Malformed(detail)) => Step::Malformed(detail),
+            // hmd-analyze: allow(hot-path-alloc, "framing-fatal rejection path; the connection closes after this")
+            Err(err) => Step::Fatal(err.to_string()),
+        },
+        WireFormat::V2Binary => match inbuf.next_payload() {
+            Ok(Some(payload)) => {
+                if wire2::is_submit(payload) {
+                    if let Some((host_id, seq)) = wire2::decode_submit_into(payload, counters) {
+                        return Step::Submit { host_id, seq };
+                    }
+                }
+                // Non-Submit tags and malformed Submits take the generic
+                // (allocating) decoder for the canonical error text.
+                match wire2::decode_payload(payload) {
+                    Ok(frame) => Step::Frame(frame),
+                    Err(WireError::Malformed(detail)) => Step::Malformed(detail),
+                    // hmd-analyze: allow(hot-path-alloc, "framing-fatal rejection path; the connection closes after this")
+                    Err(err) => Step::Fatal(err.to_string()),
+                }
+            }
+            Ok(None) => Step::Idle,
+            Err(WireError::Malformed(detail)) => Step::Malformed(detail),
+            // hmd-analyze: allow(hot-path-alloc, "framing-fatal rejection path; the connection closes after this")
+            Err(err) => Step::Fatal(err.to_string()),
+        },
+    }
+}
+
 /// One service pass over a connection: read what the socket has, decode
 /// and handle complete frames, flush queued replies. Returns whether any
-/// byte moved (the worker's idle heuristic).
+/// byte moved (the pacer's progress signal).
 fn pump(conn: &mut Conn, shared: &Shared, chunk: &mut [u8], stopping: bool) -> bool {
     let mut progress = false;
 
-    // Read — unless per-connection backpressure is in force.
-    if conn.backlog() < shared.config.max_outbuf && !conn.close_after_flush {
+    // Read — unless the connection is closing or either backpressure cap
+    // is in force.
+    if !conn.close_after_flush
+        && conn.backlog() < shared.config.max_outbuf
+        && conn.inbuf.pending() < shared.config.max_inbuf
+    {
         loop {
             match conn.stream.read(chunk) {
                 Ok(0) => {
@@ -358,7 +556,7 @@ fn pump(conn: &mut Conn, shared: &Shared, chunk: &mut [u8], stopping: bool) -> b
                 Ok(n) => {
                     progress = true;
                     conn.inbuf.extend(&chunk[..n]);
-                    if conn.inbuf.pending() >= shared.config.max_outbuf {
+                    if conn.inbuf.pending() >= shared.config.max_inbuf {
                         break; // decode before buffering more
                     }
                 }
@@ -372,16 +570,26 @@ fn pump(conn: &mut Conn, shared: &Shared, chunk: &mut [u8], stopping: bool) -> b
         }
     }
 
-    // Decode and handle.
-    loop {
-        match conn.inbuf.next_frame() {
-            Ok(Some(frame)) => {
+    // Decode and handle — fully skipped once the connection is closing:
+    // the fatal error frame was queued exactly once, and re-decoding the
+    // unconsumed buffer would re-queue it every pass, growing `outbuf`
+    // without bound against a slow-reading peer.
+    while !conn.close_after_flush {
+        match next_step(conn) {
+            Step::Idle => break,
+            Step::Frame(frame) => {
                 progress = true;
                 shared.metrics.bump(&shared.metrics.frames_in);
                 handle_frame(conn, shared, frame, stopping);
             }
-            Ok(None) => break,
-            Err(WireError::Malformed(detail)) => {
+            Step::Submit { host_id, seq } => {
+                progress = true;
+                shared.metrics.bump(&shared.metrics.frames_in);
+                let counters = std::mem::take(&mut conn.counters);
+                handle_submit(conn, shared, host_id, seq, &counters, stopping);
+                conn.counters = counters;
+            }
+            Step::Malformed(detail) => {
                 progress = true;
                 shared.metrics.bump(&shared.metrics.malformed);
                 conn.queue(
@@ -392,20 +600,20 @@ fn pump(conn: &mut Conn, shared: &Shared, chunk: &mut [u8], stopping: bool) -> b
                     &shared.metrics,
                 );
             }
-            Err(err) => {
-                // Oversized (or any framing-fatal) error: apologize, flush,
-                // close. The stream can no longer be re-synchronized.
+            Step::Fatal(detail) => {
+                // Oversized (or any framing-fatal) error: apologize once,
+                // flush, close. The stream can no longer be
+                // re-synchronized.
                 progress = true;
                 shared.metrics.bump(&shared.metrics.malformed);
                 conn.queue(
                     &Frame::Error {
                         code: ErrorCode::Oversized,
-                        detail: err.to_string(),
+                        detail,
                     },
                     &shared.metrics,
                 );
                 conn.close_after_flush = true;
-                break;
             }
         }
     }
@@ -439,81 +647,111 @@ fn pump(conn: &mut Conn, shared: &Shared, chunk: &mut [u8], stopping: bool) -> b
     progress
 }
 
+/// Handles one accepted `Submit` (either protocol version) — the
+/// per-reading hot path.
+// hmd-analyze: hot-path
+fn handle_submit(
+    conn: &mut Conn,
+    shared: &Shared,
+    host_id: u64,
+    seq: u64,
+    counters: &[f64],
+    stopping: bool,
+) {
+    let metrics = &shared.metrics;
+    if stopping {
+        conn.queue(
+            &Frame::Error {
+                code: ErrorCode::ShuttingDown,
+                // hmd-analyze: allow(hot-path-alloc, "shutdown-only error detail, not the steady-state path")
+                detail: format!("host {host_id} seq {seq}: service is draining"),
+            },
+            metrics,
+        );
+        return;
+    }
+    match shared.engine.submit(host_id, seq, counters) {
+        Ok(verdict) => {
+            metrics.bump(&metrics.submits);
+            metrics.record_verdict(&verdict);
+            conn.queue(
+                &Frame::Verdict {
+                    host_id,
+                    seq,
+                    verdict,
+                },
+                metrics,
+            );
+            let every = shared.config.evict_every;
+            if every > 0 && shared.engine.ticks().is_multiple_of(every) {
+                shared.engine.evict_idle();
+            }
+        }
+        Err(e @ SubmitError::BadLength { .. }) => {
+            conn.queue(
+                &Frame::Error {
+                    code: ErrorCode::BadLength,
+                    // hmd-analyze: allow(hot-path-alloc, "rejection detail, not the steady-state path")
+                    detail: format!("host {host_id} seq {seq}: {e}"),
+                },
+                metrics,
+            );
+        }
+        Err(e @ SubmitError::OutOfOrder { .. }) => {
+            conn.queue(
+                &Frame::Error {
+                    code: ErrorCode::OutOfOrder,
+                    // hmd-analyze: allow(hot-path-alloc, "rejection detail, not the steady-state path")
+                    detail: format!("host {host_id} seq {seq}: {e}"),
+                },
+                metrics,
+            );
+        }
+    }
+}
+
 fn handle_frame(conn: &mut Conn, shared: &Shared, frame: Frame, stopping: bool) {
     let metrics = &shared.metrics;
     match frame {
-        Frame::Hello { version } => {
-            if version == PROTOCOL_VERSION {
+        Frame::Hello { version } => match version {
+            PROTOCOL_VERSION => {
                 conn.queue(
                     &Frame::Hello {
                         version: PROTOCOL_VERSION,
                     },
                     metrics,
                 );
-            } else {
+            }
+            PROTOCOL_VERSION_V2 => {
+                // Acknowledge in the *current* format (JSON on first
+                // negotiation, so a v1-decoding client can read it), then
+                // switch both directions to binary.
+                conn.queue(
+                    &Frame::Hello {
+                        version: PROTOCOL_VERSION_V2,
+                    },
+                    metrics,
+                );
+                conn.inbuf.set_format(WireFormat::V2Binary);
+            }
+            _ => {
                 conn.queue(
                     &Frame::Error {
                         code: ErrorCode::UnsupportedVersion,
                         detail: format!(
-                            "server speaks v{PROTOCOL_VERSION}, client sent v{version}"
+                            "server speaks v{PROTOCOL_VERSION} and v{PROTOCOL_VERSION_V2}, \
+                             client sent v{version}"
                         ),
                     },
                     metrics,
                 );
             }
-        }
+        },
         Frame::Submit {
             host_id,
             seq,
             counters,
-        } => {
-            if stopping {
-                conn.queue(
-                    &Frame::Error {
-                        code: ErrorCode::ShuttingDown,
-                        detail: format!("host {host_id} seq {seq}: service is draining"),
-                    },
-                    metrics,
-                );
-                return;
-            }
-            match shared.engine.submit(host_id, seq, &counters) {
-                Ok(verdict) => {
-                    metrics.bump(&metrics.submits);
-                    metrics.record_verdict(&verdict);
-                    conn.queue(
-                        &Frame::Verdict {
-                            host_id,
-                            seq,
-                            verdict,
-                        },
-                        metrics,
-                    );
-                    let every = shared.config.evict_every;
-                    if every > 0 && shared.engine.ticks().is_multiple_of(every) {
-                        shared.engine.evict_idle();
-                    }
-                }
-                Err(e @ SubmitError::BadLength { .. }) => {
-                    conn.queue(
-                        &Frame::Error {
-                            code: ErrorCode::BadLength,
-                            detail: format!("host {host_id} seq {seq}: {e}"),
-                        },
-                        metrics,
-                    );
-                }
-                Err(e @ SubmitError::OutOfOrder { .. }) => {
-                    conn.queue(
-                        &Frame::Error {
-                            code: ErrorCode::OutOfOrder,
-                            detail: format!("host {host_id} seq {seq}: {e}"),
-                        },
-                        metrics,
-                    );
-                }
-            }
-        }
+        } => handle_submit(conn, shared, host_id, seq, &counters, stopping),
         Frame::Drain { .. } => {
             conn.queue(
                 &Frame::Drain {

@@ -1,12 +1,14 @@
 //! Wire-protocol conformance: every frame type round-trips byte-exactly,
-//! and the decoder survives truncated, oversized and garbage input.
+//! on both protocol versions, and the decoders survive truncated,
+//! oversized and garbage input.
 
 use hmd_hpc_sim::workload::AppClass;
 use hmd_serve::metrics::{MetricsSnapshot, VerdictHistogram};
 use hmd_serve::protocol::{
-    encode, read_frame, write_frame, ErrorCode, Frame, FrameBuffer, WireError, MAX_FRAME_BYTES,
-    PROTOCOL_VERSION,
+    encode, encode_frame_into, read_frame, write_frame, ErrorCode, Frame, FrameBuffer, WireError,
+    WireFormat, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
+use hmd_serve::wire2;
 use twosmart::detector::Verdict;
 
 fn every_frame() -> Vec<Frame> {
@@ -47,6 +49,7 @@ fn every_frame() -> Vec<Frame> {
                 evictions: 3,
                 submits: 8,
                 connections: 4,
+                accept_errors: 1,
                 verdicts: VerdictHistogram {
                     warmup: 1,
                     benign: 5,
@@ -185,6 +188,125 @@ fn garbage_inside_valid_framing_is_malformed_and_recoverable() {
             Ok(Some(Frame::Drain { stats: None })),
             "decoder must resynchronize after {junk:?}"
         );
+    }
+}
+
+#[test]
+fn every_frame_type_round_trips_on_v2() {
+    let mut scratch = String::new();
+    for frame in every_frame() {
+        let mut wire = Vec::new();
+        encode_frame_into(WireFormat::V2Binary, &frame, &mut scratch, &mut wire);
+        let mut fb = FrameBuffer::with_format(WireFormat::V2Binary);
+        fb.extend(&wire);
+        assert_eq!(fb.next_frame(), Ok(Some(frame)));
+        assert_eq!(fb.next_frame(), Ok(None), "no trailing frame");
+    }
+}
+
+#[test]
+fn v2_frame_buffer_decodes_a_dribbled_stream() {
+    let frames = every_frame();
+    let mut scratch = String::new();
+    let mut wire = Vec::new();
+    for frame in &frames {
+        encode_frame_into(WireFormat::V2Binary, frame, &mut scratch, &mut wire);
+    }
+    let mut fb = FrameBuffer::with_format(WireFormat::V2Binary);
+    let mut decoded = Vec::new();
+    for chunk in wire.chunks(7) {
+        fb.extend(chunk);
+        while let Some(frame) = fb.next_frame().expect("stream is well-formed") {
+            decoded.push(frame);
+        }
+    }
+    assert_eq!(decoded, frames);
+}
+
+#[test]
+fn v2_garbage_inside_valid_framing_is_malformed_and_recoverable() {
+    let cases: &[&[u8]] = &[
+        b"",                             // empty payload
+        &[0x77, 1, 2, 3],                // unknown tag
+        &[0x02, 0, 0],                   // truncated Submit
+        &[0x01, 2, 0, 0, 0, 99],         // Hello with trailing byte
+        b"{\"Drain\":{\"stats\":null}}", // v1 JSON on a v2 connection
+    ];
+    let mut scratch = String::new();
+    for junk in cases {
+        let mut fb = FrameBuffer::with_format(WireFormat::V2Binary);
+        let mut framed = (junk.len() as u32).to_be_bytes().to_vec();
+        framed.extend_from_slice(junk);
+        encode_frame_into(
+            WireFormat::V2Binary,
+            &Frame::Drain { stats: None },
+            &mut scratch,
+            &mut framed,
+        );
+        fb.extend(&framed);
+        assert!(
+            matches!(fb.next_frame(), Err(WireError::Malformed(_))),
+            "payload {junk:?} must be malformed"
+        );
+        assert_eq!(
+            fb.next_frame(),
+            Ok(Some(Frame::Drain { stats: None })),
+            "decoder must resynchronize after {junk:?}"
+        );
+    }
+}
+
+#[test]
+fn v2_oversized_prefix_is_fatal_like_v1() {
+    let mut fb = FrameBuffer::with_format(WireFormat::V2Binary);
+    let mut wire = (u32::MAX).to_be_bytes().to_vec();
+    wire.extend_from_slice(&[0x02, 0, 0]);
+    fb.extend(&wire);
+    assert!(matches!(fb.next_frame(), Err(WireError::Oversized(_))));
+}
+
+#[test]
+fn v1_and_v2_decode_to_identical_frames() {
+    let mut scratch = String::new();
+    for frame in every_frame() {
+        let mut v1 = Vec::new();
+        encode_frame_into(WireFormat::V1Json, &frame, &mut scratch, &mut v1);
+        let mut v2 = Vec::new();
+        encode_frame_into(WireFormat::V2Binary, &frame, &mut scratch, &mut v2);
+        assert!(
+            v2.len() < v1.len(),
+            "binary encoding is smaller: {} vs {} for {frame:?}",
+            v2.len(),
+            v1.len()
+        );
+        let mut fb1 = FrameBuffer::with_format(WireFormat::V1Json);
+        fb1.extend(&v1);
+        let mut fb2 = FrameBuffer::with_format(WireFormat::V2Binary);
+        fb2.extend(&v2);
+        let d1 = fb1.next_frame().unwrap().unwrap();
+        let d2 = fb2.next_frame().unwrap().unwrap();
+        assert_eq!(d1, d2, "both protocols must agree on {frame:?}");
+        assert_eq!(d1, frame);
+    }
+}
+
+#[test]
+fn v2_submit_counters_preserve_float_bits() {
+    let counters = vec![1.0 / 3.0, f64::MIN_POSITIVE, -0.0, 0.1 + 0.2];
+    let frame = Frame::Submit {
+        host_id: 3,
+        seq: 4,
+        counters: counters.clone(),
+    };
+    let mut wire = Vec::new();
+    wire2::encode_into(&frame, &mut wire);
+    match wire2::decode_payload(&wire[4..]).unwrap() {
+        Frame::Submit { counters: got, .. } => {
+            let bits: Vec<u64> = got.iter().map(|c| c.to_bits()).collect();
+            let want: Vec<u64> = counters.iter().map(|c| c.to_bits()).collect();
+            assert_eq!(bits, want, "bit-exact floats");
+        }
+        other => panic!("{other:?}"),
     }
 }
 
