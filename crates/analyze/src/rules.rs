@@ -51,7 +51,7 @@ pub const RULES: &[(&str, Severity, &str)] = &[
     (
         "nondet-collection",
         Severity::Deny,
-        "HashMap/HashSet in deterministic paths (core, ml, serve::session); use BTreeMap/BTreeSet",
+        "HashMap/HashSet in deterministic paths (core, ml, sim, serve::session); use BTreeMap/BTreeSet",
     ),
     (
         "raw-spawn",
@@ -71,7 +71,7 @@ pub const RULES: &[(&str, Severity, &str)] = &[
     (
         "wallclock-in-core",
         Severity::Deny,
-        "Instant::now/SystemTime in crates/{core,ml}; breaks replay determinism",
+        "Instant::now/SystemTime in crates/{core,ml,sim}; breaks replay determinism",
     ),
     (
         "float-order",
@@ -412,6 +412,7 @@ fn emit(
 fn in_deterministic_scope(path: &str) -> bool {
     path.starts_with("crates/core/src/")
         || path.starts_with("crates/ml/src/")
+        || path.starts_with("crates/sim/src/")
         || path == "crates/serve/src/session.rs"
 }
 
@@ -540,7 +541,10 @@ fn rule_panic_in_serve(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
 }
 
 fn rule_wallclock_in_core(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
-    if !(ctx.path.starts_with("crates/core/src/") || ctx.path.starts_with("crates/ml/src/")) {
+    if !(ctx.path.starts_with("crates/core/src/")
+        || ctx.path.starts_with("crates/ml/src/")
+        || ctx.path.starts_with("crates/sim/src/"))
+    {
         return;
     }
     for i in 0..ctx.code.len() {
@@ -557,7 +561,7 @@ fn rule_wallclock_in_core(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
                 out,
                 "wallclock-in-core",
                 t.line,
-                format!("{name} reads the wall clock; core/ml must stay replay-deterministic"),
+                format!("{name} reads the wall clock; core/ml/sim must stay replay-deterministic"),
             );
         }
     }
@@ -674,6 +678,26 @@ mod tests {
     fn hashmap_outside_scope_ignored() {
         let src = "use std::collections::HashMap;\n";
         assert!(unsuppressed("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sim_crate_is_deterministic_scope() {
+        let hash = "use std::collections::HashMap;\n";
+        assert_eq!(unsuppressed("crates/sim/src/harness.rs", hash).len(), 1);
+        assert_eq!(unsuppressed("crates/sim/src/bin/hmd-sim.rs", hash).len(), 1);
+        let clock = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(
+            unsuppressed("crates/sim/src/harness.rs", clock)
+                .iter()
+                .filter(|d| d.rule == "wallclock-in-core")
+                .count(),
+            1,
+            "virtual-time sim must never read the wall clock"
+        );
+        // Panic discipline is a serve-worker rule; the sim harness may
+        // expect() on its own invariants.
+        let panics = "fn f() { x.unwrap(); }\n";
+        assert!(unsuppressed("crates/sim/src/harness.rs", panics).is_empty());
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   host behind a sharded mutex map, with idle-session eviction.
 //! - [`metrics`] — lock-free atomic service counters, snapshotted over the
 //!   wire by the `Drain` frame.
+//! - [`service`] — the transport-independent connection state machine:
+//!   decode, negotiate, submit, reply, backpressure — generic over any
+//!   `Read + Write` stream, shared by the TCP server and the `hmd-sim`
+//!   virtual-time simulation.
 //! - [`server`] — a multi-threaded `std::net::TcpListener` server: accept
 //!   loop, fixed worker pool (thread count follows the `hmd_ml::par`
 //!   conventions, i.e. `TWOSMART_THREADS`), bounded connection budget with
@@ -50,5 +54,6 @@ pub mod metrics;
 pub mod protocol;
 pub mod ready;
 pub mod server;
+pub mod service;
 pub mod session;
 pub mod wire2;

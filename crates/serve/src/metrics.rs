@@ -13,9 +13,11 @@ use twosmart::detector::Verdict;
 
 /// Shared atomic counters for one server instance.
 ///
-/// All counters are monotone; `Relaxed` ordering is sufficient because the
-/// snapshot only promises per-counter atomicity, not a cross-counter
-/// consistent cut.
+/// All counters are monotone except the [`sessions`](Metrics::sessions)
+/// and [`session_bytes`](Metrics::session_bytes) gauges, which the session
+/// engine moves in both directions as sessions are created and evicted.
+/// `Relaxed` ordering is sufficient because the snapshot only promises
+/// per-counter atomicity, not a cross-counter consistent cut.
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// Frames successfully decoded from clients.
@@ -36,6 +38,14 @@ pub struct Metrics {
     /// socket setup (`set_nonblocking`/`set_nodelay`) failed — without
     /// this counter those accepts would vanish silently.
     pub accept_errors: AtomicU64,
+    /// Live host sessions (gauge): incremented on first contact,
+    /// decremented on eviction.
+    pub sessions: AtomicU64,
+    /// Estimated bytes of in-memory session state behind the
+    /// [`sessions`](Metrics::sessions) gauge — live sessions times the
+    /// engine's per-session estimate, so the fleet-scale memory claim is
+    /// observable from a `Drain`, not inferred.
+    pub session_bytes: AtomicU64,
     /// Verdicts still in warm-up (window not yet full).
     pub warmup: AtomicU64,
     /// Smoothed benign verdicts.
@@ -54,6 +64,20 @@ impl Metrics {
     /// Increments a counter by one.
     pub fn bump(&self, counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a counter in one atomic op — the bulk path for callers
+    /// that already know the batch size (e.g. an eviction sweep), instead
+    /// of `n` separate `bump`s.
+    pub fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` from a gauge. Callers are responsible for balance
+    /// (every subtraction matches an earlier addition); the session engine
+    /// is the only writer that moves gauges down.
+    pub fn sub(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_sub(n, Ordering::Relaxed);
     }
 
     /// Records one smoothed verdict (or a warm-up `None`) in the verdict
@@ -85,6 +109,8 @@ impl Metrics {
             submits: get(&self.submits),
             connections: get(&self.connections),
             accept_errors: get(&self.accept_errors),
+            sessions: get(&self.sessions),
+            session_bytes: get(&self.session_bytes),
             verdicts: VerdictHistogram {
                 warmup: get(&self.warmup),
                 benign: get(&self.benign),
@@ -146,6 +172,10 @@ pub struct MetricsSnapshot {
     pub connections: u64,
     /// Accepted connections dropped during socket setup.
     pub accept_errors: u64,
+    /// Live host sessions at snapshot time (gauge).
+    pub sessions: u64,
+    /// Estimated bytes of live session state at snapshot time (gauge).
+    pub session_bytes: u64,
     /// Verdict outcome histogram.
     pub verdicts: VerdictHistogram,
 }
@@ -179,6 +209,21 @@ mod tests {
             ),
             (1, 1, 1, 1)
         );
+    }
+
+    #[test]
+    fn add_and_sub_move_counters_in_bulk() {
+        let m = Metrics::new();
+        m.add(&m.evictions, 1000);
+        m.bump(&m.evictions);
+        assert_eq!(m.snapshot().evictions, 1001);
+        m.add(&m.sessions, 7);
+        m.sub(&m.sessions, 3);
+        m.add(&m.session_bytes, 7 * 4096);
+        m.sub(&m.session_bytes, 3 * 4096);
+        let s = m.snapshot();
+        assert_eq!(s.sessions, 4);
+        assert_eq!(s.session_bytes, 4 * 4096);
     }
 
     #[test]

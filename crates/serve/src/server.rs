@@ -43,14 +43,11 @@
 //! then closes.
 
 use crate::metrics::Metrics;
-use crate::protocol::{
-    encode, encode_frame_into, ErrorCode, Frame, FrameBuffer, WireError, WireFormat,
-    PROTOCOL_VERSION, PROTOCOL_VERSION_V2,
-};
+use crate::protocol::{encode, ErrorCode, Frame};
 use crate::ready::{ConnSched, Pacer};
-use crate::session::{SessionConfig, SessionEngine, SubmitError};
-use crate::wire2;
-use std::io::{ErrorKind, Read, Write};
+use crate::service::{pump, Conn, Service, ServiceLimits};
+use crate::session::{SessionConfig, SessionEngine};
+use std::io::{ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -153,53 +150,14 @@ impl From<OnlineError> for ServeError {
     }
 }
 
-/// One live connection owned by a worker.
-struct Conn {
-    stream: TcpStream,
-    inbuf: FrameBuffer,
-    outbuf: Vec<u8>,
-    /// Reused JSON serialization scratch for v1 replies; v2 replies pack
-    /// straight into `outbuf`.
-    json_scratch: String,
-    /// Reused counter scratch for the v2 Submit fast path.
-    counters: Vec<f64>,
-    written: usize,
+/// One live connection owned by a worker: the transport-generic
+/// [`Conn`] (protocol state, buffers) plus this server's readiness
+/// schedule — pacing is a TCP concern, so it stays out of the service
+/// core.
+struct WorkerConn {
+    conn: Conn<TcpStream>,
     /// Readiness schedule (when this connection is next probed).
     sched: ConnSched,
-    /// Close after the outbuf flushes (oversized frame / fatal error).
-    close_after_flush: bool,
-    dead: bool,
-}
-
-impl Conn {
-    fn new(stream: TcpStream, sched: ConnSched) -> Conn {
-        Conn {
-            stream,
-            inbuf: FrameBuffer::new(),
-            outbuf: Vec::new(),
-            json_scratch: String::new(),
-            counters: Vec::new(),
-            written: 0,
-            sched,
-            close_after_flush: false,
-            dead: false,
-        }
-    }
-
-    // hmd-analyze: hot-path
-    fn queue(&mut self, frame: &Frame, metrics: &Metrics) {
-        encode_frame_into(
-            self.inbuf.format(),
-            frame,
-            &mut self.json_scratch,
-            &mut self.outbuf,
-        );
-        metrics.bump(&metrics.frames_out);
-    }
-
-    fn backlog(&self) -> usize {
-        self.outbuf.len() - self.written
-    }
 }
 
 /// Connection handoff from the accept thread to one worker: a queue plus
@@ -233,8 +191,7 @@ impl Inbox {
 }
 
 struct Shared {
-    engine: SessionEngine,
-    metrics: Arc<Metrics>,
+    service: Service,
     stop: AtomicBool,
     conns: AtomicUsize,
     inboxes: Vec<Arc<Inbox>>,
@@ -257,12 +214,12 @@ impl ServerHandle {
 
     /// Live service metrics.
     pub fn metrics(&self) -> Arc<Metrics> {
-        Arc::clone(&self.shared.metrics)
+        Arc::clone(&self.shared.service.metrics)
     }
 
     /// Live host-session count.
     pub fn sessions(&self) -> usize {
-        self.shared.engine.sessions()
+        self.shared.service.engine.sessions()
     }
 
     /// Signals shutdown, drains buffered frames on open connections,
@@ -313,9 +270,13 @@ pub fn serve(detector: TwoSmartDetector, config: ServeConfig) -> Result<ServerHa
         config.workers
     };
     let inboxes: Vec<Arc<Inbox>> = (0..workers).map(|_| Arc::new(Inbox::new())).collect();
+    let limits = ServiceLimits {
+        max_outbuf: config.max_outbuf,
+        max_inbuf: config.max_inbuf,
+        evict_every: config.evict_every,
+    };
     let shared = Arc::new(Shared {
-        engine,
-        metrics,
+        service: Service::new(engine, metrics, limits),
         stop: AtomicBool::new(false),
         conns: AtomicUsize::new(0),
         inboxes,
@@ -351,7 +312,8 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         }
         match listener.accept() {
             Ok((stream, _)) => {
-                shared.metrics.bump(&shared.metrics.connections);
+                let metrics = &shared.service.metrics;
+                metrics.bump(&metrics.connections);
                 if shared.conns.load(Ordering::SeqCst) >= shared.config.max_connections {
                     shed(stream, shared);
                     continue;
@@ -359,7 +321,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                 if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
                     // The peer is gone (or the fd is broken); count the
                     // drop instead of vanishing it.
-                    shared.metrics.bump(&shared.metrics.accept_errors);
+                    metrics.bump(&metrics.accept_errors);
                     continue;
                 }
                 shared.conns.fetch_add(1, Ordering::SeqCst);
@@ -387,7 +349,8 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 /// the ~100-byte frame, so the reply is only lost if the peer is already
 /// gone.
 fn shed(stream: TcpStream, shared: &Shared) {
-    shared.metrics.bump(&shared.metrics.shed);
+    let metrics = &shared.service.metrics;
+    metrics.bump(&metrics.shed);
     let mut stream = stream;
     if stream.set_nonblocking(true).is_err() {
         return;
@@ -404,7 +367,7 @@ fn shed(stream: TcpStream, shared: &Shared) {
 fn worker_loop(shared: &Shared, inbox: &Inbox) {
     let readiness = shared.config.event_loop == EventLoop::Readiness;
     let pacer = Pacer::new(IDLE_BASE, IDLE_CAP);
-    let mut conns: Vec<Conn> = Vec::new();
+    let mut conns: Vec<WorkerConn> = Vec::new();
     let mut read_chunk = [0u8; 16 * 1024];
     let mut stop_passes = 0u32;
     loop {
@@ -432,28 +395,27 @@ fn worker_loop(shared: &Shared, inbox: &Inbox) {
                 }
             }
             let now = Instant::now();
-            conns.extend(
-                incoming
-                    .drain(..)
-                    .map(|stream| Conn::new(stream, pacer.register(now))),
-            );
+            conns.extend(incoming.drain(..).map(|stream| WorkerConn {
+                conn: Conn::new(stream),
+                sched: pacer.register(now),
+            }));
         }
         let now = Instant::now();
         let mut progress = false;
-        for conn in &mut conns {
-            if readiness && !stopping && !pacer.is_due(&conn.sched, now) {
+        for wc in &mut conns {
+            if readiness && !stopping && !pacer.is_due(&wc.sched, now) {
                 continue;
             }
-            let moved = pump(conn, shared, &mut read_chunk, stopping);
+            let moved = pump(&mut wc.conn, &shared.service, &mut read_chunk, stopping);
             progress |= moved;
             if moved {
-                pacer.mark_progress(&mut conn.sched, now);
+                pacer.mark_progress(&mut wc.sched, now);
             } else {
-                pacer.mark_idle(&mut conn.sched, now);
+                pacer.mark_idle(&mut wc.sched, now);
             }
         }
         let before = conns.len();
-        conns.retain(|c| !c.dead);
+        conns.retain(|c| !c.conn.is_dead());
         if conns.len() != before {
             shared
                 .conns
@@ -465,7 +427,7 @@ fn worker_loop(shared: &Shared, inbox: &Inbox) {
             // stops reading cannot hold the drain hostage: give up after
             // a bounded number of passes.
             stop_passes += 1;
-            let drained = conns.iter().all(|c| c.backlog() == 0);
+            let drained = conns.iter().all(|c| c.conn.backlog() == 0);
             if drained || stop_passes > 5_000 {
                 shared.conns.fetch_sub(conns.len(), Ordering::SeqCst);
                 return;
@@ -475,299 +437,6 @@ fn worker_loop(shared: &Shared, inbox: &Inbox) {
             // BusyPoll pacing (and the drain loop): brief sleep instead of
             // condvar parking, preserving the original oracle behaviour.
             std::thread::sleep(Duration::from_micros(200));
-        }
-    }
-}
-
-/// One decoded step off a connection's input buffer. For v2 Submits the
-/// counters land in `Conn::counters` (no `Frame` is built); everything
-/// else arrives as a full frame.
-enum Step {
-    /// Need more bytes.
-    Idle,
-    /// A complete non-fast-path frame.
-    Frame(Frame),
-    /// A v2 Submit decoded into the connection's counter scratch.
-    Submit { host_id: u64, seq: u64 },
-    /// Recoverable decode failure (stream stays framed).
-    Malformed(String),
-    /// Framing-fatal failure (connection must close after one error).
-    Fatal(String),
-}
-
-/// Pulls the next decode step. Split-borrows `inbuf` and `counters` so
-/// the v2 fast path can decode a payload slice straight into scratch.
-// hmd-analyze: hot-path
-fn next_step(conn: &mut Conn) -> Step {
-    let format = conn.inbuf.format();
-    let Conn {
-        inbuf, counters, ..
-    } = conn;
-    match format {
-        WireFormat::V1Json => match inbuf.next_frame() {
-            Ok(Some(frame)) => Step::Frame(frame),
-            Ok(None) => Step::Idle,
-            Err(WireError::Malformed(detail)) => Step::Malformed(detail),
-            // hmd-analyze: allow(hot-path-alloc, "framing-fatal rejection path; the connection closes after this")
-            Err(err) => Step::Fatal(err.to_string()),
-        },
-        WireFormat::V2Binary => match inbuf.next_payload() {
-            Ok(Some(payload)) => {
-                if wire2::is_submit(payload) {
-                    if let Some((host_id, seq)) = wire2::decode_submit_into(payload, counters) {
-                        return Step::Submit { host_id, seq };
-                    }
-                }
-                // Non-Submit tags and malformed Submits take the generic
-                // (allocating) decoder for the canonical error text.
-                match wire2::decode_payload(payload) {
-                    Ok(frame) => Step::Frame(frame),
-                    Err(WireError::Malformed(detail)) => Step::Malformed(detail),
-                    // hmd-analyze: allow(hot-path-alloc, "framing-fatal rejection path; the connection closes after this")
-                    Err(err) => Step::Fatal(err.to_string()),
-                }
-            }
-            Ok(None) => Step::Idle,
-            Err(WireError::Malformed(detail)) => Step::Malformed(detail),
-            // hmd-analyze: allow(hot-path-alloc, "framing-fatal rejection path; the connection closes after this")
-            Err(err) => Step::Fatal(err.to_string()),
-        },
-    }
-}
-
-/// One service pass over a connection: read what the socket has, decode
-/// and handle complete frames, flush queued replies. Returns whether any
-/// byte moved (the pacer's progress signal).
-fn pump(conn: &mut Conn, shared: &Shared, chunk: &mut [u8], stopping: bool) -> bool {
-    let mut progress = false;
-
-    // Read — unless the connection is closing or either backpressure cap
-    // is in force.
-    if !conn.close_after_flush
-        && conn.backlog() < shared.config.max_outbuf
-        && conn.inbuf.pending() < shared.config.max_inbuf
-    {
-        loop {
-            match conn.stream.read(chunk) {
-                Ok(0) => {
-                    conn.dead = true;
-                    return true;
-                }
-                Ok(n) => {
-                    progress = true;
-                    conn.inbuf.extend(&chunk[..n]);
-                    if conn.inbuf.pending() >= shared.config.max_inbuf {
-                        break; // decode before buffering more
-                    }
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    conn.dead = true;
-                    return true;
-                }
-            }
-        }
-    }
-
-    // Decode and handle — fully skipped once the connection is closing:
-    // the fatal error frame was queued exactly once, and re-decoding the
-    // unconsumed buffer would re-queue it every pass, growing `outbuf`
-    // without bound against a slow-reading peer.
-    while !conn.close_after_flush {
-        match next_step(conn) {
-            Step::Idle => break,
-            Step::Frame(frame) => {
-                progress = true;
-                shared.metrics.bump(&shared.metrics.frames_in);
-                handle_frame(conn, shared, frame, stopping);
-            }
-            Step::Submit { host_id, seq } => {
-                progress = true;
-                shared.metrics.bump(&shared.metrics.frames_in);
-                let counters = std::mem::take(&mut conn.counters);
-                handle_submit(conn, shared, host_id, seq, &counters, stopping);
-                conn.counters = counters;
-            }
-            Step::Malformed(detail) => {
-                progress = true;
-                shared.metrics.bump(&shared.metrics.malformed);
-                conn.queue(
-                    &Frame::Error {
-                        code: ErrorCode::Malformed,
-                        detail,
-                    },
-                    &shared.metrics,
-                );
-            }
-            Step::Fatal(detail) => {
-                // Oversized (or any framing-fatal) error: apologize once,
-                // flush, close. The stream can no longer be
-                // re-synchronized.
-                progress = true;
-                shared.metrics.bump(&shared.metrics.malformed);
-                conn.queue(
-                    &Frame::Error {
-                        code: ErrorCode::Oversized,
-                        detail,
-                    },
-                    &shared.metrics,
-                );
-                conn.close_after_flush = true;
-            }
-        }
-    }
-
-    // Flush.
-    while conn.backlog() > 0 {
-        match conn.stream.write(&conn.outbuf[conn.written..]) {
-            Ok(0) => {
-                conn.dead = true;
-                return true;
-            }
-            Ok(n) => {
-                progress = true;
-                conn.written += n;
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(_) => {
-                conn.dead = true;
-                return true;
-            }
-        }
-    }
-    if conn.backlog() == 0 {
-        conn.outbuf.clear();
-        conn.written = 0;
-        if conn.close_after_flush {
-            conn.dead = true;
-        }
-    }
-    progress
-}
-
-/// Handles one accepted `Submit` (either protocol version) — the
-/// per-reading hot path.
-// hmd-analyze: hot-path
-fn handle_submit(
-    conn: &mut Conn,
-    shared: &Shared,
-    host_id: u64,
-    seq: u64,
-    counters: &[f64],
-    stopping: bool,
-) {
-    let metrics = &shared.metrics;
-    if stopping {
-        conn.queue(
-            &Frame::Error {
-                code: ErrorCode::ShuttingDown,
-                // hmd-analyze: allow(hot-path-alloc, "shutdown-only error detail, not the steady-state path")
-                detail: format!("host {host_id} seq {seq}: service is draining"),
-            },
-            metrics,
-        );
-        return;
-    }
-    match shared.engine.submit(host_id, seq, counters) {
-        Ok(verdict) => {
-            metrics.bump(&metrics.submits);
-            metrics.record_verdict(&verdict);
-            conn.queue(
-                &Frame::Verdict {
-                    host_id,
-                    seq,
-                    verdict,
-                },
-                metrics,
-            );
-            let every = shared.config.evict_every;
-            if every > 0 && shared.engine.ticks().is_multiple_of(every) {
-                shared.engine.evict_idle();
-            }
-        }
-        Err(e @ SubmitError::BadLength { .. }) => {
-            conn.queue(
-                &Frame::Error {
-                    code: ErrorCode::BadLength,
-                    // hmd-analyze: allow(hot-path-alloc, "rejection detail, not the steady-state path")
-                    detail: format!("host {host_id} seq {seq}: {e}"),
-                },
-                metrics,
-            );
-        }
-        Err(e @ SubmitError::OutOfOrder { .. }) => {
-            conn.queue(
-                &Frame::Error {
-                    code: ErrorCode::OutOfOrder,
-                    // hmd-analyze: allow(hot-path-alloc, "rejection detail, not the steady-state path")
-                    detail: format!("host {host_id} seq {seq}: {e}"),
-                },
-                metrics,
-            );
-        }
-    }
-}
-
-fn handle_frame(conn: &mut Conn, shared: &Shared, frame: Frame, stopping: bool) {
-    let metrics = &shared.metrics;
-    match frame {
-        Frame::Hello { version } => match version {
-            PROTOCOL_VERSION => {
-                conn.queue(
-                    &Frame::Hello {
-                        version: PROTOCOL_VERSION,
-                    },
-                    metrics,
-                );
-            }
-            PROTOCOL_VERSION_V2 => {
-                // Acknowledge in the *current* format (JSON on first
-                // negotiation, so a v1-decoding client can read it), then
-                // switch both directions to binary.
-                conn.queue(
-                    &Frame::Hello {
-                        version: PROTOCOL_VERSION_V2,
-                    },
-                    metrics,
-                );
-                conn.inbuf.set_format(WireFormat::V2Binary);
-            }
-            _ => {
-                conn.queue(
-                    &Frame::Error {
-                        code: ErrorCode::UnsupportedVersion,
-                        detail: format!(
-                            "server speaks v{PROTOCOL_VERSION} and v{PROTOCOL_VERSION_V2}, \
-                             client sent v{version}"
-                        ),
-                    },
-                    metrics,
-                );
-            }
-        },
-        Frame::Submit {
-            host_id,
-            seq,
-            counters,
-        } => handle_submit(conn, shared, host_id, seq, &counters, stopping),
-        Frame::Drain { .. } => {
-            conn.queue(
-                &Frame::Drain {
-                    stats: Some(metrics.snapshot()),
-                },
-                metrics,
-            );
-        }
-        Frame::Verdict { .. } | Frame::Error { .. } => {
-            conn.queue(
-                &Frame::Error {
-                    code: ErrorCode::Unexpected,
-                    detail: "server does not accept Verdict/Error frames".into(),
-                },
-                metrics,
-            );
         }
     }
 }

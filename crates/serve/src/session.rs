@@ -23,10 +23,29 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use twosmart::detector::{TwoSmartDetector, Verdict};
 use twosmart::online::{OnlineDetector, OnlineError};
+use twosmart::persist::DetectorSnapshot;
 
 /// One shard's sessions, ordered by host id so every iteration (eviction,
 /// counting, debugging) visits hosts in the same order on every run.
 type Shard = BTreeMap<u64, HostSession>;
+
+/// How the engine's logical clock advances.
+///
+/// `last_seen` stamps and the idle-eviction threshold are measured on this
+/// clock, so the time source decides what "idle" means — and whether the
+/// stamps depend on cross-host submit interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimeSource {
+    /// One tick per submit (the TCP server's mode): `idle_after` counts
+    /// engine-wide submits since a host was last seen.
+    #[default]
+    PerSubmit,
+    /// Caller-driven: the clock moves only via [`SessionEngine::set_time`]
+    /// (the virtual-time simulation's mode). Every submit within one
+    /// caller tick gets the same `last_seen`, so eviction boundaries are
+    /// independent of how workers interleave submits inside a tick.
+    External,
+}
 
 /// Tuning for the session engine.
 #[derive(Debug, Clone)]
@@ -37,9 +56,12 @@ pub struct SessionConfig {
     pub window: usize,
     /// Vote-smoothing depth handed to each host's [`OnlineDetector`].
     pub votes: usize,
-    /// A session is evictable once this many submits (engine-wide logical
-    /// ticks) have passed since it last saw one. `0` disables eviction.
+    /// A session is evictable once this many logical ticks (see
+    /// [`TimeSource`]) have passed since it last saw a submit. `0`
+    /// disables eviction.
     pub idle_after: u64,
+    /// What a logical tick is (defaults to one tick per submit).
+    pub time: TimeSource,
 }
 
 impl Default for SessionConfig {
@@ -49,6 +71,7 @@ impl Default for SessionConfig {
             window: 8,
             votes: 3,
             idle_after: 1 << 20,
+            time: TimeSource::PerSubmit,
         }
     }
 }
@@ -100,8 +123,12 @@ pub struct SessionEngine {
     /// Never-pushed prototype cloned for each new host.
     template: OnlineDetector,
     idle_after: u64,
-    /// Logical clock: one tick per submit.
+    /// Logical clock; advanced per submit or externally per [`TimeSource`].
     clock: AtomicU64,
+    time: TimeSource,
+    /// Estimated in-memory bytes of one session, computed once from the
+    /// template; feeds the `session_bytes` gauge.
+    per_session_bytes: u64,
     metrics: Arc<Metrics>,
 }
 
@@ -119,6 +146,7 @@ impl SessionEngine {
         metrics: Arc<Metrics>,
     ) -> Result<SessionEngine, OnlineError> {
         let template = OnlineDetector::new(detector, config.window, config.votes)?;
+        let per_session_bytes = estimate_session_bytes(&template);
         let shards = (0..config.shards.max(1))
             .map(|_| Mutex::new(Shard::new()))
             .collect();
@@ -127,6 +155,8 @@ impl SessionEngine {
             template,
             idle_after: config.idle_after,
             clock: AtomicU64::new(0),
+            time: config.time,
+            per_session_bytes,
             metrics,
         })
     }
@@ -159,14 +189,26 @@ impl SessionEngine {
         seq: u64,
         counters: &[f64],
     ) -> Result<Option<Verdict>, SubmitError> {
-        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        let now = match self.time {
+            TimeSource::PerSubmit => self.clock.fetch_add(1, Ordering::Relaxed),
+            TimeSource::External => self.clock.load(Ordering::Relaxed),
+        };
         let mut shard = Self::lock(&self.shards[self.shard_of(host_id)]);
-        let session = shard.entry(host_id).or_insert_with(|| HostSession {
-            // hmd-analyze: allow(hot-path-alloc, "one-time per-host session construction, not per-reading")
-            online: self.template.clone(),
-            last_seq: None,
-            last_seen: now,
+        let mut created = false;
+        let session = shard.entry(host_id).or_insert_with(|| {
+            created = true;
+            HostSession {
+                // hmd-analyze: allow(hot-path-alloc, "one-time per-host session construction, not per-reading")
+                online: self.template.clone(),
+                last_seq: None,
+                last_seen: now,
+            }
         });
+        if created {
+            self.metrics.bump(&self.metrics.sessions);
+            self.metrics
+                .add(&self.metrics.session_bytes, self.per_session_bytes);
+        }
         if let Some(last) = session.last_seq {
             if seq <= last {
                 return Err(SubmitError::OutOfOrder { last, got: seq });
@@ -192,15 +234,22 @@ impl SessionEngine {
         Ok(verdict)
     }
 
-    /// Removes sessions idle for more than `idle_after` ticks. Returns the
-    /// evicted host ids (also counted into the `evictions` metric) in a
-    /// deterministic order: ascending shard index, then ascending host id
-    /// within the shard — so eviction logs diff cleanly run to run.
+    /// Removes sessions idle for more than `idle_after` ticks as of the
+    /// engine's current clock. Returns the evicted host ids (also counted
+    /// into the `evictions` metric) in a deterministic order: ascending
+    /// shard index, then ascending host id within the shard — so eviction
+    /// logs diff cleanly run to run.
     pub fn evict_idle(&self) -> Vec<u64> {
+        self.evict_idle_at(self.clock.load(Ordering::Relaxed))
+    }
+
+    /// [`evict_idle`](Self::evict_idle) with a caller-supplied notion of
+    /// "now" on the engine's logical clock — the virtual-time simulation
+    /// sweeps sessions at tick boundaries through this.
+    pub fn evict_idle_at(&self, now: u64) -> Vec<u64> {
         if self.idle_after == 0 {
             return Vec::new();
         }
-        let now = self.clock.load(Ordering::Relaxed);
         let mut evicted = Vec::new();
         for shard in &self.shards {
             let mut map = Self::lock(shard);
@@ -214,9 +263,11 @@ impl SessionEngine {
                 keep
             });
         }
-        for _ in 0..evicted.len() {
-            self.metrics.bump(&self.metrics.evictions);
-        }
+        let n = evicted.len() as u64;
+        self.metrics.add(&self.metrics.evictions, n);
+        self.metrics.sub(&self.metrics.sessions, n);
+        self.metrics
+            .sub(&self.metrics.session_bytes, n * self.per_session_bytes);
         evicted
     }
 
@@ -230,11 +281,47 @@ impl SessionEngine {
         self.clock.load(Ordering::Relaxed)
     }
 
+    /// Sets the logical clock (meaningful with [`TimeSource::External`]):
+    /// the simulation calls this once per virtual tick, so every submit in
+    /// the tick shares one `last_seen` stamp regardless of worker
+    /// interleaving.
+    pub fn set_time(&self, now: u64) {
+        self.clock.store(now, Ordering::Relaxed);
+    }
+
+    /// Estimated in-memory bytes of one host session (struct + window and
+    /// vote buffers + a serialized-snapshot proxy for the cloned model's
+    /// heap). Computed once at construction; `sessions() *
+    /// session_bytes_estimate()` is what the `session_bytes` gauge tracks.
+    pub fn session_bytes_estimate(&self) -> u64 {
+        self.per_session_bytes
+    }
+
     fn shard_of(&self, host_id: u64) -> usize {
         // SplitMix-style finalizer (same family as `hmd_ml::par::derive_seed`)
         // so sequential host ids spread across shards.
         (hmd_ml::par::derive_seed(host_id, 0) % self.shards.len() as u64) as usize
     }
+}
+
+/// Estimates the resident bytes of one [`HostSession`]: fixed struct
+/// overhead, the window ring / running-sum / vote buffers the online
+/// wrapper allocates, and the serialized model snapshot as a proxy for the
+/// cloned detector's heap (every session clones the full template).
+fn estimate_session_bytes(template: &OnlineDetector) -> u64 {
+    let k = template.arity();
+    let buffers = template.window() * k * 8 // ring
+        + 2 * k * 8 // running sums + means
+        + template.votes() * std::mem::size_of::<Option<Verdict>>()
+        + k * std::mem::size_of::<usize>(); // event indices
+                                            // The detector is not directly serializable, but its snapshot is — a
+                                            // capture failure (can't happen for a trained detector) degrades the
+                                            // estimate, never the engine.
+    let model = DetectorSnapshot::capture(template.detector())
+        .ok()
+        .and_then(|s| serde_json::to_string(&s).ok())
+        .map_or(0, |j| j.len());
+    (std::mem::size_of::<HostSession>() + buffers + model) as u64
 }
 
 impl std::fmt::Debug for SessionEngine {
@@ -395,6 +482,163 @@ mod tests {
             expected,
             "single shard evicts in ascending host-id order"
         );
+    }
+
+    #[test]
+    fn session_gauges_track_creation_and_eviction() {
+        let metrics = Arc::new(Metrics::new());
+        let e = SessionEngine::new(
+            detector(),
+            &SessionConfig {
+                idle_after: 2,
+                ..SessionConfig::default()
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let per = e.session_bytes_estimate();
+        assert!(per > 0, "estimate includes buffers and model proxy");
+        let r = [1.0; 4];
+        e.submit(1, 0, &r).unwrap();
+        e.submit(2, 0, &r).unwrap();
+        let s = metrics.snapshot();
+        assert_eq!(s.sessions, 2);
+        assert_eq!(s.session_bytes, 2 * per);
+        // Resubmits to a live session must not re-count it.
+        e.submit(2, 1, &r).unwrap();
+        assert_eq!(metrics.snapshot().sessions, 2);
+        for seq in 2..8 {
+            e.submit(2, seq, &r).unwrap();
+        }
+        assert_eq!(e.evict_idle(), vec![1]);
+        let s = metrics.snapshot();
+        assert_eq!(s.sessions, 1);
+        assert_eq!(s.session_bytes, per);
+    }
+
+    #[test]
+    fn external_time_source_is_submit_order_independent() {
+        // With an external clock, every submit in a tick shares one
+        // last_seen stamp, so eviction outcomes cannot depend on how
+        // submits interleave within the tick.
+        let run = |hosts: &[u64]| {
+            let e = engine(&SessionConfig {
+                idle_after: 3,
+                time: TimeSource::External,
+                ..SessionConfig::default()
+            });
+            let r = [1.0; 4];
+            e.set_time(0);
+            for &h in hosts {
+                e.submit(h, 0, &r).unwrap();
+            }
+            for t in 1..=5 {
+                e.set_time(t);
+                e.submit(7, t, &r).unwrap(); // host 7 stays hot
+            }
+            let mut out = e.evict_idle_at(5);
+            out.sort_unstable();
+            out
+        };
+        let forward = run(&[3, 5, 7, 9]);
+        let reverse = run(&[9, 7, 5, 3]);
+        assert_eq!(forward, reverse);
+        assert_eq!(forward, vec![3, 5, 9]);
+    }
+
+    #[test]
+    fn per_submit_clock_still_advances_by_default() {
+        let e = engine(&SessionConfig::default());
+        let r = [1.0; 4];
+        e.submit(1, 0, &r).unwrap();
+        e.submit(1, 1, &r).unwrap();
+        assert_eq!(e.ticks(), 2, "default mode ticks once per submit");
+    }
+
+    #[test]
+    fn submit_racing_eviction_lands_or_restarts_deterministically() {
+        // Regression: a submit arriving the same logical tick a host
+        // crosses the idle threshold. Whichever side wins the shard lock,
+        // the outcome must be one of exactly two defined states — the
+        // submit lands in the old session, or it restarts a fresh one
+        // (warm-up verdict) — never a panic or a silently dropped frame.
+        let r = [1.0; 4];
+        let mk = || {
+            let e = engine(&SessionConfig {
+                idle_after: 2,
+                time: TimeSource::External,
+                ..SessionConfig::default()
+            });
+            e.set_time(0);
+            e.submit(42, 0, &r).unwrap();
+            e.set_time(7); // idle threshold long passed
+            e
+        };
+        // Order A: eviction first → the submit restarts the session with
+        // fresh seq space, so even a replayed seq 0 is accepted (warm-up).
+        let e = mk();
+        assert_eq!(e.evict_idle_at(7), vec![42]);
+        assert_eq!(e.submit(42, 0, &r), Ok(None));
+        assert_eq!(e.sessions(), 1);
+        // Order B: submit first → it refreshes last_seen, so the same-tick
+        // sweep must keep the session and the seq guard still applies.
+        let e = mk();
+        assert_eq!(e.submit(42, 1, &r), Ok(None));
+        assert_eq!(e.evict_idle_at(7), Vec::<u64>::new());
+        assert_eq!(
+            e.submit(42, 1, &r),
+            Err(SubmitError::OutOfOrder { last: 1, got: 1 })
+        );
+    }
+
+    #[test]
+    fn concurrent_submits_and_evictions_never_panic_or_drop() {
+        // Threaded stress of the same race: many hosts submitting while a
+        // sweeper evicts with an ever-advancing external clock. Every
+        // submit must return Ok — each thread owns its host's seq space,
+        // and eviction between submits only restarts warm-up.
+        use std::sync::atomic::AtomicBool;
+        let e = Arc::new(
+            SessionEngine::new(
+                detector(),
+                &SessionConfig {
+                    shards: 4,
+                    idle_after: 1,
+                    time: TimeSource::External,
+                    ..SessionConfig::default()
+                },
+                Arc::new(Metrics::new()),
+            )
+            .unwrap(),
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let sweeper = {
+            let (e, stop) = (Arc::clone(&e), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                let mut now = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    now += 1;
+                    e.set_time(now);
+                    e.evict_idle_at(now);
+                }
+            })
+        };
+        let workers: Vec<_> = (0..4)
+            .map(|host| {
+                let e = Arc::clone(&e);
+                std::thread::spawn(move || {
+                    let r = [1.0; 4];
+                    for seq in 0..2000 {
+                        e.submit(host, seq, &r).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("no worker panicked");
+        }
+        stop.store(true, Ordering::Relaxed);
+        sweeper.join().expect("sweeper never panicked");
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //!                 kind 0 = warm-up (None)
 //!                 kind 1 = Benign
 //!                 kind 2 = Malware: + [class u8][confidence f64]   27 B
-//! 0x04 Drain:   [tag u8][has u8]; has 1 = + [u64 × 14] snapshot    2|114 B
+//! 0x04 Drain:   [tag u8][has u8]; has 1 = + [u64 × 16] snapshot    2|130 B
 //! 0x05 Error:   [tag u8][code u8][len u32][detail UTF-8 × len]     7+len B
 //! ```
 //!
@@ -170,8 +170,8 @@ fn class_to_u8(class: AppClass) -> u8 {
         .unwrap_or(AppClass::ALL.len()) as u8
 }
 
-/// The Drain snapshot as its 14 wire words, declaration order.
-fn snapshot_words(s: &MetricsSnapshot) -> [u64; 14] {
+/// The Drain snapshot as its 16 wire words, declaration order.
+fn snapshot_words(s: &MetricsSnapshot) -> [u64; 16] {
     [
         s.frames_in,
         s.frames_out,
@@ -181,6 +181,8 @@ fn snapshot_words(s: &MetricsSnapshot) -> [u64; 14] {
         s.submits,
         s.connections,
         s.accept_errors,
+        s.sessions,
+        s.session_bytes,
         s.verdicts.warmup,
         s.verdicts.benign,
         s.verdicts.backdoor,
@@ -343,7 +345,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
             match cur.u8().ok_or_else(err)? {
                 0 => Frame::Drain { stats: None },
                 1 => {
-                    let mut words = [0u64; 14];
+                    let mut words = [0u64; 16];
                     for w in &mut words {
                         *w = cur.u64().ok_or_else(err)?;
                     }
@@ -382,7 +384,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
     Ok(frame)
 }
 
-fn snapshot_from_words(w: [u64; 14]) -> MetricsSnapshot {
+fn snapshot_from_words(w: [u64; 16]) -> MetricsSnapshot {
     MetricsSnapshot {
         frames_in: w[0],
         frames_out: w[1],
@@ -392,13 +394,15 @@ fn snapshot_from_words(w: [u64; 14]) -> MetricsSnapshot {
         submits: w[5],
         connections: w[6],
         accept_errors: w[7],
+        sessions: w[8],
+        session_bytes: w[9],
         verdicts: VerdictHistogram {
-            warmup: w[8],
-            benign: w[9],
-            backdoor: w[10],
-            rootkit: w[11],
-            virus: w[12],
-            trojan: w[13],
+            warmup: w[10],
+            benign: w[11],
+            backdoor: w[12],
+            rootkit: w[13],
+            virus: w[14],
+            trojan: w[15],
         },
     }
 }

@@ -50,6 +50,8 @@ fn every_frame() -> Vec<Frame> {
                 submits: 8,
                 connections: 4,
                 accept_errors: 1,
+                sessions: 2,
+                session_bytes: 65536,
                 verdicts: VerdictHistogram {
                     warmup: 1,
                     benign: 5,

@@ -58,7 +58,7 @@ fn arb_detail() -> impl Strategy<Value = String> {
 }
 
 fn arb_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
-    proptest::collection::vec(any::<u64>(), 14).prop_map(|w| MetricsSnapshot {
+    proptest::collection::vec(any::<u64>(), 16).prop_map(|w| MetricsSnapshot {
         frames_in: w[0],
         frames_out: w[1],
         malformed: w[2],
@@ -67,13 +67,15 @@ fn arb_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
         submits: w[5],
         connections: w[6],
         accept_errors: w[7],
+        sessions: w[8],
+        session_bytes: w[9],
         verdicts: VerdictHistogram {
-            warmup: w[8],
-            benign: w[9],
-            backdoor: w[10],
-            rootkit: w[11],
-            virus: w[12],
-            trojan: w[13],
+            warmup: w[10],
+            benign: w[11],
+            backdoor: w[12],
+            rootkit: w[13],
+            virus: w[14],
+            trojan: w[15],
         },
     })
 }

@@ -1,0 +1,127 @@
+//! `hmd-sim` — deterministic virtual-time fleet simulation.
+//!
+//! ```text
+//! hmd-sim --hosts 100000 --seed 7 --faults standard --protocol 2
+//! hmd-sim --hosts 10000 --seed 7 --workers 4 --shards 8   # same digest
+//! ```
+//!
+//! The canonical digest goes to **stdout** (compare bytes across runs);
+//! variant facts — protocol, lanes, wire bytes — go to **stderr**, so
+//! `hmd-sim … > a.txt` twice and `diff a.txt b.txt` is the whole
+//! reproducibility check.
+//!
+//! Options:
+//! `--hosts N` (default 1000), `--seed N`, `--protocol 1|2` (default 2),
+//! `--faults none|standard|heavy|key=value,…` (see `faults::FaultPlan`),
+//! `--workers N`, `--shards N`, `--readings N`, `--interval T`,
+//! `--arrivals N`, `--max-conns N`, `--idle-after T`, `--sweep-every T`,
+//! `--window N`, `--votes N`, `--journal` (print every journal entry;
+//! small runs only).
+
+use hmd_serve::protocol::WireFormat;
+use hmd_sim::digest::JournalEntry;
+use hmd_sim::faults::FaultPlan;
+use hmd_sim::harness::{run, SimConfig};
+use hmd_sim::tiny_detector;
+
+fn main() {
+    if let Err(e) = run_cli() {
+        eprintln!("hmd-sim: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run_cli() -> Result<(), Box<dyn std::error::Error>> {
+    let config = parse(std::env::args().skip(1))?;
+    eprintln!(
+        "simulating {} hosts, seed {}, wire v{}…",
+        config.hosts,
+        config.seed,
+        config.protocol.version()
+    );
+    let detector = tiny_detector(config.seed);
+    let report = run(detector, &config)?;
+    if let Some(journal) = &report.journal {
+        for entry in journal {
+            eprintln!("journal {entry:?}");
+        }
+    }
+    if report.digest.end_sessions != 0 {
+        eprintln!(
+            "warning: {} sessions survived the final sweep (leak?)",
+            report.digest.end_sessions
+        );
+    }
+    eprintln!("{}", report.render_variant());
+    print!("{}", report.digest.render());
+    summarize_faults(report.journal.as_deref());
+    Ok(())
+}
+
+/// One stderr line per observed fault class when a journal was kept —
+/// quick confirmation that the plan actually exercised every class.
+fn summarize_faults(journal: Option<&[JournalEntry]>) {
+    let Some(journal) = journal else { return };
+    let faults = journal
+        .iter()
+        .filter(|e| matches!(e, JournalEntry::Fault { .. }))
+        .count();
+    let sheds = journal
+        .iter()
+        .filter(|e| matches!(e, JournalEntry::Shed { .. }))
+        .count();
+    eprintln!(
+        "journal kept: {} entries, {faults} fault injections, {sheds} sheds",
+        journal.len()
+    );
+}
+
+fn parse(mut argv: impl Iterator<Item = String>) -> Result<SimConfig, String> {
+    let mut config = SimConfig::default();
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--hosts" => config.hosts = parse_num(&value("--hosts")?)?,
+            "--seed" => config.seed = parse_num(&value("--seed")?)?,
+            "--protocol" => {
+                config.protocol = match value("--protocol")?.as_str() {
+                    "1" => WireFormat::V1Json,
+                    "2" => WireFormat::V2Binary,
+                    other => return Err(format!("--protocol must be 1 or 2, got {other:?}")),
+                };
+            }
+            "--faults" => config.faults = FaultPlan::parse(&value("--faults")?)?,
+            "--workers" => config.workers = parse_num(&value("--workers")?)? as usize,
+            "--shards" => config.shards = parse_num(&value("--shards")?)? as usize,
+            "--readings" => config.readings = parse_num(&value("--readings")?)?,
+            "--interval" => config.interval = parse_num(&value("--interval")?)?,
+            "--arrivals" => config.arrivals_per_tick = parse_num(&value("--arrivals")?)?,
+            "--max-conns" => config.max_conns = parse_num(&value("--max-conns")?)? as usize,
+            "--idle-after" => config.idle_after = parse_num(&value("--idle-after")?)?,
+            "--sweep-every" => config.sweep_every = parse_num(&value("--sweep-every")?)?,
+            "--window" => config.window = parse_num(&value("--window")?)? as usize,
+            "--votes" => config.votes = parse_num(&value("--votes")?)? as usize,
+            "--journal" => config.keep_journal = true,
+            "--help" | "-h" => {
+                return Err("usage: hmd-sim [--hosts N] [--seed N] [--protocol 1|2] \
+                            [--faults none|standard|heavy|k=v,…] [--workers N] \
+                            [--shards N] [--readings N] [--interval T] [--arrivals N] \
+                            [--max-conns N] [--idle-after T] [--sweep-every T] \
+                            [--window N] [--votes N] [--journal]"
+                    .into());
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    if config.workers == 0 {
+        return Err("--workers must be ≥ 1".into());
+    }
+    Ok(config)
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|e| format!("invalid number {s:?}: {e}"))
+}

@@ -1,0 +1,58 @@
+//! hmd-sim: virtual-time fleet simulation for the 2SMaRT detection
+//! service.
+//!
+//! Drives the **real** service stack — [`hmd_serve::session::SessionEngine`],
+//! [`hmd_serve::service`]'s connection pump, v1 JSON and v2 packed wire
+//! decoding — with up to a million simulated hosts on a deterministic
+//! discrete-event loop: no OS sockets, no threads, no wallclock. Every run
+//! is a pure function of `(SimConfig, detector)`, and its [`digest::Digest`]
+//! is byte-identical across repeated runs, worker-lane counts, shard
+//! counts, and wire-protocol versions for the same seed and fault plan.
+//!
+//! Modules:
+//!
+//! - [`transport`] — in-memory duplex pipes with nonblocking-socket
+//!   semantics (`WouldBlock` / `Ok(0)` / `BrokenPipe`) and per-call
+//!   dribble quotas.
+//! - [`workload`] — per-host counter streams from the `hpc-sim` workload
+//!   library, generated lazily per arrival.
+//! - [`faults`] — the seeded fault-plan DSL: which hosts misbehave, how,
+//!   all decided by `(seed, host)`.
+//! - [`harness`] — the event loop itself: arrivals, agent steps, idle
+//!   sweeps, the overload burst, and the end-of-tick pump/drain.
+//! - [`digest`] — the order-independent journal and the canonical
+//!   comparison-grade run digest.
+
+#![forbid(unsafe_code)]
+
+pub mod digest;
+pub mod faults;
+pub mod harness;
+pub mod transport;
+pub mod workload;
+
+use hmd_hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
+use hmd_hpc_sim::workload::AppClass;
+use hmd_ml::classifier::ClassifierKind;
+use twosmart::detector::TwoSmartDetector;
+
+/// Trains a small detector on the tiny corpus — the standard fixture for
+/// simulation runs, CI smoke jobs, and tests — the same J48 fixture the
+/// `serve` binary self-trains for its smoke mode, so simulated verdicts
+/// span the full class histogram.
+///
+/// # Panics
+///
+/// If the tiny corpus cannot train a 4-HPC detector (a workspace
+/// invariant covered by `hmd-hpc-sim`'s own tests).
+pub fn tiny_detector(seed: u64) -> TwoSmartDetector {
+    let corpus = CorpusBuilder::new(CorpusSpec::tiny()).build();
+    AppClass::MALWARE
+        .iter()
+        .fold(
+            TwoSmartDetector::builder().seed(seed).hpc_budget(4),
+            |b, &c| b.classifier_for(c, ClassifierKind::J48),
+        )
+        .train(&corpus)
+        .expect("tiny corpus trains a 4-HPC detector")
+}

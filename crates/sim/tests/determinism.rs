@@ -1,0 +1,143 @@
+//! The contract the simulation exists to enforce: for a fixed seed and
+//! fault plan, the digest is byte-identical across repeated runs, worker
+//! lane counts, shard counts, and wire-protocol versions — and every
+//! fault class actually fires.
+
+use hmd_serve::protocol::WireFormat;
+use hmd_sim::faults::FaultPlan;
+use hmd_sim::harness::{run, SimConfig};
+use hmd_sim::tiny_detector;
+
+fn base_config() -> SimConfig {
+    SimConfig {
+        hosts: 400,
+        seed: 42,
+        readings: 12,
+        faults: FaultPlan::heavy(),
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn digest_is_invariant_across_runs_workers_shards_and_protocols() {
+    let mut digests = Vec::new();
+    for protocol in [WireFormat::V1Json, WireFormat::V2Binary] {
+        for workers in [1usize, 3] {
+            for shards in [1usize, 8] {
+                let config = SimConfig {
+                    protocol,
+                    workers,
+                    shards,
+                    ..base_config()
+                };
+                let report = run(tiny_detector(42), &config).expect("sim runs");
+                assert_eq!(
+                    report.digest.end_sessions, 0,
+                    "final sweep must reclaim every session \
+                     (protocol {protocol:?}, workers {workers}, shards {shards})"
+                );
+                digests.push((protocol, workers, shards, report.digest.render()));
+            }
+        }
+    }
+    let (_, _, _, reference) = &digests[0];
+    for (protocol, workers, shards, digest) in &digests {
+        assert_eq!(
+            digest, reference,
+            "digest diverged at protocol {protocol:?}, workers {workers}, shards {shards}"
+        );
+    }
+    // Repeat run, same everything: byte-identical again.
+    let again = run(tiny_detector(42), &base_config()).expect("sim runs");
+    assert_eq!(&again.digest.render(), reference);
+}
+
+#[test]
+fn different_seeds_produce_different_journals() {
+    let a = run(
+        tiny_detector(1),
+        &SimConfig {
+            seed: 1,
+            ..base_config()
+        },
+    )
+    .unwrap();
+    let b = run(
+        tiny_detector(2),
+        &SimConfig {
+            seed: 2,
+            ..base_config()
+        },
+    )
+    .unwrap();
+    assert_ne!(a.digest.journal_hash, b.digest.journal_hash);
+}
+
+#[test]
+fn every_fault_class_fires_under_the_heavy_plan() {
+    let report = run(tiny_detector(42), &base_config()).unwrap();
+    let f = report.digest.faults;
+    assert!(f.reconnect > 0, "no reconnects: {f:?}");
+    assert!(f.malformed > 0, "no malformed injections: {f:?}");
+    assert!(f.truncate > 0, "no truncations: {f:?}");
+    assert!(f.seq_regress > 0, "no seq regressions: {f:?}");
+    assert!(f.idle_race > 0, "no idle races: {f:?}");
+    assert!(f.dribble > 0, "no dribbling links: {f:?}");
+    assert!(f.burst_shed > 0, "burst shed nothing: {f:?}");
+    // Injections surface as the matching protocol errors.
+    assert_eq!(report.digest.errors.malformed, f.malformed);
+    assert_eq!(report.digest.errors.out_of_order, f.seq_regress);
+    assert_eq!(report.digest.errors.other, 0, "unexpected error codes");
+    // And the journal saw everything: verdicts + errors + injections + sheds.
+    assert!(report.digest.journal_entries > 0);
+}
+
+#[test]
+fn wire_v1_costs_more_bytes_than_v2_for_the_same_digest() {
+    let v1 = run(
+        tiny_detector(42),
+        &SimConfig {
+            protocol: WireFormat::V1Json,
+            ..base_config()
+        },
+    )
+    .unwrap();
+    let v2 = run(
+        tiny_detector(42),
+        &SimConfig {
+            protocol: WireFormat::V2Binary,
+            ..base_config()
+        },
+    )
+    .unwrap();
+    assert_eq!(v1.digest.render(), v2.digest.render());
+    assert!(
+        v1.wire_bytes_in > v2.wire_bytes_in,
+        "v1 {}B should out-weigh v2 {}B on the submit path",
+        v1.wire_bytes_in,
+        v2.wire_bytes_in
+    );
+}
+
+#[test]
+fn faultless_runs_deliver_one_verdict_per_reading() {
+    let config = SimConfig {
+        hosts: 64,
+        seed: 9,
+        readings: 10,
+        faults: FaultPlan::none(),
+        ..SimConfig::default()
+    };
+    let report = run(tiny_detector(9), &config).unwrap();
+    let d = &report.digest;
+    assert_eq!(d.submits, 64 * 10, "every reading accepted");
+    let verdicts = d.verdicts.warmup
+        + d.verdicts.benign
+        + d.verdicts.backdoor
+        + d.verdicts.rootkit
+        + d.verdicts.virus
+        + d.verdicts.trojan;
+    assert_eq!(verdicts, 64 * 10, "every submit answered");
+    assert_eq!(d.peak_sessions, 64);
+    assert_eq!(d.end_sessions, 0);
+}
