@@ -37,6 +37,7 @@ use crate::stage2::{SpecializedDetector, Stage2Config};
 use hmd_hpc_sim::corpus::Corpus;
 use hmd_hpc_sim::event::Event;
 use hmd_hpc_sim::workload::AppClass;
+use hmd_ml::batch::BatchScratch;
 use hmd_ml::classifier::{ClassifierKind, TrainError};
 use hmd_ml::data::Dataset;
 use rand::rngs::StdRng;
@@ -64,6 +65,42 @@ impl Verdict {
     }
 }
 
+/// How the batched cascade decides whether to run stage 2 for a lane that
+/// stage 1 routed to a malware class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CascadeMode {
+    /// Run stage 2 for every malware-routed lane. Verdicts are
+    /// bit-identical to the scalar [`TwoSmartDetector::detect_with`] path —
+    /// the oracle the property suite compares against.
+    Always,
+    /// Skip stage 2 when the stage-1 probability of the routed class is at
+    /// least this threshold; the verdict is then
+    /// `Malware { class: routed, confidence: stage1_probability }` without
+    /// the specialist confirmation pass. Lanes below the threshold fall
+    /// through to stage 2 and match [`CascadeMode::Always`] exactly.
+    ///
+    /// Pick the threshold with
+    /// [`TwoSmartDetector::calibrate_gate`]; `Gated(t)` with `t > 1.0`
+    /// degenerates to [`CascadeMode::Always`].
+    Gated(f64),
+}
+
+/// One lane's outcome from [`TwoSmartDetector::detect_batch_with`]: the
+/// verdict, the stage-1 routing, and whether the stage-2 specialist
+/// actually ran (benign-routed and gate-skipped lanes never invoke it).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CascadeVerdict {
+    /// The detection outcome for the lane.
+    pub verdict: Verdict,
+    /// The class stage 1 routed this lane to. Distinguishes an overturned
+    /// malware routing (`routed` malware, `verdict` benign) from a
+    /// benign routing, so cost accounting can attribute stage-2 work per
+    /// class even when the specialist disagrees.
+    pub routed: AppClass,
+    /// `true` when the stage-2 specialist scored this lane.
+    pub stage2_ran: bool,
+}
+
 /// Reusable scratch buffers for the allocation-free detection hot path.
 ///
 /// One `DetectScratch` owns every temporary both stages need: the stage-1
@@ -85,6 +122,30 @@ impl DetectScratch {
     /// Empty scratch; buffers grow on first use.
     pub fn new() -> DetectScratch {
         DetectScratch::default()
+    }
+}
+
+/// Reusable scratch for the batched detection path.
+///
+/// Owns the stage-1 SoA projection and probability matrix, the per-lane
+/// routing, the per-class lane grouping, and the stage-2 projection and
+/// probability matrix. After the first batch at steady-state size,
+/// repeated [`TwoSmartDetector::detect_batch_with`] calls perform no heap
+/// allocation.
+#[derive(Debug, Clone, Default)]
+pub struct DetectBatchScratch {
+    stage1_cols: BatchScratch,
+    stage1_proba: Vec<f64>,
+    routed: Vec<AppClass>,
+    group: Vec<u32>,
+    stage2_cols: BatchScratch,
+    stage2_proba: Vec<f64>,
+}
+
+impl DetectBatchScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> DetectBatchScratch {
+        DetectBatchScratch::default()
     }
 }
 
@@ -340,6 +401,229 @@ impl TwoSmartDetector {
         } else {
             Verdict::Benign
         }
+    }
+
+    /// Classifies a whole batch of 44-event rows (`features`, row-major
+    /// `lanes × 44`), allocating fresh scratch. See
+    /// [`detect_batch_with`](Self::detect_batch_with).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` is not a multiple of 44.
+    pub fn detect_batch(&self, features: &[f64], mode: CascadeMode) -> Vec<CascadeVerdict> {
+        let mut out = Vec::new();
+        self.detect_batch_with(features, mode, &mut DetectBatchScratch::new(), &mut out);
+        out
+    }
+
+    /// The batched two-stage cascade: stage 1 routes every lane through
+    /// the SoA MLR kernel, then each malware class's specialist scores its
+    /// routed lanes in one batched call.
+    ///
+    /// Under [`CascadeMode::Always`], every lane's verdict is bit-identical
+    /// to [`detect_with`](Self::detect_with) on that lane's row (the
+    /// per-class regrouping reorders *which lanes* a specialist sees
+    /// together, never any lane's arithmetic). Under
+    /// [`CascadeMode::Gated`], lanes whose stage-1 routed-class probability
+    /// clears the gate skip stage 2 and report the stage-1 probability as
+    /// their confidence, with `stage2_ran = false`.
+    ///
+    /// `out` is cleared and refilled with one [`CascadeVerdict`] per lane,
+    /// in lane order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` is not a multiple of 44.
+    // hmd-analyze: hot-path
+    pub fn detect_batch_with(
+        &self,
+        features: &[f64],
+        mode: CascadeMode,
+        scratch: &mut DetectBatchScratch,
+        out: &mut Vec<CascadeVerdict>,
+    ) {
+        assert_eq!(
+            features.len() % Event::COUNT,
+            0,
+            "expected whole 44-event rows"
+        );
+        let lanes = features.len() / Event::COUNT;
+        out.clear();
+        if lanes == 0 {
+            return;
+        }
+        self.stage1.route_batch_with(
+            features,
+            &mut scratch.stage1_cols,
+            &mut scratch.stage1_proba,
+            &mut scratch.routed,
+        );
+        let k = scratch.stage1_proba.len() / lanes;
+        // Benign-routed lanes never reach stage 2 — same as scalar.
+        out.resize(
+            lanes,
+            CascadeVerdict {
+                verdict: Verdict::Benign,
+                routed: AppClass::Benign,
+                stage2_ran: false,
+            },
+        );
+        for class in AppClass::MALWARE {
+            scratch.group.clear();
+            for (lane, &r) in scratch.routed.iter().enumerate() {
+                if r != class {
+                    continue;
+                }
+                let run_stage2 = match mode {
+                    CascadeMode::Always => true,
+                    // `Less | None` rather than `conf < t`: a NaN stage-1
+                    // probability (incomparable, `None`) must fall through
+                    // to the specialist, not skip it.
+                    CascadeMode::Gated(t) => matches!(
+                        scratch.stage1_proba[lane * k + class.label()].partial_cmp(&t),
+                        Some(std::cmp::Ordering::Less) | None
+                    ),
+                };
+                if run_stage2 {
+                    scratch.group.push(lane as u32);
+                } else {
+                    out[lane] = CascadeVerdict {
+                        verdict: Verdict::Malware {
+                            class,
+                            confidence: scratch.stage1_proba[lane * k + class.label()],
+                        },
+                        routed: class,
+                        stage2_ran: false,
+                    };
+                }
+            }
+            if scratch.group.is_empty() {
+                continue;
+            }
+            let specialist = self.stage2(class);
+            let events = specialist.events();
+            scratch.stage2_cols.reset(events.len(), scratch.group.len());
+            for (g, &lane) in scratch.group.iter().enumerate() {
+                let row =
+                    &features[lane as usize * Event::COUNT..(lane as usize + 1) * Event::COUNT];
+                for (j, e) in events.iter().enumerate() {
+                    scratch.stage2_cols.set(g, j, row[e.index()]);
+                }
+            }
+            let nc = specialist.model().n_classes();
+            scratch.stage2_proba.clear();
+            scratch.stage2_proba.resize(scratch.group.len() * nc, 0.0);
+            specialist
+                .model()
+                .predict_proba_batch_into(&scratch.stage2_cols, &mut scratch.stage2_proba);
+            for (g, &lane) in scratch.group.iter().enumerate() {
+                let confidence = scratch.stage2_proba[g * nc + 1];
+                let verdict = if confidence >= specialist.threshold() {
+                    Verdict::Malware { class, confidence }
+                } else {
+                    Verdict::Benign
+                };
+                out[lane as usize] = CascadeVerdict {
+                    verdict,
+                    routed: class,
+                    stage2_ran: true,
+                };
+            }
+        }
+    }
+
+    /// Picks the gate threshold for [`CascadeMode::Gated`] from a 5-class
+    /// 44-event validation set.
+    ///
+    /// Candidates are the midpoints between consecutive distinct stage-1
+    /// routed-class probabilities observed on malware-routed validation
+    /// rows (plus `1.0`, the "skip only at full confidence" fallback). The
+    /// chosen threshold maximizes the gated pipeline's pooled
+    /// malware-vs-benign F-measure; among thresholds within `1e-9` of the
+    /// best, the smallest wins — it skips the most stage-2 work for the
+    /// same measured quality.
+    pub fn calibrate_gate(&self, validation: &Dataset) -> f64 {
+        struct Sample {
+            truth: bool,
+            /// Stage-1 probability of the routed class; `None` when routed
+            /// benign.
+            conf: Option<f64>,
+            /// Whether the always-run cascade flags this row as malware.
+            always_malware: bool,
+        }
+        let mut scratch = DetectScratch::new();
+        let samples: Vec<Sample> = (0..validation.len())
+            .map(|i| {
+                let x = validation.features_of(i);
+                let truth = validation.label_of(i) != AppClass::Benign.label();
+                let routed = self.stage1.predict_class_with(
+                    x,
+                    &mut scratch.stage1_logged,
+                    &mut scratch.stage1_proba,
+                );
+                if routed == AppClass::Benign {
+                    return Sample {
+                        truth,
+                        conf: None,
+                        always_malware: false,
+                    };
+                }
+                let conf = scratch.stage1_proba[routed.label()];
+                let specialist = self.stage2(routed);
+                let score =
+                    specialist.score_with(x, &mut scratch.stage2_x, &mut scratch.stage2_proba);
+                Sample {
+                    truth,
+                    conf: Some(conf),
+                    always_malware: score >= specialist.threshold(),
+                }
+            })
+            .collect();
+
+        let mut confs: Vec<f64> = samples
+            .iter()
+            .filter_map(|s| s.conf)
+            .filter(|c| c.is_finite())
+            .collect();
+        confs.sort_by(f64::total_cmp);
+        confs.dedup();
+        let mut candidates = vec![1.0];
+        candidates.extend(confs.windows(2).map(|w| w[0] + (w[1] - w[0]) / 2.0));
+
+        let f_at = |t: f64| -> f64 {
+            let mut tp = 0.0;
+            let mut fp = 0.0;
+            let mut fn_ = 0.0;
+            for s in &samples {
+                let predicted = match s.conf {
+                    None => false,
+                    Some(conf) => conf >= t || s.always_malware,
+                };
+                match (s.truth, predicted) {
+                    (true, true) => tp += 1.0,
+                    (false, true) => fp += 1.0,
+                    (true, false) => fn_ += 1.0,
+                    (false, false) => {}
+                }
+            }
+            if tp == 0.0 {
+                return 0.0;
+            }
+            let p = tp / (tp + fp);
+            let r = tp / (tp + fn_);
+            2.0 * p * r / (p + r)
+        };
+
+        let best_f = candidates
+            .iter()
+            .map(|&t| f_at(t))
+            .max_by(f64::total_cmp)
+            .expect("at least the 1.0 candidate");
+        candidates
+            .into_iter()
+            .filter(|&t| f_at(t) >= best_f - 1e-9)
+            .min_by(f64::total_cmp)
+            .expect("at least one candidate within tolerance")
     }
 
     /// The events a run-time deployment must program — defined only for

@@ -46,7 +46,10 @@ pub mod pipeline;
 pub mod stage1;
 pub mod stage2;
 
-pub use detector::{DetectScratch, TwoSmartBuilder, TwoSmartDetector, Verdict};
+pub use detector::{
+    CascadeMode, CascadeVerdict, DetectBatchScratch, DetectScratch, TwoSmartBuilder,
+    TwoSmartDetector, Verdict,
+};
 pub use features::{derive_feature_sets, DerivedFeatures, FeatureSet, COMMON_EVENTS};
 pub use online::{OnlineDetector, OnlineError};
 pub use persist::{DetectorSnapshot, SnapshotError, SpecialistSnapshot};

@@ -216,6 +216,36 @@ impl OnlineDetector {
     /// programmed event.
     // hmd-analyze: hot-path
     pub fn try_push(&mut self, counters: &[f64]) -> Result<Option<Verdict>, OnlineError> {
+        let mut features44 = [0.0; Event::COUNT];
+        if !self.advance_window(counters, &mut features44)? {
+            return Ok(None);
+        }
+        let raw = self.detector.detect_with(&features44, &mut self.scratch);
+        Ok(Some(self.apply_verdict(raw)))
+    }
+
+    /// The windowing half of [`try_push`](Self::try_push): folds one
+    /// reading into the ring and, once the window is full, writes the
+    /// 44-event window-mean expansion into `features44` and returns
+    /// `Ok(true)` — a raw verdict is now due. Returns `Ok(false)` during
+    /// warm-up. Only the programmed events' slots are written, so callers
+    /// must hand in a zeroed array (as `try_push` does).
+    ///
+    /// Splitting windowing from classification lets a serving shard
+    /// aggregate many sessions' ready windows and score them through one
+    /// batched detector call; `advance_window` + `detect_with` +
+    /// [`apply_verdict`](Self::apply_verdict) is exactly `try_push`.
+    ///
+    /// # Errors
+    ///
+    /// [`OnlineError::BadLength`] if `counters` does not have one entry per
+    /// programmed event (window and vote state stay untouched).
+    // hmd-analyze: hot-path
+    pub fn advance_window(
+        &mut self,
+        counters: &[f64],
+        features44: &mut [f64; Event::COUNT],
+    ) -> Result<bool, OnlineError> {
         let k = self.k;
         if counters.len() != k {
             return Err(OnlineError::BadLength {
@@ -254,14 +284,12 @@ impl OnlineDetector {
             }
         }
         if self.filled < self.window {
-            return Ok(None);
+            return Ok(false);
         }
 
-        // Window mean → raw verdict, through the reused scratch. The
-        // 44-event expansion uses the cached indices — the same mapping
-        // `detect_from_counters` performs, minus its per-call
-        // deployability re-verification.
-        let mut features44 = [0.0; Event::COUNT];
+        // Window mean, expanded to the 44-event layout. The expansion uses
+        // the cached indices — the same mapping `detect_from_counters`
+        // performs, minus its per-call deployability re-verification.
         for (&idx, (m, &s)) in self
             .event_indices
             .iter()
@@ -270,9 +298,14 @@ impl OnlineDetector {
             *m = s / self.window as f64;
             features44[idx] = *m;
         }
-        let raw = self.detector.detect_with(&features44, &mut self.scratch);
+        Ok(true)
+    }
 
-        // Vote ring + tallies.
+    /// The smoothing half of [`try_push`](Self::try_push): folds one raw
+    /// verdict into the vote ring and returns the smoothed majority
+    /// decision.
+    // hmd-analyze: hot-path
+    pub fn apply_verdict(&mut self, raw: Verdict) -> Verdict {
         if self.verdicts.len() == self.votes {
             let evicted = self.verdicts.pop_front().expect("ring is non-empty");
             if let Verdict::Malware { class, .. } = evicted {
@@ -285,7 +318,7 @@ impl OnlineDetector {
             self.malware_votes += 1;
             self.class_votes[Self::malware_index(class)] += 1;
         }
-        Ok(Some(self.smoothed()))
+        self.smoothed()
     }
 
     /// Index of a malware class in [`AppClass::MALWARE`] order.

@@ -26,10 +26,18 @@
 use crate::pipeline::select_events;
 use hmd_hpc_sim::event::Event;
 use hmd_hpc_sim::workload::AppClass;
+use hmd_ml::batch::BatchScratch;
 use hmd_ml::classifier::{argmax, Classifier, TrainError};
 use hmd_ml::data::Dataset;
 use hmd_ml::logistic::Mlr;
 use hmd_ml::metrics::ConfusionMatrix;
+
+thread_local! {
+    /// Reused (logged projection, class probability) scratch backing the
+    /// allocating [`Stage1Model::predict_class`] wrapper.
+    static ROUTE_SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
 
 /// A trained stage-1 application-type predictor.
 ///
@@ -100,7 +108,12 @@ impl Stage1Model {
     ///
     /// Panics if `features44` does not have 44 entries.
     pub fn predict_class(&self, features44: &[f64]) -> AppClass {
-        self.predict_class_with(features44, &mut Vec::new(), &mut Vec::new())
+        // One reused thread-local scratch pair instead of two fresh Vecs
+        // per call; routing is bit-identical to `predict_class_with`.
+        ROUTE_SCRATCH.with(|s| {
+            let (logged, proba) = &mut *s.borrow_mut();
+            self.predict_class_with(features44, logged, proba)
+        })
     }
 
     /// [`predict_class`](Self::predict_class) through caller-owned scratch
@@ -136,6 +149,51 @@ impl Stage1Model {
         proba.resize(self.model.n_classes(), 0.0);
         self.model.predict_proba_into(logged, proba);
         AppClass::from_label(argmax(proba)).expect("5-class model")
+    }
+
+    /// Routes a whole batch of 44-event rows (`features`, row-major
+    /// `lanes × 44`): fills `cols` with the log-transformed Common-event
+    /// projection in SoA layout, `proba` with row-major
+    /// `lanes × n_classes` class probabilities, and `routed` with each
+    /// lane's predicted class. Every lane's probabilities and routing are
+    /// bit-identical to [`predict_class_with`](Self::predict_class_with) on
+    /// that lane's row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` is not a multiple of 44.
+    // hmd-analyze: hot-path
+    pub fn route_batch_with(
+        &self,
+        features: &[f64],
+        cols: &mut BatchScratch,
+        proba: &mut Vec<f64>,
+        routed: &mut Vec<AppClass>,
+    ) {
+        assert_eq!(
+            features.len() % Event::COUNT,
+            0,
+            "expected whole 44-event rows"
+        );
+        let lanes = features.len() / Event::COUNT;
+        cols.reset(self.events.len(), lanes);
+        for (lane, row) in features.chunks_exact(Event::COUNT).enumerate() {
+            for (j, e) in self.events.iter().enumerate() {
+                // Same `(1 + max(v, 0)).ln()` expression as the scalar
+                // path, evaluated per lane in event order.
+                cols.set(lane, j, (1.0 + row[e.index()].max(0.0)).ln());
+            }
+        }
+        let k = self.model.n_classes();
+        proba.clear();
+        proba.resize(lanes * k, 0.0);
+        self.model.predict_proba_batch_into(cols, proba);
+        routed.clear();
+        routed.extend(
+            proba
+                .chunks_exact(k)
+                .map(|row| AppClass::from_label(argmax(row)).expect("5-class model")),
+        );
     }
 
     /// Predicted class from counter readings in the model's event order —

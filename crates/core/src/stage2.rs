@@ -37,6 +37,13 @@ use hmd_ml::rules::JRip;
 use hmd_ml::tree::J48;
 use serde::{Deserialize, Serialize};
 
+thread_local! {
+    /// Reused (event projection, binary probability) scratch backing the
+    /// allocating [`SpecializedDetector::score`] wrapper.
+    static SCORE_SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
 /// Configuration of one specialized detector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Stage2Config {
@@ -385,7 +392,12 @@ impl SpecializedDetector {
     ///
     /// Panics if `features44` does not have 44 entries.
     pub fn score(&self, features44: &[f64]) -> f64 {
-        self.score_with(features44, &mut Vec::new(), &mut Vec::new())
+        // One reused thread-local scratch pair instead of two fresh Vecs
+        // per call; the score is bit-identical to `score_with`.
+        SCORE_SCRATCH.with(|s| {
+            let (x, proba) = &mut *s.borrow_mut();
+            self.score_with(features44, x, proba)
+        })
     }
 
     /// [`score`](Self::score) through caller-owned scratch buffers — the

@@ -24,11 +24,18 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use crate::batch::BatchScratch;
 use crate::data::Dataset;
 use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::error::Error;
 use std::fmt;
+
+thread_local! {
+    /// Reused row-gather scratch for the default (scalar-fallback)
+    /// `predict_proba_batch_into` implementation.
+    static BATCH_ROW: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
 
 /// Errors raised while training a classifier.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,6 +110,43 @@ pub trait Classifier: fmt::Debug + Send + Sync {
             p.len()
         );
         out.copy_from_slice(&p);
+    }
+
+    /// Writes class-membership probabilities for every lane of a
+    /// column-major [`BatchScratch`] into `out` (row-major:
+    /// `out[lane * n_classes + c]`) — the batched form of
+    /// [`predict_proba_into`](Self::predict_proba_into).
+    ///
+    /// The contract is the batched extension of the scalar one: for every
+    /// lane, the written row is **bit-identical** to a scalar
+    /// `predict_proba_into` call on that lane's feature row. The default
+    /// implementation guarantees this by construction (it gathers each
+    /// lane and calls the scalar path); batch-shaped overrides (compiled
+    /// trees, MLR, ensembles) must preserve the scalar per-lane operation
+    /// order exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has not been fitted, the batch has the wrong
+    /// number of features, or `out.len() != n_lanes × n_classes`.
+    // hmd-analyze: hot-path
+    fn predict_proba_batch_into(&self, batch: &BatchScratch, out: &mut [f64]) {
+        let k = self.n_classes();
+        assert_eq!(
+            out.len(),
+            batch.n_lanes() * k,
+            "predict_proba_batch_into: out has {} slots for {} lanes × {} classes",
+            out.len(),
+            batch.n_lanes(),
+            k
+        );
+        BATCH_ROW.with(|row| {
+            let mut row = row.borrow_mut();
+            for (lane, out_row) in out.chunks_exact_mut(k).enumerate() {
+                batch.lane_into(lane, &mut row);
+                self.predict_proba_into(&row, out_row);
+            }
+        });
     }
 
     /// The most probable class for one instance.

@@ -51,6 +51,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod bagging;
+pub mod batch;
 pub mod bayes;
 pub mod boost;
 pub mod classifier;
@@ -73,6 +74,7 @@ pub mod validation;
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
     pub use crate::bagging::Bagging;
+    pub use crate::batch::BatchScratch;
     pub use crate::bayes::NaiveBayes;
     pub use crate::boost::AdaBoost;
     pub use crate::classifier::{Classifier, ClassifierKind, TrainError};

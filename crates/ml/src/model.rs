@@ -27,6 +27,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use crate::batch::BatchScratch;
 use crate::boost::AdaBoost;
 use crate::classifier::{Classifier, TrainError};
 use crate::data::Dataset;
@@ -41,6 +42,10 @@ thread_local! {
     /// Reused base-model probability scratch for the allocation-free
     /// `predict_proba_into` path of [`AnyModel::Boosted`].
     static SNAPSHOT_MEMBER: std::cell::RefCell<Vec<f64>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+    /// Reused base-model batch probability matrix for the
+    /// `predict_proba_batch_into` path of [`AnyModel::Boosted`].
+    static SNAPSHOT_BATCH: std::cell::RefCell<Vec<f64>> =
         const { std::cell::RefCell::new(Vec::new()) };
 }
 
@@ -166,6 +171,63 @@ impl Classifier for AnyModel {
                 } else {
                     for v in out.iter_mut() {
                         *v /= total;
+                    }
+                }
+            }
+        }
+    }
+
+    // Delegates to each variant's batched kernel; the Boosted arm mirrors
+    // the scalar round-major argmax-vote with a batch-wide base score per
+    // round, keeping every lane's operation sequence identical to scalar.
+    // hmd-analyze: hot-path
+    fn predict_proba_batch_into(&self, batch: &BatchScratch, out: &mut [f64]) {
+        match self {
+            AnyModel::J48(m) => m.predict_proba_batch_into(batch, out),
+            AnyModel::JRip(m) => m.predict_proba_batch_into(batch, out),
+            AnyModel::OneR(m) => m.predict_proba_batch_into(batch, out),
+            AnyModel::Mlp(m) => m.predict_proba_batch_into(batch, out),
+            AnyModel::Mlr(m) => m.predict_proba_batch_into(batch, out),
+            AnyModel::Boosted {
+                bases,
+                weights,
+                n_classes,
+            } => {
+                assert!(!bases.is_empty(), "ensemble snapshot has no bases");
+                let lanes = batch.n_lanes();
+                assert_eq!(
+                    out.len(),
+                    lanes * n_classes,
+                    "predict_proba_batch_into: out has {} slots for {} lanes × {} classes",
+                    out.len(),
+                    lanes,
+                    n_classes
+                );
+                out.fill(0.0);
+                // Take the scratch out of the cell instead of borrowing so a
+                // (hand-built) nested Boosted base recurses safely.
+                let mut buf = SNAPSHOT_BATCH.take();
+                for (base, w) in bases.iter().zip(weights) {
+                    let nc = base.n_classes();
+                    buf.clear();
+                    buf.resize(lanes * nc, 0.0);
+                    base.predict_proba_batch_into(batch, &mut buf);
+                    for (member_row, out_row) in
+                        buf.chunks_exact(nc).zip(out.chunks_exact_mut(*n_classes))
+                    {
+                        // Same argmax tie-break as the scalar path.
+                        out_row[crate::classifier::argmax(member_row)] += w;
+                    }
+                }
+                SNAPSHOT_BATCH.set(buf);
+                for out_row in out.chunks_exact_mut(*n_classes) {
+                    let total: f64 = out_row.iter().sum();
+                    if total <= 0.0 {
+                        out_row.fill(1.0 / *n_classes as f64);
+                    } else {
+                        for v in out_row.iter_mut() {
+                            *v /= total;
+                        }
                     }
                 }
             }

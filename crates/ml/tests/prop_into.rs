@@ -44,6 +44,37 @@ fn assert_into_bit_identical(model: &dyn Classifier, data: &Dataset, label: &str
     }
 }
 
+/// Asserts `predict_proba_batch_into` ≡ per-lane `predict_proba_into`
+/// bit-for-bit, over a batch built from the training rows cycled to
+/// `lanes` width (so duplicate lanes exercise shared-scratch reuse).
+fn assert_batch_bit_identical(model: &dyn Classifier, data: &Dataset, lanes: usize, label: &str) {
+    let k = model.n_classes();
+    let mut batch = BatchScratch::new();
+    batch.reset(data.n_features(), lanes);
+    for lane in 0..lanes {
+        batch.set_lane(lane, data.features_of(lane % data.len()));
+    }
+    let mut out = vec![f64::NAN; lanes * k];
+    model.predict_proba_batch_into(&batch, &mut out);
+    let mut scalar = vec![f64::NAN; k];
+    for lane in 0..lanes {
+        let x = data.features_of(lane % data.len());
+        scalar.fill(f64::NAN);
+        model.predict_proba_into(x, &mut scalar);
+        let a: Vec<u64> = scalar.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = out[lane * k..(lane + 1) * k]
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(
+            a,
+            b,
+            "{label}: lane {lane}/{lanes}: {scalar:?} vs {:?}",
+            &out[lane * k..(lane + 1) * k]
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -61,6 +92,23 @@ proptest! {
             };
             model.fit(&data).expect("fit succeeds on valid data");
             assert_into_bit_identical(model.as_ref(), &data, kind.name());
+            for lanes in [1, 3, 17] {
+                assert_batch_bit_identical(model.as_ref(), &data, lanes, kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn predict_proba_batch_into_is_bit_identical_for_mlr(
+        data in arb_binary_dataset(),
+    ) {
+        // MLR separately at a wide batch: its batched projection is a
+        // hand-written matmul-shaped kernel, the likeliest place for a
+        // fold-order slip.
+        let mut model = Mlr::new();
+        model.fit(&data).expect("fit succeeds");
+        for lanes in [1, 2, 64] {
+            assert_batch_bit_identical(&model, &data, lanes, "MLR");
         }
     }
 
@@ -72,17 +120,21 @@ proptest! {
         let mut boosted = AdaBoost::new(ClassifierKind::OneR, 5, seed);
         boosted.fit(&data).expect("fit succeeds");
         assert_into_bit_identical(&boosted, &data, "AdaBoost");
+        assert_batch_bit_identical(&boosted, &data, 9, "AdaBoost");
 
         let snapshot = AnyModel::from_classifier(&boosted).expect("snapshots");
         assert_into_bit_identical(&snapshot, &data, "AnyModel::Boosted");
+        assert_batch_bit_identical(&snapshot, &data, 9, "AnyModel::Boosted");
 
         let mut bagged = Bagging::new(ClassifierKind::J48, 5, seed);
         bagged.fit(&data).expect("fit succeeds");
         assert_into_bit_identical(&bagged, &data, "Bagging");
+        assert_batch_bit_identical(&bagged, &data, 9, "Bagging");
 
         let mut voting = Voting::new(&[ClassifierKind::OneR, ClassifierKind::J48], seed);
         voting.fit(&data).expect("fit succeeds");
         assert_into_bit_identical(&voting, &data, "Voting");
+        assert_batch_bit_identical(&voting, &data, 9, "Voting");
 
         // 2 folds: the arbitrary dataset guarantees only 4 instances per
         // class, fewer than the default 5 CV folds.

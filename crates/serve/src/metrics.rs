@@ -53,6 +53,12 @@ pub struct Metrics {
     /// Smoothed malware verdicts, indexed by position in
     /// [`AppClass::MALWARE`].
     pub malware: [AtomicU64; AppClass::MALWARE.len()],
+    /// Stage-2 specialist invocations by routed class (batched drain),
+    /// indexed by position in [`AppClass::MALWARE`].
+    pub stage2_invoked: [AtomicU64; AppClass::MALWARE.len()],
+    /// Stage-2 invocations skipped by the confidence gate, by routed
+    /// class, indexed by position in [`AppClass::MALWARE`].
+    pub stage2_skipped: [AtomicU64; AppClass::MALWARE.len()],
 }
 
 impl Metrics {
@@ -97,6 +103,26 @@ impl Metrics {
         }
     }
 
+    /// Folds one batched drain's per-class stage-2 invocation/skip counts
+    /// into the cascade cost accounting (one atomic add per touched
+    /// class).
+    pub fn add_stage2(
+        &self,
+        invoked: &[u64; AppClass::MALWARE.len()],
+        skipped: &[u64; AppClass::MALWARE.len()],
+    ) {
+        for (c, &n) in self.stage2_invoked.iter().zip(invoked) {
+            if n > 0 {
+                c.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        for (c, &n) in self.stage2_skipped.iter().zip(skipped) {
+            if n > 0 {
+                c.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Renders a point-in-time snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
@@ -118,6 +144,18 @@ impl Metrics {
                 rootkit: get(&self.malware[1]),
                 virus: get(&self.malware[2]),
                 trojan: get(&self.malware[3]),
+            },
+            stage2_invoked: StageCounts {
+                backdoor: get(&self.stage2_invoked[0]),
+                rootkit: get(&self.stage2_invoked[1]),
+                virus: get(&self.stage2_invoked[2]),
+                trojan: get(&self.stage2_invoked[3]),
+            },
+            stage2_skipped: StageCounts {
+                backdoor: get(&self.stage2_skipped[0]),
+                rootkit: get(&self.stage2_skipped[1]),
+                virus: get(&self.stage2_skipped[2]),
+                trojan: get(&self.stage2_skipped[3]),
             },
         }
     }
@@ -153,6 +191,28 @@ impl VerdictHistogram {
     }
 }
 
+/// Per-malware-class stage-2 work counts, classes spelled out like
+/// [`VerdictHistogram`] so the wire format does not depend on enum
+/// ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StageCounts {
+    /// Lanes routed to the backdoor specialist.
+    pub backdoor: u64,
+    /// Lanes routed to the rootkit specialist.
+    pub rootkit: u64,
+    /// Lanes routed to the virus specialist.
+    pub virus: u64,
+    /// Lanes routed to the trojan specialist.
+    pub trojan: u64,
+}
+
+impl StageCounts {
+    /// Sum across the four classes.
+    pub fn total(&self) -> u64 {
+        self.backdoor + self.rootkit + self.virus + self.trojan
+    }
+}
+
 /// Serializable point-in-time image of [`Metrics`], carried by `Drain`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -178,6 +238,10 @@ pub struct MetricsSnapshot {
     pub session_bytes: u64,
     /// Verdict outcome histogram.
     pub verdicts: VerdictHistogram,
+    /// Stage-2 specialist invocations by routed class (batched drain).
+    pub stage2_invoked: StageCounts,
+    /// Stage-2 invocations the confidence gate skipped, by routed class.
+    pub stage2_skipped: StageCounts,
 }
 
 #[cfg(test)]

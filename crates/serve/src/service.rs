@@ -18,7 +18,7 @@ use crate::protocol::{
     encode_frame_into, ErrorCode, Frame, FrameBuffer, WireError, WireFormat, PROTOCOL_VERSION,
     PROTOCOL_VERSION_V2,
 };
-use crate::session::{SessionEngine, SubmitError};
+use crate::session::{SessionEngine, SubmitBatch, SubmitError};
 use crate::wire2;
 use std::io::{ErrorKind, Read, Write};
 use std::sync::Arc;
@@ -89,6 +89,10 @@ pub struct Conn<T> {
     json_scratch: String,
     /// Reused counter scratch for the v2 Submit fast path.
     counters: Vec<f64>,
+    /// Submissions queued during one decode pass, drained through the
+    /// engine's batched cascade at the next non-Submit step (or at the end
+    /// of the pass). Buffers are reused across passes.
+    batch: SubmitBatch,
     written: usize,
     /// Close after the outbuf flushes (oversized frame / fatal error).
     close_after_flush: bool,
@@ -105,6 +109,7 @@ impl<T> Conn<T> {
             outbuf: Vec::new(),
             json_scratch: String::new(),
             counters: Vec::new(),
+            batch: SubmitBatch::new(),
             written: 0,
             close_after_flush: false,
             dead: false,
@@ -243,23 +248,46 @@ pub fn pump<T: Read + Write>(
     // the fatal error frame was queued exactly once, and re-decoding the
     // unconsumed buffer would re-queue it every pass, growing `outbuf`
     // without bound against a slow-reading peer.
+    //
+    // Submits accumulate in `conn.batch` and drain through the engine's
+    // batched cascade at the first non-Submit step (replies must stay in
+    // arrival order, so a Drain or error cannot overtake queued verdicts)
+    // and at the end of the pass. A pipelining v2 client therefore gets
+    // one SoA cascade per burst instead of one scalar cascade per frame.
     while !conn.close_after_flush {
         match next_step(conn) {
             Step::Idle => break,
             Step::Frame(frame) => {
                 progress = true;
                 service.metrics.bump(&service.metrics.frames_in);
-                handle_frame(conn, service, frame, stopping);
+                if let Frame::Submit {
+                    host_id,
+                    seq,
+                    counters,
+                } = frame
+                {
+                    if stopping {
+                        queue_shutting_down(conn, service, host_id, seq);
+                    } else {
+                        conn.batch.push(host_id, seq, &counters);
+                    }
+                } else {
+                    flush_batch(conn, service);
+                    handle_frame(conn, service, frame, stopping);
+                }
             }
             Step::Submit { host_id, seq } => {
                 progress = true;
                 service.metrics.bump(&service.metrics.frames_in);
-                let counters = std::mem::take(&mut conn.counters);
-                handle_submit(conn, service, host_id, seq, &counters, stopping);
-                conn.counters = counters;
+                if stopping {
+                    queue_shutting_down(conn, service, host_id, seq);
+                } else {
+                    conn.batch.push(host_id, seq, &conn.counters);
+                }
             }
             Step::Malformed(detail) => {
                 progress = true;
+                flush_batch(conn, service);
                 service.metrics.bump(&service.metrics.malformed);
                 conn.queue(
                     &Frame::Error {
@@ -274,6 +302,7 @@ pub fn pump<T: Read + Write>(
                 // flush, close. The stream can no longer be
                 // re-synchronized.
                 progress = true;
+                flush_batch(conn, service);
                 service.metrics.bump(&service.metrics.malformed);
                 conn.queue(
                     &Frame::Error {
@@ -286,6 +315,7 @@ pub fn pump<T: Read + Write>(
             }
         }
     }
+    flush_batch(conn, service);
 
     // Flush.
     while conn.backlog() > 0 {
@@ -316,67 +346,76 @@ pub fn pump<T: Read + Write>(
     progress
 }
 
-/// Handles one accepted `Submit` (either protocol version) — the
-/// per-reading hot path.
+/// Rejects one `Submit` during shutdown with a per-item error frame.
+fn queue_shutting_down<T>(conn: &mut Conn<T>, service: &Service, host_id: u64, seq: u64) {
+    conn.queue(
+        &Frame::Error {
+            code: ErrorCode::ShuttingDown,
+            detail: format!("host {host_id} seq {seq}: service is draining"),
+        },
+        &service.metrics,
+    );
+}
+
+/// Drains the connection's queued submissions through the engine's batched
+/// cascade and queues one reply per item, in submission order — the
+/// per-burst hot path.
 // hmd-analyze: hot-path
-fn handle_submit<T>(
-    conn: &mut Conn<T>,
-    service: &Service,
-    host_id: u64,
-    seq: u64,
-    counters: &[f64],
-    stopping: bool,
-) {
-    let metrics = &service.metrics;
-    if stopping {
-        conn.queue(
-            &Frame::Error {
-                code: ErrorCode::ShuttingDown,
-                // hmd-analyze: allow(hot-path-alloc, "shutdown-only error detail, not the steady-state path")
-                detail: format!("host {host_id} seq {seq}: service is draining"),
-            },
-            metrics,
-        );
+fn flush_batch<T>(conn: &mut Conn<T>, service: &Service) {
+    if conn.batch.is_empty() {
         return;
     }
-    match service.engine.submit(host_id, seq, counters) {
-        Ok(verdict) => {
-            metrics.bump(&metrics.submits);
-            metrics.record_verdict(&verdict);
-            conn.queue(
-                &Frame::Verdict {
-                    host_id,
-                    seq,
-                    verdict,
-                },
-                metrics,
-            );
-            let every = service.limits.evict_every;
-            if every > 0 && service.engine.ticks().is_multiple_of(every) {
-                service.engine.evict_idle();
+    let metrics = &service.metrics;
+    // Take the batch out so replies can queue while its results borrow it;
+    // an empty `SubmitBatch` holds no heap, so the swap allocates nothing.
+    let mut batch = std::mem::take(&mut conn.batch);
+    let ticks_before = service.engine.ticks();
+    service.engine.submit_batch(&mut batch);
+    for ((host_id, seq), result) in batch.results() {
+        match result {
+            Ok(verdict) => {
+                metrics.bump(&metrics.submits);
+                metrics.record_verdict(verdict);
+                conn.queue(
+                    &Frame::Verdict {
+                        host_id,
+                        seq,
+                        verdict: *verdict,
+                    },
+                    metrics,
+                );
+            }
+            Err(e @ SubmitError::BadLength { .. }) => {
+                conn.queue(
+                    &Frame::Error {
+                        code: ErrorCode::BadLength,
+                        // hmd-analyze: allow(hot-path-alloc, "rejection detail, not the steady-state path")
+                        detail: format!("host {host_id} seq {seq}: {e}"),
+                    },
+                    metrics,
+                );
+            }
+            Err(e @ SubmitError::OutOfOrder { .. }) => {
+                conn.queue(
+                    &Frame::Error {
+                        code: ErrorCode::OutOfOrder,
+                        // hmd-analyze: allow(hot-path-alloc, "rejection detail, not the steady-state path")
+                        detail: format!("host {host_id} seq {seq}: {e}"),
+                    },
+                    metrics,
+                );
             }
         }
-        Err(e @ SubmitError::BadLength { .. }) => {
-            conn.queue(
-                &Frame::Error {
-                    code: ErrorCode::BadLength,
-                    // hmd-analyze: allow(hot-path-alloc, "rejection detail, not the steady-state path")
-                    detail: format!("host {host_id} seq {seq}: {e}"),
-                },
-                metrics,
-            );
-        }
-        Err(e @ SubmitError::OutOfOrder { .. }) => {
-            conn.queue(
-                &Frame::Error {
-                    code: ErrorCode::OutOfOrder,
-                    // hmd-analyze: allow(hot-path-alloc, "rejection detail, not the steady-state path")
-                    detail: format!("host {host_id} seq {seq}: {e}"),
-                },
-                metrics,
-            );
-        }
     }
+    // Eviction cadence: the scalar path swept whenever the engine clock
+    // landed on a multiple of `evict_every`; a batch sweeps once when it
+    // carries the clock across such a boundary.
+    let every = service.limits.evict_every;
+    if every > 0 && service.engine.ticks() / every > ticks_before / every {
+        service.engine.evict_idle();
+    }
+    batch.clear();
+    conn.batch = batch;
 }
 
 fn handle_frame<T>(conn: &mut Conn<T>, service: &Service, frame: Frame, stopping: bool) {
@@ -420,7 +459,17 @@ fn handle_frame<T>(conn: &mut Conn<T>, service: &Service, frame: Frame, stopping
             host_id,
             seq,
             counters,
-        } => handle_submit(conn, service, host_id, seq, &counters, stopping),
+        } => {
+            // [`pump`] intercepts Submit frames before they reach here; a
+            // direct caller still gets the same semantics via a
+            // single-item batch.
+            if stopping {
+                queue_shutting_down(conn, service, host_id, seq);
+            } else {
+                conn.batch.push(host_id, seq, &counters);
+                flush_batch(conn, service);
+            }
+        }
         Frame::Drain { .. } => {
             conn.queue(
                 &Frame::Drain {

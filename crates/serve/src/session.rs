@@ -18,10 +18,14 @@
 //! interleaving cannot change any host's verdicts.
 
 use crate::metrics::Metrics;
+use hmd_hpc_sim::event::Event;
+use hmd_hpc_sim::workload::AppClass;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use twosmart::detector::{TwoSmartDetector, Verdict};
+use twosmart::detector::{
+    CascadeMode, CascadeVerdict, DetectBatchScratch, TwoSmartDetector, Verdict,
+};
 use twosmart::online::{OnlineDetector, OnlineError};
 use twosmart::persist::DetectorSnapshot;
 
@@ -62,6 +66,9 @@ pub struct SessionConfig {
     pub idle_after: u64,
     /// What a logical tick is (defaults to one tick per submit).
     pub time: TimeSource,
+    /// How the batched drain decides whether to run stage 2 (defaults to
+    /// [`CascadeMode::Always`], the scalar-identical oracle).
+    pub cascade: CascadeMode,
 }
 
 impl Default for SessionConfig {
@@ -72,6 +79,7 @@ impl Default for SessionConfig {
             votes: 3,
             idle_after: 1 << 20,
             time: TimeSource::PerSubmit,
+            cascade: CascadeMode::Always,
         }
     }
 }
@@ -117,6 +125,81 @@ struct HostSession {
     last_seen: u64,
 }
 
+/// A reusable queue of submissions drained through the batched detection
+/// path.
+///
+/// A connection pump accumulates decoded `Submit` frames here, then one
+/// [`SessionEngine::submit_batch`] call windows every reading and scores
+/// all ready windows through
+/// [`TwoSmartDetector::detect_batch_with`] — one SoA stage-1 pass plus one
+/// batched stage-2 pass per routed class, instead of a full scalar cascade
+/// per submission. Buffers are reused across drains; steady state
+/// allocates nothing.
+#[derive(Debug, Default)]
+pub struct SubmitBatch {
+    /// `(host_id, seq)` per queued item, in submission order.
+    hosts: Vec<(u64, u64)>,
+    /// Length of each item's counter slice within `counters`.
+    lens: Vec<u32>,
+    /// Flat concatenation of every item's counters.
+    counters: Vec<f64>,
+    /// Per-item outcome, filled by [`SessionEngine::submit_batch`].
+    results: Vec<Result<Option<Verdict>, SubmitError>>,
+    /// Row-major `ready_lanes × 44` feature rows for full windows.
+    features: Vec<f64>,
+    /// Queued-item index of each ready lane.
+    ready: Vec<u32>,
+    /// Batched cascade outcomes, one per ready lane.
+    verdicts: Vec<CascadeVerdict>,
+    /// Batched detection scratch reused across drains.
+    scratch: DetectBatchScratch,
+}
+
+impl SubmitBatch {
+    /// An empty batch; buffers grow on first use.
+    pub fn new() -> SubmitBatch {
+        SubmitBatch::default()
+    }
+
+    /// Queues one submission.
+    // hmd-analyze: hot-path
+    pub fn push(&mut self, host_id: u64, seq: u64, counters: &[f64]) {
+        self.hosts.push((host_id, seq));
+        self.lens.push(counters.len() as u32);
+        self.counters.extend_from_slice(counters);
+    }
+
+    /// Number of queued submissions.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Per-item outcomes of the last [`SessionEngine::submit_batch`], in
+    /// submission order, paired with each item's `(host_id, seq)`.
+    pub fn results(
+        &self,
+    ) -> impl Iterator<Item = ((u64, u64), &Result<Option<Verdict>, SubmitError>)> {
+        self.hosts.iter().copied().zip(self.results.iter())
+    }
+
+    /// Clears the queue for the next drain (keeps capacity).
+    // hmd-analyze: hot-path
+    pub fn clear(&mut self) {
+        self.hosts.clear();
+        self.lens.clear();
+        self.counters.clear();
+        self.results.clear();
+        self.features.clear();
+        self.ready.clear();
+        self.verdicts.clear();
+    }
+}
+
 /// Sharded host-id → [`OnlineDetector`] map.
 pub struct SessionEngine {
     shards: Vec<Mutex<Shard>>,
@@ -126,6 +209,8 @@ pub struct SessionEngine {
     /// Logical clock; advanced per submit or externally per [`TimeSource`].
     clock: AtomicU64,
     time: TimeSource,
+    /// Stage-2 gating policy for the batched drain.
+    cascade: CascadeMode,
     /// Estimated in-memory bytes of one session, computed once from the
     /// template; feeds the `session_bytes` gauge.
     per_session_bytes: u64,
@@ -156,9 +241,15 @@ impl SessionEngine {
             idle_after: config.idle_after,
             clock: AtomicU64::new(0),
             time: config.time,
+            cascade: config.cascade,
             per_session_bytes,
             metrics,
         })
+    }
+
+    /// The stage-2 gating policy the batched drain runs under.
+    pub fn cascade(&self) -> CascadeMode {
+        self.cascade
     }
 
     /// Counters each `Submit` must carry, in programmed-event order.
@@ -232,6 +323,135 @@ impl SessionEngine {
         session.last_seq = Some(seq);
         session.last_seen = now;
         Ok(verdict)
+    }
+
+    /// Drains a queue of submissions through the batched cascade.
+    ///
+    /// Phase A windows every item in submission order (clock tick, session
+    /// creation, seq guard, window advance — exactly the per-item steps of
+    /// [`submit`](Self::submit)); full windows contribute one lane to a
+    /// feature batch. One [`TwoSmartDetector::detect_batch_with`] call
+    /// then scores all lanes under the engine's [`CascadeMode`], and phase
+    /// B folds each raw verdict back into its session's vote smoothing, in
+    /// submission order.
+    ///
+    /// Under [`CascadeMode::Always`] every item's result is bit-identical
+    /// to calling [`submit`](Self::submit) item by item: the windowing and
+    /// smoothing halves are the same code, and the batched cascade is the
+    /// property-tested bit-identity oracle of the scalar detector. All
+    /// detector clones are identical, so scoring through the engine's
+    /// template is the same arithmetic as scoring through each session's
+    /// own clone.
+    ///
+    /// Results land in `batch` (see [`SubmitBatch::results`]); per-class
+    /// stage-2 invocation/skip counts land in the engine's metrics.
+    // hmd-analyze: hot-path
+    pub fn submit_batch(&self, batch: &mut SubmitBatch) {
+        batch.results.clear();
+        batch.features.clear();
+        batch.ready.clear();
+
+        // Phase A: window every reading, in submission order.
+        let mut offset = 0usize;
+        for (i, (&(host_id, seq), &len)) in batch.hosts.iter().zip(batch.lens.iter()).enumerate() {
+            let counters = &batch.counters[offset..offset + len as usize];
+            offset += len as usize;
+            let now = match self.time {
+                TimeSource::PerSubmit => self.clock.fetch_add(1, Ordering::Relaxed),
+                TimeSource::External => self.clock.load(Ordering::Relaxed),
+            };
+            let mut shard = Self::lock(&self.shards[self.shard_of(host_id)]);
+            let mut created = false;
+            let session = shard.entry(host_id).or_insert_with(|| {
+                created = true;
+                HostSession {
+                    // hmd-analyze: allow(hot-path-alloc, "one-time per-host session construction, not per-reading")
+                    online: self.template.clone(),
+                    last_seq: None,
+                    last_seen: now,
+                }
+            });
+            if created {
+                self.metrics.bump(&self.metrics.sessions);
+                self.metrics
+                    .add(&self.metrics.session_bytes, self.per_session_bytes);
+            }
+            if let Some(last) = session.last_seq {
+                if seq <= last {
+                    batch
+                        .results
+                        .push(Err(SubmitError::OutOfOrder { last, got: seq }));
+                    continue;
+                }
+            }
+            let mut features44 = [0.0; Event::COUNT];
+            match session.online.advance_window(counters, &mut features44) {
+                Ok(ready) => {
+                    session.last_seq = Some(seq);
+                    session.last_seen = now;
+                    if ready {
+                        batch.ready.push(i as u32);
+                        batch.features.extend_from_slice(&features44);
+                    }
+                    // Warm-up items keep this placeholder; ready items are
+                    // overwritten in phase B.
+                    batch.results.push(Ok(None));
+                }
+                Err(OnlineError::BadLength { expected, got }) => {
+                    batch
+                        .results
+                        .push(Err(SubmitError::BadLength { expected, got }));
+                }
+                // Construction-time failures `advance_window` cannot
+                // return; reject the frame rather than panicking.
+                Err(_) => {
+                    batch.results.push(Err(SubmitError::BadLength {
+                        expected: self.template.arity(),
+                        got: counters.len(),
+                    }));
+                }
+            }
+        }
+
+        if batch.ready.is_empty() {
+            return;
+        }
+
+        // One batched cascade over every ready window. Clones are
+        // identical, so the template's arithmetic is every session's.
+        self.template.detector().detect_batch_with(
+            &batch.features,
+            self.cascade,
+            &mut batch.scratch,
+            &mut batch.verdicts,
+        );
+
+        // Phase B: fold raw verdicts into vote smoothing, in order, and
+        // account stage-2 work per class.
+        let mut stage2_invoked = [0u64; AppClass::MALWARE.len()];
+        let mut stage2_skipped = [0u64; AppClass::MALWARE.len()];
+        for (&item, cv) in batch.ready.iter().zip(batch.verdicts.iter()) {
+            if cv.routed.is_malware() {
+                // MALWARE is ordered by label (backdoor, rootkit, virus,
+                // trojan), so a malware class' counter slot is label − 1.
+                let idx = cv.routed.label() - 1;
+                if cv.stage2_ran {
+                    stage2_invoked[idx] += 1;
+                } else {
+                    stage2_skipped[idx] += 1;
+                }
+            }
+            let (host_id, _) = batch.hosts[item as usize];
+            let mut shard = Self::lock(&self.shards[self.shard_of(host_id)]);
+            let smoothed = match shard.get_mut(&host_id) {
+                Some(session) => session.online.apply_verdict(cv.verdict),
+                // Evicted between phases (concurrent sweeper): the raw
+                // verdict is the best available answer for this item.
+                None => cv.verdict,
+            };
+            batch.results[item as usize] = Ok(Some(smoothed));
+        }
+        self.metrics.add_stage2(&stage2_invoked, &stage2_skipped);
     }
 
     /// Removes sessions idle for more than `idle_after` ticks as of the
@@ -639,6 +859,102 @@ mod tests {
         }
         stop.store(true, Ordering::Relaxed);
         sweeper.join().expect("sweeper never panicked");
+    }
+
+    #[test]
+    fn submit_batch_matches_scalar_submit_item_for_item() {
+        // The same interleaved stream — warm-ups, full windows, a replay
+        // and a wrong-arity reading — through the scalar path on one
+        // engine and the batched drain on another must produce identical
+        // per-item outcomes, and the batched engine's sessions must be
+        // left in the same state (checked by a follow-up submit).
+        let config = SessionConfig {
+            window: 2,
+            votes: 1,
+            ..SessionConfig::default()
+        };
+        let scalar = engine(&config);
+        let batched = engine(&config);
+        let mut stream: Vec<(u64, u64, Vec<f64>)> = Vec::new();
+        for seq in 0..6 {
+            for host in [1u64, 2, 3] {
+                let x = 1e5 + (seq * 31 + host) as f64 * 17.0;
+                stream.push((host, seq, vec![x, x / 3.0, x / 7.0, x / 11.0]));
+            }
+        }
+        stream.push((1, 2, vec![1.0; 4])); // replayed seq → OutOfOrder
+        stream.push((2, 99, vec![1.0, 2.0])); // wrong arity → BadLength
+        stream.push((3, 99, vec![2e5, 3e4, 4e3, 5e2]));
+
+        let want: Vec<_> = stream
+            .iter()
+            .map(|(h, s, c)| scalar.submit(*h, *s, c))
+            .collect();
+
+        let mut batch = SubmitBatch::new();
+        let mut got = Vec::new();
+        // Drain in uneven chunks so batch boundaries cross hosts and seqs.
+        for chunk in stream.chunks(5) {
+            batch.clear();
+            for (h, s, c) in chunk {
+                batch.push(*h, *s, c);
+            }
+            assert_eq!(batch.len(), chunk.len());
+            batched.submit_batch(&mut batch);
+            for ((bh, bs), r) in batch.results() {
+                let (h, s, _) = &chunk[got.len() % 5];
+                assert_eq!((bh, bs), (*h, *s));
+                got.push(r.clone());
+            }
+        }
+        assert_eq!(got, want);
+        // Both engines advanced their clocks identically.
+        assert_eq!(batched.ticks(), scalar.ticks());
+    }
+
+    #[test]
+    fn batched_drain_accounts_stage2_work_per_class() {
+        let r = [1e6, 1e5, 1e4, 1e3];
+        let run = |cascade: CascadeMode| {
+            let metrics = Arc::new(Metrics::new());
+            let e = SessionEngine::new(
+                detector(),
+                &SessionConfig {
+                    window: 1,
+                    votes: 1,
+                    cascade,
+                    ..SessionConfig::default()
+                },
+                Arc::clone(&metrics),
+            )
+            .unwrap();
+            let mut batch = SubmitBatch::new();
+            for seq in 0..8 {
+                batch.push(7, seq, &r);
+            }
+            e.submit_batch(&mut batch);
+            metrics.snapshot()
+        };
+        let always = run(CascadeMode::Always);
+        // Under Always nothing is ever skipped; whether anything was
+        // invoked depends on stage-1 routing of this reading.
+        assert_eq!(always.stage2_skipped.total(), 0);
+        // A gate of 1.1 can never be cleared... but `Gated(t)` skips when
+        // conf >= t, so an impossible gate runs stage 2 everywhere and an
+        // always-clearing gate (0.0) skips every malware-routed lane.
+        let all_skip = run(CascadeMode::Gated(0.0));
+        assert_eq!(all_skip.stage2_invoked.total(), 0);
+        assert_eq!(
+            all_skip.stage2_skipped.total(),
+            always.stage2_invoked.total(),
+            "every lane Always invoked for, Gated(0.0) skips"
+        );
+        let none_skip = run(CascadeMode::Gated(1.1));
+        assert_eq!(none_skip.stage2_skipped.total(), 0);
+        assert_eq!(
+            none_skip.stage2_invoked.total(),
+            always.stage2_invoked.total()
+        );
     }
 
     #[test]

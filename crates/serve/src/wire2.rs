@@ -25,7 +25,7 @@
 //!                 kind 0 = warm-up (None)
 //!                 kind 1 = Benign
 //!                 kind 2 = Malware: + [class u8][confidence f64]   27 B
-//! 0x04 Drain:   [tag u8][has u8]; has 1 = + [u64 × 16] snapshot    2|130 B
+//! 0x04 Drain:   [tag u8][has u8]; has 1 = + [u64 × 24] snapshot    2|194 B
 //! 0x05 Error:   [tag u8][code u8][len u32][detail UTF-8 × len]     7+len B
 //! ```
 //!
@@ -45,7 +45,7 @@
 //! prefix can be fatal ([`WireError::Oversized`], detected before any
 //! payload reaches this module).
 
-use crate::metrics::{MetricsSnapshot, VerdictHistogram};
+use crate::metrics::{MetricsSnapshot, StageCounts, VerdictHistogram};
 use crate::protocol::{ErrorCode, Frame, WireError, MAX_FRAME_BYTES};
 use hmd_hpc_sim::workload::AppClass;
 use twosmart::detector::Verdict;
@@ -170,8 +170,11 @@ fn class_to_u8(class: AppClass) -> u8 {
         .unwrap_or(AppClass::ALL.len()) as u8
 }
 
-/// The Drain snapshot as its 16 wire words, declaration order.
-fn snapshot_words(s: &MetricsSnapshot) -> [u64; 16] {
+/// The Drain snapshot as its 24 wire words, declaration order (stage-2
+/// cascade counters last, appended in protocol revision 2.1 — older
+/// decoders reading 16 words see a trailing-bytes malformed frame, which
+/// is the intended loud failure for a version skew).
+fn snapshot_words(s: &MetricsSnapshot) -> [u64; 24] {
     [
         s.frames_in,
         s.frames_out,
@@ -189,6 +192,14 @@ fn snapshot_words(s: &MetricsSnapshot) -> [u64; 16] {
         s.verdicts.rootkit,
         s.verdicts.virus,
         s.verdicts.trojan,
+        s.stage2_invoked.backdoor,
+        s.stage2_invoked.rootkit,
+        s.stage2_invoked.virus,
+        s.stage2_invoked.trojan,
+        s.stage2_skipped.backdoor,
+        s.stage2_skipped.rootkit,
+        s.stage2_skipped.virus,
+        s.stage2_skipped.trojan,
     ]
 }
 
@@ -345,7 +356,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
             match cur.u8().ok_or_else(err)? {
                 0 => Frame::Drain { stats: None },
                 1 => {
-                    let mut words = [0u64; 16];
+                    let mut words = [0u64; 24];
                     for w in &mut words {
                         *w = cur.u64().ok_or_else(err)?;
                     }
@@ -384,7 +395,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
     Ok(frame)
 }
 
-fn snapshot_from_words(w: [u64; 16]) -> MetricsSnapshot {
+fn snapshot_from_words(w: [u64; 24]) -> MetricsSnapshot {
     MetricsSnapshot {
         frames_in: w[0],
         frames_out: w[1],
@@ -403,6 +414,18 @@ fn snapshot_from_words(w: [u64; 16]) -> MetricsSnapshot {
             rootkit: w[13],
             virus: w[14],
             trojan: w[15],
+        },
+        stage2_invoked: StageCounts {
+            backdoor: w[16],
+            rootkit: w[17],
+            virus: w[18],
+            trojan: w[19],
+        },
+        stage2_skipped: StageCounts {
+            backdoor: w[20],
+            rootkit: w[21],
+            virus: w[22],
+            trojan: w[23],
         },
     }
 }

@@ -3,7 +3,7 @@
 //! oversized and garbage input.
 
 use hmd_hpc_sim::workload::AppClass;
-use hmd_serve::metrics::{MetricsSnapshot, VerdictHistogram};
+use hmd_serve::metrics::{MetricsSnapshot, StageCounts, VerdictHistogram};
 use hmd_serve::protocol::{
     encode, encode_frame_into, read_frame, write_frame, ErrorCode, Frame, FrameBuffer, WireError,
     WireFormat, MAX_FRAME_BYTES, PROTOCOL_VERSION,
@@ -59,6 +59,18 @@ fn every_frame() -> Vec<Frame> {
                     rootkit: 0,
                     virus: 1,
                     trojan: 0,
+                },
+                stage2_invoked: StageCounts {
+                    backdoor: 1,
+                    rootkit: 0,
+                    virus: 2,
+                    trojan: 0,
+                },
+                stage2_skipped: StageCounts {
+                    backdoor: 0,
+                    rootkit: 3,
+                    virus: 0,
+                    trojan: 1,
                 },
             }),
         },

@@ -4,7 +4,7 @@
 //! bit. Arbitrary byte soup must never panic either decoder.
 
 use hmd_hpc_sim::workload::AppClass;
-use hmd_serve::metrics::{MetricsSnapshot, VerdictHistogram};
+use hmd_serve::metrics::{MetricsSnapshot, StageCounts, VerdictHistogram};
 use hmd_serve::protocol::{
     decode_payload as decode_v1, encode_frame_into, ErrorCode, Frame, FrameBuffer, WireFormat,
 };
@@ -58,7 +58,7 @@ fn arb_detail() -> impl Strategy<Value = String> {
 }
 
 fn arb_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
-    proptest::collection::vec(any::<u64>(), 16).prop_map(|w| MetricsSnapshot {
+    proptest::collection::vec(any::<u64>(), 24).prop_map(|w| MetricsSnapshot {
         frames_in: w[0],
         frames_out: w[1],
         malformed: w[2],
@@ -76,6 +76,18 @@ fn arb_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
             rootkit: w[13],
             virus: w[14],
             trojan: w[15],
+        },
+        stage2_invoked: StageCounts {
+            backdoor: w[16],
+            rootkit: w[17],
+            virus: w[18],
+            trojan: w[19],
+        },
+        stage2_skipped: StageCounts {
+            backdoor: w[20],
+            rootkit: w[21],
+            virus: w[22],
+            trojan: w[23],
         },
     })
 }

@@ -15,14 +15,16 @@
 //! `--faults none|standard|heavy|key=value,…` (see `faults::FaultPlan`),
 //! `--workers N`, `--shards N`, `--readings N`, `--interval T`,
 //! `--arrivals N`, `--max-conns N`, `--idle-after T`, `--sweep-every T`,
-//! `--window N`, `--votes N`, `--journal` (print every journal entry;
-//! small runs only).
+//! `--window N`, `--votes N`, `--cascade always|gated:<t>` (stage-2
+//! gating of the batched drain; `always` is the scalar-identical
+//! default), `--journal` (print every journal entry; small runs only).
 
 use hmd_serve::protocol::WireFormat;
 use hmd_sim::digest::JournalEntry;
 use hmd_sim::faults::FaultPlan;
 use hmd_sim::harness::{run, SimConfig};
 use hmd_sim::tiny_detector;
+use twosmart::detector::CascadeMode;
 
 fn main() {
     if let Err(e) = run_cli() {
@@ -104,13 +106,15 @@ fn parse(mut argv: impl Iterator<Item = String>) -> Result<SimConfig, String> {
             "--sweep-every" => config.sweep_every = parse_num(&value("--sweep-every")?)?,
             "--window" => config.window = parse_num(&value("--window")?)? as usize,
             "--votes" => config.votes = parse_num(&value("--votes")?)? as usize,
+            "--cascade" => config.cascade = parse_cascade(&value("--cascade")?)?,
             "--journal" => config.keep_journal = true,
             "--help" | "-h" => {
                 return Err("usage: hmd-sim [--hosts N] [--seed N] [--protocol 1|2] \
                             [--faults none|standard|heavy|k=v,…] [--workers N] \
                             [--shards N] [--readings N] [--interval T] [--arrivals N] \
                             [--max-conns N] [--idle-after T] [--sweep-every T] \
-                            [--window N] [--votes N] [--journal]"
+                            [--window N] [--votes N] [--cascade always|gated:<t>] \
+                            [--journal]"
                     .into());
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -124,4 +128,20 @@ fn parse(mut argv: impl Iterator<Item = String>) -> Result<SimConfig, String> {
 
 fn parse_num(s: &str) -> Result<u64, String> {
     s.parse().map_err(|e| format!("invalid number {s:?}: {e}"))
+}
+
+fn parse_cascade(s: &str) -> Result<CascadeMode, String> {
+    if s == "always" {
+        return Ok(CascadeMode::Always);
+    }
+    if let Some(t) = s.strip_prefix("gated:") {
+        let t: f64 = t
+            .parse()
+            .map_err(|e| format!("invalid gate threshold {t:?}: {e}"))?;
+        if !(0.0..=1.0).contains(&t) {
+            return Err(format!("gate threshold {t} outside [0, 1]"));
+        }
+        return Ok(CascadeMode::Gated(t));
+    }
+    Err(format!("--cascade must be always or gated:<t>, got {s:?}"))
 }

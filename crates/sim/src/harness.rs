@@ -44,7 +44,7 @@ use std::collections::{BTreeMap, BinaryHeap};
 use std::io::{Read, Write};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use twosmart::detector::{TwoSmartDetector, Verdict};
+use twosmart::detector::{CascadeMode, TwoSmartDetector, Verdict};
 use twosmart::online::OnlineError;
 
 /// Simulation parameters. Everything that can change the digest is here.
@@ -80,6 +80,10 @@ pub struct SimConfig {
     pub votes: usize,
     /// The fault mix.
     pub faults: FaultPlan,
+    /// Stage-2 gating policy of the batched drain. [`CascadeMode::Always`]
+    /// is the scalar-identical oracle (digest unchanged); `Gated` trades
+    /// specialist work for stage-1 confidence.
+    pub cascade: CascadeMode,
     /// Retain the full journal (small runs only).
     pub keep_journal: bool,
 }
@@ -101,6 +105,7 @@ impl Default for SimConfig {
             window: 8,
             votes: 3,
             faults: FaultPlan::standard(),
+            cascade: CascadeMode::Always,
             keep_journal: false,
         }
     }
@@ -288,6 +293,7 @@ pub fn run(detector: TwoSmartDetector, config: &SimConfig) -> Result<RunReport, 
             votes: config.votes,
             idle_after: config.idle_after,
             time: TimeSource::External,
+            cascade: config.cascade,
         },
         Arc::clone(&metrics),
     )?;
