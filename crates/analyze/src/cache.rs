@@ -1,0 +1,370 @@
+//! Per-file analysis cache for `--cache <path>` / `--changed-only`.
+//!
+//! The cache stores, per file, the content hash plus everything phase 1
+//! produces: raw lexical diagnostics and the extracted [`FileFacts`].
+//! Phase 2 (call-graph passes + suppression) is always re-run over the
+//! merged fact set — it is cheap, and interprocedural results can change
+//! when *other* files change, so only phase 1 is safe to memoise.
+//!
+//! Format: a version header carrying a fingerprint of the rule registry
+//! (any registry change invalidates every entry), then tab-separated,
+//! escaped line records. The loader is all-or-nothing: any parse error,
+//! version mismatch, or truncation discards the whole cache — a cold run
+//! is always correct, merely slower.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::rules::{self, Diagnostic};
+use crate::symbols::{CallKind, CallSite, Event, FileFacts, FnFacts, Site};
+
+/// FNV-1a 64-bit, the same flavour the repo uses for digests.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of the rule registry; part of the cache header.
+fn rules_fingerprint() -> u64 {
+    let mut s = String::new();
+    for name in rules::rule_names() {
+        s.push_str(name);
+        s.push(';');
+        s.push_str(rules::severity_of(name).name());
+        s.push(',');
+    }
+    fnv64(s.as_bytes())
+}
+
+/// One cached file: content hash + phase-1 results.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// FNV-1a of the file's bytes.
+    pub hash: u64,
+    /// Raw (unsuppressed) lexical diagnostics.
+    pub raw: Vec<Diagnostic>,
+    /// Extracted facts.
+    pub facts: FileFacts,
+}
+
+/// The cache: path → entry.
+#[derive(Debug, Default)]
+pub struct Cache {
+    /// Entries keyed by workspace-relative path.
+    pub entries: BTreeMap<String, Entry>,
+}
+
+impl Cache {
+    /// Loads a cache file; any problem (missing file, bad version, parse
+    /// error) yields an empty cache.
+    pub fn load(path: &Path) -> Cache {
+        fs::read_to_string(path)
+            .ok()
+            .and_then(|text| parse(&text))
+            .unwrap_or_default()
+    }
+
+    /// Writes the cache file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        fs::write(path, render(self))
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn render(cache: &Cache) -> String {
+    let mut out = format!("hmd-analyze-cache v1 {:016x}\n", rules_fingerprint());
+    for (path, e) in &cache.entries {
+        out.push_str(&format!("F\t{}\t{:016x}\n", esc(path), e.hash));
+        for d in &e.raw {
+            out.push_str(&format!("D\t{}\t{}\t{}\n", d.line, d.rule, esc(&d.message)));
+            for step in &d.chain {
+                out.push_str(&format!("H\t{}\n", esc(step)));
+            }
+        }
+        for (line, rule, reason) in &e.facts.allows {
+            out.push_str(&format!("A\t{line}\t{}\t{}\n", esc(rule), esc(reason)));
+        }
+        for r in &e.facts.rwlocks {
+            out.push_str(&format!("R\t{}\n", esc(r)));
+        }
+        for f in &e.facts.fns {
+            out.push_str(&format!(
+                "N\t{}\t{}\t{}\t{}{}{}{}\n",
+                esc(&f.name),
+                esc(f.owner.as_deref().unwrap_or("-")),
+                f.line,
+                if f.hot { "h" } else { "" },
+                if f.sink { "s" } else { "" },
+                if f.in_test { "t" } else { "" },
+                if f.has_body { "b" } else { "" },
+            ));
+            for ev in &f.events {
+                match ev {
+                    Event::Close { depth } => out.push_str(&format!("X\t{depth}\n")),
+                    Event::Stmt { depth } => out.push_str(&format!("T\t{depth}\n")),
+                    Event::Call(c) => {
+                        let kind = match &c.kind {
+                            CallKind::Bare => "B".to_string(),
+                            CallKind::Method => "M".to_string(),
+                            CallKind::Path(q) => format!("P{}", esc(q)),
+                        };
+                        out.push_str(&format!(
+                            "C\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                            c.line,
+                            c.depth,
+                            u8::from(c.tail),
+                            u8::from(c.bound),
+                            kind,
+                            esc(&c.name),
+                            esc(c.recv_name.as_deref().unwrap_or("-")),
+                            esc(c.recv_type.as_deref().unwrap_or("-")),
+                        ));
+                    }
+                }
+            }
+            for a in &f.allocs {
+                out.push_str(&format!("L\t{}\t{}\n", a.line, esc(&a.what)));
+            }
+            for s in &f.sources {
+                out.push_str(&format!("S\t{}\t{}\n", s.line, esc(&s.what)));
+            }
+        }
+    }
+    out
+}
+
+fn parse(text: &str) -> Option<Cache> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let expected = format!("hmd-analyze-cache v1 {:016x}", rules_fingerprint());
+    if header != expected {
+        return None;
+    }
+    let mut cache = Cache::default();
+    let mut cur_path: Option<String> = None;
+    for line in lines {
+        let mut parts = line.split('\t');
+        let tag = parts.next()?;
+        match tag {
+            "F" => {
+                let path = unesc(parts.next()?)?;
+                let hash = u64::from_str_radix(parts.next()?, 16).ok()?;
+                let entry = Entry {
+                    hash,
+                    raw: Vec::new(),
+                    facts: FileFacts {
+                        path: path.clone(),
+                        ..FileFacts::default()
+                    },
+                };
+                cache.entries.insert(path.clone(), entry);
+                cur_path = Some(path);
+            }
+            "D" => {
+                let e = cache.entries.get_mut(cur_path.as_deref()?)?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let rule = rules::static_rule_name(parts.next()?)?;
+                let message = unesc(parts.next()?)?;
+                e.raw.push(Diagnostic {
+                    path: e.facts.path.clone(),
+                    line: line_no,
+                    rule,
+                    severity: rules::severity_of(rule),
+                    message,
+                    chain: Vec::new(),
+                    suppressed: None,
+                });
+            }
+            "H" => {
+                let e = cache.entries.get_mut(cur_path.as_deref()?)?;
+                let step = unesc(parts.next()?)?;
+                e.raw.last_mut()?.chain.push(step);
+            }
+            "A" => {
+                let e = cache.entries.get_mut(cur_path.as_deref()?)?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let rule = unesc(parts.next()?)?;
+                let reason = unesc(parts.next()?)?;
+                e.facts.allows.push((line_no, rule, reason));
+            }
+            "R" => {
+                let e = cache.entries.get_mut(cur_path.as_deref()?)?;
+                e.facts.rwlocks.push(unesc(parts.next()?)?);
+            }
+            "N" => {
+                let e = cache.entries.get_mut(cur_path.as_deref()?)?;
+                let name = unesc(parts.next()?)?;
+                let owner = unesc(parts.next()?)?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let flags = parts.next()?;
+                e.facts.fns.push(FnFacts {
+                    name,
+                    owner: (owner != "-").then_some(owner),
+                    line: line_no,
+                    hot: flags.contains('h'),
+                    sink: flags.contains('s'),
+                    in_test: flags.contains('t'),
+                    has_body: flags.contains('b'),
+                    ..FnFacts::default()
+                });
+            }
+            "X" | "T" => {
+                let e = cache.entries.get_mut(cur_path.as_deref()?)?;
+                let depth: u32 = parts.next()?.parse().ok()?;
+                let ev = if tag == "X" {
+                    Event::Close { depth }
+                } else {
+                    Event::Stmt { depth }
+                };
+                e.facts.fns.last_mut()?.events.push(ev);
+            }
+            "C" => {
+                let e = cache.entries.get_mut(cur_path.as_deref()?)?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let depth: u32 = parts.next()?.parse().ok()?;
+                let tail = parts.next()? == "1";
+                let bound = parts.next()? == "1";
+                let kind_raw = parts.next()?;
+                if kind_raw.is_empty() {
+                    return None;
+                }
+                let kind = match kind_raw.split_at(1) {
+                    ("B", "") => CallKind::Bare,
+                    ("M", "") => CallKind::Method,
+                    ("P", q) => CallKind::Path(unesc(q)?),
+                    _ => return None,
+                };
+                let name = unesc(parts.next()?)?;
+                let recv_name = unesc(parts.next()?)?;
+                let recv_type = unesc(parts.next()?)?;
+                e.facts.fns.last_mut()?.events.push(Event::Call(CallSite {
+                    line: line_no,
+                    depth,
+                    tail,
+                    bound,
+                    name,
+                    kind,
+                    recv_name: (recv_name != "-").then_some(recv_name),
+                    recv_type: (recv_type != "-").then_some(recv_type),
+                }));
+            }
+            "L" | "S" => {
+                let e = cache.entries.get_mut(cur_path.as_deref()?)?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let what = unesc(parts.next()?)?;
+                let f = e.facts.fns.last_mut()?;
+                let site = Site {
+                    line: line_no,
+                    what,
+                };
+                if tag == "L" {
+                    f.allocs.push(site);
+                } else {
+                    f.sources.push(site);
+                }
+            }
+            "" => {}
+            _ => return None,
+        }
+    }
+    Some(cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileContext;
+    use crate::symbols;
+
+    fn entry_for(path: &str, src: &str) -> Entry {
+        let ctx = FileContext::new(path, src);
+        Entry {
+            hash: fnv64(src.as_bytes()),
+            raw: rules::lexical_raw(&ctx),
+            facts: symbols::extract(&ctx),
+        }
+    }
+
+    #[test]
+    fn round_trips_entries() {
+        let src = "// hmd-analyze: hot-path\n\
+                   fn fast(&self) { let v = helper(); }\n\
+                   fn helper() -> Vec<u32> { Vec::new() }\n\
+                   struct T { m: std::sync::RwLock<u32> }\n";
+        let mut cache = Cache::default();
+        cache.entries.insert(
+            "crates/x/src/lib.rs".to_string(),
+            entry_for("crates/x/src/lib.rs", src),
+        );
+        let text = render(&cache);
+        let back = parse(&text).expect("round trip parses");
+        assert_eq!(back.entries.len(), 1);
+        let e = &back.entries["crates/x/src/lib.rs"];
+        let orig = &cache.entries["crates/x/src/lib.rs"];
+        assert_eq!(e.hash, orig.hash);
+        assert_eq!(e.facts.fns.len(), orig.facts.fns.len());
+        assert_eq!(e.facts.rwlocks, orig.facts.rwlocks);
+        for (a, b) in e.facts.fns.iter().zip(&orig.facts.fns) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.hot, b.hot);
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.allocs, b.allocs);
+        }
+    }
+
+    #[test]
+    fn version_or_rules_mismatch_discards() {
+        assert!(parse("hmd-analyze-cache v0 0000000000000000\nF\tx\t0\n").is_none());
+        assert!(parse("garbage").is_none());
+    }
+
+    #[test]
+    fn truncated_or_corrupt_lines_discard() {
+        let header = format!("hmd-analyze-cache v1 {:016x}", rules_fingerprint());
+        assert!(parse(&format!("{header}\nF\tonly-path\n")).is_none());
+        assert!(parse(&format!("{header}\nZ\twhat\n")).is_none());
+        // Diagnostic before any file record.
+        assert!(parse(&format!("{header}\nD\t1\tfloat-order\tmsg\n")).is_none());
+    }
+
+    #[test]
+    fn escaping_survives_tabs_and_newlines() {
+        assert_eq!(unesc(&esc("a\tb\nc\\d")).as_deref(), Some("a\tb\nc\\d"));
+    }
+}

@@ -1,0 +1,512 @@
+//! Best-effort call-graph construction over [`crate::symbols::FileFacts`].
+//!
+//! Resolution is deliberately conservative: a call either resolves to a
+//! set of workspace fn definitions or stays *opaque*. Opaque calls are
+//! never followed, so an imprecise resolver loses findings rather than
+//! inventing them — with one designed exception: an unresolved `.lock()`
+//! is exactly what the lock pass keys on, so ubiquitous std method names
+//! are blocklisted from the untyped fallback instead of being matched to
+//! whatever same-named fn the workspace happens to define.
+//!
+//! Tiers, per call shape:
+//!
+//! - `Self::f(…)` / `Owner::f(…)` — inherent/trait match on the owner
+//!   name, else a free fn in a module file with that stem (`par::f`).
+//! - `recv.f(…)` with a type hint — methods of that owner; a typed miss
+//!   stays opaque (it is a std-type method), except `self.f()` which
+//!   falls through to the name-wide tier so trait-default bodies can
+//!   reach their impls.
+//! - `recv.f(…)` untyped — every workspace method named `f`, unless `f`
+//!   is on the [`UBIQUITOUS_METHODS`] blocklist.
+//! - `f(…)` bare — free fns in the same file, then the same crate, then
+//!   a single unambiguous workspace-wide match (imported free fns).
+//!
+//! Test fns and bodiless trait signatures are never resolution targets.
+
+use std::collections::BTreeMap;
+
+use crate::symbols::{CallKind, CallSite, Event, FileFacts, FnFacts};
+
+/// Method names too common to resolve by name alone. A call to one of
+/// these on an untyped receiver stays opaque.
+pub const UBIQUITOUS_METHODS: &[&str] = &[
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "binary_search",
+    "bytes",
+    "chain",
+    "chars",
+    "checked_add",
+    "checked_sub",
+    "chunks",
+    "clamp",
+    "clear",
+    "clone",
+    "cmp",
+    "collect",
+    "concat",
+    "contains",
+    "contains_key",
+    "copy_from_slice",
+    "count",
+    "drain",
+    "drop",
+    "end",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "err",
+    "expect",
+    "extend",
+    "fetch_add",
+    "fill",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "flush",
+    "fmt",
+    "fold",
+    "from",
+    "get",
+    "get_mut",
+    "get_or_init",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_err",
+    "is_finite",
+    "is_nan",
+    "is_none",
+    "is_ok",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lines",
+    "load",
+    "lock",
+    "map",
+    "map_err",
+    "max",
+    "min",
+    "next",
+    "notify_all",
+    "notify_one",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_else",
+    "or_insert",
+    "parse",
+    "partial_cmp",
+    "pop",
+    "position",
+    "push",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "recv",
+    "remove",
+    "replace",
+    "resize",
+    "retain",
+    "rev",
+    "send",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_unstable",
+    "spawn",
+    "split",
+    "split_at",
+    "starts_with",
+    "start",
+    "store",
+    "sum",
+    "swap",
+    "swap_remove",
+    "take",
+    "then",
+    "then_some",
+    "to_be_bytes",
+    "to_le_bytes",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "truncate",
+    "try_into",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "wait",
+    "wait_timeout",
+    "windows",
+    "write",
+    "write_all",
+    "zip",
+];
+
+/// Location of one fn definition inside the `files` slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnRef {
+    /// Index into the files slice.
+    pub file: usize,
+    /// Index into that file's `fns`.
+    pub idx: usize,
+}
+
+/// The resolved workspace call graph. `targets(gid, k)` answers "which
+/// fn definitions can the k-th call event of fn `gid` reach".
+pub struct CallGraph {
+    /// gid → definition location, in (file, source) order.
+    pub fns: Vec<FnRef>,
+    /// gid → per-`Event::Call` target gid lists (empty = opaque).
+    resolved: Vec<Vec<Vec<usize>>>,
+    /// Calls that resolved to at least one target.
+    pub resolved_calls: usize,
+    /// Calls left opaque.
+    pub opaque_calls: usize,
+}
+
+fn file_stem(path: &str) -> &str {
+    path.rsplit('/')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(".rs")
+}
+
+fn crate_of(path: &str) -> &str {
+    path.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("")
+}
+
+impl CallGraph {
+    /// Builds the graph over every fn in `files`.
+    pub fn build(files: &[FileFacts]) -> CallGraph {
+        let mut fns = Vec::new();
+        for (fi, f) in files.iter().enumerate() {
+            for (i, _) in f.fns.iter().enumerate() {
+                fns.push(FnRef { file: fi, idx: i });
+            }
+        }
+        let fact = |r: &FnRef| -> &FnFacts { &files[r.file].fns[r.idx] };
+
+        // Candidate indices: bodied, non-test definitions only.
+        let mut by_owner_name: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (gid, r) in fns.iter().enumerate() {
+            let f = fact(r);
+            if !f.has_body || f.in_test {
+                continue;
+            }
+            match f.owner.as_deref() {
+                Some(o) => {
+                    by_owner_name.entry((o, &f.name)).or_default().push(gid);
+                    methods_by_name.entry(&f.name).or_default().push(gid);
+                }
+                None => {
+                    by_owner_name.entry(("", &f.name)).or_default().push(gid);
+                    free_by_name.entry(&f.name).or_default().push(gid);
+                }
+            }
+        }
+
+        let empty: Vec<usize> = Vec::new();
+        let free_in = |name: &str, pred: &dyn Fn(usize) -> bool| -> Vec<usize> {
+            free_by_name
+                .get(name)
+                .unwrap_or(&empty)
+                .iter()
+                .copied()
+                .filter(|&g| pred(g))
+                .collect()
+        };
+
+        let mut resolved: Vec<Vec<Vec<usize>>> = Vec::with_capacity(fns.len());
+        let mut resolved_calls = 0usize;
+        let mut opaque_calls = 0usize;
+        for r in &fns {
+            let caller = fact(r);
+            let caller_path = files[r.file].path.as_str();
+            let mut per_call = Vec::new();
+            for ev in &caller.events {
+                let Event::Call(c) = ev else { continue };
+                let targets = resolve(
+                    c,
+                    caller,
+                    caller_path,
+                    files,
+                    &fns,
+                    &by_owner_name,
+                    &methods_by_name,
+                    &free_in,
+                );
+                if targets.is_empty() {
+                    opaque_calls += 1;
+                } else {
+                    resolved_calls += 1;
+                }
+                per_call.push(targets);
+            }
+            resolved.push(per_call);
+        }
+        CallGraph {
+            fns,
+            resolved,
+            resolved_calls,
+            opaque_calls,
+        }
+    }
+
+    /// Number of fn definitions (gids).
+    pub fn len(&self) -> usize {
+        self.fns.len()
+    }
+
+    /// True when no fns were indexed.
+    pub fn is_empty(&self) -> bool {
+        self.fns.is_empty()
+    }
+
+    /// The FnFacts behind a gid.
+    pub fn fn_of<'a>(&self, files: &'a [FileFacts], gid: usize) -> &'a FnFacts {
+        let r = self.fns[gid];
+        &files[r.file].fns[r.idx]
+    }
+
+    /// The file path a gid is defined in.
+    pub fn path_of<'a>(&self, files: &'a [FileFacts], gid: usize) -> &'a str {
+        &files[self.fns[gid].file].path
+    }
+
+    /// Targets of the `call_seq`-th `Event::Call` of `gid` (empty =
+    /// opaque).
+    pub fn targets(&self, gid: usize, call_seq: usize) -> &[usize] {
+        self.resolved[gid]
+            .get(call_seq)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve(
+    c: &CallSite,
+    caller: &FnFacts,
+    caller_path: &str,
+    files: &[FileFacts],
+    fns: &[FnRef],
+    by_owner_name: &BTreeMap<(&str, &str), Vec<usize>>,
+    methods_by_name: &BTreeMap<&str, Vec<usize>>,
+    free_in: &impl Fn(&str, &dyn Fn(usize) -> bool) -> Vec<usize>,
+) -> Vec<usize> {
+    let name = c.name.as_str();
+    let owner_lookup = |owner: &str| -> Vec<usize> {
+        by_owner_name
+            .get(&(owner, name))
+            .cloned()
+            .unwrap_or_default()
+    };
+    match &c.kind {
+        CallKind::Path(qual) => {
+            let qual = if qual == "Self" {
+                match caller.owner.as_deref() {
+                    Some(o) => o,
+                    None => return Vec::new(),
+                }
+            } else {
+                qual.as_str()
+            };
+            let direct = owner_lookup(qual);
+            if !direct.is_empty() {
+                return direct;
+            }
+            // Module-stem call: `par::derive_seed(…)` hits free fns in
+            // any file named `par.rs`.
+            free_in(name, &|g: usize| {
+                file_stem(&files[fns[g].file].path) == qual
+            })
+        }
+        CallKind::Method => {
+            if let Some(ty) = c.recv_type.as_deref() {
+                let direct = owner_lookup(ty);
+                if !direct.is_empty() {
+                    return direct;
+                }
+                // A typed miss is a std-type method — stay opaque. The
+                // one exception is `self`: a trait-default body's owner
+                // is the trait name, whose impls live under other owners.
+                if c.recv_name.as_deref() != Some("self") {
+                    return Vec::new();
+                }
+            }
+            if UBIQUITOUS_METHODS.contains(&name) {
+                return Vec::new();
+            }
+            methods_by_name.get(name).cloned().unwrap_or_default()
+        }
+        CallKind::Bare => {
+            let same_file = free_in(name, &|g: usize| files[fns[g].file].path == caller_path);
+            if !same_file.is_empty() {
+                return same_file;
+            }
+            let krate = crate_of(caller_path);
+            let same_crate = free_in(name, &|g: usize| {
+                crate_of(&files[fns[g].file].path) == krate
+            });
+            if !same_crate.is_empty() {
+                return same_crate;
+            }
+            // Unambiguous workspace-wide match covers `use`-imported
+            // free fns without guessing between homonyms.
+            let global = free_in(name, &|_| true);
+            if global.len() == 1 {
+                return global;
+            }
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileContext;
+    use crate::symbols;
+
+    fn build(sources: &[(&str, &str)]) -> (Vec<FileFacts>, CallGraph) {
+        let files: Vec<FileFacts> = sources
+            .iter()
+            .map(|(p, s)| symbols::extract(&FileContext::new(p, s)))
+            .collect();
+        let graph = CallGraph::build(&files);
+        (files, graph)
+    }
+
+    fn gid_of(files: &[FileFacts], graph: &CallGraph, name: &str) -> usize {
+        (0..graph.len())
+            .find(|&g| graph.fn_of(files, g).name == name)
+            .unwrap_or_else(|| panic!("no fn {name}"))
+    }
+
+    fn first_targets(graph: &CallGraph, gid: usize) -> &[usize] {
+        graph.targets(gid, 0)
+    }
+
+    #[test]
+    fn bare_calls_prefer_same_file_then_crate() {
+        let (files, graph) = build(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn caller() { helper(); }\nfn helper() {}\n",
+            ),
+            ("crates/b/src/lib.rs", "fn helper() {}\n"),
+        ]);
+        let caller = gid_of(&files, &graph, "caller");
+        let t = first_targets(&graph, caller);
+        assert_eq!(t.len(), 1);
+        assert_eq!(graph.path_of(&files, t[0]), "crates/a/src/lib.rs");
+    }
+
+    #[test]
+    fn unique_global_free_fn_resolves_across_crates() {
+        let (files, graph) = build(&[
+            ("crates/a/src/lib.rs", "fn caller() { derive_seed(1); }\n"),
+            ("crates/b/src/par.rs", "pub fn derive_seed(x: u64) {}\n"),
+        ]);
+        let caller = gid_of(&files, &graph, "caller");
+        assert_eq!(first_targets(&graph, caller).len(), 1);
+    }
+
+    #[test]
+    fn typed_receiver_and_self_resolve_methods() {
+        let (files, graph) = build(&[(
+            "crates/a/src/lib.rs",
+            "struct S;\nimpl S {\n\
+                 fn a(&self) { self.b(); }\n\
+                 fn b(&self) {}\n\
+             }\n\
+             fn free(s: S) { s.b(); }\n",
+        )]);
+        let a = gid_of(&files, &graph, "a");
+        let b = gid_of(&files, &graph, "b");
+        assert_eq!(first_targets(&graph, a), &[b]);
+        let free = gid_of(&files, &graph, "free");
+        assert_eq!(first_targets(&graph, free), &[b]);
+    }
+
+    #[test]
+    fn typed_miss_and_ubiquitous_names_stay_opaque() {
+        let (files, graph) = build(&[(
+            "crates/a/src/lib.rs",
+            "struct S;\nimpl S { fn lock(&self) {} }\n\
+             fn f(m: Mutex) { m.lock(); }\n\
+             fn g() { let u = opaque_source(); u.lock(); }\n",
+        )]);
+        // Typed to Mutex (no workspace methods) → opaque.
+        let f = gid_of(&files, &graph, "f");
+        assert!(first_targets(&graph, f).is_empty());
+        // Untyped receiver + blocklisted name → opaque, even though S
+        // defines a `lock`. (Both of g's calls are opaque: the bare
+        // `opaque_source()` has no definition either.)
+        let g = gid_of(&files, &graph, "g");
+        assert!(graph.targets(g, 1).is_empty());
+        assert_eq!(graph.resolved_calls, 0);
+        assert_eq!(graph.opaque_calls, 3);
+    }
+
+    #[test]
+    fn module_stem_path_calls_resolve() {
+        let (files, graph) = build(&[
+            ("crates/a/src/lib.rs", "fn caller() { par::seed(); }\n"),
+            ("crates/ml/src/par.rs", "pub fn seed() {}\n"),
+        ]);
+        let caller = gid_of(&files, &graph, "caller");
+        assert_eq!(first_targets(&graph, caller).len(), 1);
+    }
+
+    #[test]
+    fn test_fns_are_not_candidates() {
+        let (files, graph) = build(&[(
+            "crates/a/src/lib.rs",
+            "fn caller() { helper(); }\n\
+             #[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n",
+        )]);
+        let caller = gid_of(&files, &graph, "caller");
+        assert!(first_targets(&graph, caller).is_empty());
+    }
+
+    #[test]
+    fn self_path_calls_resolve_to_owner() {
+        let (files, graph) = build(&[(
+            "crates/a/src/lib.rs",
+            "struct S;\nimpl S {\n\
+                 fn a(&self) { Self::b(); }\n\
+                 fn b() {}\n\
+             }\n",
+        )]);
+        let a = gid_of(&files, &graph, "a");
+        let b = gid_of(&files, &graph, "b");
+        assert_eq!(first_targets(&graph, a), &[b]);
+    }
+}

@@ -1,12 +1,17 @@
 //! Parsing of `// hmd-analyze: …` directive comments.
 //!
-//! Three directives exist:
+//! Four directives exist:
 //!
 //! - `// hmd-analyze: allow(<rule>, "<reason>")` — suppress diagnostics of
 //!   `<rule>` on the same line or the next line. The reason is mandatory;
 //!   an allow without one is itself a deny-level diagnostic.
 //! - `// hmd-analyze: hot-path` — marks the next `fn` item as an
-//!   allocation-free hot path; `hot-path-alloc` checks its body.
+//!   allocation-free hot path; `hot-path-alloc` checks its body and
+//!   `transitive-hot-path-alloc` checks everything it can reach.
+//! - `// hmd-analyze: det-sink` — marks the next `fn` item as a
+//!   determinism sink (it feeds the sim digest, a `Verdict`, or persisted
+//!   output); `determinism-taint` denies nondeterminism sources reachable
+//!   from it or flowing into it from a caller.
 //! - `// hmd-analyze: fold-order-ok` (optional `("<reason>")`) — attests
 //!   that a float reduction on the same or next line is order-insensitive
 //!   or intentionally sequential.
@@ -36,6 +41,11 @@ pub enum Directive {
         /// Line of the comment.
         line: u32,
     },
+    /// `det-sink`: the next `fn` is a determinism sink.
+    DetSink {
+        /// Line of the comment.
+        line: u32,
+    },
     /// `fold-order-ok`: float-reduction order attestation.
     FoldOrderOk {
         /// Line of the comment.
@@ -49,6 +59,7 @@ impl Directive {
         match self {
             Directive::Allow { line, .. }
             | Directive::HotPath { line }
+            | Directive::DetSink { line }
             | Directive::FoldOrderOk { line } => *line,
         }
     }
@@ -116,6 +127,7 @@ fn set_line(d: &mut Directive, l: u32) {
     match d {
         Directive::Allow { line, .. }
         | Directive::HotPath { line }
+        | Directive::DetSink { line }
         | Directive::FoldOrderOk { line } => *line = l,
     }
 }
@@ -123,6 +135,9 @@ fn set_line(d: &mut Directive, l: u32) {
 fn parse_body(body: &str, known_rules: &[&str]) -> Result<Directive, String> {
     if body == "hot-path" {
         return Ok(Directive::HotPath { line: 0 });
+    }
+    if body == "det-sink" {
+        return Ok(Directive::DetSink { line: 0 });
     }
     if body == "fold-order-ok" {
         return Ok(Directive::FoldOrderOk { line: 0 });
@@ -214,6 +229,16 @@ mod tests {
         assert!(bad.is_empty());
         assert!(matches!(d[0], Directive::HotPath { line: 1 }));
         assert!(matches!(d[1], Directive::FoldOrderOk { line: 2 }));
+    }
+
+    #[test]
+    fn det_sink_parses() {
+        let (d, bad) = parse("// hmd-analyze: det-sink\nfn record() {}\n");
+        assert!(bad.is_empty());
+        assert!(matches!(d[0], Directive::DetSink { line: 1 }));
+        // With trailing junk it is malformed, not silently accepted.
+        let (_, bad) = parse("// hmd-analyze: det-sink(now)\n");
+        assert_eq!(bad.len(), 1);
     }
 
     #[test]

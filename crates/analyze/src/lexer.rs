@@ -9,9 +9,10 @@
 //!
 //! Handled faithfully because real workspace sources use them: nested
 //! block comments, raw strings (`r#"…"#` with any number of hashes), byte
-//! and C strings, char literals vs. lifetimes, and numeric literals whose
-//! `.` must not be confused with a method-call dot (`0..n` stays two
-//! punct tokens).
+//! and C strings, char literals vs. lifetimes, raw identifiers (`r#type`
+//! is one `Ident`, not `r # type`), and numeric literals whose `.` must
+//! not be confused with a method-call dot (`0..n` stays two punct
+//! tokens).
 
 /// What a token is. Comments are kept (the suppression directives live in
 /// them) but are never part of a code pattern match.
@@ -290,6 +291,17 @@ impl Lexer<'_> {
     }
 
     fn take_ident(&mut self) {
+        // Raw identifier `r#type`: the raw-string branch already rejected
+        // it (no quote after the hashes), so consume the `r#` prefix here
+        // and let the identifier continue below.
+        if self.bytes[self.pos] == b'r'
+            && self.peek(1) == Some(b'#')
+            && self
+                .peek(2)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80)
+        {
+            self.pos += 2;
+        }
         while self.pos < self.bytes.len() {
             let b = self.bytes[self.pos];
             if b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80 {
@@ -394,6 +406,33 @@ mod tests {
         let toks = lex(src);
         let fn_tok = toks.iter().find(|t| t.text(src) == "fn").unwrap();
         assert_eq!(fn_tok.line, 4);
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_tokens() {
+        let src = "fn r#type(r#fn: u32) { r#match(); }";
+        let toks = lex(src);
+        let texts: Vec<_> = toks.iter().map(|t| t.text(src)).collect();
+        assert!(texts.contains(&"r#type"), "{texts:?}");
+        assert!(texts.contains(&"r#fn"));
+        assert!(texts.contains(&"r#match"));
+        // No stray `#` puncts from the raw-ident prefixes.
+        assert!(!texts.contains(&"#"));
+        let ident_kinds: Vec<_> = toks
+            .iter()
+            .filter(|t| t.text(src).starts_with("r#"))
+            .map(|t| t.kind)
+            .collect();
+        assert!(ident_kinds.iter().all(|k| *k == TokenKind::Ident));
+    }
+
+    #[test]
+    fn raw_identifier_does_not_break_raw_strings() {
+        // `r#` followed by a quote is still a raw string, not an ident.
+        let src = r##"let s = r#"body"#; let r#x = 1;"##;
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+        assert!(toks.iter().any(|t| t.text(src) == "r#x"));
     }
 
     #[test]

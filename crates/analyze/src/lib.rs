@@ -9,36 +9,218 @@
 //! the last line of defense for the offline build and must keep working
 //! when everything else breaks.
 //!
+//! Analysis runs in two phases:
+//!
+//! 1. **Per file** — lexical rules ([`rules::lexical_raw`]) plus symbol
+//!    and fact extraction ([`symbols::extract`]). This phase is pure in
+//!    the file's content, which is what makes the `--cache` safe.
+//! 2. **Workspace-wide** — a best-effort call graph
+//!    ([`callgraph::CallGraph`]) and the interprocedural passes in
+//!    [`passes`] (transitive hot-path allocation, lock-order cycles,
+//!    determinism taint). Suppression (`allow` directives, unused-allow
+//!    accounting) is applied at the very end so an allow consumed by a
+//!    pass diagnostic is not flagged stale.
+//!
 //! See `RULES` in [`rules`] for the registry, and the README's
 //! "Static analysis" section for the suppression syntax.
 
+pub mod cache;
+pub mod callgraph;
 pub mod directives;
 pub mod lexer;
+pub mod passes;
 pub mod report;
 pub mod rules;
+pub mod symbols;
 pub mod workspace;
 
-use rules::Diagnostic;
+use std::collections::BTreeSet;
 use std::io;
 use std::path::Path;
+use std::process::Command;
+
+use rules::{Diagnostic, FileContext};
+
+/// Phase-1 output for one file: raw lexical diagnostics + facts.
+pub struct FileAnalysis {
+    /// Unsuppressed lexical diagnostics.
+    pub raw: Vec<Diagnostic>,
+    /// Extracted symbols/facts (carries the path).
+    pub facts: symbols::FileFacts,
+}
+
+/// Counters reported on stderr by the cached driver.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Files lexed and extracted this run.
+    pub analyzed: usize,
+    /// Files served from the cache.
+    pub cached: usize,
+    /// Total files considered.
+    pub total: usize,
+}
+
+/// Runs phase 1 on one file.
+pub fn analyze_file(path: &str, text: &str) -> FileAnalysis {
+    let ctx = FileContext::new(path, text);
+    FileAnalysis {
+        raw: rules::lexical_raw(&ctx),
+        facts: symbols::extract(&ctx),
+    }
+}
+
+/// Phase 2: build the call graph, run the passes, then apply suppression
+/// per file. Returns the final diagnostic stream sorted by (path, line,
+/// rule).
+pub fn finalize(items: Vec<FileAnalysis>) -> Vec<Diagnostic> {
+    let mut raws: Vec<Vec<Diagnostic>> = Vec::with_capacity(items.len());
+    let mut facts: Vec<symbols::FileFacts> = Vec::with_capacity(items.len());
+    for it in items {
+        raws.push(it.raw);
+        facts.push(it.facts);
+    }
+    let graph = callgraph::CallGraph::build(&facts);
+    let mut pass_diags = passes::run_all(&facts, &graph);
+
+    let mut out = Vec::new();
+    let mut order: Vec<usize> = (0..facts.len()).collect();
+    order.sort_by(|&a, &b| facts[a].path.cmp(&facts[b].path));
+    for i in order {
+        let f = &facts[i];
+        let mut diags = std::mem::take(&mut raws[i]);
+        let mut j = 0;
+        while j < pass_diags.len() {
+            if pass_diags[j].path == f.path {
+                diags.push(pass_diags.swap_remove(j));
+            } else {
+                j += 1;
+            }
+        }
+        out.extend(rules::apply_suppressions(&f.path, &f.allows, diags));
+    }
+    // Pass diagnostics for paths not in the analyzed set cannot exist —
+    // every pass anchors to a fn defined in some analyzed file.
+    debug_assert!(pass_diags.is_empty());
+    out
+}
 
 /// Analyzes a set of in-memory sources. This is the seam the fixture
 /// tests use: paths are synthetic but must look workspace-relative
 /// (`crates/serve/src/x.rs`) so the path-scoped rules engage.
 pub fn analyze_texts(files: &[(&str, &str)]) -> Vec<Diagnostic> {
-    let mut diags = Vec::new();
-    for (path, text) in files {
-        diags.extend(rules::check_file(path, text));
-    }
-    diags
+    finalize(
+        files
+            .iter()
+            .map(|(path, text)| analyze_file(path, text))
+            .collect(),
+    )
 }
 
 /// Walks the workspace at `root` and analyzes every `.rs` file.
 pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let files = workspace::collect_rust_files(root)?;
-    let mut diags = Vec::new();
-    for (path, text) in &files {
-        diags.extend(rules::check_file(path, text));
+    Ok(analyze_workspace_cached(root, None, false)?.0)
+}
+
+/// The cached driver behind `--cache`/`--changed-only`.
+///
+/// Phase 1 is skipped for files whose content hash matches the cache (or,
+/// under `changed_only`, for cached files `git diff` does not name — those
+/// are trusted without even being read). Phase 2 always re-runs over the
+/// merged facts. Stale cache entries for deleted files are pruned on save.
+pub fn analyze_workspace_cached(
+    root: &Path,
+    cache_path: Option<&Path>,
+    changed_only: bool,
+) -> io::Result<(Vec<Diagnostic>, CacheStats)> {
+    let old = match cache_path {
+        Some(p) => cache::Cache::load(p),
+        None => cache::Cache::default(),
+    };
+    let changed: Option<BTreeSet<String>> = if changed_only {
+        git_changed_files(root)
+    } else {
+        None
+    };
+
+    let paths = workspace::collect_rust_paths(root)?;
+    let mut stats = CacheStats {
+        total: paths.len(),
+        ..CacheStats::default()
+    };
+    let mut items = Vec::with_capacity(paths.len());
+    let mut fresh = cache::Cache::default();
+    for rel in &paths {
+        if let (Some(chg), Some(e)) = (&changed, old.entries.get(rel)) {
+            if !chg.contains(rel) {
+                items.push(FileAnalysis {
+                    raw: e.raw.clone(),
+                    facts: e.facts.clone(),
+                });
+                fresh.entries.insert(rel.clone(), e.clone());
+                stats.cached += 1;
+                continue;
+            }
+        }
+        let text = std::fs::read_to_string(root.join(rel))?;
+        let hash = cache::fnv64(text.as_bytes());
+        if let Some(e) = old.entries.get(rel) {
+            if e.hash == hash {
+                items.push(FileAnalysis {
+                    raw: e.raw.clone(),
+                    facts: e.facts.clone(),
+                });
+                fresh.entries.insert(rel.clone(), e.clone());
+                stats.cached += 1;
+                continue;
+            }
+        }
+        let fa = analyze_file(rel, &text);
+        fresh.entries.insert(
+            rel.clone(),
+            cache::Entry {
+                hash,
+                raw: fa.raw.clone(),
+                facts: fa.facts.clone(),
+            },
+        );
+        items.push(fa);
+        stats.analyzed += 1;
     }
-    Ok(diags)
+    if let Some(p) = cache_path {
+        // Best effort: a cache write failure must not fail the analysis.
+        if let Err(e) = fresh.save(p) {
+            eprintln!(
+                "hmd-analyze: warning: could not write cache {}: {e}",
+                p.display()
+            );
+        }
+    }
+    Ok((finalize(items), stats))
+}
+
+/// Files `git` considers changed relative to HEAD (staged, unstaged, or
+/// untracked), workspace-relative. `None` when git is unavailable or
+/// errors — callers then fall back to hash checking every file.
+fn git_changed_files(root: &Path) -> Option<BTreeSet<String>> {
+    let run = |args: &[&str]| -> Option<String> {
+        let out = Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(args)
+            .output()
+            .ok()?;
+        out.status
+            .success()
+            .then(|| String::from_utf8_lossy(&out.stdout).into_owned())
+    };
+    let diff = run(&["diff", "--name-only", "HEAD"])?;
+    let untracked = run(&["ls-files", "--others", "--exclude-standard"]).unwrap_or_default();
+    Some(
+        diff.lines()
+            .chain(untracked.lines())
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect(),
+    )
 }

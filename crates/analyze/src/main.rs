@@ -7,10 +7,11 @@
 //! cargo run -p hmd-analyze -- --list-rules    # registry with severities
 //! cargo run -p hmd-analyze -- --show-suppressed
 //! cargo run -p hmd-analyze -- --root path/to/tree
+//! cargo run -p hmd-analyze -- --cache .analyze-cache        # skip unchanged files
+//! cargo run -p hmd-analyze -- --cache C --changed-only      # trust cache for files git says are clean
 //! ```
 
-use hmd_analyze::report::{count_denied, render_human, render_json};
-use hmd_analyze::rules::RULES;
+use hmd_analyze::report::{count_denied, render_human, render_json, render_rule_list};
 use hmd_analyze::workspace::default_root;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,6 +21,8 @@ struct Options {
     json: bool,
     show_suppressed: bool,
     list_rules: bool,
+    cache: Option<PathBuf>,
+    changed_only: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -28,6 +31,8 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         show_suppressed: false,
         list_rules: false,
+        cache: None,
+        changed_only: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -44,15 +49,23 @@ fn parse_args() -> Result<Options, String> {
                     other => return Err(format!("unknown format `{other}`")),
                 }
             }
+            "--cache" => {
+                let val = args.next().ok_or("--cache needs a file argument")?;
+                opts.cache = Some(PathBuf::from(val));
+            }
+            "--changed-only" => opts.changed_only = true,
             "--show-suppressed" => opts.show_suppressed = true,
             "--list-rules" => opts.list_rules = true,
             "--help" | "-h" => {
                 return Err("usage: hmd-analyze [--root DIR] [--format human|json] \
-                     [--show-suppressed] [--list-rules]"
+                     [--show-suppressed] [--list-rules] [--cache FILE] [--changed-only]"
                     .to_string())
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
+    }
+    if opts.changed_only && opts.cache.is_none() {
+        return Err("--changed-only requires --cache (there is nothing to trust otherwise)".into());
     }
     Ok(opts)
 }
@@ -67,14 +80,14 @@ fn main() -> ExitCode {
     };
 
     if opts.list_rules {
-        for (name, severity, desc) in RULES {
-            println!("{name:<20} {:<5} {desc}", severity.name());
-        }
+        print!("{}", render_rule_list());
         return ExitCode::SUCCESS;
     }
 
-    let diags = match hmd_analyze::analyze_workspace(&opts.root) {
-        Ok(d) => d,
+    let result =
+        hmd_analyze::analyze_workspace_cached(&opts.root, opts.cache.as_deref(), opts.changed_only);
+    let (diags, stats) = match result {
+        Ok(r) => r,
         Err(e) => {
             eprintln!(
                 "hmd-analyze: cannot read workspace at {}: {e}",
@@ -83,6 +96,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if opts.cache.is_some() {
+        eprintln!(
+            "hmd-analyze: analyzed {} file{}, {} from cache ({} total)",
+            stats.analyzed,
+            if stats.analyzed == 1 { "" } else { "s" },
+            stats.cached,
+            stats.total
+        );
+    }
 
     if opts.json {
         print!("{}", render_json(&diags));

@@ -1,0 +1,130 @@
+//! `transitive-hot-path-alloc`: a `// hmd-analyze: hot-path` fn must not
+//! *reach* an allocating construct through any resolved call chain.
+//!
+//! The lexical `hot-path-alloc` rule already covers the annotated body
+//! itself (depth 0); this pass covers depth ≥ 1. BFS from each hot fn
+//! over resolved edges, skipping callees that are themselves hot (they
+//! get their own audit) or test-only. Traversal is pruned below the
+//! first allocating fn on a branch — the fix is at that frontier, and
+//! one finding per (hot fn, allocating callee) keeps the report flat.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::callgraph::CallGraph;
+use crate::rules::Diagnostic;
+use crate::symbols::{Event, FileFacts};
+
+use super::{diag, qual_name, TRANSITIVE_HOT_PATH_ALLOC};
+
+/// Runs the pass over every hot fn.
+pub fn run(files: &[FileFacts], graph: &CallGraph, out: &mut Vec<Diagnostic>) {
+    for h in 0..graph.len() {
+        let hf = graph.fn_of(files, h);
+        if !hf.hot || hf.in_test {
+            continue;
+        }
+        let mut visited: BTreeSet<usize> = BTreeSet::new();
+        visited.insert(h);
+        // callee gid → (caller gid, call line) for chain reconstruction.
+        let mut parent: BTreeMap<usize, (usize, u32)> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        push_callees(files, graph, h, &mut visited, &mut parent, &mut queue);
+        while let Some(g) = queue.pop_front() {
+            let gf = graph.fn_of(files, g);
+            if !gf.allocs.is_empty() {
+                out.push(finding(files, graph, h, g, &parent));
+                continue; // prune: the fix belongs at this frontier
+            }
+            push_callees(files, graph, g, &mut visited, &mut parent, &mut queue);
+        }
+    }
+}
+
+fn push_callees(
+    files: &[FileFacts],
+    graph: &CallGraph,
+    g: usize,
+    visited: &mut BTreeSet<usize>,
+    parent: &mut BTreeMap<usize, (usize, u32)>,
+    queue: &mut VecDeque<usize>,
+) {
+    let gf = graph.fn_of(files, g);
+    let mut seq = 0usize;
+    for ev in &gf.events {
+        let Event::Call(c) = ev else { continue };
+        let k = seq;
+        seq += 1;
+        for &t in graph.targets(g, k) {
+            if visited.contains(&t) {
+                continue;
+            }
+            let tf = graph.fn_of(files, t);
+            if tf.in_test || tf.hot {
+                continue;
+            }
+            visited.insert(t);
+            parent.insert(t, (g, c.line));
+            queue.push_back(t);
+        }
+    }
+}
+
+fn finding(
+    files: &[FileFacts],
+    graph: &CallGraph,
+    h: usize,
+    g: usize,
+    parent: &BTreeMap<usize, (usize, u32)>,
+) -> Diagnostic {
+    // Reconstruct h → … → g.
+    let mut hops = vec![g];
+    let mut cur = g;
+    while cur != h {
+        let (p, _) = parent[&cur];
+        hops.push(p);
+        cur = p;
+    }
+    hops.reverse();
+
+    let hf = graph.fn_of(files, h);
+    let gf = graph.fn_of(files, g);
+    let hpath = graph.path_of(files, h);
+    let mut chain = vec![format!(
+        "`{}` ({hpath}:{}) is annotated hot-path",
+        qual_name(hf),
+        hf.line
+    )];
+    for w in hops.windows(2) {
+        let (caller, callee) = (w[0], w[1]);
+        let (_, line) = parent[&callee];
+        chain.push(format!(
+            "`{}` calls `{}` at {}:{line}",
+            qual_name(graph.fn_of(files, caller)),
+            qual_name(graph.fn_of(files, callee)),
+            graph.path_of(files, caller),
+        ));
+    }
+    let a = &gf.allocs[0];
+    let more = if gf.allocs.len() > 1 {
+        format!(" (+{} more alloc sites)", gf.allocs.len() - 1)
+    } else {
+        String::new()
+    };
+    chain.push(format!(
+        "`{}` allocates `{}` at {}:{}{more}",
+        qual_name(gf),
+        a.what,
+        graph.path_of(files, g),
+        a.line
+    ));
+    let message = format!(
+        "hot-path fn `{}` reaches allocation `{}` in `{}` ({}:{}) through a {}-call chain",
+        qual_name(hf),
+        a.what,
+        qual_name(gf),
+        graph.path_of(files, g),
+        a.line,
+        hops.len() - 1
+    );
+    diag(hpath, hf.line, TRANSITIVE_HOT_PATH_ALLOC, message, chain)
+}

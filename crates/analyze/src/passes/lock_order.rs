@@ -1,0 +1,312 @@
+//! `lock-order-cycle` and `lock-across-io` for `crates/serve`.
+//!
+//! Lock identity is the *class* — the receiver identifier at the
+//! acquisition site (`shard` in `shard.lock()`, `queue` in
+//! `self.queue.lock()`). Two guards of the same class are assumed to be
+//! potentially the same lock; distinct classes are distinct locks. A
+//! `.read(`/`.write(` counts as an acquisition only when its receiver is
+//! a file-declared `RwLock` ident, otherwise it is treated as I/O.
+//!
+//! Guard lifetime model, driven by the event stream:
+//! - a `Close { d }` drops guards acquired deeper than `d`;
+//! - a `Stmt { d }` drops *unbound* temporaries (no `let`/`if`/`while`/
+//!   `match`/`for` head) at depth ≥ `d`;
+//! - a guard acquired in tail position escapes to the caller (that is how
+//!   `fn lock(&self) -> Guard { self.queue.lock()… }` wrappers work), and
+//!   a call to a fn with escaping acquisitions pushes them on the caller's
+//!   held stack.
+//!
+//! Edges `a → b` are recorded when `b` is acquired (directly or anywhere
+//! inside a resolved callee) while `a` is held. Cycles of length ≥ 2 are
+//! denied; same-class pairs are skipped because two guards of one class
+//! are usually different instances (e.g. the per-shard mutex vector).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::CallGraph;
+use crate::rules::Diagnostic;
+use crate::symbols::{CallKind, CallSite, Event, FileFacts};
+
+use super::{diag, qual_name, LOCK_ACROSS_IO, LOCK_ORDER_CYCLE};
+
+/// Blocking calls that must not run under a lock.
+const IO_METHODS: &[&str] = &[
+    "write_all",
+    "write",
+    "write_vectored",
+    "write_fmt",
+    "flush",
+    "read",
+    "read_exact",
+    "read_to_end",
+];
+
+/// The lock class acquired by an (unresolved) call, if it is one.
+fn lock_class<'a>(c: &'a CallSite, file: &FileFacts) -> Option<&'a str> {
+    if c.kind != CallKind::Method {
+        return None;
+    }
+    let recv = c.recv_name.as_deref()?;
+    match c.name.as_str() {
+        "lock" => Some(recv),
+        "read" | "write" if file.rwlocks.iter().any(|r| r == recv) => Some(recv),
+        _ => None,
+    }
+}
+
+fn is_io(c: &CallSite) -> bool {
+    c.kind == CallKind::Method && IO_METHODS.contains(&c.name.as_str())
+}
+
+/// A held guard during simulation.
+struct Held {
+    class: String,
+    depth: u32,
+    line: u32,
+    temp: bool,
+}
+
+/// First witness recorded for an `a → b` edge.
+struct Witness {
+    path: String,
+    fn_name: String,
+    held_line: u32,
+    acq_line: u32,
+    via: String,
+}
+
+/// Runs both lock rules.
+pub fn run(files: &[FileFacts], graph: &CallGraph, out: &mut Vec<Diagnostic>) {
+    let n = graph.len();
+
+    // Per-fn summaries: everything a fn may acquire (transitively), and
+    // the subset that escapes to its caller through tail returns.
+    let mut all_acq: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    let mut escapes: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    for g in 0..n {
+        let file = &files[graph.fns[g].file];
+        let f = graph.fn_of(files, g);
+        let mut seq = 0usize;
+        for ev in &f.events {
+            let Event::Call(c) = ev else { continue };
+            let k = seq;
+            seq += 1;
+            if !graph.targets(g, k).is_empty() {
+                continue;
+            }
+            if let Some(cls) = lock_class(c, file) {
+                all_acq[g].insert(cls.to_string());
+                if c.tail {
+                    escapes[g].insert(cls.to_string());
+                }
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for g in 0..n {
+            let f = graph.fn_of(files, g);
+            let mut add_all = Vec::new();
+            let mut add_esc = Vec::new();
+            let mut seq = 0usize;
+            for ev in &f.events {
+                let Event::Call(c) = ev else { continue };
+                let k = seq;
+                seq += 1;
+                for &t in graph.targets(g, k) {
+                    add_all.extend(all_acq[t].iter().cloned());
+                    if c.tail {
+                        add_esc.extend(escapes[t].iter().cloned());
+                    }
+                }
+            }
+            for x in add_all {
+                changed |= all_acq[g].insert(x);
+            }
+            for x in add_esc {
+                changed |= escapes[g].insert(x);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Simulate every serve fn, recording order edges and I/O-under-lock.
+    let mut edges: BTreeMap<String, BTreeMap<String, Witness>> = BTreeMap::new();
+    let mut io_seen: BTreeSet<(String, u32)> = BTreeSet::new();
+    for g in 0..n {
+        let path = graph.path_of(files, g).to_string();
+        if !path.starts_with("crates/serve/src/") {
+            continue;
+        }
+        let file = &files[graph.fns[g].file];
+        let f = graph.fn_of(files, g);
+        if f.in_test {
+            continue;
+        }
+        let fn_name = qual_name(f);
+        let mut held: Vec<Held> = Vec::new();
+        let mut seq = 0usize;
+        for ev in &f.events {
+            match ev {
+                Event::Close { depth } => held.retain(|h| h.depth <= *depth),
+                Event::Stmt { depth } => held.retain(|h| !(h.temp && h.depth >= *depth)),
+                Event::Call(c) => {
+                    let k = seq;
+                    seq += 1;
+                    let targets = graph.targets(g, k);
+                    if targets.is_empty() {
+                        if let Some(cls) = lock_class(c, file) {
+                            for h in &held {
+                                record_edge(&mut edges, h, cls, &path, &fn_name, c.line, "");
+                            }
+                            held.push(Held {
+                                class: cls.to_string(),
+                                depth: c.depth,
+                                line: c.line,
+                                temp: !(c.bound || c.tail),
+                            });
+                        } else if is_io(c)
+                            && !held.is_empty()
+                            && io_seen.insert((path.clone(), c.line))
+                        {
+                            let classes: Vec<&str> =
+                                held.iter().map(|h| h.class.as_str()).collect();
+                            let chain = held
+                                .iter()
+                                .map(|h| {
+                                    format!(
+                                        "lock `{}` acquired at {path}:{} in `{fn_name}`",
+                                        h.class, h.line
+                                    )
+                                })
+                                .collect();
+                            out.push(diag(
+                                &path,
+                                c.line,
+                                LOCK_ACROSS_IO,
+                                format!(
+                                    "blocking `.{}()` while holding lock `{}` in `{fn_name}`",
+                                    c.name,
+                                    classes.join("`, `")
+                                ),
+                                chain,
+                            ));
+                        }
+                    } else {
+                        let mut acqs: BTreeSet<&String> = BTreeSet::new();
+                        let mut escs: BTreeSet<&String> = BTreeSet::new();
+                        for &t in targets {
+                            acqs.extend(all_acq[t].iter());
+                            escs.extend(escapes[t].iter());
+                        }
+                        let via = format!(" via call to `{}`", c.name);
+                        for h in &held {
+                            for a in &acqs {
+                                record_edge(&mut edges, h, a, &path, &fn_name, c.line, &via);
+                            }
+                        }
+                        for e in escs {
+                            held.push(Held {
+                                class: e.clone(),
+                                depth: c.depth,
+                                line: c.line,
+                                temp: !(c.bound || c.tail),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Elementary cycles, canonically rotated to their smallest node so
+    // each is reported once.
+    for cycle in find_cycles(&edges) {
+        let mut chain = Vec::new();
+        let mut first: Option<&Witness> = None;
+        for i in 0..cycle.len() {
+            let from = &cycle[i];
+            let to = &cycle[(i + 1) % cycle.len()];
+            let w = &edges[from][to];
+            if first.is_none() {
+                first = Some(w);
+            }
+            chain.push(format!(
+                "`{from}` held ({}:{} in `{}`) while acquiring `{to}` at {}:{}{}",
+                w.path, w.held_line, w.fn_name, w.path, w.acq_line, w.via
+            ));
+        }
+        let w = first.expect("cycle has at least one edge");
+        let mut ring = cycle.clone();
+        ring.push(cycle[0].clone());
+        out.push(diag(
+            &w.path,
+            w.acq_line,
+            LOCK_ORDER_CYCLE,
+            format!(
+                "lock-order cycle `{}`: these locks are acquired in inconsistent order and can deadlock",
+                ring.join("` → `")
+            ),
+            chain,
+        ));
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_edge(
+    edges: &mut BTreeMap<String, BTreeMap<String, Witness>>,
+    held: &Held,
+    to: &str,
+    path: &str,
+    fn_name: &str,
+    acq_line: u32,
+    via: &str,
+) {
+    if held.class == to {
+        return; // same class is usually a different instance (shard vec)
+    }
+    edges
+        .entry(held.class.clone())
+        .or_default()
+        .entry(to.to_string())
+        .or_insert_with(|| Witness {
+            path: path.to_string(),
+            fn_name: fn_name.to_string(),
+            held_line: held.line,
+            acq_line,
+            via: via.to_string(),
+        });
+}
+
+/// Every elementary cycle, found once: DFS from each node `s` in sorted
+/// order, never descending into nodes smaller than `s`, so each cycle is
+/// emitted rotated to its minimum node.
+fn find_cycles(edges: &BTreeMap<String, BTreeMap<String, Witness>>) -> Vec<Vec<String>> {
+    let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for s in edges.keys() {
+        let mut path = vec![s.clone()];
+        dfs(s, s, edges, &mut path, &mut cycles);
+    }
+    cycles.into_iter().collect()
+}
+
+fn dfs(
+    cur: &str,
+    s: &str,
+    edges: &BTreeMap<String, BTreeMap<String, Witness>>,
+    path: &mut Vec<String>,
+    cycles: &mut BTreeSet<Vec<String>>,
+) {
+    let Some(nexts) = edges.get(cur) else { return };
+    for next in nexts.keys() {
+        if next == s {
+            cycles.insert(path.clone());
+        } else if next.as_str() > s && !path.iter().any(|p| p == next) {
+            path.push(next.clone());
+            dfs(next, s, edges, path, cycles);
+            path.pop();
+        }
+    }
+}

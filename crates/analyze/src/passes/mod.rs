@@ -1,0 +1,61 @@
+//! Phase-2 interprocedural passes over the resolved call graph.
+//!
+//! Each pass emits chain-carrying [`Diagnostic`]s; suppression is applied
+//! afterwards by the two-phase driver in `lib.rs`, so an
+//! `// hmd-analyze: allow(rule, "why")` above the anchored fn works
+//! exactly like it does for the lexical rules.
+
+pub mod hot_alloc;
+pub mod lock_order;
+pub mod taint;
+
+use crate::callgraph::CallGraph;
+use crate::rules::{self, Diagnostic};
+use crate::symbols::{FileFacts, FnFacts};
+
+/// Rule names owned by the passes (must match the registry in `rules.rs`).
+pub const TRANSITIVE_HOT_PATH_ALLOC: &str = "transitive-hot-path-alloc";
+/// Lock-order cycle rule name.
+pub const LOCK_ORDER_CYCLE: &str = "lock-order-cycle";
+/// Lock-held-across-blocking-I/O rule name.
+pub const LOCK_ACROSS_IO: &str = "lock-across-io";
+/// Determinism-taint rule name.
+pub const DETERMINISM_TAINT: &str = "determinism-taint";
+
+/// Runs every pass and returns the raw (unsuppressed) diagnostics.
+pub fn run_all(files: &[FileFacts], graph: &CallGraph) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    hot_alloc::run(files, graph, &mut out);
+    lock_order::run(files, graph, &mut out);
+    taint::run(files, graph, &mut out);
+    out
+}
+
+/// Builds a pass diagnostic, resolving the rule name to its registered
+/// `&'static str` and severity.
+pub(crate) fn diag(
+    path: &str,
+    line: u32,
+    rule: &str,
+    message: String,
+    chain: Vec<String>,
+) -> Diagnostic {
+    let rule = rules::static_rule_name(rule).expect("pass rule must be registered");
+    Diagnostic {
+        path: path.to_string(),
+        line,
+        rule,
+        severity: rules::severity_of(rule),
+        message,
+        chain,
+        suppressed: None,
+    }
+}
+
+/// `Owner::name` or `name` — how chains refer to a fn.
+pub(crate) fn qual_name(f: &FnFacts) -> String {
+    match &f.owner {
+        Some(o) => format!("{o}::{}", f.name),
+        None => f.name.clone(),
+    }
+}

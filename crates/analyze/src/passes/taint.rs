@@ -1,0 +1,179 @@
+//! `determinism-taint`: nondeterminism sources (wallclock, ambient RNG,
+//! unordered `HashMap`/`HashSet` iteration, thread ids) must not reach a
+//! `// hmd-analyze: det-sink` fn — one that feeds the sim journal/digest,
+//! constructs a `Verdict`, or writes persisted output.
+//!
+//! Two directions, both reported against lines the author can annotate:
+//!
+//! - **sink-side**: BFS from each sink over resolved edges; any reached
+//!   fn (including the sink body itself) that uses a source is a finding,
+//!   anchored at the sink's `fn` line with the full chain.
+//! - **caller-side**: a fn that uses a source directly *and* calls a sink
+//!   is a finding anchored at the call line — the sources may flow in as
+//!   arguments, which name-level resolution cannot see, so the handoff
+//!   point is flagged conservatively.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::callgraph::CallGraph;
+use crate::rules::Diagnostic;
+use crate::symbols::{Event, FileFacts};
+
+use super::{diag, qual_name, DETERMINISM_TAINT};
+
+/// Runs the pass.
+pub fn run(files: &[FileFacts], graph: &CallGraph, out: &mut Vec<Diagnostic>) {
+    for s in 0..graph.len() {
+        let sf = graph.fn_of(files, s);
+        if !sf.sink || sf.in_test {
+            continue;
+        }
+        let mut visited: BTreeSet<usize> = BTreeSet::new();
+        visited.insert(s);
+        let mut parent: BTreeMap<usize, (usize, u32)> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        queue.push_back(s);
+        while let Some(g) = queue.pop_front() {
+            let gf = graph.fn_of(files, g);
+            if !gf.sources.is_empty() {
+                out.push(sink_finding(files, graph, s, g, &parent));
+                if g != s {
+                    continue; // prune below the first sourced fn
+                }
+            }
+            let mut seq = 0usize;
+            for ev in &gf.events {
+                let Event::Call(c) = ev else { continue };
+                let k = seq;
+                seq += 1;
+                for &t in graph.targets(g, k) {
+                    if visited.contains(&t) {
+                        continue;
+                    }
+                    let tf = graph.fn_of(files, t);
+                    if tf.in_test || tf.sink {
+                        continue; // other sinks get their own audit
+                    }
+                    visited.insert(t);
+                    parent.insert(t, (g, c.line));
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+
+    // Caller-side: sources in hand at the moment a sink is invoked.
+    for g in 0..graph.len() {
+        let gf = graph.fn_of(files, g);
+        if gf.in_test || gf.sink || gf.sources.is_empty() {
+            continue;
+        }
+        let gpath = graph.path_of(files, g);
+        let mut seq = 0usize;
+        let mut reported: BTreeSet<usize> = BTreeSet::new();
+        for ev in &gf.events {
+            let Event::Call(c) = ev else { continue };
+            let k = seq;
+            seq += 1;
+            for &t in graph.targets(g, k) {
+                let tf = graph.fn_of(files, t);
+                if !tf.sink || !reported.insert(t) {
+                    continue;
+                }
+                let src = &gf.sources[0];
+                let mut chain: Vec<String> = gf
+                    .sources
+                    .iter()
+                    .map(|s| format!("`{}` uses {} at {gpath}:{}", qual_name(gf), s.what, s.line))
+                    .collect();
+                chain.push(format!(
+                    "`{}` calls det-sink `{}` at {gpath}:{}",
+                    qual_name(gf),
+                    qual_name(tf),
+                    c.line
+                ));
+                out.push(diag(
+                    gpath,
+                    c.line,
+                    DETERMINISM_TAINT,
+                    format!(
+                        "fn `{}` uses {} and then calls det-sink `{}` — nondeterminism may flow into it",
+                        qual_name(gf),
+                        src.what,
+                        qual_name(tf)
+                    ),
+                    chain,
+                ));
+            }
+        }
+    }
+}
+
+fn sink_finding(
+    files: &[FileFacts],
+    graph: &CallGraph,
+    s: usize,
+    g: usize,
+    parent: &BTreeMap<usize, (usize, u32)>,
+) -> Diagnostic {
+    let sf = graph.fn_of(files, s);
+    let gf = graph.fn_of(files, g);
+    let spath = graph.path_of(files, s);
+    let gpath = graph.path_of(files, g);
+    let src = &gf.sources[0];
+
+    let mut hops = vec![g];
+    let mut cur = g;
+    while cur != s {
+        let (p, _) = parent[&cur];
+        hops.push(p);
+        cur = p;
+    }
+    hops.reverse();
+
+    let mut chain = vec![format!(
+        "`{}` ({spath}:{}) is annotated det-sink",
+        qual_name(sf),
+        sf.line
+    )];
+    for w in hops.windows(2) {
+        let (caller, callee) = (w[0], w[1]);
+        let (_, line) = parent[&callee];
+        chain.push(format!(
+            "`{}` calls `{}` at {}:{line}",
+            qual_name(graph.fn_of(files, caller)),
+            qual_name(graph.fn_of(files, callee)),
+            graph.path_of(files, caller),
+        ));
+    }
+    let more = if gf.sources.len() > 1 {
+        format!(" (+{} more sources)", gf.sources.len() - 1)
+    } else {
+        String::new()
+    };
+    chain.push(format!(
+        "`{}` uses {} at {gpath}:{}{more}",
+        qual_name(gf),
+        src.what,
+        src.line
+    ));
+
+    let message = if g == s {
+        format!(
+            "det-sink fn `{}` directly uses {} ({gpath}:{})",
+            qual_name(sf),
+            src.what,
+            src.line
+        )
+    } else {
+        format!(
+            "det-sink fn `{}` reaches {} in `{}` ({gpath}:{}) through a {}-call chain",
+            qual_name(sf),
+            src.what,
+            qual_name(gf),
+            src.line,
+            hops.len() - 1
+        )
+    };
+    diag(spath, sf.line, DETERMINISM_TAINT, message, chain)
+}

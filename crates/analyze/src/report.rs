@@ -3,10 +3,11 @@
 //! JSON is emitted by hand (this crate is dependency-free by design); the
 //! escaping covers everything a diagnostic message can contain.
 
-use crate::rules::{Diagnostic, Severity};
+use crate::rules::{Diagnostic, Severity, RULES};
 
 /// Render the human report: one `path:line: severity [rule] message` per
-/// diagnostic, followed by a summary line.
+/// diagnostic — with the supporting call chain indented underneath for
+/// interprocedural findings — followed by a summary line.
 pub fn render_human(diags: &[Diagnostic], show_suppressed: bool) -> String {
     let mut out = String::new();
     for d in diags {
@@ -27,6 +28,9 @@ pub fn render_human(diags: &[Diagnostic], show_suppressed: bool) -> String {
                     d.rule,
                     d.message
                 ));
+                for step in &d.chain {
+                    out.push_str(&format!("    -> {step}\n"));
+                }
             }
         }
     }
@@ -58,6 +62,14 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
         out.push_str(&format!("\"rule\": {}, ", json_str(d.rule)));
         out.push_str(&format!("\"severity\": {}, ", json_str(d.severity.name())));
         out.push_str(&format!("\"message\": {}, ", json_str(&d.message)));
+        out.push_str("\"chain\": [");
+        for (j, step) in d.chain.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(step));
+        }
+        out.push_str("], ");
         match &d.suppressed {
             Some(reason) => out.push_str(&format!("\"suppressed\": {}", json_str(reason))),
             None => out.push_str("\"suppressed\": null"),
@@ -70,6 +82,17 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
         denied,
         denied == 0
     ));
+    out
+}
+
+/// The `--list-rules` output: one `name severity description` line per
+/// registered rule, in registry order. `tests/list_rules.txt` snapshots
+/// this so a silently dropped rule fails CI.
+pub fn render_rule_list() -> String {
+    let mut out = String::new();
+    for (name, severity, desc) in RULES {
+        out.push_str(&format!("{name:<26} {:<5} {desc}\n", severity.name()));
+    }
     out
 }
 
@@ -153,5 +176,31 @@ mod tests {
         assert!(json.contains("\"errors\": 0"));
         assert!(json.contains("\"clean\": true"));
         assert_eq!(count_denied(&[]), 0);
+    }
+
+    #[test]
+    fn chains_render_indented_in_human_and_as_array_in_json() {
+        let mut diags = sample();
+        diags[0].chain = vec![
+            "`a` calls `b` at x.rs:3".to_string(),
+            "`b` allocates".to_string(),
+        ];
+        let human = render_human(&diags, false);
+        assert!(human.contains("    -> `a` calls `b` at x.rs:3\n    -> `b` allocates\n"));
+        let json = render_json(&diags);
+        assert!(json.contains("\"chain\": [\"`a` calls `b` at x.rs:3\", \"`b` allocates\"]"));
+        // Diagnostics without a chain carry an empty array.
+        assert!(json.contains("\"chain\": []"));
+    }
+
+    #[test]
+    fn rule_list_covers_registry_in_order() {
+        let listing = render_rule_list();
+        let lines: Vec<&str> = listing.lines().collect();
+        assert_eq!(lines.len(), RULES.len());
+        for ((name, sev, _), line) in RULES.iter().zip(&lines) {
+            assert!(line.starts_with(name), "{line}");
+            assert!(line.contains(sev.name()));
+        }
     }
 }

@@ -41,12 +41,16 @@ pub struct Diagnostic {
     pub severity: Severity,
     /// Human explanation of the finding.
     pub message: String,
+    /// Supporting steps for interprocedural findings: each entry is one
+    /// hop of the call chain / lock witness. Empty for lexical rules.
+    pub chain: Vec<String>,
     /// `Some(reason)` when an `allow` directive suppressed this.
     pub suppressed: Option<String>,
 }
 
-/// The seven substantive rules plus the two directive-hygiene metarules.
-/// Order here is the order `--list-rules` prints.
+/// The seven lexical rules, the four call-graph pass rules, and the two
+/// directive-hygiene metarules. Order here is the order `--list-rules`
+/// prints (pinned by `tests/list_rules.txt`).
 pub const RULES: &[(&str, Severity, &str)] = &[
     (
         "nondet-collection",
@@ -84,6 +88,26 @@ pub const RULES: &[(&str, Severity, &str)] = &[
         "crate root missing `#![forbid(unsafe_code)]`",
     ),
     (
+        "transitive-hot-path-alloc",
+        Severity::Deny,
+        "hot-path fn reaches an allocating construct through a resolved call chain",
+    ),
+    (
+        "lock-order-cycle",
+        Severity::Deny,
+        "cycle in the crates/serve lock-order graph; one acquisition order prevents deadlock",
+    ),
+    (
+        "lock-across-io",
+        Severity::Warn,
+        "lock guard held across a blocking read/write/flush call in crates/serve",
+    ),
+    (
+        "determinism-taint",
+        Severity::Deny,
+        "nondeterminism source (wallclock, ambient RNG, unordered iteration, thread id) reaches a `det-sink` fn",
+    ),
+    (
         "bad-directive",
         Severity::Deny,
         "malformed or unknown `// hmd-analyze:` directive",
@@ -100,12 +124,23 @@ pub fn rule_names() -> Vec<&'static str> {
     RULES.iter().map(|(n, _, _)| *n).collect()
 }
 
-fn severity_of(rule: &str) -> Severity {
+/// Severity a rule was registered with (`Deny` for unknown names, so a
+/// plumbing bug fails loudly instead of silently warning).
+pub fn severity_of(rule: &str) -> Severity {
     RULES
         .iter()
         .find(|(n, _, _)| *n == rule)
         .map(|(_, s, _)| *s)
         .unwrap_or(Severity::Deny)
+}
+
+/// Maps a rule name back to its `&'static` registry entry — the seam the
+/// cache loader uses to rebuild `Diagnostic::rule` from serialized text.
+pub fn static_rule_name(rule: &str) -> Option<&'static str> {
+    RULES
+        .iter()
+        .find(|(n, _, _)| *n == rule)
+        .map(|(n, _, _)| *n)
 }
 
 /// Files allowed to call `thread::spawn`: the deterministic parallel
@@ -114,7 +149,7 @@ const SPAWN_ALLOWLIST: &[&str] = &["crates/ml/src/par.rs", "crates/serve/src/ser
 
 /// Allocation markers rejected inside hot-path regions. Matched as a
 /// leading token path (`Vec :: new`) or a method-call suffix (`. clone (`).
-const ALLOC_PATHS: &[&[&str]] = &[
+pub(crate) const ALLOC_PATHS: &[&[&str]] = &[
     &["Vec", ":", ":", "new"],
     &["Vec", ":", ":", "with_capacity"],
     &["String", ":", ":", "new"],
@@ -124,7 +159,7 @@ const ALLOC_PATHS: &[&[&str]] = &[
     &["vec", "!"],
     &["format", "!"],
 ];
-const ALLOC_METHODS: &[&str] = &["to_vec", "to_string", "to_owned", "collect", "clone"];
+pub(crate) const ALLOC_METHODS: &[&str] = &["to_vec", "to_string", "to_owned", "collect", "clone"];
 
 /// Panic markers for `panic-in-serve`.
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
@@ -148,6 +183,9 @@ pub struct FileContext<'a> {
     pub test_ranges: Vec<(u32, u32)>,
     /// Line ranges (inclusive) of `hot-path`-annotated fn bodies.
     pub hot_ranges: Vec<(u32, u32)>,
+    /// Code-index ranges (inclusive braces) of `macro_rules!` bodies —
+    /// `fn` tokens inside them are templates, not definitions.
+    pub macro_ranges: Vec<(usize, usize)>,
     /// True for files under `tests/` or `benches/` directories.
     pub is_test_file: bool,
 }
@@ -164,7 +202,8 @@ impl<'a> FileContext<'a> {
             .collect();
         let (directives, bad_directives) = parse_directives(src, &tokens, &rule_names());
         let test_ranges = find_cfg_test_ranges(src, &tokens, &code);
-        let hot_ranges = find_hot_ranges(src, &tokens, &code, &directives);
+        let macro_ranges = find_macro_ranges(src, &tokens, &code);
+        let hot_ranges = find_hot_ranges(src, &tokens, &code, &directives, &macro_ranges);
         let is_test_file = path.contains("/tests/") || path.contains("/benches/");
         FileContext {
             path,
@@ -175,19 +214,26 @@ impl<'a> FileContext<'a> {
             bad_directives,
             test_ranges,
             hot_ranges,
+            macro_ranges,
             is_test_file,
         }
     }
 
-    fn code_token(&self, code_idx: usize) -> &Token {
+    pub(crate) fn code_token(&self, code_idx: usize) -> &Token {
         &self.tokens[self.code[code_idx]]
     }
 
-    fn code_text(&self, code_idx: usize) -> &str {
+    pub(crate) fn code_text(&self, code_idx: usize) -> &str {
         self.code_token(code_idx).text(self.src)
     }
 
-    fn in_test_region(&self, line: u32) -> bool {
+    pub(crate) fn in_macro_body(&self, code_idx: usize) -> bool {
+        self.macro_ranges
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&code_idx))
+    }
+
+    pub(crate) fn in_test_region(&self, line: u32) -> bool {
         self.is_test_file
             || self
                 .test_ranges
@@ -202,7 +248,7 @@ impl<'a> FileContext<'a> {
     }
 
     /// Does the code-token sequence starting at `at` spell out `pat`?
-    fn matches_at(&self, at: usize, pat: &[&str]) -> bool {
+    pub(crate) fn matches_at(&self, at: usize, pat: &[&str]) -> bool {
         pat.iter()
             .enumerate()
             .all(|(j, want)| self.code.get(at + j).is_some() && self.code_text(at + j) == *want)
@@ -258,22 +304,63 @@ fn find_cfg_test_ranges(src: &str, tokens: &[Token], code: &[usize]) -> Vec<(u32
 
 /// From a code index just past an attribute, finds the `{ … }` body of the
 /// item that follows. Returns code indices of the braces.
-fn item_body_after(
+///
+/// Braces inside the item *header* are skipped: const-generic expressions
+/// (`fn f(x: Arr<{ N + 1 }>)`) can legally put `{ … }` inside parens or
+/// angle brackets before the real body, so the body brace is the first
+/// `{` at paren depth 0 and angle depth 0. Angle tracking is heuristic
+/// (`<` opens only in type position — after an ident, `:` or another
+/// `<`), which covers every signature shape the workspace uses.
+pub(crate) fn item_body_after(
     src: &str,
     tokens: &[Token],
     code: &[usize],
     from: usize,
 ) -> Option<(usize, usize)> {
+    item_body_within(src, tokens, code, from, code.len())
+}
+
+/// [`item_body_after`] bounded to `end` — the symbol walker uses this so
+/// a `mod x;` inside an impl cannot latch onto a brace past the impl.
+pub(crate) fn item_body_within(
+    src: &str,
+    tokens: &[Token],
+    code: &[usize],
+    from: usize,
+    end: usize,
+) -> Option<(usize, usize)> {
+    let end = end.min(code.len());
     let text = |i: usize| tokens[code[i]].text(src);
     let mut i = from;
+    let mut parens = 0usize;
+    let mut angles = 0usize;
     // Skip further attributes and the item header up to the opening brace;
     // stop if we hit a `;` first (e.g. `#[cfg(test)] use …;` — no body).
-    while i < code.len() {
+    while i < end {
         match text(i) {
-            "{" => break,
-            ";" => return None,
-            _ => i += 1,
+            "{" if parens == 0 && angles == 0 => break,
+            ";" if parens == 0 => return None,
+            "(" | "[" => parens += 1,
+            ")" | "]" => parens = parens.saturating_sub(1),
+            // Only a `<` in type position opens an angle bracket.
+            "<" if i > from
+                && matches!(
+                    tokens[code[i - 1]].kind,
+                    TokenKind::Ident | TokenKind::Punct(':') | TokenKind::Punct('<')
+                ) =>
+            {
+                angles += 1;
+            }
+            // `->` is a return arrow, not an angle close.
+            ">" if !(i > from && text(i - 1) == "-") => {
+                angles = angles.saturating_sub(1);
+            }
+            _ => {}
         }
+        i += 1;
+    }
+    if i >= code.len() {
+        return None;
     }
     let open = i;
     let mut depth = 0usize;
@@ -293,23 +380,45 @@ fn item_body_after(
     None
 }
 
+/// Code-index ranges (brace to brace) of `macro_rules! name { … }`
+/// bodies. A `fn` token inside one is a template fragment, not an item —
+/// both hot-range detection and the symbol indexer must skip it.
+fn find_macro_ranges(src: &str, tokens: &[Token], code: &[usize]) -> Vec<(usize, usize)> {
+    let text = |i: usize| tokens[code[i]].text(src);
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 2 < code.len() {
+        if text(i) == "macro_rules" && text(i + 1) == "!" {
+            if let Some((open, close)) = item_body_after(src, tokens, code, i + 2) {
+                ranges.push((open, close));
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
 /// Body line-ranges of fns annotated with `// hmd-analyze: hot-path`.
 fn find_hot_ranges(
     src: &str,
     tokens: &[Token],
     code: &[usize],
     directives: &[Directive],
+    macro_ranges: &[(usize, usize)],
 ) -> Vec<(u32, u32)> {
+    let in_macro = |ci: usize| macro_ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&ci));
     let mut ranges = Vec::new();
     for d in directives {
         let Directive::HotPath { line } = d else {
             continue;
         };
-        // First `fn` code token at or after the directive line…
-        let Some(fn_idx) = code
-            .iter()
-            .position(|&ti| tokens[ti].line >= *line && tokens[ti].text(src) == "fn")
-        else {
+        // First `fn` code token at or after the directive line (skipping
+        // macro_rules templates, which are not fn items)…
+        let Some(fn_idx) = (0..code.len()).find(|&ci| {
+            tokens[code[ci]].line >= *line && tokens[code[ci]].text(src) == "fn" && !in_macro(ci)
+        }) else {
             continue;
         };
         // …then its brace-matched body.
@@ -320,54 +429,71 @@ fn find_hot_ranges(
     ranges
 }
 
-/// Runs every rule over one file, applies suppressions, and reports
-/// unused allows. The returned diagnostics include suppressed ones
-/// (callers filter on `suppressed.is_none()` for the exit code).
-pub fn check_file(path: &str, src: &str) -> Vec<Diagnostic> {
-    let ctx = FileContext::new(path, src);
+/// Runs the lexical rules over one file without applying suppressions.
+/// The two-phase driver in [`crate::analyze_texts`] merges these with the
+/// interprocedural pass diagnostics before suppression matching, so an
+/// `allow` that only covers a pass finding still counts as used.
+pub fn lexical_raw(ctx: &FileContext) -> Vec<Diagnostic> {
     let mut raw: Vec<Diagnostic> = Vec::new();
 
-    rule_nondet_collection(&ctx, &mut raw);
-    rule_raw_spawn(&ctx, &mut raw);
-    rule_hot_path_alloc(&ctx, &mut raw);
-    rule_panic_in_serve(&ctx, &mut raw);
-    rule_wallclock_in_core(&ctx, &mut raw);
-    rule_float_order(&ctx, &mut raw);
-    rule_forbid_unsafe(&ctx, &mut raw);
+    rule_nondet_collection(ctx, &mut raw);
+    rule_raw_spawn(ctx, &mut raw);
+    rule_hot_path_alloc(ctx, &mut raw);
+    rule_panic_in_serve(ctx, &mut raw);
+    rule_wallclock_in_core(ctx, &mut raw);
+    rule_float_order(ctx, &mut raw);
+    rule_forbid_unsafe(ctx, &mut raw);
 
     for bad in &ctx.bad_directives {
         raw.push(Diagnostic {
-            path: path.to_string(),
+            path: ctx.path.to_string(),
             line: bad.line,
             rule: "bad-directive",
             severity: severity_of("bad-directive"),
             message: bad.message.clone(),
+            chain: Vec::new(),
             suppressed: None,
         });
     }
 
-    apply_suppressions(&ctx, raw)
+    raw
+}
+
+/// Lexical-rules-only convenience: runs every per-file rule, applies
+/// suppressions, and reports unused allows. The interprocedural passes do
+/// not run here — use [`crate::analyze_texts`] for the full engine.
+pub fn check_file(path: &str, src: &str) -> Vec<Diagnostic> {
+    let ctx = FileContext::new(path, src);
+    let raw = lexical_raw(&ctx);
+    let allows = allow_facts(&ctx.directives);
+    apply_suppressions(path, &allows, raw)
+}
+
+/// Extracts `(line, rule, reason)` triples from parsed directives.
+pub fn allow_facts(directives: &[Directive]) -> Vec<(u32, String, String)> {
+    directives
+        .iter()
+        .filter_map(|d| match d {
+            Directive::Allow { line, rule, reason } => Some((*line, rule.clone(), reason.clone())),
+            _ => None,
+        })
+        .collect()
 }
 
 /// Matches diagnostics against `allow` directives (same line or the line
 /// directly below the comment) and flags allows that matched nothing.
-fn apply_suppressions(ctx: &FileContext, mut diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
-    let allows: Vec<(u32, &str, &str)> = ctx
-        .directives
-        .iter()
-        .filter_map(|d| match d {
-            Directive::Allow { line, rule, reason } => {
-                Some((*line, rule.as_str(), reason.as_str()))
-            }
-            _ => None,
-        })
-        .collect();
+/// Called once per file over the *combined* lexical + pass diagnostics.
+pub fn apply_suppressions(
+    path: &str,
+    allows: &[(u32, String, String)],
+    mut diags: Vec<Diagnostic>,
+) -> Vec<Diagnostic> {
     let mut used = vec![false; allows.len()];
 
     for diag in &mut diags {
         for (i, (line, rule, reason)) in allows.iter().enumerate() {
             if *rule == diag.rule && (diag.line == *line || diag.line == *line + 1) {
-                diag.suppressed = Some((*reason).to_string());
+                diag.suppressed = Some(reason.clone());
                 used[i] = true;
                 break;
             }
@@ -377,11 +503,12 @@ fn apply_suppressions(ctx: &FileContext, mut diags: Vec<Diagnostic>) -> Vec<Diag
     for (i, (line, rule, _)) in allows.iter().enumerate() {
         if !used[i] {
             diags.push(Diagnostic {
-                path: ctx.path.to_string(),
+                path: path.to_string(),
                 line: *line,
                 rule: "unused-allow",
                 severity: severity_of("unused-allow"),
                 message: format!("allow({rule}) suppressed no diagnostic; remove it"),
+                chain: Vec::new(),
                 suppressed: None,
             });
         }
@@ -404,6 +531,7 @@ fn emit(
         rule,
         severity: severity_of(rule),
         message,
+        chain: Vec::new(),
         suppressed: None,
     });
 }
@@ -737,6 +865,67 @@ fn cold2() { let s = String::from(\"x\"); }
             .map(|d| d.line)
             .collect();
         assert_eq!(lines, vec![4, 5]);
+    }
+
+    #[test]
+    fn hot_range_survives_const_generic_braces_in_signature() {
+        // The `{ N + 1 }` inside the parameter list must not be mistaken
+        // for the fn body — the vec! on line 4 is in the real body.
+        let src = "\
+// hmd-analyze: hot-path
+fn hot<const N: usize>(x: [u8; { N + 1 }]) -> [u8; { N }]
+{
+    let v = vec![1u8];
+    [0; { N }]
+}
+";
+        let d = unsuppressed("crates/core/src/x.rs", src);
+        let lines: Vec<u32> = d
+            .iter()
+            .filter(|d| d.rule == "hot-path-alloc")
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(lines, vec![4], "{d:?}");
+    }
+
+    #[test]
+    fn hot_range_skips_macro_rules_fn_templates() {
+        // The `fn` inside the macro body is a template; the directive
+        // must attach to the real fn below it.
+        let src = "\
+// hmd-analyze: hot-path
+macro_rules! gen {
+    () => {
+        fn template() { let v = vec![1]; }
+    };
+}
+fn hot() { let s = x.to_vec(); }
+fn cold() { let v = vec![2]; }
+";
+        let ctx = FileContext::new("crates/core/src/x.rs", src);
+        assert_eq!(ctx.hot_ranges, vec![(7, 7)], "{:?}", ctx.hot_ranges);
+        let d = unsuppressed("crates/core/src/x.rs", src);
+        let lines: Vec<u32> = d
+            .iter()
+            .filter(|d| d.rule == "hot-path-alloc")
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(lines, vec![7], "{d:?}");
+    }
+
+    #[test]
+    fn turbofish_in_header_does_not_eat_the_body() {
+        let src = "\
+// hmd-analyze: hot-path
+fn hot(v: &[u8]) -> Vec<Vec<u8>> {
+    v.iter().map(|b| vec![*b]).collect::<Vec<Vec<u8>>>()
+}
+";
+        let d = unsuppressed("crates/core/src/x.rs", src);
+        assert!(
+            d.iter().any(|d| d.rule == "hot-path-alloc" && d.line == 3),
+            "{d:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,1128 @@
+//! Phase-1 symbol and fact extraction for the interprocedural passes.
+//!
+//! This walks a file's token stream once and produces [`FileFacts`]: every
+//! `fn` definition (free, inherent-impl, or trait), the per-fn event stream
+//! (calls, block closes, statement boundaries), allocation sites, and
+//! nondeterminism sources. The walker is *best effort by design* — it is a
+//! token-level scanner, not a parser. Anything it cannot classify stays
+//! unknown and the downstream resolver treats it as opaque, so imprecision
+//! here can only lose findings, never invent fn definitions.
+//!
+//! Receiver typing uses three cheap hints, in order: `self` maps to the
+//! enclosing impl/trait owner, `self.field` maps through a per-file
+//! struct-field prepass, and bare identifiers map through the fn's
+//! parameter/`let` type table. Everything else is untyped.
+
+use std::collections::BTreeMap;
+
+use crate::directives::Directive;
+use crate::lexer::TokenKind;
+use crate::rules::{self, FileContext, ALLOC_METHODS, ALLOC_PATHS};
+
+/// A line-anchored fact inside a fn body (allocation or nondet source).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Site {
+    /// 1-based line.
+    pub line: u32,
+    /// Human description, e.g. `Vec::new` or `Instant::now (wallclock)`.
+    pub what: String,
+}
+
+/// How a call site names its target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(…)` — resolved against free fns (same file, then same crate).
+    Bare,
+    /// `Qual::name(…)` — the qualifier is the last path segment before the
+    /// fn name (`Self`, a type, or a module stem).
+    Path(String),
+    /// `recv.name(…)` — resolved through receiver-type hints.
+    Method,
+}
+
+/// One call site inside a fn body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// 1-based line of the callee name token.
+    pub line: u32,
+    /// Brace depth inside the fn body (the body itself is depth 1).
+    pub depth: u32,
+    /// True when the call is in tail position (no statement boundary
+    /// follows it in the body, or its statement starts with `return`) —
+    /// a returned lock guard escapes to the caller.
+    pub tail: bool,
+    /// True when the statement binds its result (`let`/`if`/`while`/
+    /// `match`/`for` head) — a guard then lives to the end of the block
+    /// rather than the end of the statement.
+    pub bound: bool,
+    /// Callee name (raw-identifier prefix stripped).
+    pub name: String,
+    /// Syntactic shape of the call.
+    pub kind: CallKind,
+    /// Receiver identifier for method calls (`shard` in `shard.lock()`,
+    /// `queue` in `self.queue.lock()`); used as the lock class.
+    pub recv_name: Option<String>,
+    /// Receiver type hint when one of the three typing rules applied.
+    pub recv_type: Option<String>,
+}
+
+/// Ordered body events. `Close`/`Stmt` let the lock pass model guard
+/// lifetimes: a `Close { depth }` pops guards acquired deeper than `depth`;
+/// a `Stmt { depth }` pops unbound temporaries at or below that depth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A call site.
+    Call(CallSite),
+    /// A `}` closed; `depth` is the depth *after* closing (≥ 1).
+    Close {
+        /// Depth after the brace closed.
+        depth: u32,
+    },
+    /// A statement boundary (`;` or top-level `,`) at `depth`.
+    Stmt {
+        /// Depth the boundary sits at.
+        depth: u32,
+    },
+}
+
+/// Everything extracted from one `fn` definition.
+#[derive(Debug, Clone, Default)]
+pub struct FnFacts {
+    /// Fn name, raw-identifier prefix stripped.
+    pub name: String,
+    /// Enclosing impl/trait owner type name, if any.
+    pub owner: Option<String>,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Annotated `// hmd-analyze: hot-path`.
+    pub hot: bool,
+    /// Annotated `// hmd-analyze: det-sink`.
+    pub sink: bool,
+    /// Defined inside a test region (cfg(test) mod, tests/, benches/).
+    pub in_test: bool,
+    /// False for bodiless trait-method signatures.
+    pub has_body: bool,
+    /// Ordered body events (calls + scope markers).
+    pub events: Vec<Event>,
+    /// Allocation sites in the body (same markers as the lexical rule).
+    pub allocs: Vec<Site>,
+    /// Nondeterminism sources in the body.
+    pub sources: Vec<Site>,
+}
+
+/// Per-file extraction result. For non-indexable files (vendor, tests/,
+/// benches/, examples) only `allows` is populated so suppression finalize
+/// still sees every allow.
+#[derive(Debug, Clone, Default)]
+pub struct FileFacts {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Fn definitions, in source order.
+    pub fns: Vec<FnFacts>,
+    /// Identifiers declared with an `RwLock` type in this file — a
+    /// `.read(`/`.write(` on one of these counts as a lock acquisition,
+    /// on anything else as I/O.
+    pub rwlocks: Vec<String>,
+    /// `(line, rule, reason)` allow directives, for suppression finalize.
+    pub allows: Vec<(u32, String, String)>,
+}
+
+/// Is this path part of the analyzed workspace proper (candidate for the
+/// call graph)? Vendored code, fixtures under tests/, and benches are
+/// lexically linted but never indexed.
+pub fn is_indexable(path: &str) -> bool {
+    if path.starts_with("vendor/") || path.contains("/vendor/") {
+        return false;
+    }
+    if path.contains("/tests/") || path.contains("/benches/") || path.contains("/examples/") {
+        return false;
+    }
+    (path.starts_with("crates/") && path.contains("/src/")) || path.starts_with("src/")
+}
+
+/// Rust keywords that can precede `(` without being a call.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "type", "union",
+    "unsafe", "use", "where", "while", "yield",
+];
+
+/// Smart-pointer-ish wrappers whose `::new(inner)` argument names the type
+/// we actually care about for receiver hints.
+const WRAPPERS: &[&str] = &["Arc", "Rc", "Box", "Mutex", "RwLock", "RefCell", "Cell"];
+
+/// Extracts all facts from one file.
+pub fn extract(ctx: &FileContext) -> FileFacts {
+    let mut facts = FileFacts {
+        path: ctx.path.to_string(),
+        allows: rules::allow_facts(&ctx.directives),
+        ..FileFacts::default()
+    };
+    if !is_indexable(ctx.path) {
+        return facts;
+    }
+    facts.rwlocks = find_rwlock_idents(ctx);
+    let fields = find_struct_fields(ctx);
+    let mut w = Walker {
+        ctx,
+        fields: &fields,
+        fns: Vec::new(),
+    };
+    w.items(0, ctx.code.len(), None);
+    let mut fns = w.fns;
+
+    // Attach hot-path / det-sink annotations: each directive marks the
+    // first fn defined at or after its line.
+    for d in &ctx.directives {
+        let (line, hot) = match d {
+            Directive::HotPath { line } => (*line, true),
+            Directive::DetSink { line } => (*line, false),
+            _ => continue,
+        };
+        if let Some(f) = fns
+            .iter_mut()
+            .filter(|f| f.line >= line)
+            .min_by_key(|f| f.line)
+        {
+            if hot {
+                f.hot = true;
+            } else {
+                f.sink = true;
+            }
+        }
+    }
+    for f in &mut fns {
+        f.in_test = ctx.in_test_region(f.line);
+    }
+    facts.fns = fns;
+    facts
+}
+
+/// Strips the raw-identifier prefix.
+fn strip_raw(s: &str) -> &str {
+    s.strip_prefix("r#").unwrap_or(s)
+}
+
+/// Identifiers bound to an `RwLock` type: scan for the `RwLock` token and
+/// walk back over type/ctor syntax (`:`, `<`, `&`, `=`, wrappers, paths)
+/// to the nearest plain identifier.
+fn find_rwlock_idents(ctx: &FileContext) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in 0..ctx.code.len() {
+        if ctx.code_text(i) != "RwLock" {
+            continue;
+        }
+        let mut k = i as isize - 1;
+        let mut hops = 0;
+        while k >= 0 && hops < 10 {
+            let tok = ctx.code_token(k as usize);
+            let t = tok.text(ctx.src);
+            let skip = matches!(t, ":" | "<" | "&" | "=" | "mut" | "pub" | "(" | ")")
+                || WRAPPERS.contains(&t)
+                || matches!(t, "std" | "sync" | "crate" | "super")
+                || matches!(tok.kind, TokenKind::Lifetime);
+            if !skip {
+                if matches!(tok.kind, TokenKind::Ident) && !KEYWORDS.contains(&t) {
+                    let name = strip_raw(t).to_string();
+                    if !out.contains(&name) {
+                        out.push(name);
+                    }
+                }
+                break;
+            }
+            k -= 1;
+            hops += 1;
+        }
+    }
+    out
+}
+
+/// `(struct name, field name) → field type` for every `struct X { … }` in
+/// the file. Feeds the `self.field.method()` receiver-typing rule.
+fn find_struct_fields(ctx: &FileContext) -> BTreeMap<(String, String), String> {
+    let mut map = BTreeMap::new();
+    let code_len = ctx.code.len();
+    let mut i = 0;
+    while i < code_len {
+        if ctx.code_text(i) != "struct"
+            || ctx.in_macro_body(i)
+            || i + 1 >= code_len
+            || !matches!(ctx.code_token(i + 1).kind, TokenKind::Ident)
+        {
+            i += 1;
+            continue;
+        }
+        let sname = strip_raw(ctx.code_text(i + 1)).to_string();
+        let Some((open, close)) =
+            rules::item_body_within(ctx.src, &ctx.tokens, &ctx.code, i + 1, code_len)
+        else {
+            i += 2;
+            continue;
+        };
+        // Walk depth-1 entries of the struct body: `field : Type ,`.
+        let mut depth = 0usize; // relative: open brace = 1
+        let mut j = open;
+        while j <= close {
+            match ctx.code_text(j) {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => depth = depth.saturating_sub(1),
+                "<" => {
+                    j = skip_angles(ctx, j, close);
+                    continue;
+                }
+                ":" if depth == 1
+                    && j > open
+                    && matches!(ctx.code_token(j - 1).kind, TokenKind::Ident) =>
+                {
+                    let fname = strip_raw(ctx.code_text(j - 1)).to_string();
+                    if let Some(ty) = extract_type(ctx, j + 1, close) {
+                        map.insert((sname.clone(), fname), ty);
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        i = close + 1;
+    }
+    map
+}
+
+/// Skips a balanced `<…>` group starting at `from` (which must be `<`);
+/// returns the index after the closing `>`. `->` is not an angle close.
+fn skip_angles(ctx: &FileContext, from: usize, end: usize) -> usize {
+    let mut depth = 1usize;
+    let mut j = from + 1;
+    while j <= end && j < ctx.code.len() {
+        match ctx.code_text(j) {
+            "<" => depth += 1,
+            ">" if ctx.code_text(j - 1) != "-" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Reads a type starting at `from` (after a `:`) and returns the last path
+/// segment — `std::sync::Mutex<Shard>` → `Mutex`. Non-path types (tuples,
+/// slices, fn pointers) return `None`.
+fn extract_type(ctx: &FileContext, mut from: usize, end: usize) -> Option<String> {
+    while from < end {
+        let tok = ctx.code_token(from);
+        let t = tok.text(ctx.src);
+        if matches!(t, "&" | "mut" | "dyn" | "impl") || matches!(tok.kind, TokenKind::Lifetime) {
+            from += 1;
+            continue;
+        }
+        break;
+    }
+    if from >= end || !matches!(ctx.code_token(from).kind, TokenKind::Ident) {
+        return None;
+    }
+    let mut name = strip_raw(ctx.code_text(from));
+    let mut j = from;
+    while j + 3 < end
+        && ctx.code_text(j + 1) == ":"
+        && ctx.code_text(j + 2) == ":"
+        && matches!(ctx.code_token(j + 3).kind, TokenKind::Ident)
+    {
+        j += 3;
+        name = strip_raw(ctx.code_text(j));
+    }
+    if KEYWORDS.contains(&name) {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+struct Walker<'a, 'c> {
+    ctx: &'a FileContext<'c>,
+    fields: &'a BTreeMap<(String, String), String>,
+    fns: Vec<FnFacts>,
+}
+
+impl Walker<'_, '_> {
+    fn text(&self, i: usize) -> &str {
+        self.ctx.code_text(i)
+    }
+
+    fn kind(&self, i: usize) -> TokenKind {
+        self.ctx.code_token(i).kind
+    }
+
+    fn line(&self, i: usize) -> u32 {
+        self.ctx.code_token(i).line
+    }
+
+    /// Item-level walk of `[from, end)` with the current impl/trait owner.
+    fn items(&mut self, mut i: usize, end: usize, owner: Option<&str>) {
+        while i < end {
+            let t = self.text(i);
+            match t {
+                "#" => i = self.skip_attr(i, end),
+                "macro_rules" if i + 1 < end && self.text(i + 1) == "!" => {
+                    i = match rules::item_body_within(
+                        self.ctx.src,
+                        &self.ctx.tokens,
+                        &self.ctx.code,
+                        i + 1,
+                        end,
+                    ) {
+                        Some((_, close)) => close + 1,
+                        None => i + 1,
+                    };
+                }
+                "impl" => {
+                    match rules::item_body_within(
+                        self.ctx.src,
+                        &self.ctx.tokens,
+                        &self.ctx.code,
+                        i + 1,
+                        end,
+                    ) {
+                        Some((open, close)) => {
+                            let own = self.impl_owner(i + 1, open);
+                            self.items(open + 1, close, own.as_deref());
+                            i = close + 1;
+                        }
+                        None => i += 1,
+                    }
+                }
+                "trait" => {
+                    let name = (i + 1 < end && matches!(self.kind(i + 1), TokenKind::Ident))
+                        .then(|| strip_raw(self.text(i + 1)).to_string());
+                    match rules::item_body_within(
+                        self.ctx.src,
+                        &self.ctx.tokens,
+                        &self.ctx.code,
+                        i + 1,
+                        end,
+                    ) {
+                        Some((open, close)) => {
+                            self.items(open + 1, close, name.as_deref());
+                            i = close + 1;
+                        }
+                        None => i += 1,
+                    }
+                }
+                "mod" => {
+                    match rules::item_body_within(
+                        self.ctx.src,
+                        &self.ctx.tokens,
+                        &self.ctx.code,
+                        i + 1,
+                        end,
+                    ) {
+                        Some((open, close)) => {
+                            self.items(open + 1, close, None);
+                            i = close + 1;
+                        }
+                        None => i += 1, // `mod x;`
+                    }
+                }
+                "struct" | "enum" | "union" => {
+                    match rules::item_body_within(
+                        self.ctx.src,
+                        &self.ctx.tokens,
+                        &self.ctx.code,
+                        i + 1,
+                        end,
+                    ) {
+                        Some((_, close)) => i = close + 1,
+                        None => i += 1,
+                    }
+                }
+                "fn" if i + 1 < end && matches!(self.kind(i + 1), TokenKind::Ident) => {
+                    i = self.parse_fn(i, end, owner);
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// Skips `#[…]` / `#![…]`; returns the index after the `]` (or `i + 1`
+    /// if this `#` isn't an attribute).
+    fn skip_attr(&self, i: usize, end: usize) -> usize {
+        let mut j = i + 1;
+        if j < end && self.text(j) == "!" {
+            j += 1;
+        }
+        if j >= end || self.text(j) != "[" {
+            return i + 1;
+        }
+        let mut depth = 0usize;
+        while j < end {
+            match self.text(j) {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// The self-type name of an `impl` header in `[from, open)`: the last
+    /// identifier path segment, reset by `for` (so `impl Trait for Type`
+    /// yields `Type`).
+    fn impl_owner(&self, from: usize, open: usize) -> Option<String> {
+        let mut last = None;
+        let mut k = from;
+        while k < open {
+            let t = self.text(k);
+            match t {
+                "for" => {
+                    last = None;
+                    k += 1;
+                }
+                "where" => break,
+                "<" => k = skip_angles(self.ctx, k, open),
+                _ => {
+                    if matches!(self.kind(k), TokenKind::Ident) && !KEYWORDS.contains(&t) {
+                        last = Some(strip_raw(t).to_string());
+                    }
+                    k += 1;
+                }
+            }
+        }
+        last
+    }
+
+    /// Parses one fn starting at the `fn` token; returns the resume index.
+    fn parse_fn(&mut self, fn_i: usize, end: usize, owner: Option<&str>) -> usize {
+        let name = strip_raw(self.text(fn_i + 1)).to_string();
+        let line = self.line(fn_i);
+        match rules::item_body_within(
+            self.ctx.src,
+            &self.ctx.tokens,
+            &self.ctx.code,
+            fn_i + 1,
+            end,
+        ) {
+            Some((open, close)) => {
+                let locals = self.parse_params(fn_i + 2, open);
+                let f = self.scan_body(name, owner, line, open, close, locals);
+                self.fns.push(f);
+                close + 1
+            }
+            None => {
+                // Bodiless trait-method signature: record the def (it may
+                // be a sink/hot anchor) and skip past the `;`.
+                self.fns.push(FnFacts {
+                    name,
+                    owner: owner.map(str::to_string),
+                    line,
+                    has_body: false,
+                    ..FnFacts::default()
+                });
+                let mut j = fn_i + 1;
+                let mut p = 0usize;
+                while j < end {
+                    match self.text(j) {
+                        "(" | "[" => p += 1,
+                        ")" | "]" => p = p.saturating_sub(1),
+                        ";" if p == 0 => return j + 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                j
+            }
+        }
+    }
+
+    /// Parameter name → type table from the signature between `from` and
+    /// the body-open index.
+    fn parse_params(&self, from: usize, open: usize) -> BTreeMap<String, String> {
+        let mut locals = BTreeMap::new();
+        let mut k = from;
+        if k < open && self.text(k) == "<" {
+            k = skip_angles(self.ctx, k, open);
+        }
+        if k >= open || self.text(k) != "(" {
+            return locals;
+        }
+        let mut depth = 0usize;
+        let start = k;
+        let mut close_paren = open;
+        while k < open {
+            match self.text(k) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close_paren = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let mut j = start + 1;
+        let mut depth = 1usize;
+        while j < close_paren {
+            match self.text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "<" => {
+                    j = skip_angles(self.ctx, j, close_paren);
+                    continue;
+                }
+                ":" if depth == 1 && j + 1 < close_paren => {
+                    if matches!(self.kind(j - 1), TokenKind::Ident) {
+                        let pname = strip_raw(self.text(j - 1));
+                        if !KEYWORDS.contains(&pname) {
+                            if let Some(ty) = extract_type(self.ctx, j + 1, close_paren) {
+                                locals.insert(pname.to_string(), ty);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        locals
+    }
+
+    /// Scans a fn body `[open, close]` (brace indices) and builds FnFacts.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_body(
+        &mut self,
+        name: String,
+        owner: Option<&str>,
+        fn_line: u32,
+        open: usize,
+        close: usize,
+        mut locals: BTreeMap<String, String>,
+    ) -> FnFacts {
+        let mut events: Vec<Event> = Vec::new();
+        let mut allocs: Vec<Site> = Vec::new();
+        let mut sources: Vec<Site> = Vec::new();
+        // (event index, token index, stmt starts with `return`)
+        let mut call_meta: Vec<(usize, usize, bool)> = Vec::new();
+        // Token indices of statement boundaries (`;`/`,` at paren depth 0).
+        let mut boundaries: Vec<usize> = Vec::new();
+
+        let mut depth = 1u32;
+        let mut pdepth = 0usize;
+        let mut stmt_first: Option<String> = None;
+        let mut i = open + 1;
+        while i < close {
+            let t = self.text(i);
+            let k = self.kind(i);
+            if stmt_first.is_none() && !matches!(t, "{" | "}" | ";" | ",") {
+                stmt_first = Some(t.to_string());
+            }
+            match k {
+                TokenKind::Punct('{') => {
+                    depth += 1;
+                    stmt_first = None;
+                }
+                TokenKind::Punct('}') => {
+                    depth = depth.saturating_sub(1).max(1);
+                    events.push(Event::Close { depth });
+                    stmt_first = None;
+                }
+                TokenKind::Punct(';') | TokenKind::Punct(',') if pdepth == 0 => {
+                    boundaries.push(i);
+                    events.push(Event::Stmt { depth });
+                    stmt_first = None;
+                }
+                TokenKind::Punct('(') | TokenKind::Punct('[') => pdepth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => pdepth = pdepth.saturating_sub(1),
+                TokenKind::Punct('#') => {
+                    let next = self.skip_attr(i, close);
+                    if next > i + 1 {
+                        i = next;
+                        continue;
+                    }
+                }
+                // Method-suffix allocation (`.clone()` etc.) — same
+                // shape the lexical hot-path rule matches.
+                TokenKind::Punct('.')
+                    if i + 2 < close
+                        && ALLOC_METHODS.contains(&self.text(i + 1))
+                        && self.text(i + 2) == "(" =>
+                {
+                    allocs.push(Site {
+                        line: self.line(i + 1),
+                        what: format!(".{}()", self.text(i + 1)),
+                    });
+                }
+                TokenKind::Ident => {
+                    // Nested fn: parse it as its own definition.
+                    if t == "fn" && i + 1 < close && matches!(self.kind(i + 1), TokenKind::Ident) {
+                        i = self.parse_fn(i, close, None);
+                        continue;
+                    }
+                    if t == "let" {
+                        self.capture_let(i, close, &mut locals);
+                    }
+                    record_sources(self.ctx, i, &mut sources);
+                    for pat in ALLOC_PATHS {
+                        if self.ctx.matches_at(i, pat) {
+                            allocs.push(Site {
+                                line: self.line(i),
+                                what: pretty_path(pat),
+                            });
+                            break;
+                        }
+                    }
+                    if let Some(call) =
+                        self.detect_call(i, open, close, depth, owner, &locals, &stmt_first)
+                    {
+                        let is_return = stmt_first.as_deref() == Some("return");
+                        call_meta.push((events.len(), i, is_return));
+                        events.push(Event::Call(call));
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+
+        // Tail patch: a call is tail when its statement `return`s or no
+        // statement boundary follows it in the body.
+        for (ev_idx, tok_idx, is_return) in call_meta {
+            let has_later_boundary = boundaries.iter().any(|&b| b > tok_idx);
+            if let Event::Call(c) = &mut events[ev_idx] {
+                c.tail = is_return || !has_later_boundary;
+            }
+        }
+
+        FnFacts {
+            name,
+            owner: owner.map(str::to_string),
+            line: fn_line,
+            has_body: true,
+            events,
+            allocs,
+            sources,
+            ..FnFacts::default()
+        }
+    }
+
+    /// `let [mut] name : Type` / `let [mut] name = Ctor…` type capture.
+    fn capture_let(&self, let_i: usize, close: usize, locals: &mut BTreeMap<String, String>) {
+        let mut j = let_i + 1;
+        if j < close && self.text(j) == "mut" {
+            j += 1;
+        }
+        if j >= close || !matches!(self.kind(j), TokenKind::Ident) {
+            return;
+        }
+        let name = strip_raw(self.text(j)).to_string();
+        if KEYWORDS.contains(&name.as_str()) {
+            return;
+        }
+        let ty = if j + 1 < close && self.text(j + 1) == ":" {
+            extract_type(self.ctx, j + 2, close)
+        } else if j + 1 < close && self.text(j + 1) == "=" {
+            self.infer_ctor_type(j + 2, close)
+        } else {
+            None
+        };
+        if let Some(ty) = ty {
+            locals.insert(name, ty);
+        }
+    }
+
+    /// Infers a type from a constructor-shaped RHS: the first
+    /// uppercase-initial path segment (`SessionEngine::new(…)`,
+    /// `Inbox { … }`), looking through smart-pointer wrappers
+    /// (`Arc::new(Inner::new())` → `Inner`).
+    fn infer_ctor_type(&self, mut j: usize, close: usize) -> Option<String> {
+        let mut hops = 0;
+        while j < close && hops < 24 {
+            let tok = self.ctx.code_token(j);
+            let t = tok.text(self.ctx.src);
+            if matches!(tok.kind, TokenKind::Ident)
+                && t.starts_with(|c: char| c.is_ascii_uppercase())
+            {
+                if WRAPPERS.contains(&t) || t == "Some" || t == "Ok" {
+                    j += 1;
+                    hops += 1;
+                    continue;
+                }
+                return Some(strip_raw(t).to_string());
+            }
+            if !matches!(
+                t,
+                ":" | "<" | ">" | "(" | "&" | "new" | "mut" | "std" | "sync"
+            ) {
+                return None;
+            }
+            j += 1;
+            hops += 1;
+        }
+        None
+    }
+
+    /// Is the identifier at `i` the name token of a call? Builds the
+    /// CallSite if so (tail is patched later).
+    #[allow(clippy::too_many_arguments)]
+    fn detect_call(
+        &self,
+        i: usize,
+        open: usize,
+        close: usize,
+        depth: u32,
+        owner: Option<&str>,
+        locals: &BTreeMap<String, String>,
+        stmt_first: &Option<String>,
+    ) -> Option<CallSite> {
+        let t = self.text(i);
+        if KEYWORDS.contains(&t) {
+            return None;
+        }
+        if i + 1 >= close {
+            return None;
+        }
+        let next = self.text(i + 1);
+        let is_call = if next == "(" {
+            true
+        } else if next == "!" {
+            return None; // macro invocation
+        } else if next == ":" && i + 3 < close && self.text(i + 2) == ":" && self.text(i + 3) == "<"
+        {
+            // Turbofish: `name::<T>(…)`.
+            let after = skip_angles(self.ctx, i + 3, close);
+            after < close && self.text(after) == "("
+        } else {
+            false
+        };
+        if !is_call {
+            return None;
+        }
+
+        let name = strip_raw(t).to_string();
+        let prev = (i > 0).then(|| self.text(i - 1));
+        let (kind, recv_name, recv_type) = if prev == Some(".") {
+            let (rn, rt) = self.receiver(i - 1, open, owner, locals);
+            (CallKind::Method, rn, rt)
+        } else if prev == Some(":") && i >= 2 && self.text(i - 2) == ":" {
+            let qual = self.path_qualifier(i)?;
+            (CallKind::Path(qual), None, None)
+        } else {
+            // Uppercase bare "calls" are tuple-struct/variant constructors
+            // (`Some(x)`, `Verdict(…)`) — never resolvable fn names.
+            if name.starts_with(|c: char| c.is_ascii_uppercase()) {
+                return None;
+            }
+            (CallKind::Bare, None, None)
+        };
+
+        let bound = matches!(
+            stmt_first.as_deref(),
+            Some("let") | Some("if") | Some("while") | Some("match") | Some("for")
+        );
+        Some(CallSite {
+            line: self.line(i),
+            depth,
+            tail: false,
+            bound,
+            name,
+            kind,
+            recv_name,
+            recv_type,
+        })
+    }
+
+    /// Last path segment before the `::` pair preceding the call name at
+    /// `i` (handles `Vec::<u8>::new` by balancing back over the `<…>`).
+    fn path_qualifier(&self, i: usize) -> Option<String> {
+        let mut k = i as isize - 3;
+        if k < 0 {
+            return None;
+        }
+        if self.text(k as usize) == ">" {
+            // Balance backwards over the generic args.
+            let mut depth = 1isize;
+            k -= 1;
+            while k >= 0 && depth > 0 {
+                match self.text(k as usize) {
+                    ">" => depth += 1,
+                    "<" => depth -= 1,
+                    _ => {}
+                }
+                k -= 1;
+            }
+            while k >= 0 && self.text(k as usize) == ":" {
+                k -= 1;
+            }
+        }
+        if k < 0 {
+            return None;
+        }
+        let tok = self.ctx.code_token(k as usize);
+        matches!(tok.kind, TokenKind::Ident).then(|| strip_raw(tok.text(self.ctx.src)).to_string())
+    }
+
+    /// Receiver name + type hint for the method call whose `.` sits at
+    /// `dot`. Walks back over `?` and `[index]`.
+    fn receiver(
+        &self,
+        dot: usize,
+        open: usize,
+        owner: Option<&str>,
+        locals: &BTreeMap<String, String>,
+    ) -> (Option<String>, Option<String>) {
+        let mut k = dot as isize - 1;
+        while k as usize > open && self.text(k as usize) == "?" {
+            k -= 1;
+        }
+        if (k as usize) <= open {
+            return (None, None);
+        }
+        match self.text(k as usize) {
+            "]" => {
+                // Index expression: balance back to `[` and analyse what
+                // precedes it (`self.shards[i].lock()` → `shards`).
+                let mut depth = 1isize;
+                k -= 1;
+                while k as usize > open && depth > 0 {
+                    match self.text(k as usize) {
+                        "]" => depth += 1,
+                        "[" => depth -= 1,
+                        _ => {}
+                    }
+                    k -= 1;
+                }
+                if (k as usize) <= open {
+                    return (None, None);
+                }
+                self.receiver_ident(k as usize, open, owner, locals)
+            }
+            ")" => (None, None), // result of a call/parenthesised expr
+            _ => self.receiver_ident(k as usize, open, owner, locals),
+        }
+    }
+
+    /// Classifies the identifier at `k` as a receiver.
+    fn receiver_ident(
+        &self,
+        k: usize,
+        open: usize,
+        owner: Option<&str>,
+        locals: &BTreeMap<String, String>,
+    ) -> (Option<String>, Option<String>) {
+        if !matches!(self.kind(k), TokenKind::Ident) {
+            return (None, None);
+        }
+        let t = strip_raw(self.text(k));
+        if t == "self" {
+            return (Some("self".to_string()), owner.map(str::to_string));
+        }
+        let prev_dot = k > open && self.text(k - 1) == ".";
+        if prev_dot && k >= 2 && self.text(k - 2) == "self" {
+            // `self.field.method()` — type through the struct-field map.
+            let ty = owner.and_then(|o| self.fields.get(&(o.to_string(), t.to_string())).cloned());
+            return (Some(t.to_string()), ty);
+        }
+        if prev_dot {
+            return (Some(t.to_string()), None); // deeper chain, untyped
+        }
+        if KEYWORDS.contains(&t) {
+            return (None, None);
+        }
+        (Some(t.to_string()), locals.get(t).cloned())
+    }
+}
+
+/// Nondeterminism sources recognised at an identifier token.
+fn record_sources(ctx: &FileContext, i: usize, out: &mut Vec<Site>) {
+    let line = ctx.code_token(i).line;
+    let t = ctx.code_text(i);
+    let what = if ctx.matches_at(i, &["Instant", ":", ":", "now"]) {
+        Some("Instant::now (wallclock)".to_string())
+    } else if t == "SystemTime" {
+        Some("SystemTime (wallclock)".to_string())
+    } else if ctx.matches_at(i, &["thread", ":", ":", "current"]) {
+        Some("thread::current (thread id)".to_string())
+    } else if t == "ThreadId" {
+        Some("ThreadId (thread id)".to_string())
+    } else if matches!(t, "thread_rng" | "from_entropy" | "OsRng") {
+        Some(format!("{t} (ambient RNG)"))
+    } else if matches!(t, "HashMap" | "HashSet") {
+        Some(format!("{t} (unordered iteration)"))
+    } else {
+        None
+    };
+    if let Some(what) = what {
+        // One site per (line, what) keeps repeated generics quiet.
+        if !out.iter().any(|s| s.line == line && s.what == what) {
+            out.push(Site { line, what });
+        }
+    }
+}
+
+/// Human label for an ALLOC_PATHS pattern.
+fn pretty_path(pat: &[&str]) -> String {
+    let joined: String = pat.concat();
+    joined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts(src: &str) -> FileFacts {
+        let ctx = FileContext::new("crates/x/src/lib.rs", src);
+        extract(&ctx)
+    }
+
+    fn fn_named<'a>(f: &'a FileFacts, name: &str) -> &'a FnFacts {
+        f.fns
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no fn `{name}` in {:?}", f.fns))
+    }
+
+    fn calls(f: &FnFacts) -> Vec<&CallSite> {
+        f.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Call(c) => Some(c),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn free_and_impl_fns_are_indexed_with_owners() {
+        let f = facts(
+            "pub fn top() { helper(); }\n\
+             fn helper() {}\n\
+             struct S { n: u32 }\n\
+             impl S {\n    fn m(&self) { self.n; }\n}\n\
+             impl std::fmt::Display for S {\n    fn fmt(&self) {}\n}\n",
+        );
+        assert_eq!(fn_named(&f, "top").owner, None);
+        assert_eq!(fn_named(&f, "m").owner.as_deref(), Some("S"));
+        assert_eq!(fn_named(&f, "fmt").owner.as_deref(), Some("S"));
+        let c = calls(fn_named(&f, "top"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].name, "helper");
+        assert_eq!(c[0].kind, CallKind::Bare);
+    }
+
+    #[test]
+    fn method_receivers_get_type_hints() {
+        let f = facts(
+            "struct Engine { inbox: Inbox }\n\
+             struct Inbox { queue: std::sync::Mutex<Vec<u32>> }\n\
+             impl Engine {\n\
+                 fn pump(&self, s: Shard) {\n\
+                     self.inbox.drain();\n\
+                     s.step();\n\
+                     let e = Engine::new();\n\
+                     e.run();\n\
+                 }\n\
+             }\n",
+        );
+        let c = calls(fn_named(&f, "pump"));
+        let drain = c.iter().find(|c| c.name == "drain").unwrap();
+        assert_eq!(drain.recv_name.as_deref(), Some("inbox"));
+        assert_eq!(drain.recv_type.as_deref(), Some("Inbox"));
+        let step = c.iter().find(|c| c.name == "step").unwrap();
+        assert_eq!(step.recv_type.as_deref(), Some("Shard"));
+        let run = c.iter().find(|c| c.name == "run").unwrap();
+        assert_eq!(run.recv_type.as_deref(), Some("Engine"));
+        let new = c.iter().find(|c| c.name == "new").unwrap();
+        assert_eq!(new.kind, CallKind::Path("Engine".to_string()));
+    }
+
+    #[test]
+    fn tail_and_bound_flags() {
+        let f = facts(
+            "fn wrapper(m: Mutex) -> Guard {\n\
+                 m.lock().unwrap()\n\
+             }\n\
+             fn uses() {\n\
+                 let g = acquire();\n\
+                 poke();\n\
+             }\n",
+        );
+        let w = calls(fn_named(&f, "wrapper"));
+        assert!(w.iter().all(|c| c.tail), "{w:?}");
+        let u = calls(fn_named(&f, "uses"));
+        let acq = u.iter().find(|c| c.name == "acquire").unwrap();
+        assert!(acq.bound && !acq.tail);
+        let poke = u.iter().find(|c| c.name == "poke").unwrap();
+        assert!(!poke.bound && !poke.tail);
+    }
+
+    #[test]
+    fn allocs_and_sources_are_recorded() {
+        let f = facts(
+            "fn scratch() {\n\
+                 let v = Vec::new();\n\
+                 let s = x.to_string();\n\
+                 let t = std::time::Instant::now();\n\
+                 let m: std::collections::HashMap<u32, u32> = Default::default();\n\
+             }\n",
+        );
+        let sc = fn_named(&f, "scratch");
+        assert!(sc.allocs.iter().any(|a| a.what == "Vec::new"));
+        assert!(sc.allocs.iter().any(|a| a.what == ".to_string()"));
+        assert!(sc.sources.iter().any(|s| s.what.contains("wallclock")));
+        assert!(sc.sources.iter().any(|s| s.what.contains("unordered")));
+    }
+
+    #[test]
+    fn hot_and_sink_annotations_attach_to_next_fn() {
+        let f = facts(
+            "// hmd-analyze: hot-path\n\
+             fn fast() {}\n\
+             // hmd-analyze: det-sink\n\
+             fn record() {}\n\
+             fn other() {}\n",
+        );
+        assert!(fn_named(&f, "fast").hot);
+        assert!(fn_named(&f, "record").sink && !fn_named(&f, "record").hot);
+        assert!(!fn_named(&f, "other").sink);
+    }
+
+    #[test]
+    fn rwlock_idents_and_test_fns() {
+        let f = facts(
+            "struct T { table: std::sync::RwLock<Vec<u32>> }\n\
+             fn live() {}\n\
+             #[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n",
+        );
+        assert_eq!(f.rwlocks, vec!["table".to_string()]);
+        assert!(!fn_named(&f, "live").in_test);
+        assert!(fn_named(&f, "helper").in_test);
+    }
+
+    #[test]
+    fn vendor_and_test_files_keep_allows_only() {
+        let src = "// hmd-analyze: allow(panic-in-serve, \"fixture\")\nfn f() { x.unwrap(); }\n";
+        let ctx = FileContext::new("vendor/dep/src/lib.rs", src);
+        let f = extract(&ctx);
+        assert!(f.fns.is_empty());
+        assert_eq!(f.allows.len(), 1);
+    }
+
+    #[test]
+    fn turbofish_call_is_detected_once() {
+        let f = facts("fn g() { h::<Vec<u8>>(1); }\n");
+        let c = calls(fn_named(&f, "g"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].name, "h");
+    }
+}

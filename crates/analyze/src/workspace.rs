@@ -17,12 +17,23 @@ const SKIP_DIRS: &[&str] = &["target", ".git", ".github"];
 /// `crates/…` paths, so vendor code is otherwise untouched).
 pub fn collect_rust_files(root: &Path) -> io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
-    walk(root, root, &mut files)?;
-    files.sort_by(|a, b| a.0.cmp(&b.0));
+    for rel in collect_rust_paths(root)? {
+        let text = fs::read_to_string(root.join(&rel))?;
+        files.push((rel, text));
+    }
     Ok(files)
 }
 
-fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> io::Result<()> {
+/// Like [`collect_rust_files`] but paths only — the cached driver decides
+/// per file whether the content needs reading at all.
+pub fn collect_rust_paths(root: &Path) -> io::Result<Vec<String>> {
+    let mut paths = Vec::new();
+    walk(root, root, &mut paths)?;
+    paths.sort();
+    Ok(paths)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
     let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .collect();
@@ -44,8 +55,7 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> io::Result<
                 .unwrap_or(&path)
                 .to_string_lossy()
                 .replace('\\', "/");
-            let text = fs::read_to_string(&path)?;
-            out.push((rel, text));
+            out.push(rel);
         }
     }
     Ok(())

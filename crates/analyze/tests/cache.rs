@@ -1,0 +1,137 @@
+//! Integration tests for the on-disk analysis cache: a second run over an
+//! unchanged tree must analyze zero files yet report identical diagnostics,
+//! edits must invalidate exactly the edited file, and a corrupt cache must
+//! degrade to a full re-analysis rather than an error.
+
+use std::fs;
+use std::path::PathBuf;
+
+use hmd_analyze::rules::Diagnostic;
+use hmd_analyze::{analyze_workspace_cached, CacheStats};
+
+/// A throwaway workspace under the system temp dir, cleaned up on drop.
+struct TempTree {
+    root: PathBuf,
+}
+
+impl TempTree {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!(
+            "hmd-analyze-cache-test-{}-{tag}",
+            std::process::id()
+        ));
+        // A stale tree from a crashed run must not leak into this one.
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/core/src")).expect("mkdir");
+        Self { root }
+    }
+
+    fn write(&self, rel: &str, src: &str) {
+        fs::write(self.root.join(rel), src).expect("write fixture file");
+    }
+
+    fn cache_path(&self) -> PathBuf {
+        self.root.join("analyze.cache")
+    }
+
+    fn run(&self) -> (Vec<Diagnostic>, CacheStats) {
+        analyze_workspace_cached(&self.root, Some(&self.cache_path()), false)
+            .expect("analyze temp workspace")
+    }
+}
+
+impl Drop for TempTree {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn seed(tree: &TempTree) {
+    tree.write(
+        "crates/core/src/lib.rs",
+        "#![forbid(unsafe_code)]\nfn ok() -> u64 { 3 }\n",
+    );
+    tree.write(
+        "crates/core/src/hot.rs",
+        "// hmd-analyze: hot-path\nfn hot() { helper(); }\nfn helper() { let v: Vec<u8> = Vec::new(); }\n",
+    );
+}
+
+#[test]
+fn unchanged_rerun_analyzes_nothing_and_reproduces_diagnostics() {
+    let tree = TempTree::new("warm");
+    seed(&tree);
+
+    let (first, s1) = tree.run();
+    assert_eq!(s1.analyzed, s1.total, "cold run analyzes every file");
+    assert_eq!(s1.cached, 0);
+    assert!(
+        first.iter().any(|d| d.rule == "transitive-hot-path-alloc"),
+        "{first:?}"
+    );
+
+    let (second, s2) = tree.run();
+    assert_eq!(s2.analyzed, 0, "warm run must analyze zero files");
+    assert_eq!(s2.cached, s2.total);
+
+    // Cached facts must round-trip losslessly: same diagnostics, same
+    // order, chains included (phase 2 re-runs on cached phase-1 facts).
+    let render = |ds: &[Diagnostic]| {
+        ds.iter()
+            .map(|d| {
+                format!(
+                    "{}:{} {} {} {:?} {:?}",
+                    d.path, d.line, d.rule, d.message, d.chain, d.suppressed
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(render(&first), render(&second));
+}
+
+#[test]
+fn editing_one_file_reanalyzes_only_that_file() {
+    let tree = TempTree::new("edit");
+    seed(&tree);
+    tree.run();
+
+    tree.write(
+        "crates/core/src/lib.rs",
+        "#![forbid(unsafe_code)]\nfn ok() -> u64 { 4 }\n",
+    );
+    let (_, stats) = tree.run();
+    assert_eq!(stats.analyzed, 1, "only the edited file is re-analyzed");
+    assert_eq!(stats.cached, stats.total - 1);
+}
+
+#[test]
+fn corrupt_cache_falls_back_to_full_analysis() {
+    let tree = TempTree::new("corrupt");
+    seed(&tree);
+    let (first, _) = tree.run();
+
+    fs::write(tree.cache_path(), "not a cache\n\tgarbage\x00records").expect("corrupt cache");
+    let (again, stats) = tree.run();
+    assert_eq!(stats.analyzed, stats.total, "corrupt cache means cold run");
+    assert_eq!(first.len(), again.len());
+
+    // And the rewritten cache is immediately warm again.
+    let (_, warm) = tree.run();
+    assert_eq!(warm.analyzed, 0);
+}
+
+#[test]
+fn deleted_files_are_pruned_from_the_cache() {
+    let tree = TempTree::new("prune");
+    seed(&tree);
+    let (_, cold) = tree.run();
+    assert_eq!(cold.total, 2);
+
+    fs::remove_file(tree.root.join("crates/core/src/hot.rs")).expect("rm");
+    let (diags, stats) = tree.run();
+    assert_eq!(stats.total, 1);
+    assert!(
+        !diags.iter().any(|d| d.path.contains("hot.rs")),
+        "diagnostics for deleted files must disappear: {diags:?}"
+    );
+}

@@ -264,6 +264,244 @@ fn unused_allow_is_a_warn() {
     assert_eq!(hits[0].severity, hmd_analyze::rules::Severity::Warn);
 }
 
+// ---------------------------------------------------------------- transitive-hot-path-alloc
+
+#[test]
+fn transitive_hot_path_alloc_true_positive() {
+    let diags = run(
+        "crates/core/src/fixture.rs",
+        "// hmd-analyze: hot-path\n\
+         fn hot(out: &mut [f64]) { stage(out); }\n\
+         fn stage(out: &mut [f64]) { scratch(); }\n\
+         fn scratch() -> Vec<f64> { Vec::new() }\n",
+    );
+    let hits = unsuppressed(&diags, "transitive-hot-path-alloc");
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    // Anchored at the hot fn so an allow above it works.
+    assert_eq!(hits[0].line, 2);
+    // The full chain is printed: annotation, each hop, the alloc site.
+    let chain = hits[0].chain.join("\n");
+    assert_eq!(hits[0].chain.len(), 4, "{chain}");
+    assert!(chain.contains("annotated hot-path"), "{chain}");
+    assert!(chain.contains("`hot` calls `stage`"), "{chain}");
+    assert!(chain.contains("`stage` calls `scratch`"), "{chain}");
+    assert!(chain.contains("allocates `Vec::new`"), "{chain}");
+    // Depth 0 stays the lexical rule's job; nothing double-reported.
+    assert!(unsuppressed(&diags, "hot-path-alloc").is_empty());
+}
+
+#[test]
+fn transitive_hot_path_alloc_suppressed_negative() {
+    let diags = run(
+        "crates/core/src/fixture.rs",
+        "// hmd-analyze: hot-path\n\
+         // hmd-analyze: allow(transitive-hot-path-alloc, \"scratch buffer is pooled after first use\")\n\
+         fn hot(out: &mut [f64]) { stage(out); }\n\
+         fn stage(out: &mut [f64]) { let v: Vec<f64> = Vec::new(); }\n",
+    );
+    assert!(unsuppressed(&diags, "transitive-hot-path-alloc").is_empty());
+    assert_eq!(suppressed(&diags, "transitive-hot-path-alloc").len(), 1);
+    assert!(unsuppressed(&diags, "unused-allow").is_empty());
+}
+
+// ---------------------------------------------------------------- lock-order-cycle
+
+#[test]
+fn lock_order_cycle_true_positive() {
+    let diags = run(
+        "crates/serve/src/fixture.rs",
+        "fn ab(a: ShardA, b: ShardB) {\n\
+             let g = a.lock();\n\
+             let h = b.lock();\n\
+         }\n\
+         fn ba(a: ShardA, b: ShardB) {\n\
+             let h = b.lock();\n\
+             let g = a.lock();\n\
+         }\n",
+    );
+    let hits = unsuppressed(&diags, "lock-order-cycle");
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    // The cycle itself is printed, rotated to its smallest lock class.
+    assert!(
+        hits[0].message.contains("`a` → `b` → `a`"),
+        "{}",
+        hits[0].message
+    );
+    let chain = hits[0].chain.join("\n");
+    assert!(chain.contains("`a` held"), "{chain}");
+    assert!(chain.contains("`b` held"), "{chain}");
+}
+
+#[test]
+fn lock_order_cycle_suppressed_negative() {
+    let diags = run(
+        "crates/serve/src/fixture.rs",
+        "fn ab(a: ShardA, b: ShardB) {\n\
+             let g = a.lock();\n\
+             // hmd-analyze: allow(lock-order-cycle, \"ba runs only at shutdown, after workers join\")\n\
+             let h = b.lock();\n\
+         }\n\
+         fn ba(a: ShardA, b: ShardB) {\n\
+             let h = b.lock();\n\
+             let g = a.lock();\n\
+         }\n",
+    );
+    assert!(
+        unsuppressed(&diags, "lock-order-cycle").is_empty(),
+        "{diags:?}"
+    );
+    assert_eq!(suppressed(&diags, "lock-order-cycle").len(), 1);
+    assert!(unsuppressed(&diags, "unused-allow").is_empty());
+}
+
+#[test]
+fn consistent_lock_order_is_clean() {
+    let diags = run(
+        "crates/serve/src/fixture.rs",
+        "fn one(a: ShardA, b: ShardB) { let g = a.lock(); let h = b.lock(); }\n\
+         fn two(a: ShardA, b: ShardB) { let g = a.lock(); let h = b.lock(); }\n",
+    );
+    assert!(
+        unsuppressed(&diags, "lock-order-cycle").is_empty(),
+        "{diags:?}"
+    );
+}
+
+// ---------------------------------------------------------------- lock-across-io
+
+#[test]
+fn lock_across_io_true_positive() {
+    let diags = run(
+        "crates/serve/src/fixture.rs",
+        "fn pump(m: ShardLock, s: TcpStream) {\n\
+             let g = m.lock();\n\
+             s.write_all(b\"x\");\n\
+         }\n",
+    );
+    let hits = unsuppressed(&diags, "lock-across-io");
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    assert_eq!(hits[0].line, 3);
+    assert_eq!(hits[0].severity, hmd_analyze::rules::Severity::Warn);
+    assert!(hits[0].message.contains("`m`"), "{}", hits[0].message);
+}
+
+#[test]
+fn lock_across_io_suppressed_negative() {
+    let diags = run(
+        "crates/serve/src/fixture.rs",
+        "fn pump(m: ShardLock, s: TcpStream) {\n\
+             let g = m.lock();\n\
+             // hmd-analyze: allow(lock-across-io, \"response fits the socket buffer, cannot block\")\n\
+             s.write_all(b\"x\");\n\
+         }\n",
+    );
+    assert!(
+        unsuppressed(&diags, "lock-across-io").is_empty(),
+        "{diags:?}"
+    );
+    assert_eq!(suppressed(&diags, "lock-across-io").len(), 1);
+}
+
+#[test]
+fn io_after_guard_scope_is_clean() {
+    let diags = run(
+        "crates/serve/src/fixture.rs",
+        "fn pump(m: ShardLock, s: TcpStream) {\n\
+             {\n\
+                 let g = m.lock();\n\
+             }\n\
+             s.write_all(b\"x\");\n\
+         }\n",
+    );
+    assert!(
+        unsuppressed(&diags, "lock-across-io").is_empty(),
+        "{diags:?}"
+    );
+}
+
+// ---------------------------------------------------------------- determinism-taint
+
+#[test]
+fn determinism_taint_sink_side_true_positive() {
+    let diags = run(
+        "crates/serve/src/fixture.rs",
+        "// hmd-analyze: det-sink\n\
+         fn record(x: u64) { stamp(); }\n\
+         fn stamp() -> u64 { let t = std::time::Instant::now(); 0 }\n",
+    );
+    let hits = unsuppressed(&diags, "determinism-taint");
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    assert_eq!(hits[0].line, 2);
+    let chain = hits[0].chain.join("\n");
+    assert!(chain.contains("annotated det-sink"), "{chain}");
+    assert!(chain.contains("Instant::now (wallclock)"), "{chain}");
+}
+
+#[test]
+fn determinism_taint_caller_side_true_positive() {
+    let diags = run(
+        "crates/serve/src/fixture.rs",
+        "fn submit() {\n\
+             let t = std::time::Instant::now();\n\
+             record(t);\n\
+         }\n\
+         // hmd-analyze: det-sink\n\
+         fn record(t: u64) {}\n",
+    );
+    let hits = unsuppressed(&diags, "determinism-taint");
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    // Anchored at the handoff call, where the taint crosses into the sink.
+    assert_eq!(hits[0].line, 3);
+    assert!(
+        hits[0].message.contains("calls det-sink"),
+        "{}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn determinism_taint_suppressed_negative() {
+    let diags = run(
+        "crates/serve/src/fixture.rs",
+        "// hmd-analyze: det-sink\n\
+         // hmd-analyze: allow(determinism-taint, \"timestamp is attested external time, not ambient\")\n\
+         fn record(x: u64) { let t = std::time::Instant::now(); }\n",
+    );
+    assert!(
+        unsuppressed(&diags, "determinism-taint").is_empty(),
+        "{diags:?}"
+    );
+    assert_eq!(suppressed(&diags, "determinism-taint").len(), 1);
+    assert!(unsuppressed(&diags, "unused-allow").is_empty());
+}
+
+#[test]
+fn sink_without_sources_is_clean() {
+    let diags = run(
+        "crates/serve/src/fixture.rs",
+        "// hmd-analyze: det-sink\n\
+         fn record(x: u64) { fold(x); }\n\
+         fn fold(x: u64) -> u64 { x.wrapping_mul(3) }\n",
+    );
+    assert!(
+        unsuppressed(&diags, "determinism-taint").is_empty(),
+        "{diags:?}"
+    );
+}
+
+// ---------------------------------------------------------------- registry snapshot
+
+#[test]
+fn list_rules_matches_snapshot() {
+    // CI diffs `--list-rules` against the same file; both fail if a rule
+    // is dropped or renamed without updating the snapshot.
+    assert_eq!(
+        hmd_analyze::report::render_rule_list(),
+        include_str!("list_rules.txt"),
+        "tests/list_rules.txt is stale — regenerate with `cargo run -p hmd-analyze -- --list-rules`"
+    );
+}
+
 // ---------------------------------------------------------------- cross-cutting
 
 #[test]
@@ -286,6 +524,10 @@ fn every_registered_rule_has_a_fixture_above() {
         "wallclock-in-core",
         "float-order",
         "forbid-unsafe",
+        "transitive-hot-path-alloc",
+        "lock-order-cycle",
+        "lock-across-io",
+        "determinism-taint",
         "bad-directive",
         "unused-allow",
     ];

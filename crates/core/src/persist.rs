@@ -113,6 +113,7 @@ impl DetectorSnapshot {
     ///
     /// Returns [`SnapshotError`] if a stage-2 model is of a type
     /// [`AnyModel`] does not know.
+    // hmd-analyze: det-sink
     pub fn capture(detector: &TwoSmartDetector) -> Result<DetectorSnapshot, SnapshotError> {
         let stage2 = detector
             .stage2_all()
@@ -225,6 +226,7 @@ impl DetectorSnapshot {
     /// # Errors
     ///
     /// [`PersistError::Io`] if the file cannot be written.
+    // hmd-analyze: det-sink
     pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
         let path = path.as_ref();
         let json =

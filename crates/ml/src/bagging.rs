@@ -266,6 +266,7 @@ impl Classifier for Bagging {
     }
 
     // hmd-analyze: hot-path
+    // hmd-analyze: allow(transitive-hot-path-alloc, "members are dyn Classifier, so resolution conservatively includes the allocating predict_proba compat shim; every shipped classifier overrides predict_proba_into")
     fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         assert!(!self.models.is_empty(), "Bagging not fitted");
         assert_eq!(

@@ -163,6 +163,35 @@ impl Classifier for NaiveBayes {
         exps.into_iter().map(|e| e / sum).collect()
     }
 
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        assert!(!self.classes.is_empty(), "NaiveBayes not fitted");
+        assert_eq!(
+            out.len(),
+            self.classes.len(),
+            "predict_proba_into: out has {} slots for {} classes",
+            out.len(),
+            self.classes.len()
+        );
+        // Same operation order as `predict_proba`, written into `out`:
+        // log posteriors, softmax shift by the max, normalize.
+        for (slot, c) in out.iter_mut().zip(&self.classes) {
+            let mut lp = c.log_prior;
+            for ((v, m), var) in x.iter().zip(&c.means).zip(&c.vars) {
+                let diff = v - m;
+                lp += -0.5 * (2.0 * std::f64::consts::PI * var).ln() - diff * diff / (2.0 * var);
+            }
+            *slot = lp;
+        }
+        let max = out.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for slot in out.iter_mut() {
+            *slot = (*slot - max).exp();
+        }
+        let sum: f64 = out.iter().sum();
+        for slot in out.iter_mut() {
+            *slot /= sum;
+        }
+    }
+
     fn n_classes(&self) -> usize {
         assert!(!self.classes.is_empty(), "NaiveBayes not fitted");
         self.classes.len()

@@ -289,6 +289,7 @@ impl Classifier for AdaBoost {
     }
 
     // hmd-analyze: hot-path
+    // hmd-analyze: allow(transitive-hot-path-alloc, "round stumps are dyn Classifier, so resolution conservatively includes the allocating predict_proba compat shim; every shipped classifier overrides predict_proba_into")
     fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         assert!(!self.rounds.is_empty(), "AdaBoost not fitted");
         assert_eq!(

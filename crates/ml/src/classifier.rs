@@ -130,6 +130,7 @@ pub trait Classifier: fmt::Debug + Send + Sync {
     /// Panics if the model has not been fitted, the batch has the wrong
     /// number of features, or `out.len() != n_lanes × n_classes`.
     // hmd-analyze: hot-path
+    // hmd-analyze: allow(transitive-hot-path-alloc, "default gathers each lane and calls the scalar predict_proba_into, whose self dispatch conservatively includes the allocating compat shim; perf-relevant classifiers override both")
     fn predict_proba_batch_into(&self, batch: &BatchScratch, out: &mut [f64]) {
         let k = self.n_classes();
         assert_eq!(

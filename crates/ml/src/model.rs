@@ -133,6 +133,7 @@ impl Classifier for AnyModel {
     }
 
     // hmd-analyze: hot-path
+    // hmd-analyze: allow(transitive-hot-path-alloc, "enum match dispatch: every arm calls the member's non-allocating override, but match-bound receivers resolve name-wide and pick up the allocating compat shim")
     fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         match self {
             AnyModel::J48(m) => m.predict_proba_into(x, out),

@@ -117,6 +117,7 @@ impl Classifier for Voting {
     }
 
     // hmd-analyze: hot-path
+    // hmd-analyze: allow(transitive-hot-path-alloc, "members are dyn Classifier, so resolution conservatively includes the allocating predict_proba compat shim; every shipped classifier overrides predict_proba_into")
     fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         assert!(!self.models.is_empty(), "Voting not fitted");
         assert_eq!(
@@ -321,6 +322,7 @@ impl Classifier for Stacking {
     }
 
     // hmd-analyze: hot-path
+    // hmd-analyze: allow(transitive-hot-path-alloc, "base models and the meta learner are dyn Classifier, so resolution conservatively includes the allocating predict_proba compat shim; every shipped classifier overrides predict_proba_into")
     fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         let meta = self.meta.as_ref().expect("Stacking not fitted");
         STACKING_SCRATCH.with(|s| {

@@ -1090,6 +1090,7 @@ impl Classifier for J48 {
     }
 
     // hmd-analyze: hot-path
+    // hmd-analyze: allow(transitive-hot-path-alloc, "the compiled-tree walk is allocation-free, but its untyped receiver resolves name-wide to every predict_proba_into, and the one-time lazy compile is amortized over all later calls")
     fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         let tree = self.compiled_tree();
         assert_eq!(
@@ -1103,6 +1104,7 @@ impl Classifier for J48 {
     }
 
     // hmd-analyze: hot-path
+    // hmd-analyze: allow(transitive-hot-path-alloc, "one-time lazy tree compilation, amortized over every subsequent batch; the batch walk itself is allocation-free")
     fn predict_proba_batch_into(&self, batch: &BatchScratch, out: &mut [f64]) {
         self.compiled_tree().predict_batch_into(batch, out);
     }

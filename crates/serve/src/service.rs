@@ -93,6 +93,9 @@ pub struct Conn<T> {
     /// engine's batched cascade at the next non-Submit step (or at the end
     /// of the pass). Buffers are reused across passes.
     batch: SubmitBatch,
+    /// Reused buffer for eviction sweeps triggered by this connection's
+    /// bursts, so the sweep allocates nothing on the hot path.
+    evict_scratch: Vec<u64>,
     written: usize,
     /// Close after the outbuf flushes (oversized frame / fatal error).
     close_after_flush: bool,
@@ -110,6 +113,7 @@ impl<T> Conn<T> {
             json_scratch: String::new(),
             counters: Vec::new(),
             batch: SubmitBatch::new(),
+            evict_scratch: Vec::new(),
             written: 0,
             close_after_flush: false,
             dead: false,
@@ -163,6 +167,7 @@ enum Step {
 /// Pulls the next decode step. Split-borrows `inbuf` and `counters` so
 /// the v2 fast path can decode a payload slice straight into scratch.
 // hmd-analyze: hot-path
+// hmd-analyze: allow(transitive-hot-path-alloc, "v1 frames and non-Submit v2 payloads are owned buffers by protocol design; the v2 Submit fast path decodes into counter scratch without allocating")
 fn next_step<T>(conn: &mut Conn<T>) -> Step {
     let format = conn.inbuf.format();
     let Conn {
@@ -412,7 +417,10 @@ fn flush_batch<T>(conn: &mut Conn<T>, service: &Service) {
     // carries the clock across such a boundary.
     let every = service.limits.evict_every;
     if every > 0 && service.engine.ticks() / every > ticks_before / every {
-        service.engine.evict_idle();
+        let now = service.engine.ticks();
+        service
+            .engine
+            .evict_idle_at_into(now, &mut conn.evict_scratch);
     }
     batch.clear();
     conn.batch = batch;

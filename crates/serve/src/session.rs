@@ -346,6 +346,7 @@ impl SessionEngine {
     /// Results land in `batch` (see [`SubmitBatch::results`]); per-class
     /// stage-2 invocation/skip counts land in the engine's metrics.
     // hmd-analyze: hot-path
+    // hmd-analyze: allow(transitive-hot-path-alloc, "cv.routed.is_malware() is the AppClass enum predicate; name-wide resolution collides with the allocating baseline detector method of the same name")
     pub fn submit_batch(&self, batch: &mut SubmitBatch) {
         batch.results.clear();
         batch.features.clear();
@@ -467,10 +468,19 @@ impl SessionEngine {
     /// "now" on the engine's logical clock — the virtual-time simulation
     /// sweeps sessions at tick boundaries through this.
     pub fn evict_idle_at(&self, now: u64) -> Vec<u64> {
-        if self.idle_after == 0 {
-            return Vec::new();
-        }
         let mut evicted = Vec::new();
+        self.evict_idle_at_into(now, &mut evicted);
+        evicted
+    }
+
+    /// [`evict_idle_at`](Self::evict_idle_at) into a caller-supplied
+    /// buffer (cleared first) — the allocation-free form the per-burst
+    /// hot path uses with a per-connection scratch vector.
+    pub fn evict_idle_at_into(&self, now: u64, evicted: &mut Vec<u64>) {
+        evicted.clear();
+        if self.idle_after == 0 {
+            return;
+        }
         for shard in &self.shards {
             let mut map = Self::lock(shard);
             // BTreeMap::retain visits keys in ascending order, so the
@@ -488,7 +498,6 @@ impl SessionEngine {
         self.metrics.sub(&self.metrics.sessions, n);
         self.metrics
             .sub(&self.metrics.session_bytes, n * self.per_session_bytes);
-        evicted
     }
 
     /// Live session count across all shards.
@@ -505,6 +514,7 @@ impl SessionEngine {
     /// the simulation calls this once per virtual tick, so every submit in
     /// the tick shares one `last_seen` stamp regardless of worker
     /// interleaving.
+    // hmd-analyze: det-sink
     pub fn set_time(&self, now: u64) {
         self.clock.store(now, Ordering::Relaxed);
     }

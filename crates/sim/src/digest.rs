@@ -118,6 +118,7 @@ impl Journal {
     }
 
     /// Folds one entry in.
+    // hmd-analyze: det-sink
     pub fn record(&mut self, entry: JournalEntry) {
         self.entries += 1;
         self.hash = self.hash.wrapping_add(entry.fnv());
@@ -212,6 +213,7 @@ pub struct Digest {
 impl Digest {
     /// Canonical rendering — the exact bytes CI compares. Fixed field
     /// order, no floats, no timestamps, no variant facts.
+    // hmd-analyze: det-sink
     pub fn render(&self) -> String {
         format!(
             "2smart-sim digest v1\n\
