@@ -1,6 +1,6 @@
 //! Parsing of `// hmd-analyze: …` directive comments.
 //!
-//! Four directives exist:
+//! Five directives exist:
 //!
 //! - `// hmd-analyze: allow(<rule>, "<reason>")` — suppress diagnostics of
 //!   `<rule>` on the same line or the next line. The reason is mandatory;
@@ -12,6 +12,11 @@
 //!   determinism sink (it feeds the sim digest, a `Verdict`, or persisted
 //!   output); `determinism-taint` denies nondeterminism sources reachable
 //!   from it or flowing into it from a caller.
+//! - `// hmd-analyze: det-index` — attests that the next `fn` item is a
+//!   fixed-seed hash/mixer whose output only drives *internal* placement
+//!   (slot probing, seed derivation, journal hashing) and never ordering
+//!   of externally visible output; the `det-index` rule denies the known
+//!   mixing constants in deterministic paths outside such a fn.
 //! - `// hmd-analyze: fold-order-ok` (optional `("<reason>")`) — attests
 //!   that a float reduction on the same or next line is order-insensitive
 //!   or intentionally sequential.
@@ -46,6 +51,11 @@ pub enum Directive {
         /// Line of the comment.
         line: u32,
     },
+    /// `det-index`: the next `fn` is an attested fixed-seed hash/mixer.
+    DetIndex {
+        /// Line of the comment.
+        line: u32,
+    },
     /// `fold-order-ok`: float-reduction order attestation.
     FoldOrderOk {
         /// Line of the comment.
@@ -60,6 +70,7 @@ impl Directive {
             Directive::Allow { line, .. }
             | Directive::HotPath { line }
             | Directive::DetSink { line }
+            | Directive::DetIndex { line }
             | Directive::FoldOrderOk { line } => *line,
         }
     }
@@ -128,6 +139,7 @@ fn set_line(d: &mut Directive, l: u32) {
         Directive::Allow { line, .. }
         | Directive::HotPath { line }
         | Directive::DetSink { line }
+        | Directive::DetIndex { line }
         | Directive::FoldOrderOk { line } => *line = l,
     }
 }
@@ -138,6 +150,9 @@ fn parse_body(body: &str, known_rules: &[&str]) -> Result<Directive, String> {
     }
     if body == "det-sink" {
         return Ok(Directive::DetSink { line: 0 });
+    }
+    if body == "det-index" {
+        return Ok(Directive::DetIndex { line: 0 });
     }
     if body == "fold-order-ok" {
         return Ok(Directive::FoldOrderOk { line: 0 });
@@ -238,6 +253,16 @@ mod tests {
         assert!(matches!(d[0], Directive::DetSink { line: 1 }));
         // With trailing junk it is malformed, not silently accepted.
         let (_, bad) = parse("// hmd-analyze: det-sink(now)\n");
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn det_index_parses() {
+        let (d, bad) = parse("// hmd-analyze: det-index\nfn mix(x: u64) -> u64 { x }\n");
+        assert!(bad.is_empty());
+        assert!(matches!(d[0], Directive::DetIndex { line: 1 }));
+        // Trailing junk is malformed, not silently accepted.
+        let (_, bad) = parse("// hmd-analyze: det-index(seed)\n");
         assert_eq!(bad.len(), 1);
     }
 

@@ -48,7 +48,7 @@ pub struct Diagnostic {
     pub suppressed: Option<String>,
 }
 
-/// The seven lexical rules, the four call-graph pass rules, and the two
+/// The eight lexical rules, the four call-graph pass rules, and the two
 /// directive-hygiene metarules. Order here is the order `--list-rules`
 /// prints (pinned by `tests/list_rules.txt`).
 pub const RULES: &[(&str, Severity, &str)] = &[
@@ -81,6 +81,11 @@ pub const RULES: &[(&str, Severity, &str)] = &[
         "float-order",
         Severity::Deny,
         "float sum/fold in par-adjacent code without a `// hmd-analyze: fold-order-ok` attestation",
+    ),
+    (
+        "det-index",
+        Severity::Deny,
+        "hash-mixing constant (SplitMix64/FNV) in deterministic paths outside a `// hmd-analyze: det-index`-attested fn",
     ),
     (
         "forbid-unsafe",
@@ -161,6 +166,20 @@ pub(crate) const ALLOC_PATHS: &[&[&str]] = &[
 ];
 pub(crate) const ALLOC_METHODS: &[&str] = &["to_vec", "to_string", "to_owned", "collect", "clone"];
 
+/// Hash-mixing constants the `det-index` rule recognizes, normalized
+/// (lowercase, no `0x`, no `_`, no type suffix): the SplitMix64 finalizer
+/// multipliers and increment, and the FNV-1a 64 offset basis and prime.
+/// Hand-rolled hashing in a deterministic path is only legitimate inside
+/// a fn attested `// hmd-analyze: det-index` — a fixed-seed mixer whose
+/// output drives internal placement, never externally visible ordering.
+const MIX_CONSTANTS: &[&str] = &[
+    "9e3779b97f4a7c15", // SplitMix64 golden-ratio increment
+    "bf58476d1ce4e5b9", // SplitMix64 finalizer multiplier 1
+    "94d049bb133111eb", // SplitMix64 finalizer multiplier 2
+    "cbf29ce484222325", // FNV-1a 64 offset basis
+    "100000001b3",      // FNV-1a 64 prime
+];
+
 /// Panic markers for `panic-in-serve`.
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
@@ -183,6 +202,8 @@ pub struct FileContext<'a> {
     pub test_ranges: Vec<(u32, u32)>,
     /// Line ranges (inclusive) of `hot-path`-annotated fn bodies.
     pub hot_ranges: Vec<(u32, u32)>,
+    /// Line ranges (inclusive) of `det-index`-attested fn bodies.
+    pub det_index_ranges: Vec<(u32, u32)>,
     /// Code-index ranges (inclusive braces) of `macro_rules!` bodies —
     /// `fn` tokens inside them are templates, not definitions.
     pub macro_ranges: Vec<(usize, usize)>,
@@ -203,7 +224,28 @@ impl<'a> FileContext<'a> {
         let (directives, bad_directives) = parse_directives(src, &tokens, &rule_names());
         let test_ranges = find_cfg_test_ranges(src, &tokens, &code);
         let macro_ranges = find_macro_ranges(src, &tokens, &code);
-        let hot_ranges = find_hot_ranges(src, &tokens, &code, &directives, &macro_ranges);
+        let hot_ranges = directive_fn_ranges(
+            src,
+            &tokens,
+            &code,
+            &directives,
+            &macro_ranges,
+            |d| match d {
+                Directive::HotPath { line } => Some(*line),
+                _ => None,
+            },
+        );
+        let det_index_ranges = directive_fn_ranges(
+            src,
+            &tokens,
+            &code,
+            &directives,
+            &macro_ranges,
+            |d| match d {
+                Directive::DetIndex { line } => Some(*line),
+                _ => None,
+            },
+        );
         let is_test_file = path.contains("/tests/") || path.contains("/benches/");
         FileContext {
             path,
@@ -214,6 +256,7 @@ impl<'a> FileContext<'a> {
             bad_directives,
             test_ranges,
             hot_ranges,
+            det_index_ranges,
             macro_ranges,
             is_test_file,
         }
@@ -243,6 +286,12 @@ impl<'a> FileContext<'a> {
 
     fn in_hot_region(&self, line: u32) -> bool {
         self.hot_ranges
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    fn in_det_index_region(&self, line: u32) -> bool {
+        self.det_index_ranges
             .iter()
             .any(|&(lo, hi)| (lo..=hi).contains(&line))
     }
@@ -400,20 +449,24 @@ fn find_macro_ranges(src: &str, tokens: &[Token], code: &[usize]) -> Vec<(usize,
     ranges
 }
 
-/// Body line-ranges of fns annotated with `// hmd-analyze: hot-path`.
-fn find_hot_ranges(
+/// Body line-ranges of fns annotated by a fn-scoped directive
+/// (`hot-path`, `det-index`): `pick` returns the directive line for the
+/// directives of interest.
+fn directive_fn_ranges(
     src: &str,
     tokens: &[Token],
     code: &[usize],
     directives: &[Directive],
     macro_ranges: &[(usize, usize)],
+    pick: impl Fn(&Directive) -> Option<u32>,
 ) -> Vec<(u32, u32)> {
     let in_macro = |ci: usize| macro_ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&ci));
     let mut ranges = Vec::new();
     for d in directives {
-        let Directive::HotPath { line } = d else {
+        let Some(line) = pick(d) else {
             continue;
         };
+        let line = &line;
         // First `fn` code token at or after the directive line (skipping
         // macro_rules templates, which are not fn items)…
         let Some(fn_idx) = (0..code.len()).find(|&ci| {
@@ -442,6 +495,7 @@ pub fn lexical_raw(ctx: &FileContext) -> Vec<Diagnostic> {
     rule_panic_in_serve(ctx, &mut raw);
     rule_wallclock_in_core(ctx, &mut raw);
     rule_float_order(ctx, &mut raw);
+    rule_det_index(ctx, &mut raw);
     rule_forbid_unsafe(ctx, &mut raw);
 
     for bad in &ctx.bad_directives {
@@ -753,6 +807,56 @@ fn rule_float_order(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Number-literal text normalized for [`MIX_CONSTANTS`] comparison:
+/// lowercase, `_` separators and leading zeros dropped, `0x` prefix
+/// dropped, and anything from the first non-hex-digit on (type suffixes
+/// like `u64`) truncated — so `0x0000_0100_0000_01b3u64` → `100000001b3`.
+fn normalize_number(text: &str) -> String {
+    let lower = text.to_ascii_lowercase().replace('_', "");
+    let digits = lower.strip_prefix("0x").unwrap_or(&lower);
+    let end = digits
+        .find(|c: char| !c.is_ascii_hexdigit())
+        .unwrap_or(digits.len());
+    digits[..end].trim_start_matches('0').to_string()
+}
+
+/// Hand-rolled hashing is how nondeterminism sneaks past the collection
+/// rules: a SplitMix or FNV mix whose output ends up ordering anything
+/// visible reintroduces exactly what banning `HashMap` removed. In
+/// deterministic scope every use of the known mixing constants must sit
+/// inside a fn attested `// hmd-analyze: det-index` — a fixed-seed mixer
+/// used only for internal placement (slot probing, per-task seed
+/// derivation, order-independent journal hashing).
+fn rule_det_index(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if !in_deterministic_scope(ctx.path) {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        let t = ctx.code_token(i);
+        if t.kind != TokenKind::Number
+            || ctx.in_test_region(t.line)
+            || ctx.in_det_index_region(t.line)
+        {
+            continue;
+        }
+        let text = ctx.code_text(i);
+        if MIX_CONSTANTS.contains(&normalize_number(text).as_str()) {
+            emit(
+                ctx,
+                out,
+                "det-index",
+                t.line,
+                format!(
+                    "hash-mixing constant `{text}` outside a `det-index`-attested fn; \
+                     hashed placement must never shape deterministic output — move the \
+                     mixing into an attested fn or annotate this one with \
+                     `// hmd-analyze: det-index`"
+                ),
+            );
+        }
+    }
+}
+
 fn rule_forbid_unsafe(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
     let is_crate_root = ctx.path.ends_with("src/lib.rs") || ctx.path == "src/lib.rs";
     if !is_crate_root {
@@ -976,6 +1080,46 @@ fn hot(v: &[u8]) -> Vec<Vec<u8>> {
         assert!(unsuppressed("crates/ml/src/x.rs", attested)
             .iter()
             .all(|d| d.rule != "float-order"));
+    }
+
+    #[test]
+    fn det_index_flags_mixing_constants_outside_attested_fns() {
+        let bare = "fn h(x: u64) -> u64 { x.wrapping_mul(0xbf58_476d_1ce4_e5b9) }\n";
+        let d = unsuppressed("crates/sim/src/x.rs", bare);
+        assert_eq!(d.iter().filter(|d| d.rule == "det-index").count(), 1);
+        // Outside deterministic scope the same code is fine.
+        assert!(unsuppressed("crates/hwmodel/src/x.rs", bare).is_empty());
+        // Suffixed/unseparated spellings normalize to the same constant.
+        let suffixed = "fn h(x: u64) -> u64 { x ^ 0x9e3779b97f4a7c15u64 }\n";
+        assert_eq!(unsuppressed("crates/ml/src/x.rs", suffixed).len(), 1);
+    }
+
+    #[test]
+    fn det_index_attestation_covers_the_fn_body() {
+        let src = "\
+// hmd-analyze: det-index
+fn mix(x: u64) -> u64 {
+    let z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z.wrapping_mul(0x0000_0100_0000_01b3)
+}
+fn stray(x: u64) -> u64 { x ^ 0xcbf2_9ce4_8422_2325 }
+";
+        let d = unsuppressed("crates/serve/src/session.rs", src);
+        let lines: Vec<u32> = d
+            .iter()
+            .filter(|d| d.rule == "det-index")
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(lines, vec![6], "{d:?}");
+    }
+
+    #[test]
+    fn det_index_ignores_unrelated_numbers_and_tests() {
+        let plain = "fn f() -> u64 { 0xdead_beef + 42 }\n";
+        assert!(unsuppressed("crates/sim/src/x.rs", plain).is_empty());
+        let in_tests =
+            "#[cfg(test)]\nmod tests {\n    fn h(x: u64) -> u64 { x ^ 0xcbf2_9ce4_8422_2325 }\n}\n";
+        assert!(unsuppressed("crates/sim/src/x.rs", in_tests).is_empty());
     }
 
     #[test]

@@ -225,6 +225,51 @@ fn float_order_needs_par_adjacency() {
     assert!(unsuppressed(&diags, "float-order").is_empty());
 }
 
+// ---------------------------------------------------------------- det-index
+
+#[test]
+fn det_index_true_positive() {
+    let diags = run(
+        "crates/sim/src/fixture.rs",
+        "fn bucket(h: u64) -> u64 {\n\
+             let z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);\n\
+             z.wrapping_mul(0xbf58_476d_1ce4_e5b9)\n\
+         }\n",
+    );
+    let hits = unsuppressed(&diags, "det-index");
+    assert_eq!(hits.len(), 2, "one per mixing constant: {diags:?}");
+    assert_eq!(hits[0].line, 2);
+}
+
+#[test]
+fn det_index_suppressed_negative() {
+    let diags = run(
+        "crates/sim/src/fixture.rs",
+        "// hmd-analyze: allow(det-index, \"one-off checksum, output is compared not ordered\")\n\
+         fn check(h: u64) -> u64 { h.wrapping_mul(0x0000_0100_0000_01b3) }\n",
+    );
+    assert!(unsuppressed(&diags, "det-index").is_empty());
+    assert_eq!(suppressed(&diags, "det-index").len(), 1);
+    assert!(unsuppressed(&diags, "unused-allow").is_empty());
+}
+
+#[test]
+fn det_index_attested_fn_is_clean() {
+    let diags = run(
+        "crates/serve/src/session.rs",
+        "// hmd-analyze: det-index\n\
+         fn mix(host: u64) -> u64 {\n\
+             let z = host.wrapping_add(0x9e37_79b9_7f4a_7c15);\n\
+             (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9)\n\
+         }\n",
+    );
+    assert!(unsuppressed(&diags, "det-index").is_empty(), "{diags:?}");
+    assert!(
+        unsuppressed(&diags, "bad-directive").is_empty(),
+        "{diags:?}"
+    );
+}
+
 // ---------------------------------------------------------------- forbid-unsafe
 
 #[test]
@@ -523,6 +568,7 @@ fn every_registered_rule_has_a_fixture_above() {
         "panic-in-serve",
         "wallclock-in-core",
         "float-order",
+        "det-index",
         "forbid-unsafe",
         "transitive-hot-path-alloc",
         "lock-order-cycle",

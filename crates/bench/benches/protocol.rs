@@ -56,6 +56,22 @@ fn bench_encode_into(c: &mut Criterion) {
     });
 }
 
+/// Verdict encode through the direct-to-buffer writer — the server's
+/// per-reply path. The generic serializer builds a `Value` tree per call;
+/// this row pins the gain from writing the JSON bytes in place.
+fn bench_encode_verdict_into(c: &mut Criterion) {
+    let frame = verdict_frame();
+    let mut json = String::new();
+    let mut out = Vec::new();
+    c.bench_function("protocol/encode_verdict_into", |b| {
+        b.iter(|| {
+            out.clear();
+            encode_into(black_box(&frame), &mut json, &mut out);
+            out.len()
+        })
+    });
+}
+
 fn bench_decode(c: &mut Criterion) {
     let bytes = encode(&submit_frame());
     c.bench_function("protocol/decode_submit", |b| {
@@ -152,6 +168,7 @@ criterion_group!(
     benches,
     bench_encode,
     bench_encode_into,
+    bench_encode_verdict_into,
     bench_decode,
     bench_encode_v2,
     bench_decode_v2,

@@ -82,6 +82,7 @@ pub fn with_threads<T>(threads: usize, body: impl FnOnce() -> T) -> T {
 /// neighbouring indices. Parallelized call sites must seed each task's RNG
 /// from this (never share a sequential RNG stream across tasks), which is
 /// what makes their output independent of scheduling.
+// hmd-analyze: det-index
 #[must_use]
 pub fn derive_seed(base: u64, index: u64) -> u64 {
     let mut z = base ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index.wrapping_add(1));

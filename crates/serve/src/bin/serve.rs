@@ -14,13 +14,15 @@
 //! `--window N`, `--votes N`, `--workers N` (0 = TWOSMART_THREADS
 //! conventions), `--max-conns N`, `--seed N`,
 //! `--event-loop ready|busy` (readiness-paced workers, default `ready`;
-//! `busy` keeps the original poll-everything loop as an oracle).
+//! `busy` keeps the original poll-everything loop as an oracle),
+//! `--store btree|slab` (session store, default `slab`; `btree` keeps
+//! the original ordered-map store as an oracle).
 
 use hmd_hpc_sim::corpus::{CorpusBuilder, CorpusSpec};
 use hmd_hpc_sim::workload::AppClass;
 use hmd_ml::classifier::ClassifierKind;
 use hmd_serve::server::{serve, EventLoop, ServeConfig};
-use hmd_serve::session::SessionConfig;
+use hmd_serve::session::{SessionConfig, StoreKind};
 use twosmart::detector::TwoSmartDetector;
 use twosmart::persist::DetectorSnapshot;
 
@@ -65,6 +67,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         session: SessionConfig {
             window: args.window,
             votes: args.votes,
+            store: args.store,
             ..SessionConfig::default()
         },
         ..ServeConfig::default()
@@ -90,6 +93,7 @@ struct Args {
     max_conns: usize,
     seed: u64,
     event_loop: EventLoop,
+    store: StoreKind,
 }
 
 impl Args {
@@ -104,6 +108,7 @@ impl Args {
             max_conns: 1024,
             seed: 11,
             event_loop: EventLoop::Readiness,
+            store: StoreKind::Slab,
         };
         while let Some(flag) = argv.next() {
             let mut value = |name: &str| {
@@ -130,11 +135,12 @@ impl Args {
                         }
                     };
                 }
+                "--store" => args.store = value("--store")?.parse()?,
                 "--help" | "-h" => {
                     return Err("usage: serve [--addr HOST:PORT] [--snapshot PATH] \
                                 [--train tiny|small] [--window N] [--votes N] \
                                 [--workers N] [--max-conns N] [--seed N] \
-                                [--event-loop ready|busy]"
+                                [--event-loop ready|busy] [--store btree|slab]"
                         .into());
                 }
                 other => return Err(format!("unknown flag {other:?} (try --help)")),

@@ -216,14 +216,121 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
 /// bytes are *appended* to `out`, so a worker can encode straight into a
 /// connection's output buffer. Bytes produced are identical to
 /// [`encode`]'s.
+///
+/// The server's reply frames (`Verdict`, `Error`) take a direct-to-buffer
+/// writer that renders JSON with `core::fmt` instead of building the
+/// vendored serializer's `Value` tree; the tests below hold those writers
+/// to byte equality with [`encode`], float formatting and string escaping
+/// included. Other frame kinds (handshake, metrics — never hot) still go
+/// through the generic serializer.
 // hmd-analyze: hot-path
 pub fn encode_into(frame: &Frame, json: &mut String, out: &mut Vec<u8>) {
-    // hmd-analyze: allow(panic-in-serve, "serializing Frame is infallible: no maps, non-finite floats encode as null")
-    serde_json::to_string_into(frame, json).expect("frame JSON never fails");
+    match frame {
+        Frame::Verdict {
+            host_id,
+            seq,
+            verdict,
+        } => {
+            json.clear();
+            write_verdict_payload(json, *host_id, *seq, verdict.as_ref());
+        }
+        Frame::Error { code, detail } => {
+            json.clear();
+            write_error_payload(json, *code, detail);
+        }
+        _ => {
+            // hmd-analyze: allow(panic-in-serve, "serializing Frame is infallible: no maps, non-finite floats encode as null")
+            serde_json::to_string_into(frame, json).expect("frame JSON never fails");
+        }
+    }
     let bytes = json.as_bytes();
     debug_assert!(bytes.len() <= MAX_FRAME_BYTES, "outbound frame too large");
     out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
     out.extend_from_slice(bytes);
+}
+
+/// `{"Verdict":{"host_id":…,"seq":…,"verdict":…}}`, byte-identical to the
+/// generic serializer's external enum tagging.
+// hmd-analyze: hot-path
+fn write_verdict_payload(json: &mut String, host_id: u64, seq: u64, verdict: Option<&Verdict>) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        json,
+        "{{\"Verdict\":{{\"host_id\":{host_id},\"seq\":{seq},\"verdict\":"
+    );
+    match verdict {
+        None => json.push_str("null"),
+        Some(Verdict::Benign) => json.push_str("\"Benign\""),
+        Some(Verdict::Malware { class, confidence }) => {
+            let _ = write!(
+                json,
+                "{{\"Malware\":{{\"class\":\"{class:?}\",\"confidence\":"
+            );
+            write_json_f64(json, *confidence);
+            json.push_str("}}");
+        }
+    }
+    json.push_str("}}");
+}
+
+/// `{"Error":{"code":"…","detail":"…"}}`, byte-identical to the generic
+/// serializer.
+// hmd-analyze: hot-path
+fn write_error_payload(json: &mut String, code: ErrorCode, detail: &str) {
+    json.push_str("{\"Error\":{\"code\":\"");
+    // The serde name of the variant (its identifier), not the lowercase
+    // Display form.
+    json.push_str(match code {
+        ErrorCode::Overloaded => "Overloaded",
+        ErrorCode::Malformed => "Malformed",
+        ErrorCode::Oversized => "Oversized",
+        ErrorCode::BadLength => "BadLength",
+        ErrorCode::OutOfOrder => "OutOfOrder",
+        ErrorCode::UnsupportedVersion => "UnsupportedVersion",
+        ErrorCode::Unexpected => "Unexpected",
+        ErrorCode::ShuttingDown => "ShuttingDown",
+    });
+    json.push_str("\",\"detail\":");
+    write_json_str(json, detail);
+    json.push_str("}}");
+}
+
+/// Float formatting matching the vendored serializer exactly: integral
+/// finite values keep a `.0` (so they re-parse as floats), other finite
+/// values print shortest-`Display`, non-finite encodes as `null`.
+// hmd-analyze: hot-path
+fn write_json_f64(json: &mut String, f: f64) {
+    use std::fmt::Write as _;
+    if f.is_finite() {
+        if f.fract() == 0.0 && f.abs() < 1e15 {
+            let _ = write!(json, "{f:.1}");
+        } else {
+            let _ = write!(json, "{f}");
+        }
+    } else {
+        json.push_str("null");
+    }
+}
+
+/// String escaping matching the vendored serializer exactly.
+// hmd-analyze: hot-path
+fn write_json_str(json: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    json.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => json.push_str("\\\""),
+            '\\' => json.push_str("\\\\"),
+            '\n' => json.push_str("\\n"),
+            '\r' => json.push_str("\\r"),
+            '\t' => json.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(json, "\\u{:04x}", c as u32);
+            }
+            c => json.push(c),
+        }
+    }
+    json.push('"');
 }
 
 /// Format-dispatching [`encode_into`]: encodes `frame` per `format`,
@@ -445,5 +552,110 @@ mod tests {
         let mut fb = FrameBuffer::new();
         fb.extend(b"GET / HTTP/1.1\r\n");
         assert!(matches!(fb.next_frame(), Err(WireError::Oversized(_))));
+    }
+
+    /// Asserts the direct writer in [`encode_into`] and the generic
+    /// serializer in [`encode`] produce identical wire bytes.
+    fn assert_encode_into_matches_oracle(frame: &Frame) {
+        let oracle = encode(frame);
+        let mut json = String::from("stale scratch from a previous frame");
+        let mut out = vec![0xAA, 0xBB]; // pre-existing queued bytes
+        encode_into(frame, &mut json, &mut out);
+        assert_eq!(&out[..2], &[0xAA, 0xBB], "encode_into must append");
+        assert_eq!(
+            &out[2..],
+            &oracle[..],
+            "direct writer diverged for {frame:?}: {:?} vs {:?}",
+            std::str::from_utf8(&out[6..]),
+            std::str::from_utf8(&oracle[4..]),
+        );
+    }
+
+    #[test]
+    fn direct_verdict_writer_is_byte_identical_to_the_generic_serializer() {
+        use hmd_hpc_sim::workload::AppClass;
+        let confidences = [
+            0.875,          // fractional
+            1.0,            // integral → ".0" suffix
+            0.0,            // zero → "0.0"
+            -0.0,           // negative zero
+            1.0 / 3.0,      // long shortest-repr fraction
+            0.1 + 0.2,      // classic rounding artifact
+            1e-300,         // tiny exponent form
+            2.5e14,         // integral but below the 1e15 Display cutoff
+            1e15,           // integral at the cutoff → Display form
+            f64::NAN,       // non-finite → null
+            f64::INFINITY,  // non-finite → null
+            -f64::INFINITY, // non-finite → null
+        ];
+        for host_id in [0u64, 7, u64::MAX] {
+            for seq in [0u64, 3, u64::MAX] {
+                assert_encode_into_matches_oracle(&Frame::Verdict {
+                    host_id,
+                    seq,
+                    verdict: None,
+                });
+                assert_encode_into_matches_oracle(&Frame::Verdict {
+                    host_id,
+                    seq,
+                    verdict: Some(Verdict::Benign),
+                });
+            }
+        }
+        for &confidence in &confidences {
+            for &class in &AppClass::MALWARE {
+                assert_encode_into_matches_oracle(&Frame::Verdict {
+                    host_id: 42,
+                    seq: 9,
+                    verdict: Some(Verdict::Malware { class, confidence }),
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn direct_error_writer_is_byte_identical_to_the_generic_serializer() {
+        let codes = [
+            ErrorCode::Overloaded,
+            ErrorCode::Malformed,
+            ErrorCode::Oversized,
+            ErrorCode::BadLength,
+            ErrorCode::OutOfOrder,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::Unexpected,
+            ErrorCode::ShuttingDown,
+        ];
+        let details = [
+            "",
+            "expected 4 counters, got 2",
+            "quote \" backslash \\ slash /",
+            "newline \n carriage \r tab \t",
+            "control \u{1} \u{1f} boundary \u{20}",
+            "unicode: ßåé 中文 🦀",
+        ];
+        for &code in &codes {
+            for detail in &details {
+                assert_encode_into_matches_oracle(&Frame::Error {
+                    code,
+                    detail: detail.to_string(),
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn non_reply_frames_still_round_trip_through_encode_into() {
+        // The generic-serializer fallback arm must stay wired up.
+        for frame in [
+            Frame::Hello { version: 2 },
+            Frame::Submit {
+                host_id: 3,
+                seq: 1,
+                counters: vec![1.5, 2.0, f64::NAN, -0.25],
+            },
+            Frame::Drain { stats: None },
+        ] {
+            assert_encode_into_matches_oracle(&frame);
+        }
     }
 }

@@ -16,6 +16,26 @@
 //! [`SubmitError::OutOfOrder`]) and rejects wrong-arity readings before
 //! they touch the window, so shard layout, worker count, and cross-host
 //! interleaving cannot change any host's verdicts.
+//!
+//! # Stores
+//!
+//! Each shard holds its sessions in one of two interchangeable stores
+//! ([`StoreKind`]):
+//!
+//! - **Slab** (default): sessions live in a `Vec<Slot>` slab with a
+//!   free-list, looked up through a deterministic open-addressed
+//!   `host_id → slot` index (fixed constant-seed hash, never iterated for
+//!   output), and evicted through a two-level timer wheel bucketed by
+//!   expiry tick — an idle sweep costs O(expiring), not O(resident).
+//!   Evicted slots keep their detector allocation and are reset in place
+//!   on reuse, so steady-state submit and evict allocate nothing;
+//!   generational handles guarantee a reincarnated host id can never
+//!   observe a stale predecessor's seq/window state.
+//! - **BTree**: the original `BTreeMap<u64, HostSession>` per shard with a
+//!   full retain sweep. Kept in-tree as the behavioural oracle — both
+//!   stores must produce byte-identical verdict streams, eviction sets,
+//!   and eviction *order* (ascending shard index, then ascending host id
+//!   within the shard).
 
 use crate::metrics::Metrics;
 use hmd_hpc_sim::event::Event;
@@ -29,9 +49,41 @@ use twosmart::detector::{
 use twosmart::online::{OnlineDetector, OnlineError};
 use twosmart::persist::DetectorSnapshot;
 
-/// One shard's sessions, ordered by host id so every iteration (eviction,
-/// counting, debugging) visits hosts in the same order on every run.
-type Shard = BTreeMap<u64, HostSession>;
+/// Which per-shard session store backs the engine.
+///
+/// Both stores implement identical observable behaviour (verdicts,
+/// eviction sets, eviction order, gauges); the slab is the fast path and
+/// the BTreeMap is the oracle it is regression-tested against (repo
+/// convention, like `fit_naive` / `BusyPoll`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreKind {
+    /// `BTreeMap<u64, HostSession>` per shard, full-scan retain eviction.
+    BTree,
+    /// Slab + open-addressed index + timer-wheel eviction.
+    #[default]
+    Slab,
+}
+
+impl std::str::FromStr for StoreKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<StoreKind, String> {
+        match s {
+            "btree" => Ok(StoreKind::BTree),
+            "slab" => Ok(StoreKind::Slab),
+            other => Err(format!("unknown store `{other}` (expected btree|slab)")),
+        }
+    }
+}
+
+impl std::fmt::Display for StoreKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StoreKind::BTree => "btree",
+            StoreKind::Slab => "slab",
+        })
+    }
+}
 
 /// How the engine's logical clock advances.
 ///
@@ -69,6 +121,9 @@ pub struct SessionConfig {
     /// How the batched drain decides whether to run stage 2 (defaults to
     /// [`CascadeMode::Always`], the scalar-identical oracle).
     pub cascade: CascadeMode,
+    /// Which per-shard store holds the sessions (defaults to
+    /// [`StoreKind::Slab`]; `BTree` is the oracle).
+    pub store: StoreKind,
 }
 
 impl Default for SessionConfig {
@@ -80,6 +135,7 @@ impl Default for SessionConfig {
             idle_after: 1 << 20,
             time: TimeSource::PerSubmit,
             cascade: CascadeMode::Always,
+            store: StoreKind::Slab,
         }
     }
 }
@@ -123,6 +179,483 @@ struct HostSession {
     online: OnlineDetector,
     last_seq: Option<u64>,
     last_seen: u64,
+}
+
+/// One shard's sessions, behind one of the two interchangeable stores.
+///
+/// Every observable output of a shard — verdicts, the evicted set, the
+/// order evicted hosts are reported in (ascending host id within the
+/// shard) — is identical across variants; the hmd-sim digest and the
+/// oracle tests below hold the two to byte equality.
+enum ShardStore {
+    /// Ordered map: every iteration visits hosts in ascending id order.
+    BTree(BTreeMap<u64, HostSession>),
+    /// Slab + open-addressed index + timer wheel (see [`SlabShard`]).
+    Slab(SlabShard),
+}
+
+impl ShardStore {
+    fn new(kind: StoreKind, idle_after: u64) -> ShardStore {
+        match kind {
+            StoreKind::BTree => ShardStore::BTree(BTreeMap::new()),
+            StoreKind::Slab => ShardStore::Slab(SlabShard::new(idle_after)),
+        }
+    }
+
+    /// Looks up `host_id`, admitting a fresh session stamped `last_seen =
+    /// now` if absent. Returns the session and whether it was created.
+    // hmd-analyze: hot-path
+    fn get_or_admit(
+        &mut self,
+        host_id: u64,
+        now: u64,
+        template: &OnlineDetector,
+    ) -> (&mut HostSession, bool) {
+        match self {
+            ShardStore::BTree(map) => {
+                let mut created = false;
+                let session = map.entry(host_id).or_insert_with(|| {
+                    created = true;
+                    HostSession {
+                        // hmd-analyze: allow(hot-path-alloc, "one-time per-host session construction, not per-reading")
+                        online: template.clone(),
+                        last_seq: None,
+                        last_seen: now,
+                    }
+                });
+                (session, created)
+            }
+            ShardStore::Slab(slab) => slab.admit(host_id, now, template),
+        }
+    }
+
+    // hmd-analyze: hot-path
+    fn get_mut(&mut self, host_id: u64) -> Option<&mut HostSession> {
+        match self {
+            ShardStore::BTree(map) => map.get_mut(&host_id),
+            ShardStore::Slab(slab) => slab.get_mut(host_id),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ShardStore::BTree(map) => map.len(),
+            ShardStore::Slab(slab) => slab.len(),
+        }
+    }
+
+    /// Appends the shard's expired hosts (ascending host id) to `evicted`
+    /// and removes their sessions. `idle_after` must be non-zero.
+    // hmd-analyze: hot-path
+    fn evict_expired(&mut self, now: u64, idle_after: u64, evicted: &mut Vec<u64>) {
+        match self {
+            ShardStore::BTree(map) => {
+                // BTreeMap::retain visits keys in ascending order, so the
+                // per-shard segment of `evicted` is sorted by host id.
+                map.retain(|&host, s| {
+                    let keep = now.saturating_sub(s.last_seen) <= idle_after;
+                    if !keep {
+                        evicted.push(host);
+                    }
+                    keep
+                });
+            }
+            ShardStore::Slab(slab) => slab.evict_expired(now, idle_after, evicted),
+        }
+    }
+}
+
+/// A slab-backed session shard.
+///
+/// Sessions live in `slots`; a freed slot keeps its detector allocation on
+/// the `free` list and is **reset in place** when a new host reuses it, so
+/// session churn allocates nothing in steady state. `host_id → slot`
+/// lookups go through [`SlotIndex`]; idle expiry goes through [`Wheel`].
+///
+/// Each slot carries a generation counter, bumped on eviction. A wheel
+/// entry snapshots the generation it was filed under, so an entry that
+/// outlives its slot's occupant (impossible today — eviction is the only
+/// consumer and every occupied slot has exactly one live entry — but
+/// cheap to guard) is discarded instead of touching the successor.
+struct SlabShard {
+    slots: Vec<Slot>,
+    /// Freed slot indices, reused LIFO.
+    free: Vec<u32>,
+    index: SlotIndex,
+    wheel: Wheel,
+    /// Engine idle threshold, denormalized for expiry stamps.
+    idle_after: u64,
+    /// `(host_id, slot)` scratch reused by [`SlabShard::evict_expired`].
+    expired: Vec<(u64, u32)>,
+}
+
+struct Slot {
+    host_id: u64,
+    /// Bumped when the slot is evicted; wheel entries filed under an
+    /// older generation are stale and ignored.
+    generation: u32,
+    occupied: bool,
+    session: HostSession,
+}
+
+impl SlabShard {
+    fn new(idle_after: u64) -> SlabShard {
+        SlabShard {
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: SlotIndex::new(),
+            wheel: Wheel::new(idle_after),
+            idle_after,
+            expired: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.index.len
+    }
+
+    // hmd-analyze: hot-path
+    fn get_mut(&mut self, host_id: u64) -> Option<&mut HostSession> {
+        let slot = self.index.lookup(host_id)?;
+        Some(&mut self.slots[slot as usize].session)
+    }
+
+    /// [`ShardStore::get_or_admit`] for the slab: reuses a freed slot
+    /// (resetting the detector ring in place) before growing the slab.
+    // hmd-analyze: hot-path
+    fn admit(
+        &mut self,
+        host_id: u64,
+        now: u64,
+        template: &OnlineDetector,
+    ) -> (&mut HostSession, bool) {
+        if let Some(slot) = self.index.lookup(host_id) {
+            return (&mut self.slots[slot as usize].session, false);
+        }
+        let slot = match self.free.pop() {
+            Some(i) => {
+                // Reset-in-place: the freed slot's detector keeps its ring
+                // and vote buffers; clearing them is O(window), not a
+                // clone of the ~3.4 KB template.
+                let s = &mut self.slots[i as usize];
+                s.host_id = host_id;
+                s.occupied = true;
+                s.session.online.reset();
+                s.session.last_seq = None;
+                s.session.last_seen = now;
+                i
+            }
+            None => {
+                let i = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    host_id,
+                    generation: 0,
+                    occupied: true,
+                    session: HostSession {
+                        // hmd-analyze: allow(hot-path-alloc, "one-time per-host session construction, not per-reading")
+                        online: template.clone(),
+                        last_seq: None,
+                        last_seen: now,
+                    },
+                });
+                i
+            }
+        };
+        self.index.insert(host_id, slot);
+        if self.idle_after > 0 {
+            let generation = self.slots[slot as usize].generation;
+            let expiry = expiry_of(now, self.idle_after);
+            self.wheel
+                .file_entry(WheelEntry { slot, generation }, expiry);
+        }
+        (&mut self.slots[slot as usize].session, true)
+    }
+
+    /// O(expiring) idle sweep: advances the wheel to `now`, exact-checks
+    /// every candidate against its slot's *current* `last_seen` (a submit
+    /// since filing only restamped the slot, it did not touch the wheel),
+    /// refiles survivors at their refreshed expiry, and frees the rest in
+    /// ascending host-id order so the observable eviction order matches
+    /// the BTree store exactly.
+    // hmd-analyze: hot-path
+    fn evict_expired(&mut self, now: u64, idle_after: u64, evicted: &mut Vec<u64>) {
+        self.wheel.advance_to(now);
+        let mut candidates = std::mem::take(&mut self.wheel.candidates);
+        self.expired.clear();
+        for entry in candidates.drain(..) {
+            let slot = &mut self.slots[entry.slot as usize];
+            if !slot.occupied || slot.generation != entry.generation {
+                continue; // stale handle: the occupant it was filed for is gone
+            }
+            if now.saturating_sub(slot.session.last_seen) > idle_after {
+                self.expired.push((slot.host_id, entry.slot));
+            } else {
+                // Refreshed since filing: refile at the new expiry. The
+                // slot keeps exactly one live wheel entry.
+                let expiry = expiry_of(slot.session.last_seen, idle_after);
+                self.wheel.file_entry(entry, expiry);
+            }
+        }
+        self.wheel.candidates = candidates;
+        // Wheel buckets pop in expiry order, not host order; sort so the
+        // per-shard segment of `evicted` matches the BTree store's
+        // ascending-host-id retain order byte for byte.
+        self.expired.sort_unstable();
+        for i in 0..self.expired.len() {
+            let (host, slot) = self.expired[i];
+            self.index.remove(host);
+            let s = &mut self.slots[slot as usize];
+            s.occupied = false;
+            s.generation = s.generation.wrapping_add(1);
+            self.free.push(slot);
+            evicted.push(host);
+        }
+    }
+}
+
+/// When a session last seen at `last_seen` crosses the idle threshold:
+/// the first tick `t` with `t - last_seen > idle_after`.
+fn expiry_of(last_seen: u64, idle_after: u64) -> u64 {
+    last_seen.saturating_add(idle_after).saturating_add(1)
+}
+
+/// Deterministic open-addressed `host_id → slot` index.
+///
+/// Linear probing over a power-of-two table with backward-shift deletion
+/// (no tombstones, so probe chains never rot). The hash is a fixed
+/// constant-seed SplitMix64 finalizer: layout depends only on the set of
+/// resident host ids, never on insertion order randomness — and the table
+/// is **never iterated for output**, so the layout cannot leak into any
+/// observable ordering. Grows at 7/8 load; growth is the only allocation
+/// and happens at most O(log resident) times per shard lifetime.
+struct SlotIndex {
+    entries: Vec<IndexEntry>,
+    mask: u64,
+    len: usize,
+}
+
+#[derive(Clone, Copy)]
+struct IndexEntry {
+    host: u64,
+    slot: u32,
+}
+
+impl IndexEntry {
+    const VACANT: IndexEntry = IndexEntry {
+        host: 0,
+        slot: u32::MAX,
+    };
+
+    fn is_vacant(self) -> bool {
+        self.slot == u32::MAX
+    }
+}
+
+/// SplitMix64 finalizer (same mixing family as `hmd_ml::par::derive_seed`)
+/// with a fixed seed: full-avalanche spread of sequential host ids across
+/// the table, identical on every run.
+// hmd-analyze: det-index
+fn mix(host: u64) -> u64 {
+    let mut z = host.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SlotIndex {
+    const INITIAL_CAPACITY: usize = 16;
+
+    fn new() -> SlotIndex {
+        SlotIndex {
+            entries: vec![IndexEntry::VACANT; SlotIndex::INITIAL_CAPACITY],
+            mask: SlotIndex::INITIAL_CAPACITY as u64 - 1,
+            len: 0,
+        }
+    }
+
+    // hmd-analyze: hot-path
+    fn lookup(&self, host: u64) -> Option<u32> {
+        let mut i = (mix(host) & self.mask) as usize;
+        loop {
+            let e = self.entries[i];
+            if e.is_vacant() {
+                return None;
+            }
+            if e.host == host {
+                return Some(e.slot);
+            }
+            i = (i + 1) & self.mask as usize;
+        }
+    }
+
+    /// Inserts a host known to be absent.
+    // hmd-analyze: hot-path
+    // hmd-analyze: allow(transitive-hot-path-alloc, "reaches index growth, which is amortized doubling per session admission, never per-reading")
+    fn insert(&mut self, host: u64, slot: u32) {
+        if (self.len + 1) * 8 > self.entries.len() * 7 {
+            self.grow();
+        }
+        let mut i = (mix(host) & self.mask) as usize;
+        while !self.entries[i].is_vacant() {
+            i = (i + 1) & self.mask as usize;
+        }
+        self.entries[i] = IndexEntry { host, slot };
+        self.len += 1;
+    }
+
+    /// Removes a host known to be present, backward-shifting the tail of
+    /// its probe cluster so lookups never need tombstones.
+    // hmd-analyze: hot-path
+    fn remove(&mut self, host: u64) {
+        let mask = self.mask as usize;
+        let mut pos = (mix(host) & self.mask) as usize;
+        while self.entries[pos].host != host || self.entries[pos].is_vacant() {
+            pos = (pos + 1) & mask;
+        }
+        self.entries[pos] = IndexEntry::VACANT;
+        self.len -= 1;
+        let mut i = pos;
+        loop {
+            i = (i + 1) & mask;
+            let e = self.entries[i];
+            if e.is_vacant() {
+                return;
+            }
+            // An entry probing from `ideal` may fill the hole at `pos`
+            // only if the hole does not sit between its ideal position
+            // and where it landed (circularly) — otherwise moving it
+            // would break its own probe chain.
+            let ideal = (mix(e.host) & self.mask) as usize;
+            if (i.wrapping_sub(ideal) & mask) >= (i.wrapping_sub(pos) & mask) {
+                self.entries[pos] = e;
+                self.entries[i] = IndexEntry::VACANT;
+                pos = i;
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = self.entries.len() * 2;
+        let old = std::mem::replace(&mut self.entries, vec![IndexEntry::VACANT; cap]);
+        self.mask = cap as u64 - 1;
+        for e in old {
+            if e.is_vacant() {
+                continue;
+            }
+            let mut i = (mix(e.host) & self.mask) as usize;
+            while !self.entries[i].is_vacant() {
+                i = (i + 1) & self.mask as usize;
+            }
+            self.entries[i] = e;
+        }
+    }
+}
+
+/// A two-level hierarchical timer wheel over the engine's logical clock.
+///
+/// Level 0 has 256 buckets of `granule` ticks each; level 1 has 64
+/// buckets of `256 × granule`. The granule is sized so `idle_after + 2`
+/// ticks fit inside the full wheel span, so a freshly filed expiry needs
+/// at most one hop (L1 → L0) before it pops at the right bucket.
+///
+/// Invariants (the equivalence proof against the BTree retain sweep):
+///
+/// - **Exact check on pop.** A popped entry is evicted only if the BTree
+///   keep-rule `now − last_seen ≤ idle_after` fails against the slot's
+///   current `last_seen`; otherwise it is refiled at the refreshed
+///   expiry. Bucketing therefore only schedules *when* a session is
+///   examined, never *whether* it expires.
+/// - **No late pops.** An entry is filed at or before its true expiry
+///   bucket (far-future expiries clamp to the furthest L1 bucket and hop
+///   again on drain), so every expired session is examined by the sweep
+///   that crosses its expiry tick.
+/// - **Every due bucket drains.** An advance drains every L0 bucket from
+///   the wheel's position through `now` inclusive (the current bucket is
+///   re-drained — past-due filings clamp into it) and every L1 bucket
+///   strictly entered, so no due entry is skipped; survivors refile
+///   strictly ahead of `now`.
+/// - **The wheel never rewinds.** A sweep at an earlier `now` than the
+///   wheel has reached drains only the current position — matching the
+///   BTree sweep, which under `saturating_sub` also evicts nothing new
+///   when time steps backwards.
+struct Wheel {
+    /// Ticks per L0 bucket (≥ 1).
+    granule: u64,
+    l0: Vec<Vec<WheelEntry>>,
+    l1: Vec<Vec<WheelEntry>>,
+    /// The tick the wheel has advanced to (monotone).
+    now: u64,
+    /// Drained entries awaiting the exact check, reused across sweeps.
+    candidates: Vec<WheelEntry>,
+}
+
+#[derive(Clone, Copy)]
+struct WheelEntry {
+    slot: u32,
+    generation: u32,
+}
+
+const L0_BUCKETS: u64 = 256;
+const L1_BUCKETS: u64 = 64;
+
+impl Wheel {
+    fn new(idle_after: u64) -> Wheel {
+        let span = idle_after.saturating_add(2);
+        let granule = span.div_ceil(L0_BUCKETS * L1_BUCKETS).max(1);
+        Wheel {
+            granule,
+            l0: (0..L0_BUCKETS).map(|_| Vec::new()).collect(),
+            l1: (0..L1_BUCKETS).map(|_| Vec::new()).collect(),
+            now: 0,
+            candidates: Vec::new(),
+        }
+    }
+
+    /// Files `entry` to pop at (or before) `expiry`. Past-due expiries
+    /// clamp to the current bucket; far-future expiries clamp to the
+    /// furthest L1 bucket and hop closer when that bucket drains.
+    // hmd-analyze: hot-path
+    fn file_entry(&mut self, entry: WheelEntry, expiry: u64) {
+        let e = expiry.max(self.now);
+        let b0_now = self.now / self.granule;
+        let b0 = e / self.granule;
+        if b0 - b0_now < L0_BUCKETS {
+            self.l0[(b0 % L0_BUCKETS) as usize].push(entry);
+            return;
+        }
+        let l1_span = self.granule * L0_BUCKETS;
+        let b1_now = self.now / l1_span;
+        let b1 = (e / l1_span).min(b1_now + L1_BUCKETS - 1);
+        self.l1[(b1 % L1_BUCKETS) as usize].push(entry);
+    }
+
+    /// Moves the wheel to `now` (never backwards), draining every due
+    /// bucket into `candidates` for the caller's exact check.
+    // hmd-analyze: hot-path
+    fn advance_to(&mut self, now: u64) {
+        let start = self.now;
+        self.now = self.now.max(now);
+        let b0_start = start / self.granule;
+        let b0_end = self.now / self.granule;
+        let n0 = (b0_end - b0_start).min(L0_BUCKETS - 1);
+        for b in b0_start..=b0_start + n0 {
+            self.candidates
+                .append(&mut self.l0[(b % L0_BUCKETS) as usize]);
+        }
+        let l1_span = self.granule * L0_BUCKETS;
+        let b1_start = start / l1_span;
+        let b1_end = self.now / l1_span;
+        if b1_end > b1_start {
+            // No entry is ever filed into the L1 bucket the wheel sits
+            // in (deltas ≥ one L1 span land strictly ahead), so only the
+            // strictly-entered buckets can hold entries.
+            let n1 = (b1_end - b1_start).min(L1_BUCKETS);
+            for b in b1_start + 1..=b1_start + n1 {
+                self.candidates
+                    .append(&mut self.l1[(b % L1_BUCKETS) as usize]);
+            }
+        }
+    }
 }
 
 /// A reusable queue of submissions drained through the batched detection
@@ -202,7 +735,7 @@ impl SubmitBatch {
 
 /// Sharded host-id → [`OnlineDetector`] map.
 pub struct SessionEngine {
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<Mutex<ShardStore>>,
     /// Never-pushed prototype cloned for each new host.
     template: OnlineDetector,
     idle_after: u64,
@@ -233,7 +766,7 @@ impl SessionEngine {
         let template = OnlineDetector::new(detector, config.window, config.votes)?;
         let per_session_bytes = estimate_session_bytes(&template);
         let shards = (0..config.shards.max(1))
-            .map(|_| Mutex::new(Shard::new()))
+            .map(|_| Mutex::new(ShardStore::new(config.store, config.idle_after)))
             .collect();
         Ok(SessionEngine {
             shards,
@@ -261,7 +794,7 @@ impl SessionEngine {
     /// while holding the lock must not wedge every other worker mapped to
     /// this shard. Session state stays consistent under recovery because
     /// each submit rewrites the fields it touches.
-    fn lock(shard: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
+    fn lock(shard: &Mutex<ShardStore>) -> MutexGuard<'_, ShardStore> {
         shard.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -285,16 +818,7 @@ impl SessionEngine {
             TimeSource::External => self.clock.load(Ordering::Relaxed),
         };
         let mut shard = Self::lock(&self.shards[self.shard_of(host_id)]);
-        let mut created = false;
-        let session = shard.entry(host_id).or_insert_with(|| {
-            created = true;
-            HostSession {
-                // hmd-analyze: allow(hot-path-alloc, "one-time per-host session construction, not per-reading")
-                online: self.template.clone(),
-                last_seq: None,
-                last_seen: now,
-            }
-        });
+        let (session, created) = shard.get_or_admit(host_id, now, &self.template);
         if created {
             self.metrics.bump(&self.metrics.sessions);
             self.metrics
@@ -362,16 +886,7 @@ impl SessionEngine {
                 TimeSource::External => self.clock.load(Ordering::Relaxed),
             };
             let mut shard = Self::lock(&self.shards[self.shard_of(host_id)]);
-            let mut created = false;
-            let session = shard.entry(host_id).or_insert_with(|| {
-                created = true;
-                HostSession {
-                    // hmd-analyze: allow(hot-path-alloc, "one-time per-host session construction, not per-reading")
-                    online: self.template.clone(),
-                    last_seq: None,
-                    last_seen: now,
-                }
-            });
+            let (session, created) = shard.get_or_admit(host_id, now, &self.template);
             if created {
                 self.metrics.bump(&self.metrics.sessions);
                 self.metrics
@@ -444,7 +959,7 @@ impl SessionEngine {
             }
             let (host_id, _) = batch.hosts[item as usize];
             let mut shard = Self::lock(&self.shards[self.shard_of(host_id)]);
-            let smoothed = match shard.get_mut(&host_id) {
+            let smoothed = match shard.get_mut(host_id) {
                 Some(session) => session.online.apply_verdict(cv.verdict),
                 // Evicted between phases (concurrent sweeper): the raw
                 // verdict is the best available answer for this item.
@@ -476,22 +991,18 @@ impl SessionEngine {
     /// [`evict_idle_at`](Self::evict_idle_at) into a caller-supplied
     /// buffer (cleared first) — the allocation-free form the per-burst
     /// hot path uses with a per-connection scratch vector.
+    ///
+    /// On the slab store a sweep costs O(expiring), not O(resident): only
+    /// wheel buckets whose expiry ticks have passed are examined.
+    // hmd-analyze: hot-path
     pub fn evict_idle_at_into(&self, now: u64, evicted: &mut Vec<u64>) {
         evicted.clear();
         if self.idle_after == 0 {
             return;
         }
         for shard in &self.shards {
-            let mut map = Self::lock(shard);
-            // BTreeMap::retain visits keys in ascending order, so the
-            // per-shard segment of `evicted` is sorted by host id.
-            map.retain(|&host, s| {
-                let keep = now.saturating_sub(s.last_seen) <= self.idle_after;
-                if !keep {
-                    evicted.push(host);
-                }
-                keep
-            });
+            let mut store = Self::lock(shard);
+            store.evict_expired(now, self.idle_after, evicted);
         }
         let n = evicted.len() as u64;
         self.metrics.add(&self.metrics.evictions, n);
@@ -965,6 +1476,237 @@ mod tests {
             none_skip.stage2_invoked.total(),
             always.stage2_invoked.total()
         );
+    }
+
+    /// Everything observable from one store run: per-item results, evicted
+    /// lists per sweep, session count, and the two gauge values.
+    type StoreTrace = (
+        Vec<Result<Option<Verdict>, SubmitError>>,
+        Vec<Vec<u64>>,
+        usize,
+        u64,
+        u64,
+    );
+
+    /// Feeds the same host/seq/reading stream to both stores' engines and
+    /// returns everything observable: per-item results, evicted lists per
+    /// sweep, session counts, and gauge snapshots.
+    fn drive_store(
+        kind: StoreKind,
+        idle_after: u64,
+        stream: &[(u64, u64, [f64; 4])],
+        sweep_at: &[u64],
+    ) -> StoreTrace {
+        let metrics = Arc::new(Metrics::new());
+        let e = SessionEngine::new(
+            detector(),
+            &SessionConfig {
+                shards: 4,
+                window: 2,
+                votes: 2,
+                idle_after,
+                time: TimeSource::External,
+                store: kind,
+                ..SessionConfig::default()
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let mut results = Vec::new();
+        let mut sweeps = Vec::new();
+        let mut sweep_iter = sweep_at.iter().copied().peekable();
+        for (t, &(h, s, r)) in stream.iter().enumerate() {
+            e.set_time(t as u64);
+            while sweep_iter.peek().is_some_and(|&w| w <= t as u64) {
+                sweeps.push(e.evict_idle_at(sweep_iter.next().unwrap()));
+            }
+            results.push(e.submit(h, s, &r));
+        }
+        for w in sweep_iter {
+            sweeps.push(e.evict_idle_at(w));
+        }
+        let snap = metrics.snapshot();
+        (
+            results,
+            sweeps,
+            e.sessions(),
+            snap.sessions,
+            snap.session_bytes,
+        )
+    }
+
+    #[test]
+    fn slab_store_matches_btree_oracle_on_churning_stream() {
+        // Hosts churn through admit → verdict → idle-evict → reincarnate;
+        // every observable (verdicts, eviction order, gauges, live count)
+        // must be identical across stores.
+        let mut stream = Vec::new();
+        for round in 0u64..6 {
+            for host in 0u64..17 {
+                let x = 1e5 + (round * 31 + host * 7) as f64 * 13.0;
+                // Re-admitted hosts restart their seq space after eviction
+                // rounds; a fixed per-round seq keeps both stores aligned.
+                stream.push((host * 977 + 13, round, [x, x / 3.0, x / 7.0, x / 11.0]));
+            }
+        }
+        let sweeps = [20, 40, 55, 90, 200];
+        let btree = drive_store(StoreKind::BTree, 8, &stream, &sweeps);
+        let slab = drive_store(StoreKind::Slab, 8, &stream, &sweeps);
+        assert_eq!(btree.0, slab.0, "verdict stream must match the oracle");
+        assert_eq!(btree.1, slab.1, "eviction sets and order must match");
+        assert_eq!(btree.2, slab.2, "live session counts must match");
+        assert_eq!((btree.3, btree.4), (slab.3, slab.4), "gauges must match");
+        assert!(
+            btree.1.iter().any(|s| !s.is_empty()),
+            "the scenario must actually exercise eviction"
+        );
+    }
+
+    #[test]
+    fn slab_store_matches_btree_oracle_at_coarse_wheel_granularity() {
+        // idle_after = 1 << 20 forces a wheel granule > 1 (65 ticks per L0
+        // bucket): expiry bucketing is approximate, the pop-time exact
+        // check must keep eviction bit-identical anyway.
+        let mut stream = Vec::new();
+        for host in 0u64..5 {
+            stream.push((host, 0, [1e5, 1e4, 1e3, 1e2]));
+        }
+        let idle = 1u64 << 20;
+        // Sweep just before and just after host expiry boundaries.
+        let sweeps = [idle - 1, idle + 1, idle + 3, idle + 10];
+        let btree = drive_store(StoreKind::BTree, idle, &stream, &sweeps);
+        let slab = drive_store(StoreKind::Slab, idle, &stream, &sweeps);
+        assert_eq!(btree.1, slab.1);
+        assert_eq!(btree.2, slab.2);
+    }
+
+    #[test]
+    fn slab_reuses_slots_without_growing_the_slab() {
+        // Churn far more sessions than are ever resident: the slab must
+        // recycle freed slots (reset-in-place) instead of growing.
+        let e = engine(&SessionConfig {
+            shards: 1,
+            idle_after: 1,
+            time: TimeSource::External,
+            ..SessionConfig::default()
+        });
+        let r = [1.0; 4];
+        for round in 0u64..50 {
+            let t = round * 10;
+            e.set_time(t);
+            e.submit(round, 0, &r).unwrap(); // a brand-new host id each round
+            e.evict_idle_at(t + 5);
+            assert_eq!(e.sessions(), 0, "round {round} must evict its host");
+        }
+        let shard = SessionEngine::lock(&e.shards[0]);
+        match &*shard {
+            ShardStore::Slab(s) => {
+                assert_eq!(s.slots.len(), 1, "one resident session needs one slot ever");
+                assert_eq!(s.free.len(), 1);
+            }
+            ShardStore::BTree(_) => panic!("default store must be slab"),
+        }
+    }
+
+    #[test]
+    fn reincarnated_host_restarts_warmup_and_seq_space() {
+        // Evict H at high seq, re-admit H: the reused slot must behave
+        // exactly like a fresh session (warm-up verdict, seq 0 accepted),
+        // with no trace of the predecessor's window or votes.
+        for kind in [StoreKind::BTree, StoreKind::Slab] {
+            let e = engine(&SessionConfig {
+                window: 2,
+                idle_after: 2,
+                time: TimeSource::External,
+                store: kind,
+                ..SessionConfig::default()
+            });
+            let r = [1e5, 1e4, 1e3, 1e2];
+            e.set_time(0);
+            e.submit(5, 100, &r).unwrap();
+            assert!(e.submit(5, 101, &r).unwrap().is_some(), "window filled");
+            assert_eq!(e.evict_idle_at(9), vec![5]);
+            // Reincarnation: seq 0 (< 101) is accepted, warm-up restarts.
+            e.set_time(9);
+            assert_eq!(e.submit(5, 0, &r), Ok(None), "store {kind}: fresh warm-up");
+            assert!(e.submit(5, 1, &r).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn slot_index_survives_collision_clusters_and_backward_shift() {
+        let mut idx = SlotIndex::new();
+        // Force heavy clustering: more keys than the initial capacity,
+        // with interleaved removals to exercise backward-shift deletion.
+        let keys: Vec<u64> = (0..200).map(|i| i * 7 + 3).collect();
+        for (slot, &k) in keys.iter().enumerate() {
+            idx.insert(k, slot as u32);
+        }
+        for (slot, &k) in keys.iter().enumerate() {
+            assert_eq!(idx.lookup(k), Some(slot as u32));
+        }
+        // Remove every third key; the rest must stay reachable.
+        for (slot, &k) in keys.iter().enumerate() {
+            if slot % 3 == 0 {
+                idx.remove(k);
+            }
+        }
+        for (slot, &k) in keys.iter().enumerate() {
+            let want = if slot % 3 == 0 {
+                None
+            } else {
+                Some(slot as u32)
+            };
+            assert_eq!(idx.lookup(k), want, "key {k} after removals");
+        }
+        assert_eq!(idx.len, keys.len() - keys.len().div_ceil(3));
+        // Reinsert the removed keys under new slots.
+        for (slot, &k) in keys.iter().enumerate() {
+            if slot % 3 == 0 {
+                idx.insert(k, (slot + 1000) as u32);
+            }
+        }
+        for (slot, &k) in keys.iter().enumerate() {
+            let want = if slot % 3 == 0 { slot + 1000 } else { slot } as u32;
+            assert_eq!(idx.lookup(k), Some(want));
+        }
+    }
+
+    #[test]
+    fn wheel_evicts_exactly_across_level_wraps() {
+        // Sessions spread across a time span far wider than one L0 turn
+        // (and wider than one full L1 turn) must still evict exactly when
+        // the btree rule says so, even with sparse sweeps that cross many
+        // buckets at once.
+        let run = |kind: StoreKind| {
+            let e = engine(&SessionConfig {
+                shards: 1,
+                idle_after: 10,
+                time: TimeSource::External,
+                store: kind,
+                ..SessionConfig::default()
+            });
+            let r = [1.0; 4];
+            let mut evictions = Vec::new();
+            // Admit one host every 997 ticks. Wheel granule is 1, so the
+            // gaps cross ≈ 4 L0 turns between admits and the run as a
+            // whole wraps L1 (16384 ticks) twice over.
+            for i in 0u64..40 {
+                let t = i * 997;
+                e.set_time(t);
+                e.submit(i, 0, &r).unwrap();
+                if i % 5 == 4 {
+                    evictions.push(e.evict_idle_at(t));
+                }
+            }
+            evictions.push(e.evict_idle_at(40 * 997 + 11));
+            evictions
+        };
+        let btree = run(StoreKind::BTree);
+        let slab = run(StoreKind::Slab);
+        assert_eq!(btree, slab, "sweep-by-sweep eviction lists must match");
+        let total: usize = slab.iter().map(|v| v.len()).sum();
+        assert_eq!(total, 40, "every host evicted exactly once");
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! `--arrivals N`, `--max-conns N`, `--idle-after T`, `--sweep-every T`,
 //! `--window N`, `--votes N`, `--cascade always|gated:<t>` (stage-2
 //! gating of the batched drain; `always` is the scalar-identical
-//! default), `--journal` (print every journal entry; small runs only).
+//! default), `--store btree|slab` (session store; `slab` is the default,
+//! `btree` the oracle — digests must be byte-identical), `--journal`
+//! (print every journal entry; small runs only).
 
 use hmd_serve::protocol::WireFormat;
 use hmd_sim::digest::JournalEntry;
@@ -107,6 +109,7 @@ fn parse(mut argv: impl Iterator<Item = String>) -> Result<SimConfig, String> {
             "--window" => config.window = parse_num(&value("--window")?)? as usize,
             "--votes" => config.votes = parse_num(&value("--votes")?)? as usize,
             "--cascade" => config.cascade = parse_cascade(&value("--cascade")?)?,
+            "--store" => config.store = value("--store")?.parse()?,
             "--journal" => config.keep_journal = true,
             "--help" | "-h" => {
                 return Err("usage: hmd-sim [--hosts N] [--seed N] [--protocol 1|2] \
@@ -114,7 +117,7 @@ fn parse(mut argv: impl Iterator<Item = String>) -> Result<SimConfig, String> {
                             [--shards N] [--readings N] [--interval T] [--arrivals N] \
                             [--max-conns N] [--idle-after T] [--sweep-every T] \
                             [--window N] [--votes N] [--cascade always|gated:<t>] \
-                            [--journal]"
+                            [--store btree|slab] [--journal]"
                     .into());
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),

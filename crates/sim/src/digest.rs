@@ -77,6 +77,7 @@ impl JournalEntry {
     }
 
     /// FNV-1a 64 over the entry's byte image.
+    // hmd-analyze: det-index
     pub fn fnv(&self) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for w in self.words() {
@@ -267,6 +268,9 @@ pub struct RunReport {
     pub workers: usize,
     /// Session-engine shards.
     pub shards: usize,
+    /// Session store backing the engine (`"btree"` or `"slab"`) — a
+    /// variant fact because digests must not depend on it.
+    pub store: &'static str,
     /// Total bytes agents wrote toward the service.
     pub wire_bytes_in: u64,
     /// Total bytes the service wrote toward agents.
@@ -281,10 +285,11 @@ impl RunReport {
     /// Human-readable variant facts (kept out of the digest on purpose).
     pub fn render_variant(&self) -> String {
         format!(
-            "variant protocol=v{} workers={} shards={} wire_in={}B wire_out={}B connections={}",
+            "variant protocol=v{} workers={} shards={} store={} wire_in={}B wire_out={}B connections={}",
             self.protocol,
             self.workers,
             self.shards,
+            self.store,
             self.wire_bytes_in,
             self.wire_bytes_out,
             self.connections,

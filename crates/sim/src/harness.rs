@@ -38,7 +38,7 @@ use hmd_serve::protocol::{
     PROTOCOL_VERSION_V2,
 };
 use hmd_serve::service::{pump, Conn, Service, ServiceLimits};
-use hmd_serve::session::{SessionConfig, SessionEngine, TimeSource};
+use hmd_serve::session::{SessionConfig, SessionEngine, StoreKind, TimeSource};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::io::{Read, Write};
@@ -84,6 +84,9 @@ pub struct SimConfig {
     /// is the scalar-identical oracle (digest unchanged); `Gated` trades
     /// specialist work for stage-1 confidence.
     pub cascade: CascadeMode,
+    /// Which session store backs the engine. Both stores must produce
+    /// byte-identical digests — this knob *is* the slab regression net.
+    pub store: StoreKind,
     /// Retain the full journal (small runs only).
     pub keep_journal: bool,
 }
@@ -106,6 +109,7 @@ impl Default for SimConfig {
             votes: 3,
             faults: FaultPlan::standard(),
             cascade: CascadeMode::Always,
+            store: StoreKind::Slab,
             keep_journal: false,
         }
     }
@@ -294,6 +298,7 @@ pub fn run(detector: TwoSmartDetector, config: &SimConfig) -> Result<RunReport, 
             idle_after: config.idle_after,
             time: TimeSource::External,
             cascade: config.cascade,
+            store: config.store,
         },
         Arc::clone(&metrics),
     )?;
@@ -404,6 +409,10 @@ impl Sim {
             protocol: self.config.protocol.version(),
             workers: self.config.workers,
             shards: self.config.shards,
+            store: match self.config.store {
+                StoreKind::BTree => "btree",
+                StoreKind::Slab => "slab",
+            },
             wire_bytes_in: self.wire_in,
             wire_bytes_out: self.wire_out,
             connections: snapshot.connections,
